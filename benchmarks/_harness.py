@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Rendered
+output is both printed (run pytest with ``-s`` to see it) and written to
+``benchmarks/output/<name>.txt`` so results survive output capture.
+
+Scale: the paper's burst experiments use 5,000–20,000 simultaneous
+transactions.  Replaying them at full scale takes several minutes of wall
+clock in pure Python, so the burst sizes are multiplied by the environment
+variable ``BLOCKUMULUS_BENCH_SCALE`` (default 0.1).  Set it to 1.0 to
+reproduce the paper-scale runs; throughput figures and projected 20k-burst
+makespans are reported either way.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core import BlockumulusDeployment, DeploymentConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: Consortium sizes evaluated in the paper.
+CONSORTIUM_SIZES = (2, 4, 8)
+#: Burst sizes of Figures 9 and 10.
+PAPER_BURST_SIZES = (5_000, 10_000, 20_000)
+
+
+def bench_scale() -> float:
+    """Scale factor applied to the paper's burst sizes."""
+    return float(os.environ.get("BLOCKUMULUS_BENCH_SCALE", "0.1"))
+
+
+def scaled_bursts() -> list[int]:
+    """The burst sizes actually run, after scaling."""
+    return [max(200, int(size * bench_scale())) for size in PAPER_BURST_SIZES]
+
+
+def azure_deployment(cells: int, seed: int = 2021, **overrides) -> BlockumulusDeployment:
+    """A deployment with the calibrated Azure-B1ms service model."""
+    settings = dict(
+        consortium_size=cells,
+        signature_scheme="sim",
+        report_period=3_600.0,
+        forwarding_deadline=900.0,
+        seed=seed,
+    )
+    settings.update(overrides)
+    return BlockumulusDeployment(DeploymentConfig(**settings))
+
+
+def write_output(name: str, text: str) -> Path:
+    """Persist rendered benchmark output and echo it to stdout."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path

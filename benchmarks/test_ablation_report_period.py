@@ -1,0 +1,63 @@
+"""Ablation (E8): the report period λ trades settlement delay against fees.
+
+λ is the one tunable the consortium chooses at deployment time.  The
+ablation measures, for several λ values, (a) the worst-case settlement
+delay — how long a confirmed transaction waits until its snapshot is
+anchored — and (b) the daily anchoring cost, demonstrating the trade-off
+Table III only shows the cost half of.
+"""
+
+from repro.analysis import CostModel
+from repro.client import BlockumulusClient, FastMoneyClient
+from repro.sim import fast_test_service_model
+
+from _harness import azure_deployment, write_output
+
+PERIODS = (20.0, 40.0, 80.0)
+
+
+def measure_settlement(period: float) -> float:
+    deployment = azure_deployment(
+        2, seed=int(period), service_model=fast_test_service_model(),
+        report_period=period, eth_block_interval=2.0, signature_scheme="ecdsa",
+    )
+    client = BlockumulusClient(deployment)
+    wallet = FastMoneyClient(client)
+    deployment.env.run(wallet.faucet(100))
+    transfer = wallet.transfer("0x" + "ab" * 20, 10)
+    deployment.env.run(transfer)
+    confirmed_at = transfer.value.completed_at
+    # Run until the cycle containing the transfer has been anchored by cell 0.
+    target_cycle = deployment.cell(0).consensus.cycle_of(confirmed_at)
+    deployment.run(until=confirmed_at + 3 * period)
+    anchored = [r for r in deployment.cell(0).reports_submitted if r["cycle"] == target_cycle]
+    assert anchored, "the transfer's cycle was never anchored"
+    return anchored[0]["reported_at"] - confirmed_at
+
+
+def run_ablation():
+    cost = CostModel()
+    rows = []
+    for period in PERIODS:
+        settlement = measure_settlement(period)
+        rows.append((period, settlement, cost.row("x", int(period)).usd_per_day))
+    return rows
+
+
+def test_ablation_report_period(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    lines = [f"{'lambda (s)':>10} {'settlement delay (s)':>22} {'anchoring USD/day':>19}"]
+    for period, settlement, usd in rows:
+        lines.append(f"{period:>10.0f} {settlement:>22.1f} {usd:>19,.0f}")
+    lines.append("\nshorter report periods settle sooner but anchor more often (higher fees);")
+    lines.append("the paper's Table III quantifies the fee half of this trade-off.")
+    write_output("ablation_report_period", "\n".join(lines))
+
+    settlements = [settlement for _period, settlement, _usd in rows]
+    costs = [usd for _period, _settlement, usd in rows]
+    # Longer periods settle later and cost less, monotonically.
+    assert settlements[0] < settlements[-1]
+    assert costs[0] > costs[1] > costs[2]
+    # Settlement delay is bounded by roughly two report periods.
+    for (period, settlement, _usd) in rows:
+        assert settlement < 2.5 * period

@@ -1,0 +1,52 @@
+"""Baseline comparison (E9): Blockumulus vs Ethereum L1 vs a gossip chain.
+
+Runs the same payment workload on (a) a Blockumulus deployment, (b) the
+simulated Ethereum chain directly (ERC-20 transfers), and (c) derives the
+gossip-chain figures from the P2P propagation substrate.  Reproduces the
+paper's qualitative claims: cloud-overlay execution is orders of magnitude
+faster than both public-chain baselines, and the per-transaction fee
+overhead is a small fraction of an L1 fee.
+"""
+
+from repro.analysis import CostModel
+from repro.baselines import run_ethereum_payment_baseline, run_p2p_baseline
+from repro.client import run_burst_transfers
+
+from _harness import azure_deployment, write_output
+
+
+def run_all():
+    blockumulus = run_burst_transfers(azure_deployment(2), count=600, pools=8)
+    ethereum = run_ethereum_payment_baseline(transactions=250, senders=8, block_interval=13.0)
+    gossip = run_p2p_baseline(network_size=1_500, degree=8, block_interval=13.0)
+    return blockumulus, ethereum, gossip
+
+
+def test_baseline_comparison(benchmark):
+    blockumulus, ethereum, gossip = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    blk = blockumulus.summary()
+    eth = ethereum.summary()
+    p2p = gossip.summary()
+    cost = CostModel()
+    blockumulus_fee = cost.fee_per_transaction(daily_transactions=1_000, period_seconds=600)
+
+    rows = [
+        ("system", "p50 latency (s)", "throughput (tps)", "fee / tx (USD)"),
+        ("Blockumulus (2 cells)", f"{blk['latency_p50']:.2f}", f"{blk['throughput_tps']:.0f}",
+         f"{blockumulus_fee:.3f}"),
+        ("Ethereum L1 (simulated)", f"{eth['latency_p50']:.1f}", f"{eth['throughput_tps']:.1f}",
+         f"{eth['fee_per_transaction_usd']:.2f}"),
+        ("Gossip PoW chain (model)", f"{p2p['confirmation_latency']:.0f}",
+         f"{p2p['effective_throughput_tps']:.1f}", "-"),
+    ]
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    text = "\n".join("  ".join(row[i].ljust(widths[i]) for i in range(4)) for row in rows)
+    write_output("baseline_comparison", text)
+
+    # Blockumulus confirms payments faster than a single L1 block.
+    assert blk["latency_p50"] < eth["latency_p50"]
+    # Throughput is at least an order of magnitude above both baselines.
+    assert blk["throughput_tps"] > 10 * eth["throughput_tps"]
+    assert blk["throughput_tps"] > 10 * p2p["effective_throughput_tps"]
+    # Fee overhead per transaction is far below the average L1 fee.
+    assert blockumulus_fee * 20 < eth["fee_per_transaction_usd"] or blockumulus_fee < 0.30

@@ -1,0 +1,48 @@
+"""Figure 8 — latency of 500 consecutive FastMoney transfers (E4).
+
+One run per consortium size (2, 4, 8 cells), 500 consecutive transfers
+each, reporting the latency CDF and the percentile summary.  The paper's
+observations that must hold: roughly 90% of transfers finish within ~2 s on
+2 cells, within ~3 s on 4 cells, and within ~5 s on 8 cells, and the growth
+of the latency is slower than the growth of the consortium.
+"""
+
+from repro.analysis import fig8_report
+from repro.client import run_sequential_transfers
+
+from _harness import CONSORTIUM_SIZES, azure_deployment, write_output
+
+TRANSFERS = 500
+
+
+def run_all():
+    reports = []
+    for cells in CONSORTIUM_SIZES:
+        deployment = azure_deployment(cells)
+        reports.append(run_sequential_transfers(deployment, count=TRANSFERS, pools=8))
+    return reports
+
+
+def test_fig8_latency(benchmark):
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = fig8_report(reports)
+    paper_p90 = {2: "~2 s", 4: "~3 s", 8: "~5 s"}
+    lines = ["", "paper vs measured (p90):"]
+    p90 = {}
+    for report in reports:
+        p90[report.consortium_size] = report.latencies().p90()
+        lines.append(
+            f"  {report.consortium_size} cells: paper {paper_p90[report.consortium_size]}, "
+            f"measured {p90[report.consortium_size]:.2f} s"
+        )
+    write_output("fig8_latency", text + "\n".join(lines))
+
+    for report in reports:
+        assert report.failure_count == 0
+    # Normal-load latencies sit in the paper's 2-5 second band.
+    assert 1.0 < p90[2] < 3.0
+    assert p90[4] < 4.5
+    assert 2.5 < p90[8] < 6.5
+    # Latency grows with the consortium, but slower than its size.
+    assert p90[2] < p90[4] < p90[8]
+    assert p90[8] / p90[2] < 4.0

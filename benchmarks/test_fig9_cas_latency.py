@@ -1,0 +1,45 @@
+"""Figure 9 — latency of simultaneous CAS upload requests (E5).
+
+Nine experiments: consortium sizes 2/4/8 crossed with burst sizes that are
+the paper's 5,000/10,000/20,000 scaled by BLOCKUMULUS_BENCH_SCALE.  The
+paper's qualitative finding: doubling the number of simultaneous
+transactions increases the confirmation time by less than 2x.
+"""
+
+from repro.analysis import fig9_report
+from repro.client import run_burst_cas_uploads
+
+from _harness import CONSORTIUM_SIZES, azure_deployment, bench_scale, scaled_bursts, write_output
+
+
+def run_all():
+    reports = {}
+    for cells in CONSORTIUM_SIZES:
+        for count in scaled_bursts():
+            deployment = azure_deployment(cells, seed=3_000 + cells + count)
+            reports[(cells, count)] = run_burst_cas_uploads(
+                deployment, count=count, pools=8, blob_bytes=64
+            )
+    return reports
+
+
+def test_fig9_cas_latency(benchmark):
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    ordered = [reports[key] for key in sorted(reports)]
+    header = (
+        f"Fig. 9 — simultaneous CAS uploads "
+        f"(scale={bench_scale():.2f} of the paper's 5k/10k/20k bursts)\n"
+    )
+    write_output("fig9_cas_latency", header + fig9_report(ordered))
+
+    bursts = scaled_bursts()
+    for report in ordered:
+        assert report.failure_count == 0
+    for cells in CONSORTIUM_SIZES:
+        small = reports[(cells, bursts[0])].summary()
+        large = reports[(cells, bursts[2])].summary()
+        # 4x the transactions -> much less than 4x the p90 confirmation time
+        # (the paper's "less than the factor of the load increase" effect).
+        assert large["latency_p90"] / small["latency_p90"] < 4.0
+        # More load never reduces the latency.
+        assert large["latency_p90"] >= small["latency_p90"] * 0.8

@@ -1,0 +1,59 @@
+"""Section IV scalability checks (E10): measured growth exponents.
+
+Sweeps the number of transactions on a fixed deployment and fits log-log
+growth exponents for communication bytes, stored snapshot data, and
+cumulative latency — all expected to be ~1 (linear) — and checks that the
+anchoring fee is independent of the transaction volume (exponent ~0).
+"""
+
+from repro.analysis import ScalabilityModel, fit_growth_exponent
+from repro.client import run_burst_transfers
+from repro.sim import fast_test_service_model
+
+from _harness import azure_deployment, write_output
+
+SWEEP = (100, 200, 400, 800)
+
+
+def run_sweep():
+    measurements = []
+    for count in SWEEP:
+        deployment = azure_deployment(
+            2, seed=5_000 + count, service_model=fast_test_service_model()
+        )
+        report = run_burst_transfers(deployment, count=count, pools=8)
+        cell = deployment.cell(0)
+        measurements.append(
+            {
+                "transactions": count,
+                "network_bytes": deployment.network.total_bytes(),
+                "ledger_entries": len(cell.ledger),
+                "cumulative_latency": sum(result.latency for result in report.successes),
+                "reports_gas": ScalabilityModel.fee_overhead(144, 49_193, 2),
+            }
+        )
+    return measurements
+
+
+def test_scalability_exponents(benchmark):
+    measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    sizes = [m["transactions"] for m in measurements]
+    exponents = {
+        "communication bytes": fit_growth_exponent(sizes, [m["network_bytes"] for m in measurements]),
+        "ledger entries": fit_growth_exponent(sizes, [m["ledger_entries"] for m in measurements]),
+        "cumulative latency": fit_growth_exponent(
+            sizes, [m["cumulative_latency"] for m in measurements]),
+        "anchoring gas": fit_growth_exponent(
+            sizes, [m["reports_gas"] + 1e-9 for m in measurements]),
+    }
+    lines = ["Section IV growth exponents (log-log fit over N = 100..800):"]
+    expectations = {"communication bytes": 1.0, "ledger entries": 1.0,
+                    "cumulative latency": 1.0, "anchoring gas": 0.0}
+    for name, exponent in exponents.items():
+        lines.append(f"  {name:<22} measured {exponent:+.3f}   paper O-claim {expectations[name]:.0f}")
+    write_output("scalability_analysis", "\n".join(lines))
+
+    assert abs(exponents["communication bytes"] - 1.0) < 0.15
+    assert abs(exponents["ledger entries"] - 1.0) < 0.05
+    assert 0.8 < exponents["cumulative latency"] < 1.6
+    assert abs(exponents["anchoring gas"]) < 0.05

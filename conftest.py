@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The project is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on environments without the ``wheel`` package),
+but adding the source tree to ``sys.path`` here means the test-suite and
+benchmark harness also run straight from a fresh checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

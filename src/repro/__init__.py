@@ -1,0 +1,28 @@
+"""Blockumulus reproduction: scalable smart contracts on the cloud.
+
+A from-scratch Python implementation of the system described in
+*Blockumulus: A Scalable Framework for Smart Contracts on the Cloud*
+(Ivanov, Yan, Wang — ICDCS 2021), including every substrate the paper
+depends on:
+
+* ``repro.crypto`` / ``repro.encoding`` — Keccak-256, secp256k1 ECDSA, RLP.
+* ``repro.sim`` — deterministic discrete-event simulation kernel, network
+  and latency models, metrics.
+* ``repro.ethchain`` — a simulated Ethereum blockchain hosting the
+  snapshot-anchoring smart contract.
+* ``repro.p2p`` — a gossip-based P2P blockchain baseline.
+* ``repro.messages`` — the uniform RESTful message layer.
+* ``repro.contracts`` — the bContract framework, system bContracts
+  (Deployer, CAS), and community bContracts (FastMoney, Ballot, tokens).
+* ``repro.core`` — Blockumulus cells, the overlay consensus, snapshots,
+  reporting, receipts, and deployment orchestration (the paper's primary
+  contribution).
+* ``repro.client`` / ``repro.audit`` — client APIs, workload generators,
+  and independent auditors.
+* ``repro.analysis`` / ``repro.baselines`` — scalability/cost models and
+  the baselines used by the benchmark harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,52 @@
+"""Analysis: Table I/II/III models, Section IV scalability, figure rendering."""
+
+from .communication import (
+    CommunicationProfile,
+    VectorBytes,
+    max_throughput_from_bandwidth,
+    measure_profile,
+)
+from .communication import render_table as render_table2
+from .comparison import (
+    PRIOR_WORK,
+    SolutionFeatures,
+    blockumulus_row,
+    comparison_table,
+)
+from .comparison import render_table as render_table1
+from .cost import (
+    PAPER_AVG_ETH_TX_FEE_USD,
+    PAPER_GAS_PER_REPORT,
+    TABLE3_REPORT_PERIODS,
+    CostModel,
+    CostRow,
+)
+from .cost import render_table as render_table3
+from .figures import fig8_report, fig9_report, fig10_report, headline_claims
+from .scalability import ScalabilityModel, ScalabilityParameters, fit_growth_exponent
+
+__all__ = [
+    "CommunicationProfile",
+    "CostModel",
+    "CostRow",
+    "PAPER_AVG_ETH_TX_FEE_USD",
+    "PAPER_GAS_PER_REPORT",
+    "PRIOR_WORK",
+    "ScalabilityModel",
+    "ScalabilityParameters",
+    "SolutionFeatures",
+    "TABLE3_REPORT_PERIODS",
+    "VectorBytes",
+    "blockumulus_row",
+    "comparison_table",
+    "fig10_report",
+    "fig8_report",
+    "fig9_report",
+    "fit_growth_exponent",
+    "headline_claims",
+    "max_throughput_from_bandwidth",
+    "measure_profile",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

@@ -1,0 +1,89 @@
+"""Table I — feature comparison of Blockumulus with prior scalability work.
+
+The table is qualitative in the paper (check marks per capability).  The
+entries for the nine prior systems are transcribed from the paper; the
+Blockumulus row can either use the paper's claims or be *derived* from a
+measured deployment (general-purpose contracts deployed, throughput above
+the public-chain baseline, storage and compute scaling with cloud
+resources), which is how the Table I benchmark regenerates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SolutionFeatures:
+    """One row of Table I."""
+
+    name: str
+    general_purpose_contracts: bool
+    tps_scalability: bool
+    storage_scalability: bool
+    compute_scalability: bool
+    note: str = ""
+
+    def row(self) -> tuple[str, str, str, str, str]:
+        """Render the row with check/cross marks as in the paper."""
+        def mark(flag: bool) -> str:
+            return "yes" if flag else "no"
+
+        return (
+            self.name,
+            mark(self.general_purpose_contracts),
+            mark(self.tps_scalability),
+            mark(self.storage_scalability),
+            mark(self.compute_scalability),
+        )
+
+
+#: Prior-work rows exactly as reported in the paper's Table I.
+PRIOR_WORK: tuple[SolutionFeatures, ...] = (
+    SolutionFeatures("Algorand", False, True, False, False),
+    SolutionFeatures("RapidChain", False, True, False, False),
+    SolutionFeatures("Lightning", False, True, False, False),
+    SolutionFeatures("Ekiden", True, True, False, True),
+    SolutionFeatures("Arbitrum", True, False, False, True),
+    SolutionFeatures("Jidar", False, False, True, False),
+    SolutionFeatures("Monoxide", False, True, False, False),
+    SolutionFeatures("Plasma", True, True, False, False, note="storage unclear in the paper"),
+    SolutionFeatures("OmniLedger", False, True, True, False),
+)
+
+
+def blockumulus_row(
+    supports_contract_deployment: bool,
+    measured_tps: float,
+    baseline_tps: float,
+    storage_scales_with_cells: bool,
+    compute_scales_with_cells: bool,
+) -> SolutionFeatures:
+    """Derive the Blockumulus row of Table I from measured properties."""
+    return SolutionFeatures(
+        name="Blockumulus",
+        general_purpose_contracts=supports_contract_deployment,
+        tps_scalability=measured_tps > baseline_tps,
+        storage_scalability=storage_scales_with_cells,
+        compute_scalability=compute_scales_with_cells,
+    )
+
+
+def comparison_table(blockumulus: SolutionFeatures | None = None) -> list[SolutionFeatures]:
+    """The full Table I, with the supplied (or claimed) Blockumulus row last."""
+    final_row = blockumulus or SolutionFeatures("Blockumulus", True, True, True, True)
+    return list(PRIOR_WORK) + [final_row]
+
+
+def render_table(rows: list[SolutionFeatures]) -> str:
+    """Text rendering of Table I."""
+    header = ("Solution", "Contracts", "TPS", "Storage", "Compute")
+    body = [row.row() for row in rows]
+    widths = [max(len(header[i]), *(len(row[i]) for row in body)) for i in range(len(header))]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * widths[i] for i in range(len(header))),
+    ]
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Table III — operational cost of snapshot anchoring.
+
+The table reports, per participating cloud provider, the Ethereum gas and
+USD spent in 24 hours of snapshot reporting as a function of the report
+period λ.  The gas-per-report figure is measured from the simulated
+:class:`SnapshotRegistry` contract; the currency conversion uses the same
+market parameters the paper quotes (22 gwei, 733 USD/ETH).
+
+The module also reproduces the comparisons the paper draws under the table:
+the per-transaction fee overhead versus the average Ethereum transaction
+fee, and the per-subscriber monthly overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ethchain.gas import FeeSchedule
+
+#: Report periods of Table III, in seconds.
+TABLE3_REPORT_PERIODS: tuple[tuple[str, int], ...] = (
+    ("10 min", 600),
+    ("30 min", 1_800),
+    ("1 hour", 3_600),
+    ("8 hours", 28_800),
+    ("24 hours", 86_400),
+)
+
+#: Gas per report as published in the paper (24-hour row of Table III).
+PAPER_GAS_PER_REPORT = 49_193
+
+#: Values the paper quotes in Section VI-F for its comparisons.
+PAPER_AVG_ETH_TX_FEE_USD = 5.72
+PAPER_DAILY_TRANSACTIONS = 1_000
+
+SECONDS_PER_DAY = 86_400
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One row of Table III."""
+
+    period_label: str
+    period_seconds: int
+    reports_per_day: int
+    gas_per_day: int
+    usd_per_day: float
+
+
+@dataclass
+class CostModel:
+    """Computes anchoring costs for a given per-report gas figure."""
+
+    gas_per_report: int = PAPER_GAS_PER_REPORT
+    fee_schedule: FeeSchedule = field(default_factory=FeeSchedule)
+
+    def reports_per_day(self, period_seconds: int) -> int:
+        """Number of snapshot reports a cell submits in 24 hours."""
+        if period_seconds <= 0:
+            raise ValueError("the report period must be positive")
+        return SECONDS_PER_DAY // period_seconds
+
+    def row(self, label: str, period_seconds: int) -> CostRow:
+        """One Table III row for the given report period."""
+        count = self.reports_per_day(period_seconds)
+        gas = count * self.gas_per_report
+        return CostRow(
+            period_label=label,
+            period_seconds=period_seconds,
+            reports_per_day=count,
+            gas_per_day=gas,
+            usd_per_day=self.fee_schedule.gas_to_usd(gas),
+        )
+
+    def table(self) -> list[CostRow]:
+        """All rows of Table III."""
+        return [self.row(label, seconds) for label, seconds in TABLE3_REPORT_PERIODS]
+
+    # -- the comparisons drawn in Section VI-F --------------------------
+    def fee_per_transaction(self, daily_transactions: int, period_seconds: int = 600) -> float:
+        """Blockumulus fee overhead per transaction at a given daily volume."""
+        if daily_transactions <= 0:
+            raise ValueError("daily transaction count must be positive")
+        row = self.row("custom", period_seconds)
+        return row.usd_per_day / daily_transactions
+
+    def advantage_over_ethereum(
+        self,
+        daily_transactions: int = PAPER_DAILY_TRANSACTIONS,
+        period_seconds: int = 600,
+        ethereum_fee_usd: float = PAPER_AVG_ETH_TX_FEE_USD,
+    ) -> float:
+        """How many times cheaper a Blockumulus transaction is than an L1 one."""
+        ours = self.fee_per_transaction(daily_transactions, period_seconds)
+        return ethereum_fee_usd / ours
+
+    def monthly_fee_per_subscriber(
+        self, subscribers: int, period_seconds: int = 600, days: int = 30
+    ) -> float:
+        """Reporting-fee overhead per subscriber per month."""
+        if subscribers <= 0:
+            raise ValueError("subscriber count must be positive")
+        row = self.row("custom", period_seconds)
+        return row.usd_per_day * days / subscribers
+
+
+def render_table(rows: list[CostRow]) -> str:
+    """Text rendering of Table III."""
+    lines = [
+        f"{'Report period':<14} {'Reports/day':>12} {'Gas/day':>14} {'USD/day':>10}",
+        "-" * 54,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.period_label:<14} {row.reports_per_day:>12,} "
+            f"{row.gas_per_day:>14,} {row.usd_per_day:>10.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Text renderings of the paper's figures from measured workload reports.
+
+Each helper takes the structures produced by :mod:`repro.client.workload`
+and prints the same series the corresponding figure plots, so the benchmark
+harness output can be compared with the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..client.workload import WorkloadReport
+from ..sim.metrics import ascii_bars, ascii_cdf, format_seconds
+
+
+def fig8_report(reports: Sequence[WorkloadReport], threshold_line: float = 0.9) -> str:
+    """Fig. 8 — latency CDFs of consecutive transfers per consortium size."""
+    sections = []
+    for report in reports:
+        latencies = report.latencies()
+        summary = report.summary()
+        header = (
+            f"[Fig.8] {report.consortium_size} cells, {len(report.results)} transfers: "
+            f"p50={format_seconds(summary['latency_p50'])} "
+            f"p90={format_seconds(summary['latency_p90'])} "
+            f"p99={format_seconds(summary['latency_p99'])} "
+            f"failures={report.failure_count}"
+        )
+        fraction_under = {
+            seconds: latencies.fraction_below(seconds) for seconds in (1, 2, 3, 4, 5, 8)
+        }
+        fractions = "  ".join(
+            f"<{seconds}s: {fraction * 100:5.1f}%" for seconds, fraction in fraction_under.items()
+        )
+        sections.append("\n".join([header, fractions, ascii_cdf(latencies)]))
+    _ = threshold_line
+    return "\n\n".join(sections)
+
+
+def fig9_report(reports: Sequence[WorkloadReport]) -> str:
+    """Fig. 9 — latency distribution of simultaneous CAS uploads."""
+    sections = []
+    for report in reports:
+        summary = report.summary()
+        sections.append(
+            f"[Fig.9] {report.consortium_size} cells, {len(report.results)} uploads: "
+            f"p50={format_seconds(summary['latency_p50'])} "
+            f"p90={format_seconds(summary['latency_p90'])} "
+            f"max={format_seconds(summary['latency_max'])} "
+            f"makespan={format_seconds(summary['makespan'])} "
+            f"failures={report.failure_count}"
+        )
+    return "\n".join(sections)
+
+
+def fig10_report(reports: Sequence[WorkloadReport]) -> str:
+    """Fig. 10 — throughput bars for every (cells, burst size) combination."""
+    rows = []
+    for report in reports:
+        summary = report.summary()
+        label = f"{report.consortium_size} cells / {len(report.results):>6,} tx"
+        rows.append((label, summary["throughput_tps"]))
+    return ascii_bars(rows, unit=" tps")
+
+
+def headline_claims(reports: Sequence[WorkloadReport]) -> dict[str, float]:
+    """The two headline numbers of the abstract, extracted from measurements.
+
+    Returns the best makespan observed for a 20,000-transaction burst and
+    the highest p90 latency across the normal-load runs.
+    """
+    burst_makespans = [
+        report.summary()["makespan"]
+        for report in reports
+        if len(report.results) >= 20_000
+    ]
+    normal_p90 = [
+        report.summary()["latency_p90"]
+        for report in reports
+        if len(report.results) <= 1_000
+    ]
+    return {
+        "best_20k_makespan": min(burst_makespans) if burst_makespans else float("nan"),
+        "worst_normal_load_p90": max(normal_p90) if normal_p90 else float("nan"),
+    }

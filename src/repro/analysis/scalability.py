@@ -1,0 +1,105 @@
+"""Section IV — asymptotic scalability models, made executable.
+
+The paper derives the asymptotic complexity of four quantities as the
+number of transactions N, users K, and cells M grows:
+
+* transaction latency  ``L_delay = O(N)``  (cumulative over N transactions),
+* communication        ``L_data  = O(N)``,
+* storage              ``L_storage = 3 * M * sum(U_i) = O(N)``,
+* computation          ``L_compute = O(K * N)``,
+* anchoring fees       ``L_fee = O(1)`` in N and K.
+
+This module provides the closed-form models with the paper's constants made
+explicit, plus an empirical-fit helper the benchmarks use to confirm that
+the quantities measured from the simulator indeed grow linearly (storage,
+data, latency) or stay flat (fees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ScalabilityParameters:
+    """Constants of the Section IV models."""
+
+    #: One-way client-to-cell delay D1 plus reply delay Dc (seconds).
+    client_round_trip: float = 0.18
+    #: Bound on forward + response delay per cell (delta, seconds).
+    forwarding_bound: float = 1.0
+    #: Bytes of a client header/payload and of a cell header/payload.
+    client_message_bytes: int = 560
+    cell_message_bytes: int = 950
+    #: Data footprint of one transaction, bytes (U_i).
+    transaction_footprint_bytes: int = 600
+    #: CPU seconds to process one transaction on one machine (C_i).
+    per_transaction_compute: float = 0.003
+    #: Fraction of users that run auditors.
+    auditor_fraction: float = 0.05
+
+
+class ScalabilityModel:
+    """Closed-form versions of the Section IV formulas."""
+
+    def __init__(self, parameters: ScalabilityParameters | None = None) -> None:
+        self.parameters = parameters or ScalabilityParameters()
+
+    def cumulative_latency(self, transactions: int, cells: int) -> float:
+        """L_delay: cumulative latency of N transactions (Section IV-A)."""
+        p = self.parameters
+        per_transaction = p.client_round_trip + p.forwarding_bound
+        _ = cells  # the bound is independent of M by assumption D_i + D*_i < delta
+        return transactions * per_transaction
+
+    def communication_bytes(self, transactions: int, cells: int) -> int:
+        """L_data: total bytes moved by N transactions (Section IV-B, Eq. 2)."""
+        p = self.parameters
+        per_transaction = (
+            p.client_message_bytes                            # client -> service cell
+            + (cells - 1) * (p.cell_message_bytes + p.client_message_bytes)  # forwards
+            + (cells - 1) * p.cell_message_bytes              # confirmations
+            + cells * p.cell_message_bytes                    # receipt assembly / replies
+        )
+        return transactions * per_transaction
+
+    def storage_bytes(self, transactions: int, cells: int) -> int:
+        """L_storage: bytes stored across the deployment (Section IV-C)."""
+        p = self.parameters
+        return 3 * cells * transactions * p.transaction_footprint_bytes
+
+    def compute_seconds(self, transactions: int, users: int, cells: int) -> float:
+        """L_compute: CPU seconds across cells and auditors (Section IV-D)."""
+        p = self.parameters
+        auditors = max(1, int(users * p.auditor_fraction))
+        return (auditors + cells) * transactions * p.per_transaction_compute
+
+    @staticmethod
+    def fee_overhead(reports_per_day: int, gas_per_report: int, cells: int) -> int:
+        """L_fee: daily anchoring gas, independent of N and K (Section IV-E)."""
+        return cells * reports_per_day * gas_per_report
+
+
+def fit_growth_exponent(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Least-squares slope of log(value) against log(size).
+
+    An exponent near 1.0 confirms linear growth; near 0.0 confirms a
+    constant; near 2.0 would reveal quadratic behaviour that the paper's
+    analysis rules out.
+    """
+    import math
+
+    if len(sizes) != len(values) or len(sizes) < 2:
+        raise ValueError("need at least two (size, value) pairs")
+    if any(size <= 0 for size in sizes) or any(value <= 0 for value in values):
+        raise ValueError("sizes and values must be positive for a log-log fit")
+    xs = [math.log(size) for size in sizes]
+    ys = [math.log(value) for value in values]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        raise ValueError("all sizes are identical")
+    return numerator / denominator

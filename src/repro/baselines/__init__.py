@@ -1,0 +1,11 @@
+"""Baselines the paper compares against: Ethereum L1 and a gossip P2P chain."""
+
+from .ethereum_baseline import EthereumBaselineResult, run_ethereum_payment_baseline
+from .p2p_baseline import P2PBaselineResult, run_p2p_baseline
+
+__all__ = [
+    "EthereumBaselineResult",
+    "P2PBaselineResult",
+    "run_ethereum_payment_baseline",
+    "run_p2p_baseline",
+]

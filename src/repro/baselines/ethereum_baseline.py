@@ -1,0 +1,138 @@
+"""Baseline: the same payment workload executed directly on Ethereum L1.
+
+The paper's comparison point for both cost (Section VI-F, the ~26x fee
+advantage) and performance is the public Ethereum chain.  This baseline
+runs the FastMoney-equivalent workload — ERC-20 token transfers — on the
+simulated Ethereum substrate, measuring per-transaction confirmation
+latency (inclusion in a mined block), fees, and sustainable throughput
+under the block gas limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from ..crypto.keys import PrivateKey
+from ..ethchain.chain import Blockchain, ChainConfig
+from ..ethchain.contracts.erc20 import ERC20Token
+from ..ethchain.gas import FeeSchedule
+from ..ethchain.node import EthereumNode
+from ..ethchain.provider import Web3Provider
+from ..sim.environment import Environment
+from ..sim.metrics import SampleSeries
+from ..sim.rng import SeedSequence
+
+
+@dataclass
+class EthereumBaselineResult:
+    """Measured behaviour of the payment workload on L1."""
+
+    transactions: int
+    latencies: SampleSeries
+    total_gas: int
+    total_fee_usd: float
+    makespan: float
+    failures: int = 0
+    gas_per_transfer: int = 0
+
+    @property
+    def throughput_tps(self) -> float:
+        """Confirmed transfers per second over the whole run."""
+        if self.makespan <= 0:
+            return float("inf")
+        return self.transactions / self.makespan
+
+    @property
+    def fee_per_transaction_usd(self) -> float:
+        """Average USD fee per transfer."""
+        if self.transactions == 0:
+            return 0.0
+        return self.total_fee_usd / self.transactions
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for the baseline benchmark."""
+        return {
+            "transactions": float(self.transactions),
+            "latency_p50": self.latencies.p50(),
+            "latency_p90": self.latencies.p90(),
+            "throughput_tps": self.throughput_tps,
+            "gas_per_transfer": float(self.gas_per_transfer),
+            "fee_per_transaction_usd": self.fee_per_transaction_usd,
+            "failures": float(self.failures),
+        }
+
+
+def run_ethereum_payment_baseline(
+    transactions: int = 500,
+    senders: int = 8,
+    block_interval: float = 13.0,
+    fee_schedule: FeeSchedule | None = None,
+    seed: int = 99,
+) -> EthereumBaselineResult:
+    """Run ``transactions`` ERC-20 transfers on the simulated L1 chain."""
+    fee_schedule = fee_schedule or FeeSchedule()
+    env = Environment()
+    seeds = SeedSequence(seed)
+    node = EthereumNode(
+        env,
+        seeds.stream("baseline-eth"),
+        config=ChainConfig(target_block_interval=block_interval, fee_schedule=fee_schedule),
+    )
+    provider = Web3Provider(node)
+
+    keys = [PrivateKey.from_seed(f"baseline-sender-{index}") for index in range(senders)]
+    for key in keys:
+        node.chain.fund(key.address, 10_000 * 10 ** 18)
+    token_address = Blockchain.contract_address_for(keys[0].address, "baseline-token")
+    node.chain.deploy_contract(ERC20Token(token_address, name="BaselineToken", symbol="BT"))
+
+    # Mint a working balance for every sender (mined before the measurement).
+    for key in keys:
+        provider.transact(key, token_address, "mint", {"to": key.address.hex(), "amount": 10 ** 12})
+    node.mine_block()
+
+    latencies = SampleSeries("ethereum-baseline")
+    receipts = []
+    start_time = env.now
+    rng = seeds.stream("baseline-recipients")
+
+    def submit_all() -> Generator:
+        for index in range(transactions):
+            key = keys[index % senders]
+            recipient = "0x" + rng.getrandbits(160).to_bytes(20, "big").hex()
+            submitted_at = env.now
+            event = provider.transact_and_wait(
+                key, token_address, "transfer", {"to": recipient, "amount": 1}
+            )
+
+            def _done(evt, submitted=submitted_at) -> None:
+                receipt = evt.value
+                receipts.append(receipt)
+                latencies.add(env.now - submitted)
+
+            event.add_callback(_done)
+            # Pace submissions so the mempool mirrors a steady client stream.
+            yield env.timeout(0.01)
+
+    env.process(submit_all())
+    # Run long enough for every transfer to be mined.
+    horizon = transactions * 0.01 + block_interval * (transactions / 400 + 20)
+    env.run(until=env.now + horizon)
+    while len(receipts) < transactions and len(node.mempool):
+        node.mine_block()
+        env.run(until=env.now + block_interval)
+
+    successes = [receipt for receipt in receipts if receipt.success]
+    total_gas = sum(receipt.gas_used for receipt in successes)
+    total_fee_eth = sum(receipt.fee_wei for receipt in successes) / 10 ** 18
+    gas_per_transfer = successes[-1].gas_used if successes else 0
+    return EthereumBaselineResult(
+        transactions=len(successes),
+        latencies=latencies,
+        total_gas=total_gas,
+        total_fee_usd=total_fee_eth * fee_schedule.ether_price_usd,
+        makespan=env.now - start_time,
+        failures=len(receipts) - len(successes),
+        gas_per_transfer=gas_per_transfer,
+    )

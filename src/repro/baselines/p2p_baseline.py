@@ -1,0 +1,71 @@
+"""Baseline: a gossip-based public blockchain (Observation 2 quantified).
+
+Combines the gossip propagation measurements with the Nakamoto chain model
+to produce the numbers the paper contrasts Blockumulus against: multi-second
+propagation, minutes-scale finality, and two-digit TPS ceilings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..p2p.gossip import GossipSimulator, NakamotoChainModel
+
+
+@dataclass
+class P2PBaselineResult:
+    """Measured/derived characteristics of the gossip-chain baseline."""
+
+    network_size: int
+    average_degree: float
+    propagation_p50: float
+    propagation_p90: float
+    propagation_full: float
+    throughput_tps: float
+    effective_throughput_tps: float
+    confirmation_latency: float
+    stale_rate: float
+
+    def summary(self) -> dict[str, float]:
+        """Headline numbers for the baseline benchmark."""
+        return {
+            "network_size": float(self.network_size),
+            "propagation_p50": self.propagation_p50,
+            "propagation_p90": self.propagation_p90,
+            "throughput_tps": self.throughput_tps,
+            "effective_throughput_tps": self.effective_throughput_tps,
+            "confirmation_latency": self.confirmation_latency,
+            "stale_rate": self.stale_rate,
+        }
+
+
+def run_p2p_baseline(
+    network_size: int = 2_000,
+    degree: int = 8,
+    block_interval: float = 13.0,
+    transactions_per_block: int = 150,
+    confirmation_depth: int = 12,
+    seed: int = 7,
+) -> P2PBaselineResult:
+    """Measure gossip propagation and derive the chain-level baseline."""
+    rng = random.Random(seed)
+    simulator = GossipSimulator(node_count=network_size, degree=degree, rng=rng)
+    propagation = simulator.propagate(origin=0)
+    chain = NakamotoChainModel(
+        block_interval=block_interval,
+        transactions_per_block=transactions_per_block,
+        confirmation_depth=confirmation_depth,
+        propagation_delay=propagation.coverage_time(0.9),
+    )
+    return P2PBaselineResult(
+        network_size=network_size,
+        average_degree=simulator.topology.average_degree(),
+        propagation_p50=propagation.coverage_time(0.5),
+        propagation_p90=propagation.coverage_time(0.9),
+        propagation_full=propagation.full_coverage_time,
+        throughput_tps=chain.throughput_tps(),
+        effective_throughput_tps=chain.effective_throughput_tps(),
+        confirmation_latency=chain.expected_confirmation_latency(),
+        stale_rate=chain.stale_rate(),
+    )

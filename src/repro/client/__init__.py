@@ -1,0 +1,30 @@
+"""Client APIs, application wrappers, and workload generators."""
+
+from .apps import BallotClient, CasClient, FastMoneyClient, deploy_contract_source
+from .client import BlockumulusClient, ClientError, TransactionResult
+from .workload import (
+    DEFAULT_CLIENT_POOLS,
+    WorkloadError,
+    WorkloadReport,
+    build_client_pools,
+    run_burst_cas_uploads,
+    run_burst_transfers,
+    run_sequential_transfers,
+)
+
+__all__ = [
+    "BallotClient",
+    "BlockumulusClient",
+    "CasClient",
+    "ClientError",
+    "DEFAULT_CLIENT_POOLS",
+    "FastMoneyClient",
+    "TransactionResult",
+    "WorkloadError",
+    "WorkloadReport",
+    "build_client_pools",
+    "deploy_contract_source",
+    "run_burst_cas_uploads",
+    "run_burst_transfers",
+    "run_sequential_transfers",
+]

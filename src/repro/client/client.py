@@ -1,0 +1,239 @@
+"""The Blockumulus client API.
+
+A client (Section III-B4) holds an access subscription with one cell — its
+*service cell* — and interacts with bContracts by sending signed TX_SUBMIT
+messages and waiting for the aggregated multi-signature receipt.  A client
+object here models one client machine (or one of the paper's geographically
+scattered *client pools*): it owns a network node, and can submit requests
+either under its own identity or on behalf of freshly generated throwaway
+accounts, exactly as the paper's test harness does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.deployment import BlockumulusDeployment
+from ..core.receipts import AggregatedReceipt, ReceiptError
+from ..crypto.keys import Address
+from ..messages.envelope import Envelope, NonceFactory
+from ..messages.opcodes import Opcode
+from ..messages.signer import Signer
+from ..sim.events import Event
+
+
+class ClientError(Exception):
+    """Raised for client-side protocol failures."""
+
+
+@dataclass
+class TransactionResult:
+    """What a client learns about one submitted transaction."""
+
+    ok: bool
+    submitted_at: float
+    completed_at: float
+    receipt: Optional[AggregatedReceipt] = None
+    error: Optional[str] = None
+    tx_id: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        """Client-observed confirmation delay (seconds of simulated time)."""
+        return self.completed_at - self.submitted_at
+
+
+class BlockumulusClient:
+    """A client machine attached to the simulated network."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        deployment: BlockumulusDeployment,
+        signer: Optional[Signer] = None,
+        service_cell_index: int = 0,
+        node_name: Optional[str] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.env = deployment.env
+        self.network = deployment.network
+        type(self)._counter += 1
+        self.node_name = node_name or f"client-{type(self)._counter}"
+        self.signer = signer or deployment.make_client_signer(f"client/{self.node_name}")
+        self.service_cell = deployment.cell(service_cell_index)
+        self.nonces = NonceFactory(self.signer.address)
+        self._waiting: dict[str, Event] = {}
+        self.network.register(self.node_name, handler=self._on_message)
+        self.network.set_link(
+            self.node_name, self.service_cell.node_name, deployment.config.client_cell_latency
+        )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        """The client's Blockumulus address."""
+        return self.signer.address
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+    def _on_message(self, src_node: str, payload: Any, size: int) -> None:
+        if not isinstance(payload, Envelope):
+            return
+        reply_to = payload.payload.reply_to
+        if reply_to is None:
+            return
+        waiter = self._waiting.pop(reply_to, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(payload)
+
+    def _send_request(
+        self,
+        operation: Opcode,
+        data: dict[str, Any],
+        signer: Optional[Signer] = None,
+    ) -> tuple[Envelope, Event]:
+        """Sign, send, and register a waiter for the reply."""
+        signer = signer or self.signer
+        request = Envelope.create(
+            signer=signer,
+            recipient=self.service_cell.address,
+            operation=operation,
+            data=data,
+            timestamp=self.env.now,
+            nonce=self.nonces.next(),
+        )
+        waiter = self.env.event()
+        self._waiting[request.nonce] = waiter
+        accepted = self.network.send(
+            self.node_name, self.service_cell.node_name, request, request.byte_size()
+        )
+        if not accepted:
+            # The service cell is offline; fail the waiter immediately so
+            # callers do not hang forever.
+            waiter.fail(ClientError("service cell is unreachable"))
+        return request, waiter
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def subscribe(self) -> Event:
+        """Open an access subscription with the service cell."""
+        _request, waiter = self._send_request(Opcode.SUBSCRIBE, {"plan": "standard"})
+        return waiter
+
+    def submit(
+        self,
+        contract: str,
+        method: str,
+        args: dict[str, Any],
+        signer: Optional[Signer] = None,
+    ) -> Event:
+        """Submit a bContract transaction; the event fires with a TransactionResult."""
+        submitted_at = self.env.now
+        request, waiter = self._send_request(
+            Opcode.TX_SUBMIT,
+            {"contract": contract, "method": method, "args": args},
+            signer=signer,
+        )
+        result_event = self.env.event()
+
+        def _resolve(event: Event) -> None:
+            if not event._ok:
+                event.defused = True
+                result_event.succeed(
+                    TransactionResult(
+                        ok=False,
+                        submitted_at=submitted_at,
+                        completed_at=self.env.now,
+                        error=str(event.value),
+                        tx_id=request.payload.hash_hex(),
+                    )
+                )
+                return
+            reply: Envelope = event.value
+            result_event.succeed(self._parse_reply(reply, submitted_at, request))
+
+        waiter.add_callback(_resolve)
+        return result_event
+
+    def _parse_reply(
+        self, reply: Envelope, submitted_at: float, request: Envelope
+    ) -> TransactionResult:
+        if reply.operation == Opcode.TX_RECEIPT:
+            try:
+                receipt = AggregatedReceipt.from_wire(reply.data["receipt"])
+            except (KeyError, ReceiptError) as exc:
+                return TransactionResult(
+                    ok=False,
+                    submitted_at=submitted_at,
+                    completed_at=self.env.now,
+                    error=f"malformed receipt: {exc}",
+                    tx_id=request.payload.hash_hex(),
+                )
+            return TransactionResult(
+                ok=True,
+                submitted_at=submitted_at,
+                completed_at=self.env.now,
+                receipt=receipt,
+                tx_id=receipt.tx_id,
+            )
+        error = reply.data.get("error", f"unexpected reply {reply.operation.value}")
+        return TransactionResult(
+            ok=False,
+            submitted_at=submitted_at,
+            completed_at=self.env.now,
+            error=error,
+            tx_id=request.payload.hash_hex(),
+        )
+
+    def query(self, contract: str, view: str, args: dict[str, Any] | None = None) -> Event:
+        """Read-only state query served by the service cell alone."""
+        _request, waiter = self._send_request(
+            Opcode.QUERY_STATE, {"contract": contract, "view": view, "args": args or {}}
+        )
+        result_event = self.env.event()
+
+        def _resolve(event: Event) -> None:
+            if not event._ok:
+                event.defused = True
+                result_event.fail(ClientError(str(event.value)))
+                return
+            reply: Envelope = event.value
+            if reply.operation == Opcode.QUERY_RESULT:
+                result_event.succeed(reply.data.get("result"))
+            else:
+                result_event.fail(ClientError(reply.data.get("error", "query failed")))
+
+        waiter.add_callback(_resolve)
+        return result_event
+
+    def submit_contingency(self, contract: str, method: str, args: dict[str, Any],
+                           eth_key, signer: Optional[Signer] = None) -> Event:
+        """Submit a transaction directly to the Ethereum anchor contract.
+
+        This is the censorship escape hatch of Section V-B: the signed
+        Blockumulus envelope is wrapped into an Ethereum transaction calling
+        ``submit_contingency`` on the SnapshotRegistry; cells are obliged to
+        execute everything recorded there.  Returns the event of the
+        Ethereum receipt.
+        """
+        signer = signer or self.signer
+        envelope = Envelope.create(
+            signer=signer,
+            recipient=self.service_cell.address,
+            operation=Opcode.TX_SUBMIT,
+            data={"contract": contract, "method": method, "args": args},
+            timestamp=self.env.now,
+            nonce=self.nonces.next(),
+        )
+        return self.deployment.eth.transact_and_wait(
+            eth_key,
+            self.deployment.registry_contract.address,
+            "submit_contingency",
+            {"transaction": envelope.to_wire()},
+        )

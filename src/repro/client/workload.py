@@ -1,0 +1,263 @@
+"""Workload generators mirroring the paper's test harness (Section VI-B).
+
+The paper drives its evaluation from eight client-pool VMs scattered across
+regions, generating a fresh random account for every request "to simulate
+different clients and avoid potential caching".  The generators here do the
+same inside the simulation:
+
+* :func:`run_sequential_transfers` — 500 consecutive FastMoney transfers
+  (Fig. 8, one experiment per consortium size).
+* :func:`run_burst_cas_uploads` — N simultaneous CAS ``put`` requests
+  (Fig. 9).
+* :func:`run_burst_transfers` — N simultaneous FastMoney transfers
+  (Fig. 10 / the 20,000-transaction headline).
+
+Each returns a :class:`WorkloadReport` with the raw per-transaction results
+plus the latency series and throughput figures the benchmark harness
+prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..core.deployment import BlockumulusDeployment
+from ..crypto.keys import Address
+from ..sim.events import Event
+from ..sim.metrics import SampleSeries, ThroughputResult
+from .apps import CasClient, FastMoneyClient
+from .client import BlockumulusClient, TransactionResult
+
+#: Number of client-pool machines in the paper's harness.
+DEFAULT_CLIENT_POOLS = 8
+
+
+class WorkloadError(Exception):
+    """Raised when a workload cannot complete."""
+
+
+@dataclass
+class WorkloadReport:
+    """Everything measured while running one workload."""
+
+    label: str
+    consortium_size: int
+    results: list[TransactionResult] = field(default_factory=list)
+
+    @property
+    def successes(self) -> list[TransactionResult]:
+        """Transactions that received a valid aggregated receipt."""
+        return [result for result in self.results if result.ok]
+
+    @property
+    def failures(self) -> list[TransactionResult]:
+        """Transactions that reverted or timed out."""
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def failure_count(self) -> int:
+        """Number of failed transactions."""
+        return len(self.failures)
+
+    def latencies(self) -> SampleSeries:
+        """Latency series over successful transactions."""
+        series = SampleSeries(self.label)
+        series.extend(result.latency for result in self.successes)
+        return series
+
+    def throughput(self) -> ThroughputResult:
+        """Throughput over successful transactions (burst workloads)."""
+        successes = self.successes
+        if not successes:
+            raise WorkloadError(f"workload {self.label!r} produced no successful transactions")
+        return ThroughputResult(
+            operations=len(successes),
+            first_start=min(result.submitted_at for result in successes),
+            last_end=max(result.completed_at for result in successes),
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """Headline numbers for EXPERIMENTS.md and the benchmark output."""
+        latencies = self.latencies()
+        throughput = self.throughput()
+        return {
+            "label": self.label,
+            "cells": self.consortium_size,
+            "transactions": len(self.results),
+            "failures": self.failure_count,
+            "latency_p50": latencies.p50(),
+            "latency_p90": latencies.p90(),
+            "latency_p99": latencies.p99(),
+            "latency_max": latencies.max(),
+            "makespan": throughput.makespan,
+            "throughput_tps": throughput.throughput,
+        }
+
+
+def build_client_pools(
+    deployment: BlockumulusDeployment,
+    pools: int = DEFAULT_CLIENT_POOLS,
+    subscribe: bool = False,
+) -> list[BlockumulusClient]:
+    """Create client-pool machines, assigned round-robin to the cells."""
+    if pools < 1:
+        raise WorkloadError("at least one client pool is required")
+    clients = []
+    for index in range(pools):
+        client = BlockumulusClient(
+            deployment,
+            signer=deployment.make_client_signer(f"pool/{index}"),
+            service_cell_index=index % deployment.consortium_size,
+            node_name=f"client-pool-{index}",
+        )
+        clients.append(client)
+    if subscribe or deployment.config.enforce_subscriptions:
+        waiters = [client.subscribe() for client in clients]
+        deployment.env.run(deployment.env.all_of(waiters))
+    return clients
+
+
+def _collect(
+    deployment: BlockumulusDeployment, events: list[Event], horizon: float
+) -> list[TransactionResult]:
+    """Run the simulation until all result events fire (or the horizon)."""
+    env = deployment.env
+    done = env.all_of(events)
+    guard = env.any_of([done, env.timeout(horizon)])
+    env.run(guard)
+    results = []
+    for event in events:
+        if event.processed or event.triggered:
+            results.append(event.value)
+        else:
+            results.append(
+                TransactionResult(
+                    ok=False,
+                    submitted_at=env.now - horizon,
+                    completed_at=env.now,
+                    error="workload horizon exceeded before a reply arrived",
+                )
+            )
+    return results
+
+
+def _fund_pools(
+    deployment: BlockumulusDeployment,
+    pool_clients: list[BlockumulusClient],
+    amount: int,
+    horizon: float = 3_600.0,
+) -> None:
+    """Give every pool account a large FastMoney balance (not measured)."""
+    events = [FastMoneyClient(client).faucet(amount) for client in pool_clients]
+    results = _collect(deployment, events, horizon)
+    failed = [result for result in results if not result.ok]
+    if failed:
+        raise WorkloadError(f"pool funding failed: {failed[0].error}")
+
+
+def _fresh_recipient(index: int) -> str:
+    """A deterministic throwaway recipient address for transfer ``index``."""
+    from ..crypto.hashing import fast_hash
+
+    return "0x" + fast_hash(f"recipient/{index}".encode())[-20:].hex()
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — consecutive transfers under normal load
+# ----------------------------------------------------------------------
+def run_sequential_transfers(
+    deployment: BlockumulusDeployment,
+    count: int = 500,
+    pools: int = DEFAULT_CLIENT_POOLS,
+    amount: int = 5,
+    label: Optional[str] = None,
+    per_transaction_timeout: float = 120.0,
+) -> WorkloadReport:
+    """Execute ``count`` consecutive FastMoney transfers and measure latency."""
+    clients = build_client_pools(deployment, pools)
+    _fund_pools(deployment, clients, amount * count * 2)
+    report = WorkloadReport(
+        label=label or f"fig8/{deployment.consortium_size}cells",
+        consortium_size=deployment.consortium_size,
+    )
+    env = deployment.env
+
+    def driver() -> Generator[Event, Any, None]:
+        for index in range(count):
+            client = clients[index % len(clients)]
+            result_event = FastMoneyClient(client).transfer(_fresh_recipient(index), amount)
+            guard = env.any_of([result_event, env.timeout(per_transaction_timeout)])
+            yield guard
+            if result_event.triggered:
+                report.results.append(result_event.value)
+            else:
+                report.results.append(
+                    TransactionResult(
+                        ok=False,
+                        submitted_at=env.now - per_transaction_timeout,
+                        completed_at=env.now,
+                        error="per-transaction timeout",
+                    )
+                )
+
+    process = env.process(driver())
+    env.run(process)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — simultaneous CAS uploads
+# ----------------------------------------------------------------------
+def run_burst_cas_uploads(
+    deployment: BlockumulusDeployment,
+    count: int = 5_000,
+    pools: int = DEFAULT_CLIENT_POOLS,
+    blob_bytes: int = 64,
+    label: Optional[str] = None,
+    horizon: float = 3_600.0,
+) -> WorkloadReport:
+    """Submit ``count`` CAS uploads at the same instant and measure latency."""
+    clients = build_client_pools(deployment, pools)
+    report = WorkloadReport(
+        label=label or f"fig9/{deployment.consortium_size}cells/{count}tx",
+        consortium_size=deployment.consortium_size,
+    )
+    rng = deployment.seeds.stream("workload-cas")
+    events = []
+    for index in range(count):
+        client = clients[index % len(clients)]
+        content = rng.getrandbits(8 * blob_bytes).to_bytes(blob_bytes, "big")
+        # A fresh random account per request, as in the paper's harness.
+        signer = deployment.make_client_signer(f"cas-account/{index}")
+        events.append(CasClient(client).put(content, signer=signer))
+    report.results = _collect(deployment, events, horizon)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — simultaneous FastMoney transfers
+# ----------------------------------------------------------------------
+def run_burst_transfers(
+    deployment: BlockumulusDeployment,
+    count: int = 5_000,
+    pools: int = DEFAULT_CLIENT_POOLS,
+    amount: int = 1,
+    label: Optional[str] = None,
+    horizon: float = 3_600.0,
+) -> WorkloadReport:
+    """Submit ``count`` FastMoney transfers at the same instant."""
+    clients = build_client_pools(deployment, pools)
+    _fund_pools(deployment, clients, amount * count * 2)
+    report = WorkloadReport(
+        label=label or f"fig10/{deployment.consortium_size}cells/{count}tx",
+        consortium_size=deployment.consortium_size,
+    )
+    events = []
+    for index in range(count):
+        client = clients[index % len(clients)]
+        events.append(
+            FastMoneyClient(client).transfer(_fresh_recipient(index), amount)
+        )
+    report.results = _collect(deployment, events, horizon)
+    return report

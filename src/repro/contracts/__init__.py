@@ -1,0 +1,31 @@
+"""The bContract framework: interfaces, data models, system and community contracts."""
+
+from .context import BContractError, InvocationContext
+from .interface import BContract, bcontract_method, bcontract_view
+from .interpreter import InterpreterError, instantiate_contract, load_contract_class
+from .registry import ContractRegistry, RegistryError
+from .state_store import EMPTY_FINGERPRINT, KeyValueStore, StoreError, StoreSnapshot
+from .system import CommunityDeployer, ContentAddressableStorage
+from .community import Ballot, DividendPool, FastMoney
+
+__all__ = [
+    "Ballot",
+    "BContract",
+    "BContractError",
+    "CommunityDeployer",
+    "ContentAddressableStorage",
+    "ContractRegistry",
+    "DividendPool",
+    "EMPTY_FINGERPRINT",
+    "FastMoney",
+    "InterpreterError",
+    "InvocationContext",
+    "KeyValueStore",
+    "RegistryError",
+    "StoreError",
+    "StoreSnapshot",
+    "bcontract_method",
+    "bcontract_view",
+    "instantiate_contract",
+    "load_contract_class",
+]

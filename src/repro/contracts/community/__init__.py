@@ -1,0 +1,7 @@
+"""Bundled community bContracts (FastMoney, Ballot, DividendPool)."""
+
+from .ballot import Ballot
+from .dividend_pool import DividendPool
+from .fastmoney import FastMoney
+
+__all__ = ["Ballot", "DividendPool", "FastMoney"]

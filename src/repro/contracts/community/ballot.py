@@ -1,0 +1,117 @@
+"""Ballot — a decentralized-election community bContract.
+
+The paper motivates smart contracts with decentralized elections
+([3], [4] in its references); this contract is the corresponding example
+application on Blockumulus: the owner registers a question and choices,
+voters cast exactly one signed vote each before the deadline, and anyone
+can tally the result afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..context import BContractError, InvocationContext
+from ..interface import BContract, bcontract_method, bcontract_view
+
+
+class Ballot(BContract):
+    """One-vote-per-address elections with a closing deadline."""
+
+    TYPE = "community/ballot"
+    DEFAULT_NAME = "ballot"
+
+    @staticmethod
+    def _election_key(election_id: str) -> str:
+        return f"election/{election_id}"
+
+    @staticmethod
+    def _vote_key(election_id: str, voter_hex: str) -> str:
+        return f"vote/{election_id}/{voter_hex}"
+
+    @staticmethod
+    def _tally_key(election_id: str, choice: str) -> str:
+        return f"tally/{election_id}/{choice}"
+
+    # ------------------------------------------------------------------
+    # Transaction methods
+    # ------------------------------------------------------------------
+    @bcontract_method
+    def create_election(
+        self,
+        ctx: InvocationContext,
+        election_id: str,
+        question: str,
+        choices: list[str],
+        closes_at: float,
+    ) -> dict[str, Any]:
+        """Open a new election identified by ``election_id``."""
+        if not election_id or not isinstance(election_id, str):
+            raise BContractError("Ballot: election_id must be a non-empty string")
+        if self.store.contains(self._election_key(election_id)):
+            raise BContractError(f"Ballot: election {election_id!r} already exists")
+        if not isinstance(choices, list) or len(choices) < 2:
+            raise BContractError("Ballot: an election needs at least two choices")
+        if len(set(choices)) != len(choices):
+            raise BContractError("Ballot: choices must be unique")
+        if closes_at <= ctx.timestamp:
+            raise BContractError("Ballot: the closing time must be in the future")
+        self.store.put(
+            self._election_key(election_id),
+            {
+                "question": question,
+                "choices": list(choices),
+                "creator": ctx.sender.hex(),
+                "closes_at": float(closes_at),
+                "created_at": ctx.timestamp,
+            },
+        )
+        for choice in choices:
+            self.store.put(self._tally_key(election_id, choice), 0)
+        return {"election_id": election_id, "choices": choices}
+
+    @bcontract_method
+    def vote(self, ctx: InvocationContext, election_id: str, choice: str) -> dict[str, Any]:
+        """Cast the sender's single vote in an open election."""
+        election = self.store.get(self._election_key(election_id))
+        if election is None:
+            raise BContractError(f"Ballot: unknown election {election_id!r}")
+        if ctx.timestamp > election["closes_at"]:
+            raise BContractError("Ballot: the election has closed")
+        if choice not in election["choices"]:
+            raise BContractError(f"Ballot: {choice!r} is not a valid choice")
+        voter = ctx.sender.hex()
+        if self.store.contains(self._vote_key(election_id, voter)):
+            raise BContractError("Ballot: this address has already voted")
+        self.store.put(self._vote_key(election_id, voter), choice)
+        self.store.increment(self._tally_key(election_id, choice))
+        return {"election_id": election_id, "voter": voter, "choice": choice}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @bcontract_view
+    def election(self, election_id: str) -> dict[str, Any]:
+        """Metadata of an election."""
+        record = self.store.get(self._election_key(election_id))
+        if record is None:
+            raise BContractError(f"Ballot: unknown election {election_id!r}")
+        return dict(record)
+
+    @bcontract_view
+    def tally(self, election_id: str) -> dict[str, int]:
+        """Current per-choice vote counts."""
+        record = self.store.get(self._election_key(election_id))
+        if record is None:
+            raise BContractError(f"Ballot: unknown election {election_id!r}")
+        return {
+            choice: self.store.get(self._tally_key(election_id, choice), 0)
+            for choice in record["choices"]
+        }
+
+    @bcontract_view
+    def winner(self, election_id: str) -> dict[str, Any]:
+        """The leading choice and its vote count."""
+        counts = self.tally(election_id)
+        top_choice = max(counts, key=lambda choice: (counts[choice], choice))
+        return {"choice": top_choice, "votes": counts[top_choice]}

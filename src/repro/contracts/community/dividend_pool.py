@@ -1,0 +1,128 @@
+"""DividendPool — the contract behind the transaction-filtering scenario.
+
+Section V-B motivates the censorship defence with a bContract that
+re-invests an investor's dividends unless the investor withdraws them
+before a deadline: a bribed consortium could filter the withdrawal
+transaction and auditors would see nothing anomalous.  This contract
+implements exactly that business logic so the censorship test and example
+can demonstrate (a) the attack, and (b) the contingency-submission escape
+hatch through the Ethereum anchor contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...crypto.keys import Address
+from ..context import BContractError, InvocationContext
+from ..interface import BContract, bcontract_method, bcontract_view
+
+
+class DividendPool(BContract):
+    """Tracks investments, declares dividends, and re-invests unclaimed ones."""
+
+    TYPE = "community/dividend_pool"
+    DEFAULT_NAME = "dividendpool"
+
+    @staticmethod
+    def _invested_key(account: str) -> str:
+        return f"invested/{account}"
+
+    @staticmethod
+    def _dividend_key(account: str) -> str:
+        return f"dividend/{account}"
+
+    @staticmethod
+    def _withdrawn_key(account: str) -> str:
+        return f"withdrawn/{account}"
+
+    # ------------------------------------------------------------------
+    # Transaction methods
+    # ------------------------------------------------------------------
+    @bcontract_method
+    def invest(self, ctx: InvocationContext, amount: int) -> dict[str, Any]:
+        """Record an investment by the sender."""
+        if not isinstance(amount, int) or amount <= 0:
+            raise BContractError("DividendPool: amount must be a positive integer")
+        account = ctx.sender.hex()
+        invested = self.store.increment(self._invested_key(account), amount)
+        self.store.increment("total_invested", amount)
+        return {"account": account, "invested": invested}
+
+    @bcontract_method
+    def declare_dividend(
+        self, ctx: InvocationContext, rate_percent: int, claim_deadline: float
+    ) -> dict[str, Any]:
+        """Owner declares a dividend of ``rate_percent`` claimable until the deadline."""
+        owner = self.params.get("business_owner")
+        if owner is not None and ctx.sender.hex() != Address.from_hex(owner).hex():
+            raise BContractError("DividendPool: only the business owner declares dividends")
+        if not isinstance(rate_percent, int) or not (0 < rate_percent <= 100):
+            raise BContractError("DividendPool: rate must be an integer percentage in (0, 100]")
+        if claim_deadline <= ctx.timestamp:
+            raise BContractError("DividendPool: the claim deadline must be in the future")
+        credited = 0
+        for key in self.store.keys("invested/"):
+            account = key.split("/", 1)[1]
+            dividend = (self.store.get(key, 0) * rate_percent) // 100
+            if dividend > 0:
+                self.store.increment(self._dividend_key(account), dividend)
+                credited += dividend
+        self.store.put("claim_deadline", float(claim_deadline))
+        self.store.increment("total_declared", credited)
+        return {"credited": credited, "claim_deadline": claim_deadline}
+
+    @bcontract_method
+    def withdraw_dividend(self, ctx: InvocationContext) -> dict[str, Any]:
+        """Investor withdraws pending dividends before the deadline."""
+        account = ctx.sender.hex()
+        deadline = self.store.get("claim_deadline")
+        if deadline is not None and ctx.timestamp > deadline:
+            raise BContractError("DividendPool: the claim deadline has passed")
+        pending = self.store.get(self._dividend_key(account), 0)
+        if pending <= 0:
+            raise BContractError("DividendPool: no dividends to withdraw")
+        self.store.put(self._dividend_key(account), 0)
+        withdrawn = self.store.increment(self._withdrawn_key(account), pending)
+        return {"account": account, "withdrawn_now": pending, "withdrawn_total": withdrawn}
+
+    @bcontract_method
+    def reinvest_unclaimed(self, ctx: InvocationContext) -> dict[str, Any]:
+        """After the deadline, unclaimed dividends are converted to new investment."""
+        deadline = self.store.get("claim_deadline")
+        if deadline is None or ctx.timestamp <= deadline:
+            raise BContractError("DividendPool: the claim deadline has not passed yet")
+        reinvested = 0
+        for key in self.store.keys("dividend/"):
+            pending = self.store.get(key, 0)
+            if pending <= 0:
+                continue
+            account = key.split("/", 1)[1]
+            self.store.put(key, 0)
+            self.store.increment(self._invested_key(account), pending)
+            reinvested += pending
+        self.store.increment("total_reinvested", reinvested)
+        return {"reinvested": reinvested}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @bcontract_view
+    def position(self, account: str) -> dict[str, Any]:
+        """Investment, pending dividend, and withdrawn total of ``account``."""
+        account_hex = Address.from_hex(account).hex()
+        return {
+            "invested": self.store.get(self._invested_key(account_hex), 0),
+            "pending_dividend": self.store.get(self._dividend_key(account_hex), 0),
+            "withdrawn": self.store.get(self._withdrawn_key(account_hex), 0),
+        }
+
+    @bcontract_view
+    def totals(self) -> dict[str, Any]:
+        """Aggregate pool statistics."""
+        return {
+            "total_invested": self.store.get("total_invested", 0),
+            "total_declared": self.store.get("total_declared", 0),
+            "total_reinvested": self.store.get("total_reinvested", 0),
+            "claim_deadline": self.store.get("claim_deadline"),
+        }

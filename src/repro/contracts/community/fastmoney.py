@@ -1,0 +1,141 @@
+"""FastMoney — the payment-processing community bContract from the paper.
+
+FastMoney is the sample bContract the authors implement to evaluate
+Blockumulus (Section VI-A): a decentralized digital currency whose funds
+transfer drives the latency (Fig. 8) and throughput (Fig. 10) experiments.
+Accounts are identified by the client's Blockumulus address; balances live
+in the contract's key-value data model and are replicated identically on
+every cell, so double spending reduces to the ordering argument of
+Section V-A (the second conflicting transfer is rejected by every cell).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...crypto.keys import Address
+from ..context import BContractError, InvocationContext
+from ..interface import BContract, bcontract_method, bcontract_view
+
+
+def _normalize_address(value: Any) -> str:
+    """Accept an Address or a 0x-hex string and return canonical hex."""
+    if isinstance(value, Address):
+        return value.hex()
+    if isinstance(value, str):
+        return Address.from_hex(value).hex()
+    raise BContractError("FastMoney: addresses must be hex strings")
+
+
+class FastMoney(BContract):
+    """A decentralized digital currency with mint/transfer/burn semantics."""
+
+    TYPE = "community/fastmoney"
+    DEFAULT_NAME = "fastmoney"
+
+    #: Smallest transferable unit (all amounts are integers of this unit).
+    UNIT = 1
+
+    def setup(self) -> None:
+        """Apply optional genesis balances passed as deployment parameters."""
+        genesis = self.params.get("genesis_balances", {})
+        for account, amount in genesis.items():
+            if amount < 0:
+                raise BContractError("FastMoney: genesis balances must be non-negative")
+            self.store.put(self._balance_key(_normalize_address(account)), int(amount))
+        self.store.put("supply", int(sum(genesis.values())))
+
+    @staticmethod
+    def _balance_key(account_hex: str) -> str:
+        return f"balance/{account_hex}"
+
+    @staticmethod
+    def _processed_key(tx_id: str) -> str:
+        return f"processed/{tx_id}"
+
+    # ------------------------------------------------------------------
+    # Transaction methods
+    # ------------------------------------------------------------------
+    @bcontract_method
+    def faucet(self, ctx: InvocationContext, amount: int) -> dict[str, Any]:
+        """Credit the sender with ``amount`` new units.
+
+        The paper's evaluation funds throwaway accounts before measuring
+        transfers; the faucet plays that role.  Deployments that need a
+        closed supply can disable it with the ``allow_faucet=False``
+        deployment parameter.
+        """
+        if not self.params.get("allow_faucet", True):
+            raise BContractError("FastMoney: the faucet is disabled in this deployment")
+        amount = _validate_amount(amount)
+        sender = ctx.sender.hex()
+        balance = self.store.increment(self._balance_key(sender), amount)
+        self.store.increment("supply", amount)
+        return {"account": sender, "balance": balance}
+
+    @bcontract_method
+    def transfer(self, ctx: InvocationContext, to: str, amount: int) -> dict[str, Any]:
+        """Move ``amount`` units from the sender to ``to``.
+
+        The transaction id is recorded so a replayed (identical) transaction
+        is rejected — together with the mutex-protected ledger this is the
+        double-spending defence of Section V-A.
+        """
+        amount = _validate_amount(amount)
+        recipient = _normalize_address(to)
+        sender = ctx.sender.hex()
+        if sender == recipient:
+            raise BContractError("FastMoney: cannot transfer to yourself")
+        if self.store.contains(self._processed_key(ctx.tx_id)):
+            raise BContractError("FastMoney: transaction has already been processed")
+        sender_balance = self.store.get(self._balance_key(sender), 0)
+        if sender_balance < amount:
+            raise BContractError(
+                f"FastMoney: insufficient funds ({sender_balance} < {amount})"
+            )
+        self.store.put(self._balance_key(sender), sender_balance - amount)
+        self.store.increment(self._balance_key(recipient), amount)
+        self.store.put(self._processed_key(ctx.tx_id), ctx.timestamp)
+        self.store.increment("stats/transfers")
+        # The result deliberately excludes running balances so that it is
+        # identical on every cell regardless of how concurrent transfers
+        # interleave locally (see ExecutionOutcome.execution_fingerprint).
+        return {"from": sender, "to": recipient, "amount": amount}
+
+    @bcontract_method
+    def burn(self, ctx: InvocationContext, amount: int) -> dict[str, Any]:
+        """Destroy ``amount`` units from the sender's balance."""
+        amount = _validate_amount(amount)
+        sender = ctx.sender.hex()
+        balance = self.store.get(self._balance_key(sender), 0)
+        if balance < amount:
+            raise BContractError("FastMoney: cannot burn more than the balance")
+        self.store.put(self._balance_key(sender), balance - amount)
+        self.store.increment("supply", -amount)
+        return {"account": sender, "balance": balance - amount}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @bcontract_view
+    def balance_of(self, account: str) -> int:
+        """Balance of ``account`` (0 for unknown accounts)."""
+        return self.store.get(self._balance_key(_normalize_address(account)), 0)
+
+    @bcontract_view
+    def total_supply(self) -> int:
+        """Total units in circulation."""
+        return self.store.get("supply", 0)
+
+    @bcontract_view
+    def transfer_count(self) -> int:
+        """Number of successful transfers processed."""
+        return self.store.get("stats/transfers", 0)
+
+
+def _validate_amount(amount: Any) -> int:
+    if not isinstance(amount, int) or isinstance(amount, bool):
+        raise BContractError("FastMoney: amount must be an integer")
+    if amount <= 0:
+        raise BContractError("FastMoney: amount must be positive")
+    return amount

@@ -1,0 +1,103 @@
+"""Loading community bContracts from source code.
+
+The paper's community bContracts are programs shipped as source code and
+run by "appropriate interpreters" on every cell (Section III-A1).  In this
+reproduction the interpreter language is Python: a community contract is a
+Python module that defines exactly one subclass of :class:`BContract`.  The
+source is executed in a restricted namespace that exposes only the contract
+API and a small set of safe builtins — cells run code submitted by untrusted
+clients, so the namespace excludes imports, file access, and the usual
+escape hatches.  (This is a policy sandbox for the simulation, not a
+hardened security boundary.)
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Any
+
+from .context import BContractError, InvocationContext
+from .interface import BContract, bcontract_method, bcontract_view
+
+#: Builtins considered safe for contract code.
+_SAFE_BUILTIN_NAMES = (
+    "abs", "all", "any", "bool", "dict", "divmod", "enumerate", "filter",
+    "float", "frozenset", "int", "isinstance", "issubclass", "len", "list",
+    "map", "max", "min", "pow", "range", "repr", "reversed", "round", "set",
+    "sorted", "str", "sum", "tuple", "zip", "ValueError", "TypeError",
+    "KeyError", "Exception", "True", "False", "None",
+)
+
+#: Statements/names that must not appear in contract source.
+_FORBIDDEN_TOKENS = (
+    "import", "__import__", "open(", "exec(", "eval(", "globals(", "locals(",
+    "compile(", "__subclasses__", "__builtins__", "getattr(", "setattr(",
+    "delattr(", "os.", "sys.", "subprocess",
+)
+
+
+class InterpreterError(Exception):
+    """Raised when contract source cannot be loaded."""
+
+
+def _safe_globals() -> dict[str, Any]:
+    safe_builtins = {name: getattr(builtins, name, None) for name in _SAFE_BUILTIN_NAMES}
+    safe_builtins["True"] = True
+    safe_builtins["False"] = False
+    safe_builtins["None"] = None
+    # class statements need the class-construction hook; it is safe to expose.
+    safe_builtins["__build_class__"] = builtins.__build_class__
+    safe_builtins["__name__"] = "bcontract"
+    safe_builtins["staticmethod"] = staticmethod
+    safe_builtins["classmethod"] = classmethod
+    safe_builtins["property"] = property
+    safe_builtins["super"] = super
+    return {
+        "__builtins__": safe_builtins,
+        "BContract": BContract,
+        "BContractError": BContractError,
+        "InvocationContext": InvocationContext,
+        "bcontract_method": bcontract_method,
+        "bcontract_view": bcontract_view,
+    }
+
+
+def check_source(source: str) -> None:
+    """Reject source that uses forbidden constructs."""
+    lowered = source.lower()
+    for token in _FORBIDDEN_TOKENS:
+        if token in lowered:
+            raise InterpreterError(f"forbidden construct in contract source: {token!r}")
+
+
+def load_contract_class(source: str) -> type[BContract]:
+    """Execute ``source`` and return the single BContract subclass it defines."""
+    if not isinstance(source, str) or not source.strip():
+        raise InterpreterError("contract source must be a non-empty string")
+    check_source(source)
+    namespace = _safe_globals()
+    try:
+        exec(compile(source, "<bcontract>", "exec"), namespace)  # noqa: S102 - sandboxed by policy
+    except InterpreterError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - surface syntax/runtime errors uniformly
+        raise InterpreterError(f"contract source failed to load: {exc}") from exc
+    classes = [
+        value
+        for value in namespace.values()
+        if isinstance(value, type) and issubclass(value, BContract) and value is not BContract
+    ]
+    if len(classes) != 1:
+        raise InterpreterError(
+            f"contract source must define exactly one BContract subclass, found {len(classes)}"
+        )
+    return classes[0]
+
+
+def instantiate_contract(
+    source: str, name: str, owner: Any = None, params: dict[str, Any] | None = None
+) -> BContract:
+    """Load and instantiate a community contract from source."""
+    contract_class = load_contract_class(source)
+    contract = contract_class(name=name, owner=owner, params=params)
+    return contract

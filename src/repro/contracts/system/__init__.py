@@ -1,0 +1,6 @@
+"""System bContracts pre-deployed on every Blockumulus cell."""
+
+from .cas import ContentAddressableStorage
+from .deployer import CommunityDeployer
+
+__all__ = ["CommunityDeployer", "ContentAddressableStorage"]

@@ -1,0 +1,131 @@
+"""Content-addressable storage (CAS) — a system bContract.
+
+The CAS contract (Section III-C5) has two roles: it keeps large blobs out
+of the community contracts' data models (so their fingerprinting and
+cloning stay cheap), and it provides the only sanctioned channel through
+which otherwise isolated bContracts can exchange data (by passing blob
+hashes).  Blockumulus reference-counts CAS entries and purges them when the
+count drops to zero (Section III-D1).
+
+Blobs are stored as hex strings keyed by the BLAKE2b-256 hash of their
+content.  The stress experiment of Fig. 9 drives the ``put`` method of this
+contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...crypto.hashing import fast_hash
+from ..context import BContractError, InvocationContext
+from ..interface import BContract, bcontract_method, bcontract_view
+
+
+class ContentAddressableStorage(BContract):
+    """The pre-deployed CAS system bContract."""
+
+    TYPE = "system/cas"
+    IS_SYSTEM = True
+    #: Reserved deployment name.
+    DEFAULT_NAME = "system.cas"
+    #: Upper bound on one blob (bytes of raw content).
+    MAX_BLOB_BYTES = 4 * 1024 * 1024
+
+    @staticmethod
+    def _blob_key(digest: str) -> str:
+        return f"blob/{digest}"
+
+    @staticmethod
+    def _refs_key(digest: str) -> str:
+        return f"refs/{digest}"
+
+    @staticmethod
+    def content_hash(content: bytes) -> str:
+        """The CAS address (hex digest) of ``content``."""
+        return "0x" + fast_hash(content).hex()
+
+    # ------------------------------------------------------------------
+    # Transaction methods
+    # ------------------------------------------------------------------
+    @bcontract_method
+    def put(self, ctx: InvocationContext, content_hex: str) -> dict[str, Any]:
+        """Store a blob (hex-encoded) and take one reference to it."""
+        content = _decode_hex(content_hex)
+        if len(content) > self.MAX_BLOB_BYTES:
+            raise BContractError(f"blob exceeds the {self.MAX_BLOB_BYTES}-byte CAS limit")
+        digest = self.content_hash(content)
+        if not self.store.contains(self._blob_key(digest)):
+            self.store.put(self._blob_key(digest), content_hex)
+            self.store.put(self._refs_key(digest), 0)
+        references = self.store.increment(self._refs_key(digest))
+        self.store.increment("stats/puts")
+        return {"hash": digest, "references": references, "size": len(content)}
+
+    @bcontract_method
+    def add_reference(self, ctx: InvocationContext, digest: str) -> dict[str, Any]:
+        """Take an additional reference to an existing blob."""
+        self._require_blob(digest)
+        references = self.store.increment(self._refs_key(digest))
+        return {"hash": digest, "references": references}
+
+    @bcontract_method
+    def release(self, ctx: InvocationContext, digest: str) -> dict[str, Any]:
+        """Drop one reference; the blob is purged when the count reaches zero."""
+        self._require_blob(digest)
+        references = self.store.increment(self._refs_key(digest), -1)
+        if references <= 0:
+            self.store.delete(self._blob_key(digest))
+            self.store.delete(self._refs_key(digest))
+            self.store.increment("stats/purged")
+            references = 0
+        return {"hash": digest, "references": references}
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @bcontract_view
+    def get(self, digest: str) -> dict[str, Any]:
+        """Fetch a blob by hash."""
+        content_hex = self.store.get(self._blob_key(digest))
+        if content_hex is None:
+            raise BContractError(f"CAS: no blob with hash {digest}")
+        return {"hash": digest, "content_hex": content_hex}
+
+    @bcontract_view
+    def reference_count(self, digest: str) -> int:
+        """Current reference count of a blob (0 if absent)."""
+        return self.store.get(self._refs_key(digest), 0)
+
+    @bcontract_view
+    def stats(self) -> dict[str, Any]:
+        """Operational counters (puts, purges, stored blobs)."""
+        blobs = len(self.store.keys("blob/"))
+        return {
+            "puts": self.store.get("stats/puts", 0),
+            "purged": self.store.get("stats/purged", 0),
+            "blobs": blobs,
+        }
+
+    # ------------------------------------------------------------------
+    # Helpers used by other contracts through the invocation context
+    # ------------------------------------------------------------------
+    def fetch_blob(self, digest: str) -> bytes:
+        """Raw blob content for in-contract consumers (gas-free, read only)."""
+        content_hex = self.store.get(self._blob_key(digest))
+        if content_hex is None:
+            raise BContractError(f"CAS: no blob with hash {digest}")
+        return _decode_hex(content_hex)
+
+    def _require_blob(self, digest: str) -> None:
+        if not self.store.contains(self._blob_key(digest)):
+            raise BContractError(f"CAS: no blob with hash {digest}")
+
+
+def _decode_hex(content_hex: str) -> bytes:
+    if not isinstance(content_hex, str):
+        raise BContractError("CAS: content must be a hex string")
+    text = content_hex[2:] if content_hex.startswith("0x") else content_hex
+    try:
+        return bytes.fromhex(text)
+    except ValueError as exc:
+        raise BContractError("CAS: content is not valid hex") from exc

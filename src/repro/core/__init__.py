@@ -1,0 +1,41 @@
+"""Blockumulus core: cells, overlay consensus, snapshots, receipts, deployment."""
+
+from .cell import BlockumulusCell
+from .config import ConfigError, DeploymentConfig, SystemInvariants
+from .consensus import CellStanding, ConsensusError, OverlayConsensus
+from .deployment import BlockumulusDeployment
+from .executor import ExecutionOutcome, TransactionExecutor
+from .faults import FaultPlan, censor_method, censor_sender
+from .ledger import LedgerEntry, LedgerError, TransactionLedger
+from .receipts import AggregatedReceipt, Confirmation, ReceiptError
+from .snapshot import DataSnapshot, SnapshotEngine, SnapshotError
+from .subscription import PricingPolicy, Subscription, SubscriptionError, SubscriptionManager
+
+__all__ = [
+    "AggregatedReceipt",
+    "BlockumulusCell",
+    "BlockumulusDeployment",
+    "CellStanding",
+    "Confirmation",
+    "ConfigError",
+    "ConsensusError",
+    "DataSnapshot",
+    "DeploymentConfig",
+    "ExecutionOutcome",
+    "FaultPlan",
+    "LedgerEntry",
+    "LedgerError",
+    "OverlayConsensus",
+    "PricingPolicy",
+    "ReceiptError",
+    "SnapshotEngine",
+    "SnapshotError",
+    "Subscription",
+    "SubscriptionError",
+    "SubscriptionManager",
+    "SystemInvariants",
+    "TransactionExecutor",
+    "TransactionLedger",
+    "censor_method",
+    "censor_sender",
+]

@@ -1,0 +1,708 @@
+"""The Blockumulus cell: the unit of the cloud consortium.
+
+A cell (Section III-B2/III-C) authenticates incoming client transactions,
+admits them to its mutex-protected ledger, forwards them to every other
+consortium cell, executes them against its local bContract instances,
+collects the other cells' signed confirmations, and returns an aggregated
+multi-signature receipt to the client (Fig. 7 of the paper).  At every
+report-cycle boundary it fingerprints all contract data into a snapshot and
+anchors the fingerprint in the Ethereum :class:`SnapshotRegistry` contract,
+then executes any contingency transactions users submitted directly
+on-chain (the censorship escape hatch of Section V-B).
+
+The cell runs entirely inside the discrete-event simulation: message
+handling is event-driven, protocol steps are generator processes, and all
+service times come from the deployment's :class:`CellServiceModel`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator, Optional
+
+from ..contracts.context import BContractError
+from ..contracts.registry import ContractRegistry
+from ..contracts.system.cas import ContentAddressableStorage
+from ..contracts.system.deployer import CommunityDeployer
+from ..crypto.keys import Address, PrivateKey
+from ..ethchain.contracts.snapshot_registry import SnapshotRegistry
+from ..ethchain.provider import Web3Provider
+from ..messages.envelope import Envelope, NonceFactory
+from ..messages.opcodes import Opcode
+from ..messages.signer import Signer
+from ..sim.environment import Environment
+from ..sim.events import Event
+from ..sim.latency import CellServiceModel
+from ..sim.metrics import MetricsRegistry
+from ..sim.network import Network
+from ..sim.resources import Resource
+from .config import SystemInvariants
+from .consensus import OverlayConsensus
+from .executor import ExecutionOutcome, TransactionExecutor
+from .faults import FaultPlan
+from .ledger import LedgerError, TransactionLedger
+from .receipts import AggregatedReceipt, Confirmation
+from .snapshot import SnapshotEngine
+from .subscription import PricingPolicy, SubscriptionManager, SubscriptionError
+
+
+class _PendingTransaction:
+    """Book-keeping for a transaction this cell is servicing."""
+
+    def __init__(self, env: Environment, tx_id: str, expected_cells: set[Address]) -> None:
+        self.tx_id = tx_id
+        self.expected_cells = set(expected_cells)
+        self.confirmations: dict[Address, Confirmation] = {}
+        self.all_received: Event = env.event()
+
+    def add(self, confirmation: Confirmation) -> None:
+        """Record one confirmation, firing the completion event if done."""
+        if confirmation.cell not in self.expected_cells:
+            return
+        self.confirmations[confirmation.cell] = confirmation
+        if len(self.confirmations) >= len(self.expected_cells) and not self.all_received.triggered:
+            self.all_received.succeed(self.confirmations)
+
+
+class BlockumulusCell:
+    """One consortium member, attached to the simulated network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        index: int,
+        node_name: str,
+        signer: Signer,
+        eth_key: PrivateKey,
+        invariants: SystemInvariants,
+        network: Network,
+        rng: random.Random,
+        service_model: CellServiceModel,
+        metrics: MetricsRegistry,
+        eth_provider: Optional[Web3Provider] = None,
+        registry_contract: Optional[SnapshotRegistry] = None,
+        pricing: Optional[PricingPolicy] = None,
+        enforce_subscriptions: bool = False,
+        auto_report: bool = True,
+        snapshots_retained: int = 3,
+    ) -> None:
+        self.env = env
+        self.index = index
+        self.node_name = node_name
+        self.signer = signer
+        self.eth_key = eth_key
+        self.invariants = invariants
+        self.network = network
+        self.rng = rng
+        self.service_model = service_model
+        self.metrics = metrics
+        self.eth = eth_provider
+        self.registry_contract = registry_contract
+        self.auto_report = auto_report
+
+        # Protocol state.
+        self.contracts = ContractRegistry()
+        self.ledger = TransactionLedger(env, node_name)
+        self.consensus = OverlayConsensus(invariants)
+        self.snapshots = SnapshotEngine(node_name, self.contracts, retain=snapshots_retained)
+        self.executor = TransactionExecutor(node_name, self.contracts)
+        self.subscriptions = SubscriptionManager(
+            policy=pricing or PricingPolicy(), enforce=enforce_subscriptions
+        )
+        self.fault = FaultPlan()
+        self.nonces = NonceFactory(signer.address)
+
+        # Simulated hardware.
+        self.cpu = Resource(env, capacity=service_model.cpu_workers, name=f"{node_name}-cpu")
+        self.invokers = Resource(
+            env, capacity=service_model.max_parallel_invocations, name=f"{node_name}-invokers"
+        )
+
+        # Peer routing: consortium address -> network node name.
+        self._peers: dict[Address, str] = {}
+        # Client routing: client address -> network node name (learned from traffic).
+        self._client_nodes: dict[Address, str] = {}
+        self._pending: dict[str, _PendingTransaction] = {}
+
+        # Report-stage state: when True, incoming executions queue on the event.
+        self.in_report_stage = False
+        self._stage_resume: Event = env.event()
+        self._contingencies_executed = 0
+        self._reports_submitted: list[dict[str, Any]] = []
+
+        self._deploy_system_contracts()
+        network.register(node_name, handler=self._on_message)
+
+    # ------------------------------------------------------------------
+    # Identity and wiring
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        """The cell's Blockumulus identity (message-layer address)."""
+        return self.signer.address
+
+    def set_peers(self, peers: dict[Address, str]) -> None:
+        """Install the address -> node-name map of the other consortium cells."""
+        self._peers = {
+            address: node for address, node in peers.items() if address != self.address
+        }
+
+    def _deploy_system_contracts(self) -> None:
+        cas = ContentAddressableStorage(ContentAddressableStorage.DEFAULT_NAME)
+        deployer = CommunityDeployer(CommunityDeployer.DEFAULT_NAME)
+        deployer.bind(self.contracts.register, self.contracts.remove)
+        self.contracts.register(cas)
+        self.contracts.register(deployer)
+
+    def deploy_contract(self, contract: Any) -> None:
+        """Deploy a pre-built bContract instance (deployment orchestration)."""
+        self.contracts.register(contract)
+
+    def start(self) -> None:
+        """Start the cell's background processes (report cycle lifecycle)."""
+        self.env.process(self._lifecycle())
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def _on_message(self, src_node: str, payload: Any, size: int) -> None:
+        if self.fault.crashed:
+            return
+        if not isinstance(payload, Envelope):
+            self.metrics.increment(f"{self.node_name}/malformed_messages")
+            return
+        envelope = payload
+        operation = envelope.operation
+        if operation in (Opcode.TX_SUBMIT, Opcode.DEPLOY_CONTRACT):
+            self._client_nodes[envelope.sender] = src_node
+            self.subscriptions.record_traffic(envelope.sender, size)
+            self.env.process(self._serve_transaction(src_node, envelope))
+        elif operation == Opcode.TX_FORWARD:
+            self.env.process(self._process_forwarded(src_node, envelope))
+        elif operation in (Opcode.TX_CONFIRM, Opcode.TX_REJECT):
+            self._accept_confirmation(envelope)
+        elif operation == Opcode.SUBSCRIBE:
+            self._client_nodes[envelope.sender] = src_node
+            self.env.process(self._serve_subscription(src_node, envelope))
+        elif operation == Opcode.QUERY_STATE:
+            self._client_nodes[envelope.sender] = src_node
+            self.env.process(self._serve_query(src_node, envelope))
+        elif operation == Opcode.SNAPSHOT_REQUEST:
+            self.env.process(self._serve_snapshot_request(src_node, envelope))
+        elif operation == Opcode.LEDGER_REQUEST:
+            self.env.process(self._serve_ledger_request(src_node, envelope))
+        elif operation == Opcode.PING:
+            self._reply(src_node, envelope, Opcode.PONG, {"node": self.node_name})
+        else:
+            self.metrics.increment(f"{self.node_name}/unhandled_{operation.value}")
+
+    def _reply(
+        self, dst_node: str, request: Envelope, operation: Opcode, data: dict[str, Any]
+    ) -> None:
+        """Sign and send a reply to ``request``."""
+        reply = Envelope.create(
+            signer=self.signer,
+            recipient=request.sender,
+            operation=operation,
+            data=data,
+            timestamp=self.env.now,
+            nonce=self.nonces.next(),
+            reply_to=request.nonce,
+        )
+        size = reply.byte_size()
+        if request.sender in self._client_nodes or operation in (
+            Opcode.TX_RECEIPT,
+            Opcode.TX_ERROR,
+            Opcode.QUERY_RESULT,
+            Opcode.SUBSCRIBE_ACK,
+        ):
+            self.subscriptions.record_traffic(request.sender, size)
+        self.network.send(self.node_name, dst_node, reply, size)
+
+    # ------------------------------------------------------------------
+    # Client transaction servicing (Fig. 7 steps 1-4)
+    # ------------------------------------------------------------------
+    def _serve_transaction(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
+        started = self.env.now
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+
+        if not envelope.verify() or envelope.recipient != self.address:
+            self.metrics.increment(f"{self.node_name}/auth_failures")
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": "authentication failed"})
+            return
+        if self.fault.is_censored(envelope):
+            # A censoring cell silently drops the transaction (Section V-B).
+            self.metrics.increment(f"{self.node_name}/censored")
+            return
+        try:
+            self.subscriptions.check_access(envelope.sender)
+        except SubscriptionError as exc:
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+            return
+
+        # Admission: the ordering point, under the ledger mutex.
+        yield self.ledger.mutex.request()
+        try:
+            if self.in_report_stage:
+                yield self._stage_resume
+            cycle = self.consensus.cycle_of(self.env.now)
+            try:
+                entry = self.ledger.admit(envelope, cycle)
+            except LedgerError as exc:
+                self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+                return
+        finally:
+            self.ledger.mutex.release()
+
+        # Forward to every active consortium peer.
+        active_peers = {
+            address: node
+            for address, node in self._peers.items()
+            if address in set(self.consensus.active_cells())
+        }
+        pending = _PendingTransaction(self.env, entry.tx_id, set(active_peers))
+        self._pending[entry.tx_id] = pending
+        for peer_address, peer_node in active_peers.items():
+            yield from self.cpu.use(self.service_model.forward_cpu_per_cell)
+            forward = Envelope.create(
+                signer=self.signer,
+                recipient=peer_address,
+                operation=Opcode.TX_FORWARD,
+                data={"client_envelope": envelope.to_wire()},
+                timestamp=self.env.now,
+                nonce=self.nonces.next(),
+            )
+            self.network.send(self.node_name, peer_node, forward, forward.byte_size())
+
+        # Execute locally while peers work in parallel.
+        outcome = yield from self._execute_entry(entry)
+
+        # Wait for all confirmations or the forwarding deadline.
+        if active_peers:
+            deadline = self.env.timeout(self.invariants.forwarding_deadline)
+            yield self.env.any_of([pending.all_received, deadline])
+        self._pending.pop(entry.tx_id, None)
+
+        # The service cell checks every returned fingerprint (Fig. 7 step 4);
+        # the paper attributes most of this step's cost to re-running the
+        # external fingerprinting tool per confirmation.
+        if active_peers:
+            yield self.env.timeout(
+                self.service_model.aggregate_overhead_per_cell * len(active_peers)
+            )
+
+        missing = [address for address in active_peers if address not in pending.confirmations]
+        mismatched: list[Address] = []
+        rejected: list[Confirmation] = []
+        expected_fingerprint = outcome.execution_fingerprint_hex()
+        for address, confirmation in pending.confirmations.items():
+            self.consensus.record_success(address)
+            if confirmation.status != "executed":
+                rejected.append(confirmation)
+            elif confirmation.fingerprint_hex != expected_fingerprint:
+                mismatched.append(address)
+        for address in missing:
+            newly_excluded = self.consensus.record_miss(address, cycle)
+            if newly_excluded:
+                self.metrics.increment(f"{self.node_name}/cells_excluded")
+
+        self.subscriptions.record_transaction(envelope.sender)
+
+        if outcome.ok and not missing and not mismatched and not rejected:
+            own_confirmation = Confirmation.create(
+                self.signer,
+                tx_id=entry.tx_id,
+                contract=outcome.contract,
+                fingerprint_hex=expected_fingerprint,
+                status="executed",
+                timestamp=self.env.now,
+            )
+            receipt = AggregatedReceipt(
+                tx_id=entry.tx_id,
+                contract=outcome.contract,
+                method=outcome.method,
+                result=outcome.result,
+                service_cell=self.address,
+                fingerprint_hex=expected_fingerprint,
+                cycle=cycle,
+                submitted_at=envelope.payload.timestamp,
+                completed_at=self.env.now,
+                confirmations=[own_confirmation] + list(pending.confirmations.values()),
+            )
+            self.metrics.increment(f"{self.node_name}/transactions_confirmed")
+            self.metrics.record_latency(f"{self.node_name}/service_latency", started, self.env.now)
+            self._reply(src_node, envelope, Opcode.TX_RECEIPT, {"receipt": receipt.to_wire()})
+            return
+
+        # Failure path: the transaction reverts from the client's viewpoint.
+        if mismatched:
+            self.metrics.increment(f"{self.node_name}/fingerprint_mismatches")
+        error = self._failure_reason(outcome, missing, mismatched, rejected)
+        self.metrics.increment(f"{self.node_name}/transactions_failed")
+        self._reply(
+            src_node,
+            envelope,
+            Opcode.TX_ERROR,
+            {
+                "error": error,
+                "tx_id": entry.tx_id,
+                "missing_cells": [address.hex() for address in missing],
+                "mismatched_cells": [address.hex() for address in mismatched],
+            },
+        )
+
+    @staticmethod
+    def _failure_reason(
+        outcome: ExecutionOutcome,
+        missing: list[Address],
+        mismatched: list[Address],
+        rejected: list[Confirmation],
+    ) -> str:
+        if not outcome.ok:
+            return outcome.error or "execution rejected"
+        if rejected:
+            return rejected[0].error or "execution rejected by a consortium cell"
+        if missing:
+            return "forwarding deadline missed by one or more cells"
+        if mismatched:
+            return "fingerprint mismatch across consortium cells"
+        return "transaction reverted"
+
+    # ------------------------------------------------------------------
+    # Forwarded transactions from other cells (Fig. 7 step 3)
+    # ------------------------------------------------------------------
+    def _process_forwarded(self, src_node: str, forward: Envelope) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not forward.verify() or not self.invariants.is_cell(forward.sender):
+            self.metrics.increment(f"{self.node_name}/forward_auth_failures")
+            return
+        try:
+            client_envelope = Envelope.from_wire(forward.data["client_envelope"])
+        except (KeyError, ValueError) as exc:
+            self.metrics.increment(f"{self.node_name}/malformed_forwards")
+            return
+        if not client_envelope.verify():
+            self._confirm(src_node, forward, client_envelope.payload.hash_hex(),
+                          contract="", fingerprint_hex="0x" + "00" * 32,
+                          status="rejected", error="client signature invalid")
+            return
+        if self.fault.extra_confirm_delay:
+            self.fault.record("delay", seconds=self.fault.extra_confirm_delay)
+            yield self.env.timeout(self.fault.extra_confirm_delay)
+
+        yield self.ledger.mutex.request()
+        try:
+            if self.in_report_stage:
+                yield self._stage_resume
+            cycle = self.consensus.cycle_of(self.env.now)
+            try:
+                entry = self.ledger.admit(client_envelope, cycle)
+            except LedgerError:
+                # Already admitted (duplicate submission through another cell):
+                # report the recorded outcome instead of re-executing.
+                existing = self.ledger.get(client_envelope.payload.hash_hex())
+                fingerprint_hex = (
+                    "0x" + existing.fingerprint.hex() if existing.fingerprint else "0x" + "00" * 32
+                )
+                self._confirm(
+                    src_node, forward, existing.tx_id, existing.contract or "",
+                    fingerprint_hex,
+                    status="executed" if existing.status == "executed" else "rejected",
+                    error=existing.error or "duplicate transaction",
+                )
+                return
+        finally:
+            self.ledger.mutex.release()
+
+        outcome = yield from self._execute_entry(entry)
+        self._confirm(
+            src_node,
+            forward,
+            outcome.tx_id,
+            outcome.contract,
+            outcome.execution_fingerprint_hex(),
+            status=outcome.status,
+            error=outcome.error,
+        )
+
+    def _confirm(
+        self,
+        dst_node: str,
+        forward: Envelope,
+        tx_id: str,
+        contract: str,
+        fingerprint_hex: str,
+        status: str,
+        error: Optional[str] = None,
+    ) -> None:
+        """Send a signed confirmation back to the service cell."""
+        confirmation = Confirmation.create(
+            self.signer,
+            tx_id=tx_id,
+            contract=contract,
+            fingerprint_hex=fingerprint_hex,
+            status=status,
+            timestamp=self.env.now,
+            error=error,
+        )
+        opcode = Opcode.TX_CONFIRM if status == "executed" else Opcode.TX_REJECT
+        reply = Envelope.create(
+            signer=self.signer,
+            recipient=forward.sender,
+            operation=opcode,
+            data={"confirmation": confirmation.to_wire()},
+            timestamp=self.env.now,
+            nonce=self.nonces.next(),
+            reply_to=forward.nonce,
+        )
+        self.network.send(self.node_name, dst_node, reply, reply.byte_size())
+
+    def _accept_confirmation(self, envelope: Envelope) -> None:
+        """Handle TX_CONFIRM / TX_REJECT arriving at the service cell."""
+        if not envelope.verify() or not self.invariants.is_cell(envelope.sender):
+            self.metrics.increment(f"{self.node_name}/confirm_auth_failures")
+            return
+        try:
+            confirmation = Confirmation.from_wire(envelope.data["confirmation"])
+        except (KeyError, ValueError):
+            self.metrics.increment(f"{self.node_name}/malformed_confirmations")
+            return
+        if confirmation.cell != envelope.sender or not confirmation.verify():
+            self.metrics.increment(f"{self.node_name}/confirm_auth_failures")
+            return
+        pending = self._pending.get(confirmation.tx_id)
+        if pending is not None:
+            pending.add(confirmation)
+
+    # ------------------------------------------------------------------
+    # Local execution (shared by service and forwarded paths)
+    # ------------------------------------------------------------------
+    def _execute_entry(self, entry) -> Generator[Event, Any, ExecutionOutcome]:
+        yield self.invokers.request()
+        try:
+            yield self.env.timeout(self.service_model.invoke_overhead.sample(self.rng))
+            yield from self.cpu.use(self.service_model.invoke_cpu)
+        finally:
+            self.invokers.release()
+        try:
+            outcome = self.executor.execute(entry)
+        except BContractError as exc:
+            # Malformed calls and unknown contracts revert rather than crash
+            # the cell; the client receives the reason in its TX_ERROR reply.
+            data = entry.envelope.data
+            outcome = ExecutionOutcome(
+                tx_id=entry.tx_id,
+                contract=str(data.get("contract", "")),
+                method=str(data.get("method", "")),
+                status="rejected",
+                result=None,
+                error=str(exc),
+                fingerprint=b"\x00" * 32,
+            )
+        if self.fault.tamper_state and outcome.ok:
+            # A compromised cell silently corrupts its contract data; its
+            # fingerprints now diverge from the honest cells.
+            contract = self.contracts.get(outcome.contract)
+            contract.store.put("__tampered__", self.env.now)
+            self.fault.record("tamper_state", contract=outcome.contract)
+            outcome = ExecutionOutcome(
+                tx_id=outcome.tx_id,
+                contract=outcome.contract,
+                method=outcome.method,
+                status=outcome.status,
+                result=outcome.result,
+                error=outcome.error,
+                fingerprint=contract.fingerprint(),
+            )
+        if outcome.ok:
+            self.ledger.mark_executed(
+                outcome.tx_id, outcome.contract, outcome.result, outcome.fingerprint
+            )
+            self.metrics.increment(f"{self.node_name}/transactions_executed")
+        else:
+            self.ledger.mark_rejected(outcome.tx_id, outcome.contract, outcome.error or "")
+            self.metrics.increment(f"{self.node_name}/transactions_rejected")
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Subscriptions and queries
+    # ------------------------------------------------------------------
+    def _serve_subscription(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not envelope.verify():
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": "authentication failed"})
+            return
+        subscription = self.subscriptions.subscribe(envelope.sender, self.env.now)
+        self._reply(
+            src_node,
+            envelope,
+            Opcode.SUBSCRIBE_ACK,
+            {
+                "cell": self.address.hex(),
+                "opened_at": subscription.opened_at,
+                "price_per_mbyte": subscription.policy.price_per_mbyte,
+            },
+        )
+
+    def _serve_query(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not envelope.verify():
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": "authentication failed"})
+            return
+        data = envelope.data
+        try:
+            result = self.executor.query(
+                data.get("contract", ""), data.get("view", ""), data.get("args", {})
+            )
+            self._reply(src_node, envelope, Opcode.QUERY_RESULT, {"result": result})
+        except Exception as exc:  # noqa: BLE001 - report query errors to the client
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+
+    # ------------------------------------------------------------------
+    # Auditor interface
+    # ------------------------------------------------------------------
+    def _serve_snapshot_request(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        cycle = envelope.data.get("cycle")
+        if cycle is None and self.snapshots.latest_cycle is not None:
+            cycle = self.snapshots.latest_cycle
+        if cycle is None or not self.snapshots.has(int(cycle)):
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": f"no snapshot for cycle {cycle}"})
+            return
+        snapshot = self.snapshots.get(int(cycle))
+        self._reply(
+            src_node, envelope, Opcode.SNAPSHOT_RESPONSE, {"snapshot": snapshot.to_wire()}
+        )
+
+    def _serve_ledger_request(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        first = int(envelope.data.get("first_cycle", 0))
+        last = int(envelope.data.get("last_cycle", first))
+        segment = self.ledger.segment(first, last)
+        self._reply(
+            src_node,
+            envelope,
+            Opcode.LEDGER_RESPONSE,
+            {"first_cycle": first, "last_cycle": last, "entries": segment},
+        )
+
+    # ------------------------------------------------------------------
+    # Report-cycle lifecycle (Fig. 6)
+    # ------------------------------------------------------------------
+    def _lifecycle(self) -> Generator[Event, Any, None]:
+        while True:
+            next_deadline = self.consensus.next_deadline(self.env.now)
+            yield self.env.timeout(max(0.0, next_deadline - self.env.now))
+            if self.fault.crashed:
+                continue
+            completed_cycle = self.consensus.cycle_of(self.env.now) - 1
+            if completed_cycle < 0:
+                continue
+            yield from self._report_stage(completed_cycle)
+
+    def _report_stage(self, completed_cycle: int) -> Generator[Event, Any, None]:
+        # Enter the report stage: new executions queue until the snapshot
+        # fingerprint is taken (Section III-D2).
+        self.in_report_stage = True
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        entries = [entry for entry in self.ledger if entry.cycle <= completed_cycle]
+        first_sequence = min((entry.sequence for entry in entries), default=0)
+        last_sequence = max((entry.sequence for entry in entries), default=-1)
+        snapshot = self.snapshots.take_snapshot(
+            cycle=completed_cycle,
+            timestamp=self.env.now,
+            first_sequence=first_sequence,
+            last_sequence=last_sequence,
+        )
+        # Execution resumes as soon as the fingerprint exists; the on-chain
+        # submission continues in the background.
+        self.in_report_stage = False
+        resume, self._stage_resume = self._stage_resume, self.env.event()
+        if not resume.triggered:
+            resume.succeed()
+        self.metrics.increment(f"{self.node_name}/snapshots_taken")
+
+        if self.auto_report and self.eth is not None and self.registry_contract is not None:
+            fingerprint_hex = snapshot.fingerprint_hex()
+            if self.fault.tamper_fingerprint:
+                fingerprint_hex = "0x" + bytes(32).hex()
+                self.fault.record("tamper_fingerprint", cycle=completed_cycle)
+            # The on-chain submission runs in the background: execution has
+            # already resumed, and waiting for block inclusion here would
+            # make the cell miss the next report deadline on slow chains.
+            self.env.process(self._submit_report(completed_cycle, fingerprint_hex))
+
+        # Execute contingency transactions submitted directly on-chain.
+        yield from self._execute_contingencies()
+
+    def _submit_report(self, cycle: int, fingerprint_hex: str) -> Generator[Event, Any, None]:
+        receipt_event = self.eth.transact_and_wait(
+            self.eth_key,
+            self.registry_contract.address,
+            "report",
+            {"cycle": cycle, "fingerprint": fingerprint_hex},
+        )
+        receipt = yield receipt_event
+        self._reports_submitted.append(
+            {
+                "cycle": cycle,
+                "fingerprint": fingerprint_hex,
+                "tx_hash": receipt.tx_hash,
+                "gas_used": receipt.gas_used,
+                "success": receipt.success,
+                "reported_at": self.env.now,
+            }
+        )
+        self.metrics.increment(f"{self.node_name}/reports_submitted")
+        self.metrics.series(f"{self.node_name}/report_gas").add(receipt.gas_used)
+
+    def _execute_contingencies(self) -> Generator[Event, Any, None]:
+        if self.eth is None or self.registry_contract is None:
+            return
+        contingencies = self.eth.call(self.registry_contract.address, "all_contingencies")
+        for wire in contingencies[self._contingencies_executed:]:
+            try:
+                envelope = Envelope.from_wire(wire)
+            except Exception:  # noqa: BLE001 - a malformed contingency is skipped
+                self._contingencies_executed += 1
+                continue
+            self._contingencies_executed += 1
+            if not envelope.verify():
+                continue
+            tx_id = envelope.payload.hash_hex()
+            if self.ledger.contains(tx_id):
+                continue
+            yield self.ledger.mutex.request()
+            try:
+                cycle = self.consensus.cycle_of(self.env.now)
+                entry = self.ledger.admit(envelope, cycle, contingency=True)
+            except LedgerError:
+                continue
+            finally:
+                self.ledger.mutex.release()
+            yield from self._execute_entry(entry)
+            self.metrics.increment(f"{self.node_name}/contingencies_executed")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def reports_submitted(self) -> list[dict[str, Any]]:
+        """Snapshot reports this cell has anchored on Ethereum."""
+        return list(self._reports_submitted)
+
+    def statistics(self) -> dict[str, Any]:
+        """Operational counters for this cell."""
+        return {
+            "cell": self.node_name,
+            "address": self.address.hex(),
+            "ledger": self.ledger.statistics(),
+            "contracts": self.contracts.names(),
+            "excluded_contracts": self.contracts.excluded(),
+            "excluded_cells": [address.hex() for address in self.consensus.excluded_cells()],
+            "snapshots": self.snapshots.retained_cycles(),
+            "reports_submitted": len(self._reports_submitted),
+            "contingencies_executed": self._contingencies_executed,
+            "cpu_utilization": self.cpu.utilization(),
+            "subscriber_count": len(self.subscriptions.subscribers()),
+        }

@@ -1,0 +1,149 @@
+"""Overlay-consensus timing and cell validity rules.
+
+Section III-A4 fixes the report timing: deadlines are all timestamps
+divisible by the report period λ; the snapshot with serial number i (the
+*report cycle*) must be reported by the end of cycle i+1 for the reporting
+cell to be treated as valid during cycle i+2.  This module implements that
+arithmetic plus the bookkeeping for temporary cell exclusion (missed
+forwarding deadlines, fingerprint mismatches) and is shared by cells and
+auditors so both sides compute identical cycle numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.keys import Address
+from .config import SystemInvariants
+
+
+class ConsensusError(Exception):
+    """Raised for invalid consensus-timing queries."""
+
+
+@dataclass
+class CellStanding:
+    """Mutable standing of one consortium cell as seen by a peer."""
+
+    address: Address
+    consecutive_misses: int = 0
+    total_misses: int = 0
+    excluded_since_cycle: int | None = None
+
+    @property
+    def is_excluded(self) -> bool:
+        """Whether the cell is currently excluded from the consensus."""
+        return self.excluded_since_cycle is not None
+
+
+class OverlayConsensus:
+    """Report-cycle arithmetic and cell-standing bookkeeping."""
+
+    def __init__(self, invariants: SystemInvariants) -> None:
+        self.invariants = invariants
+        self._standing: dict[Address, CellStanding] = {
+            address: CellStanding(address) for address in invariants.cell_addresses
+        }
+
+    # ------------------------------------------------------------------
+    # Cycle arithmetic (Section III-A4)
+    # ------------------------------------------------------------------
+    def cycle_of(self, timestamp: float) -> int:
+        """The report cycle that ``timestamp`` falls into."""
+        if timestamp < self.invariants.initial_timestamp:
+            raise ConsensusError("timestamp precedes the deployment's initial timestamp")
+        elapsed = timestamp - self.invariants.initial_timestamp
+        return int(elapsed // self.invariants.report_period)
+
+    def cycle_start(self, cycle: int) -> float:
+        """Timestamp at which ``cycle`` begins."""
+        if cycle < 0:
+            raise ConsensusError("cycles are non-negative")
+        return self.invariants.initial_timestamp + cycle * self.invariants.report_period
+
+    def cycle_deadline(self, cycle: int) -> float:
+        """Timestamp at which ``cycle`` ends (its snapshot deadline)."""
+        return self.cycle_start(cycle + 1)
+
+    def next_deadline(self, timestamp: float) -> float:
+        """The upcoming report deadline after ``timestamp``."""
+        return self.cycle_deadline(self.cycle_of(timestamp))
+
+    def report_due_by(self, snapshot_cycle: int) -> float:
+        """Latest time the snapshot of ``snapshot_cycle`` may be reported.
+
+        The paper requires cycle ``i`` to be reported by the end of cycle
+        ``i + 1``.
+        """
+        return self.cycle_deadline(snapshot_cycle + 1)
+
+    def valid_from_cycle(self, snapshot_cycle: int) -> int:
+        """First cycle in which a timely report of ``snapshot_cycle`` counts."""
+        return snapshot_cycle + 2
+
+    def is_report_timely(self, snapshot_cycle: int, reported_at: float) -> bool:
+        """Whether a report of ``snapshot_cycle`` landed before its due time."""
+        return reported_at <= self.report_due_by(snapshot_cycle)
+
+    # ------------------------------------------------------------------
+    # Cell standing
+    # ------------------------------------------------------------------
+    def standing(self, cell: Address) -> CellStanding:
+        """The standing record for ``cell``."""
+        try:
+            return self._standing[cell]
+        except KeyError:
+            raise ConsensusError(f"{cell.hex()} is not a consortium cell") from None
+
+    def record_miss(self, cell: Address, cycle: int) -> bool:
+        """Record a missed forwarding deadline; returns True if now excluded."""
+        standing = self.standing(cell)
+        standing.consecutive_misses += 1
+        standing.total_misses += 1
+        if (
+            not standing.is_excluded
+            and standing.consecutive_misses >= self.invariants.miss_threshold
+        ):
+            standing.excluded_since_cycle = cycle
+        return standing.is_excluded
+
+    def record_success(self, cell: Address) -> None:
+        """Reset the consecutive-miss counter after a timely response."""
+        self.standing(cell).consecutive_misses = 0
+
+    def exclude(self, cell: Address, cycle: int) -> None:
+        """Exclude a cell explicitly (failed verification, mutual agreement)."""
+        standing = self.standing(cell)
+        if not standing.is_excluded:
+            standing.excluded_since_cycle = cycle
+
+    def readmit(self, cell: Address) -> None:
+        """Re-admit a previously excluded cell (next report cycle)."""
+        standing = self.standing(cell)
+        standing.excluded_since_cycle = None
+        standing.consecutive_misses = 0
+
+    def excluded_cells(self) -> list[Address]:
+        """Addresses of all currently excluded cells."""
+        return [address for address, standing in self._standing.items() if standing.is_excluded]
+
+    def active_cells(self) -> list[Address]:
+        """Addresses of all non-excluded consortium cells."""
+        return [
+            address for address, standing in self._standing.items() if not standing.is_excluded
+        ]
+
+    # ------------------------------------------------------------------
+    # Theorem 1
+    # ------------------------------------------------------------------
+    @staticmethod
+    def minimum_valid_cells(consortium_size: int) -> int:
+        """Minimum number of valid cells required for the overlay consensus.
+
+        Theorem 1: the minimum is 1 for every consortium size M >= 2 —
+        a single honest cell that maintains snapshot succession and correct
+        reports keeps the deployment verifiable.
+        """
+        if consortium_size < 1:
+            raise ConsensusError("a consortium has at least one cell")
+        return 1

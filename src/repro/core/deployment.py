@@ -1,0 +1,204 @@
+"""Deployment orchestration: build a whole Blockumulus system in one call.
+
+A :class:`BlockumulusDeployment` wires together everything the evaluation
+needs — the simulation environment, the network fabric, the simulated
+Ethereum node with the :class:`SnapshotRegistry` anchor contract, M cells
+with their system bContracts and the default community bContracts, and the
+metrics registry — mirroring the paper's test setup of Section VI-B.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..contracts.community import Ballot, DividendPool, FastMoney
+from ..crypto.keys import Address, PrivateKey
+from ..ethchain.chain import Blockchain, ChainConfig
+from ..ethchain.contracts.snapshot_registry import SnapshotRegistry
+from ..ethchain.gas import FeeSchedule
+from ..ethchain.node import EthereumNode
+from ..ethchain.provider import Web3Provider
+from ..messages.signer import EcdsaSigner, Signer, SimulatedSigner
+from ..sim.environment import Environment
+from ..sim.metrics import MetricsRegistry
+from ..sim.network import Network
+from ..sim.rng import SeedSequence
+from .cell import BlockumulusCell
+from .config import DeploymentConfig, SystemInvariants
+from .subscription import PricingPolicy
+
+#: Funding given to each cell's Ethereum account (wei) to pay report fees.
+CELL_ETH_FUNDING_WEI = 1_000 * 10 ** 18
+
+
+class BlockumulusDeployment:
+    """A fully wired Blockumulus system inside one simulation environment."""
+
+    def __init__(self, config: Optional[DeploymentConfig] = None) -> None:
+        self.config = config or DeploymentConfig()
+        self.seeds = SeedSequence(self.config.seed)
+        self.env = Environment()
+        self.metrics = MetricsRegistry()
+        self.network = Network(
+            self.env,
+            self.seeds.stream("network"),
+            default_latency=self.config.client_cell_latency,
+        )
+
+        # --- Simulated public Ethereum chain with the anchor contract -----
+        chain_config = ChainConfig(
+            target_block_interval=self.config.eth_block_interval,
+            fee_schedule=FeeSchedule(),
+        )
+        self.eth_node = EthereumNode(self.env, self.seeds.stream("ethereum"), config=chain_config)
+        self.eth = Web3Provider(self.eth_node)
+
+        # --- Cell identities ----------------------------------------------
+        self.cell_signers: list[Signer] = [
+            self._make_signer(f"{self.config.deployment_id}/cell-{index}")
+            for index in range(self.config.consortium_size)
+        ]
+        self.cell_eth_keys: list[PrivateKey] = [
+            PrivateKey.from_seed(f"{self.config.deployment_id}/cell-eth-{index}")
+            for index in range(self.config.consortium_size)
+        ]
+        for key in self.cell_eth_keys:
+            self.eth_node.chain.fund(key.address, CELL_ETH_FUNDING_WEI)
+
+        self.invariants: SystemInvariants = self.config.make_invariants(
+            [signer.address for signer in self.cell_signers], t0=self.env.now
+        )
+
+        registry_address = Blockchain.contract_address_for(
+            self.cell_eth_keys[0].address, self.config.deployment_id
+        )
+        self.registry_contract = SnapshotRegistry(
+            address=registry_address,
+            deployment_id=self.config.deployment_id,
+            cells=[key.address for key in self.cell_eth_keys],
+            report_period=int(self.config.report_period),
+            initial_timestamp=int(self.invariants.initial_timestamp),
+        )
+        self.eth_node.chain.deploy_contract(self.registry_contract)
+
+        # --- Cells ----------------------------------------------------------
+        self.cells: list[BlockumulusCell] = []
+        for index in range(self.config.consortium_size):
+            cell = BlockumulusCell(
+                env=self.env,
+                index=index,
+                node_name=self.config.cell_name(index),
+                signer=self.cell_signers[index],
+                eth_key=self.cell_eth_keys[index],
+                invariants=self.invariants,
+                network=self.network,
+                rng=self.seeds.stream(f"cell-{index}"),
+                service_model=self.config.service_model,
+                metrics=self.metrics,
+                eth_provider=self.eth,
+                registry_contract=self.registry_contract,
+                pricing=PricingPolicy(price_per_mbyte=self.config.price_per_mbyte),
+                enforce_subscriptions=self.config.enforce_subscriptions,
+                auto_report=self.config.auto_report,
+                snapshots_retained=self.config.snapshots_retained,
+            )
+            self.cells.append(cell)
+
+        # Cell-to-cell links use the intra-consortium latency model.
+        peer_map = {cell.address: cell.node_name for cell in self.cells}
+        for cell in self.cells:
+            cell.set_peers(peer_map)
+            for other in self.cells:
+                if other is not cell:
+                    self.network.set_link(
+                        cell.node_name, other.node_name, self.config.cell_cell_latency
+                    )
+
+        if self.config.deploy_default_contracts:
+            self.deploy_community_contract_instances(self._default_contracts())
+
+        for cell in self.cells:
+            cell.start()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _make_signer(self, seed: str) -> Signer:
+        if self.config.signature_scheme == "sim":
+            return SimulatedSigner(seed)
+        return EcdsaSigner.from_seed(seed)
+
+    def make_client_signer(self, seed: str) -> Signer:
+        """Create a client signer using the deployment's signature scheme."""
+        return self._make_signer(seed)
+
+    @staticmethod
+    def _default_contracts() -> list[Any]:
+        return [
+            FastMoney(FastMoney.DEFAULT_NAME),
+            Ballot(Ballot.DEFAULT_NAME),
+            DividendPool(DividendPool.DEFAULT_NAME),
+        ]
+
+    def deploy_community_contract_instances(self, prototype_list: list[Any]) -> None:
+        """Deploy identical bContract instances on every cell.
+
+        One independent instance per cell is created from each prototype's
+        class and constructor arguments, so cells never share mutable state
+        (they only stay in sync by executing the same transactions).
+        """
+        for prototype in prototype_list:
+            for cell in self.cells:
+                clone = type(prototype)(
+                    name=prototype.name, owner=prototype.owner, params=dict(prototype.params)
+                )
+                cell.deploy_contract(clone)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def consortium_size(self) -> int:
+        """Number of cells M."""
+        return len(self.cells)
+
+    def cell(self, index: int) -> BlockumulusCell:
+        """Cell by index."""
+        return self.cells[index]
+
+    def cell_by_address(self, address: Address) -> BlockumulusCell:
+        """Cell by consortium address."""
+        for cell in self.cells:
+            if cell.address == address:
+                return cell
+        raise KeyError(f"no cell with address {address.hex()}")
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation (wrapper around ``Environment.run``)."""
+        self.env.run(until=until)
+
+    def run_cycles(self, cycles: int) -> None:
+        """Run the simulation for an integer number of report cycles."""
+        target = self.env.now + cycles * self.config.report_period + 1.0
+        self.env.run(until=target)
+
+    def anchored_report(self, cycle: int, cell_index: int) -> Optional[bytes]:
+        """The fingerprint cell ``cell_index`` anchored for ``cycle`` (or None)."""
+        return self.registry_contract.get_report(
+            self.eth_node.chain.state, cycle, self.cell_eth_keys[cell_index].address
+        )
+
+    def statistics(self) -> dict[str, Any]:
+        """Aggregated deployment statistics."""
+        return {
+            "consortium_size": self.consortium_size,
+            "invariants": {
+                "deployment_id": self.invariants.deployment_id,
+                "report_period": self.invariants.report_period,
+                "forwarding_deadline": self.invariants.forwarding_deadline,
+            },
+            "eth_height": self.eth_node.chain.height,
+            "network_bytes": self.network.total_bytes(),
+            "network_messages": self.network.total_messages(),
+            "cells": [cell.statistics() for cell in self.cells],
+        }

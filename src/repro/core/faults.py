@@ -1,0 +1,74 @@
+"""Fault injection for the security scenarios of Section V.
+
+A :class:`FaultPlan` attached to a cell makes it misbehave in controlled
+ways so the integration tests and examples can demonstrate that the overlay
+consensus detects or tolerates the behaviour:
+
+* **crash** — the cell stops responding entirely (availability analysis,
+  missed-deadline exclusion).
+* **censor** — the cell silently drops transactions matching a predicate
+  (the transaction-filtering attack of Section V-B).
+* **tamper_fingerprint** — the cell reports a corrupted snapshot
+  fingerprint to the anchor contract (consortium conspiracy / compromised
+  cell, Sections V-C and V-D); auditors catch the mismatch.
+* **tamper_state** — the cell mutates bContract state outside any
+  transaction, so its execution fingerprints diverge from the honest cells.
+* **delay** — the cell adds a fixed extra delay to every confirmation
+  (deadline-miss exclusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..messages.envelope import Envelope
+
+#: Predicate deciding whether a given transaction envelope is censored.
+CensorPredicate = Callable[[Envelope], bool]
+
+
+@dataclass
+class FaultPlan:
+    """Misbehaviour switches for one cell (all off by default)."""
+
+    crashed: bool = False
+    censor: Optional[CensorPredicate] = None
+    tamper_fingerprint: bool = False
+    tamper_state: bool = False
+    extra_confirm_delay: float = 0.0
+    #: Log of faults actually exercised, for assertions in tests.
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def record(self, kind: str, **details: Any) -> None:
+        """Remember that a fault path fired."""
+        self.events.append({"kind": kind, **details})
+
+    def is_censored(self, envelope: Envelope) -> bool:
+        """Whether this cell censors the given transaction."""
+        if self.censor is None:
+            return False
+        censored = bool(self.censor(envelope))
+        if censored:
+            self.record("censor", tx_id=envelope.payload.hash_hex())
+        return censored
+
+
+def censor_sender(address_hex: str) -> CensorPredicate:
+    """Censor every transaction originating from ``address_hex``."""
+    normalized = address_hex.lower()
+
+    def predicate(envelope: Envelope) -> bool:
+        return envelope.sender.hex().lower() == normalized
+
+    return predicate
+
+
+def censor_method(contract: str, method: str) -> CensorPredicate:
+    """Censor calls to one specific contract method (e.g. dividend withdrawal)."""
+
+    def predicate(envelope: Envelope) -> bool:
+        data = envelope.data
+        return data.get("contract") == contract and data.get("method") == method
+
+    return predicate

@@ -1,0 +1,167 @@
+"""The mutex-protected transaction ledger of a cell.
+
+Section V-A requires "a mutex-based storage (i.e., one that does not permit
+simultaneous writing operations)" so that conflicting transactions are
+serialized in arrival order.  Inside the discrete-event simulation a cell's
+handler callbacks are already serialized, but the *protocol-level* mutual
+exclusion still matters: transaction admission (the ordering point) must be
+atomic with respect to concurrently arriving transactions that are waiting
+on the ledger's admission lock, and the ledger keeps the per-cycle segments
+auditors later replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..messages.envelope import Envelope
+from ..sim.environment import Environment
+from ..sim.resources import Resource
+
+
+class LedgerError(Exception):
+    """Raised for invalid ledger operations."""
+
+
+@dataclass
+class LedgerEntry:
+    """One admitted transaction."""
+
+    sequence: int
+    tx_id: str
+    cycle: int
+    admitted_at: float
+    envelope: Envelope
+    #: Filled in after execution.
+    status: str = "admitted"          # admitted | executed | rejected
+    result: Any = None
+    error: Optional[str] = None
+    fingerprint: Optional[bytes] = None
+    contract: Optional[str] = None
+    #: True if this transaction arrived via the on-chain contingency channel.
+    contingency: bool = False
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dict used in audits and logs."""
+        return {
+            "sequence": self.sequence,
+            "tx_id": self.tx_id,
+            "cycle": self.cycle,
+            "admitted_at": self.admitted_at,
+            "status": self.status,
+            "contract": self.contract,
+            "error": self.error,
+            "contingency": self.contingency,
+        }
+
+
+class TransactionLedger:
+    """Ordered, mutex-protected storage of all transactions seen by a cell."""
+
+    def __init__(self, env: Environment, cell_id: str) -> None:
+        self.env = env
+        self.cell_id = cell_id
+        self._entries: list[LedgerEntry] = []
+        self._by_tx_id: dict[str, LedgerEntry] = {}
+        #: The admission mutex (capacity-1 resource): the "mutex-based
+        #: storage" of Section V-A.
+        self.mutex = Resource(env, capacity=1, name=f"{cell_id}-ledger-mutex")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(self, envelope: Envelope, cycle: int, contingency: bool = False) -> LedgerEntry:
+        """Append a transaction in arrival order (caller holds the mutex).
+
+        Duplicate transaction ids are rejected, which is what stops an
+        identical transaction submitted through two different cells from
+        being executed twice.
+        """
+        tx_id = envelope.payload.hash_hex()
+        if tx_id in self._by_tx_id:
+            raise LedgerError(f"transaction {tx_id} is already in the ledger")
+        entry = LedgerEntry(
+            sequence=len(self._entries),
+            tx_id=tx_id,
+            cycle=cycle,
+            admitted_at=self.env.now,
+            envelope=envelope,
+            contingency=contingency,
+        )
+        self._entries.append(entry)
+        self._by_tx_id[tx_id] = entry
+        return entry
+
+    def contains(self, tx_id: str) -> bool:
+        """Whether the transaction id has been admitted."""
+        return tx_id in self._by_tx_id
+
+    def get(self, tx_id: str) -> LedgerEntry:
+        """Fetch the ledger entry for ``tx_id``."""
+        try:
+            return self._by_tx_id[tx_id]
+        except KeyError:
+            raise LedgerError(f"unknown transaction {tx_id}") from None
+
+    # ------------------------------------------------------------------
+    # Execution bookkeeping
+    # ------------------------------------------------------------------
+    def mark_executed(
+        self, tx_id: str, contract: str, result: Any, fingerprint: bytes
+    ) -> LedgerEntry:
+        """Record a successful execution."""
+        entry = self.get(tx_id)
+        entry.status = "executed"
+        entry.contract = contract
+        entry.result = result
+        entry.fingerprint = fingerprint
+        return entry
+
+    def mark_rejected(self, tx_id: str, contract: Optional[str], error: str) -> LedgerEntry:
+        """Record a failed/reverted execution."""
+        entry = self.get(tx_id)
+        entry.status = "rejected"
+        entry.contract = contract
+        entry.error = error
+        return entry
+
+    # ------------------------------------------------------------------
+    # Audit support
+    # ------------------------------------------------------------------
+    def entries_for_cycle(self, cycle: int) -> list[LedgerEntry]:
+        """All entries admitted during ``cycle``, in order."""
+        return [entry for entry in self._entries if entry.cycle == cycle]
+
+    def executed_for_cycle(self, cycle: int) -> list[LedgerEntry]:
+        """Successfully executed entries of ``cycle`` (the replay set)."""
+        return [
+            entry
+            for entry in self._entries
+            if entry.cycle == cycle and entry.status == "executed"
+        ]
+
+    def segment(self, first_cycle: int, last_cycle: int) -> list[dict[str, Any]]:
+        """Wire-friendly export of all entries in a cycle range (inclusive)."""
+        return [
+            {
+                "summary": entry.summary(),
+                "envelope": entry.envelope.to_wire(),
+            }
+            for entry in self._entries
+            if first_cycle <= entry.cycle <= last_cycle
+        ]
+
+    def statistics(self) -> dict[str, int]:
+        """Counts by status."""
+        counts = {"admitted": 0, "executed": 0, "rejected": 0}
+        for entry in self._entries:
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        counts["total"] = len(self._entries)
+        return counts

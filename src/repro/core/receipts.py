@@ -1,0 +1,215 @@
+"""Confirmations and aggregated multi-signature receipts.
+
+After executing a forwarded transaction, each consortium cell returns a
+signed *confirmation* carrying the resulting contract fingerprint.  The
+service cell verifies that the fingerprints agree with its own execution,
+serializes the confirmations into an *aggregated receipt*, and returns it
+to the client (Section III-D3).  The receipt is the client's cryptographic
+proof that every cell executed the transaction identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..crypto.keys import Address
+from ..encoding import canonical_json
+from ..messages.signer import Signer, verify_signature
+
+
+class ReceiptError(ValueError):
+    """Raised for malformed or unverifiable receipts."""
+
+
+@dataclass(frozen=True)
+class Confirmation:
+    """One cell's signed statement about an executed transaction."""
+
+    cell: Address
+    tx_id: str
+    contract: str
+    fingerprint_hex: str
+    status: str                 # "executed" | "rejected"
+    timestamp: float
+    signature: bytes
+    scheme: str = "ecdsa"
+    error: Optional[str] = None
+
+    @staticmethod
+    def signing_body(
+        cell: Address,
+        tx_id: str,
+        contract: str,
+        fingerprint_hex: str,
+        status: str,
+        timestamp: float,
+        error: Optional[str] = None,
+    ) -> bytes:
+        """Canonical bytes a cell signs when confirming a transaction."""
+        return canonical_json.dump_bytes(
+            {
+                "cell": cell.hex(),
+                "tx_id": tx_id,
+                "contract": contract,
+                "fingerprint": fingerprint_hex,
+                "status": status,
+                "timestamp": round(float(timestamp), 6),
+                "error": error,
+            }
+        )
+
+    @classmethod
+    def create(
+        cls,
+        signer: Signer,
+        tx_id: str,
+        contract: str,
+        fingerprint_hex: str,
+        status: str,
+        timestamp: float,
+        error: Optional[str] = None,
+    ) -> "Confirmation":
+        """Build and sign a confirmation on behalf of ``signer``."""
+        body = cls.signing_body(
+            signer.address, tx_id, contract, fingerprint_hex, status, timestamp, error
+        )
+        return cls(
+            cell=signer.address,
+            tx_id=tx_id,
+            contract=contract,
+            fingerprint_hex=fingerprint_hex,
+            status=status,
+            timestamp=timestamp,
+            signature=signer.sign(body),
+            scheme=signer.scheme,
+            error=error,
+        )
+
+    def verify(self) -> bool:
+        """Check the cell's signature over the confirmation body."""
+        body = self.signing_body(
+            self.cell, self.tx_id, self.contract, self.fingerprint_hex,
+            self.status, self.timestamp, self.error,
+        )
+        return verify_signature(self.scheme, self.cell, body, self.signature)
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-serializable form (embedded in receipts and messages)."""
+        return {
+            "cell": self.cell.hex(),
+            "tx_id": self.tx_id,
+            "contract": self.contract,
+            "fingerprint": self.fingerprint_hex,
+            "status": self.status,
+            "timestamp": round(float(self.timestamp), 6),
+            "error": self.error,
+            "signature": "0x" + self.signature.hex(),
+            "scheme": self.scheme,
+        }
+
+    @classmethod
+    def from_wire(cls, raw: dict[str, Any]) -> "Confirmation":
+        """Parse a confirmation from its wire form."""
+        try:
+            return cls(
+                cell=Address.from_hex(raw["cell"]),
+                tx_id=raw["tx_id"],
+                contract=raw["contract"],
+                fingerprint_hex=raw["fingerprint"],
+                status=raw["status"],
+                timestamp=float(raw["timestamp"]),
+                error=raw.get("error"),
+                signature=bytes.fromhex(raw["signature"][2:]),
+                scheme=raw.get("scheme", "ecdsa"),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ReceiptError(f"malformed confirmation: {exc}") from exc
+
+
+@dataclass
+class AggregatedReceipt:
+    """The multi-signature proof returned to the client."""
+
+    tx_id: str
+    contract: str
+    method: str
+    result: Any
+    service_cell: Address
+    fingerprint_hex: str
+    cycle: int
+    submitted_at: float
+    completed_at: float
+    confirmations: list[Confirmation] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        """Client-observed confirmation delay in simulated seconds."""
+        return self.completed_at - self.submitted_at
+
+    def cells(self) -> list[str]:
+        """Hex addresses of every cell that signed the receipt."""
+        return [confirmation.cell.hex() for confirmation in self.confirmations]
+
+    def verify(self, expected_cells: Optional[list[Address]] = None) -> bool:
+        """Verify every embedded confirmation (and optionally cell coverage).
+
+        ``expected_cells`` lets a client require that specific consortium
+        members signed; fingerprints must also all match the receipt's.
+        """
+        if not self.confirmations:
+            return False
+        for confirmation in self.confirmations:
+            if not confirmation.verify():
+                return False
+            if confirmation.status != "executed":
+                return False
+            if confirmation.fingerprint_hex != self.fingerprint_hex:
+                return False
+            if confirmation.tx_id != self.tx_id:
+                return False
+        if expected_cells is not None:
+            signed = {confirmation.cell for confirmation in self.confirmations}
+            if not set(expected_cells).issubset(signed):
+                return False
+        return True
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-serializable form carried by TX_RECEIPT messages."""
+        return {
+            "tx_id": self.tx_id,
+            "contract": self.contract,
+            "method": self.method,
+            "result": self.result,
+            "service_cell": self.service_cell.hex(),
+            "fingerprint": self.fingerprint_hex,
+            "cycle": self.cycle,
+            "submitted_at": round(float(self.submitted_at), 6),
+            "completed_at": round(float(self.completed_at), 6),
+            "confirmations": [confirmation.to_wire() for confirmation in self.confirmations],
+        }
+
+    @classmethod
+    def from_wire(cls, raw: dict[str, Any]) -> "AggregatedReceipt":
+        """Parse a receipt from its wire form."""
+        try:
+            return cls(
+                tx_id=raw["tx_id"],
+                contract=raw["contract"],
+                method=raw["method"],
+                result=raw.get("result"),
+                service_cell=Address.from_hex(raw["service_cell"]),
+                fingerprint_hex=raw["fingerprint"],
+                cycle=int(raw["cycle"]),
+                submitted_at=float(raw["submitted_at"]),
+                completed_at=float(raw["completed_at"]),
+                confirmations=[
+                    Confirmation.from_wire(item) for item in raw.get("confirmations", [])
+                ],
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ReceiptError(f"malformed receipt: {exc}") from exc
+
+    def byte_size(self) -> int:
+        """Serialized size in bytes (feeds the Table II accounting)."""
+        return len(canonical_json.dump_bytes(self.to_wire()))

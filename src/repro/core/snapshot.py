@@ -1,0 +1,165 @@
+"""Data snapshots and the snapshot engine.
+
+At every report-cycle boundary a cell asks each deployed bContract to clone
+and fingerprint its data, combines the per-contract fingerprints into the
+*data snapshot fingerprint*, and retains the snapshot (including a full
+state export) so auditors can download it during the next main stage
+(Sections III-A2, III-D2).  The paper's storage analysis assumes three
+retained snapshots: the one being built plus two kept for auditing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..contracts.registry import ContractRegistry
+from ..crypto.fingerprint import snapshot_fingerprint
+
+
+class SnapshotError(Exception):
+    """Raised for invalid snapshot queries."""
+
+
+@dataclass(frozen=True)
+class DataSnapshot:
+    """An immutable snapshot of a cell's bContract data for one cycle."""
+
+    cycle: int
+    taken_at: float
+    cell_id: str
+    #: Per-contract fingerprints included in the snapshot.
+    contract_fingerprints: dict[str, bytes]
+    #: Contracts excluded from this snapshot (mismatch/divergence).
+    excluded_contracts: tuple[str, ...]
+    #: The combined data snapshot fingerprint anchored on Ethereum.
+    fingerprint: bytes
+    #: Full state export per contract (what auditors download).
+    state_export: dict[str, dict[str, Any]] = field(default_factory=dict, repr=False)
+    #: Sequence numbers of ledger entries covered by this snapshot.
+    first_sequence: int = 0
+    last_sequence: int = -1
+
+    def fingerprint_hex(self) -> str:
+        """0x-prefixed snapshot fingerprint."""
+        return "0x" + self.fingerprint.hex()
+
+    def contract_fingerprint_hex(self, name: str) -> str:
+        """0x-prefixed fingerprint of one contract inside the snapshot."""
+        try:
+            return "0x" + self.contract_fingerprints[name].hex()
+        except KeyError:
+            raise SnapshotError(f"contract {name!r} is not part of this snapshot") from None
+
+    def to_wire(self, include_state: bool = True) -> dict[str, Any]:
+        """JSON-serializable form (auditor download)."""
+        payload: dict[str, Any] = {
+            "cycle": self.cycle,
+            "taken_at": self.taken_at,
+            "cell_id": self.cell_id,
+            "fingerprint": self.fingerprint_hex(),
+            "contract_fingerprints": {
+                name: "0x" + digest.hex() for name, digest in self.contract_fingerprints.items()
+            },
+            "excluded_contracts": list(self.excluded_contracts),
+            "first_sequence": self.first_sequence,
+            "last_sequence": self.last_sequence,
+        }
+        if include_state:
+            payload["state_export"] = self.state_export
+        return payload
+
+
+class SnapshotEngine:
+    """Builds and retains data snapshots for one cell."""
+
+    def __init__(self, cell_id: str, registry: ContractRegistry, retain: int = 3) -> None:
+        if retain < 2:
+            raise SnapshotError("the engine must retain at least two snapshots")
+        self.cell_id = cell_id
+        self.registry = registry
+        self.retain = retain
+        self._snapshots: dict[int, DataSnapshot] = {}
+        self._latest_cycle: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Snapshot creation
+    # ------------------------------------------------------------------
+    def take_snapshot(
+        self,
+        cycle: int,
+        timestamp: float,
+        first_sequence: int,
+        last_sequence: int,
+        include_state: bool = True,
+    ) -> DataSnapshot:
+        """Clone and fingerprint every non-excluded contract."""
+        if self._latest_cycle is not None and cycle <= self._latest_cycle:
+            raise SnapshotError(
+                f"snapshot for cycle {cycle} taken out of order (latest is {self._latest_cycle})"
+            )
+        fingerprints: dict[str, bytes] = {}
+        for contract in self.registry:
+            if self.registry.is_excluded(contract.name):
+                continue
+            clone = contract.clone_snapshot()
+            fingerprints[contract.name] = clone.fingerprint
+        combined = snapshot_fingerprint(fingerprints)
+        snapshot = DataSnapshot(
+            cycle=cycle,
+            taken_at=timestamp,
+            cell_id=self.cell_id,
+            contract_fingerprints=fingerprints,
+            excluded_contracts=tuple(self.registry.excluded()),
+            fingerprint=combined,
+            state_export=self.registry.export_all() if include_state else {},
+            first_sequence=first_sequence,
+            last_sequence=last_sequence,
+        )
+        self._snapshots[cycle] = snapshot
+        self._latest_cycle = cycle
+        self._prune()
+        return snapshot
+
+    def _prune(self) -> None:
+        while len(self._snapshots) > self.retain:
+            oldest = min(self._snapshots)
+            del self._snapshots[oldest]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def latest_cycle(self) -> Optional[int]:
+        """Cycle number of the most recent snapshot (None before the first)."""
+        return self._latest_cycle
+
+    def latest(self) -> DataSnapshot:
+        """The most recent snapshot."""
+        if self._latest_cycle is None:
+            raise SnapshotError("no snapshot has been taken yet")
+        return self._snapshots[self._latest_cycle]
+
+    def get(self, cycle: int) -> DataSnapshot:
+        """Snapshot of a specific cycle (if still retained)."""
+        try:
+            return self._snapshots[cycle]
+        except KeyError:
+            raise SnapshotError(f"no retained snapshot for cycle {cycle}") from None
+
+    def has(self, cycle: int) -> bool:
+        """Whether a snapshot for ``cycle`` is retained."""
+        return cycle in self._snapshots
+
+    def retained_cycles(self) -> list[int]:
+        """Cycles of all retained snapshots, oldest first."""
+        return sorted(self._snapshots)
+
+    def storage_bytes(self) -> int:
+        """Approximate bytes devoted to retained snapshots (Section IV-C)."""
+        from ..encoding import canonical_json
+
+        return sum(
+            len(canonical_json.dump_bytes(snapshot.to_wire(include_state=True)))
+            for snapshot in self._snapshots.values()
+        )

@@ -1,0 +1,81 @@
+"""Fingerprinting helpers for bContract state and data snapshots.
+
+A *data fingerprint* is the hash of a canonical encoding of a bContract's
+state (Section III-A2).  A *data snapshot fingerprint* combines all
+per-contract fingerprints into a single hash; we use a Merkle root over
+``(contract_name, fingerprint)`` leaves so the combination is order-stable
+and auditable per contract.  The hash function ``H`` is a deployment
+invariant; this reproduction uses BLAKE2b-256 (see
+:mod:`repro.crypto.hashing` for the rationale).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .hashing import fast_hash
+from .merkle import MerkleTree
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Encode a JSON-like Python value into deterministic bytes.
+
+    Supports None, bools, ints, floats, strings, bytes, and (possibly nested)
+    lists/tuples and dicts with string keys.  Dict keys are sorted so that two
+    semantically equal states always produce the same fingerprint, regardless
+    of insertion order — this is what lets independent cells agree on a
+    fingerprint after executing the same transactions.
+    """
+    if value is None:
+        return b"n"
+    if isinstance(value, bool):
+        return b"b1" if value else b"b0"
+    if isinstance(value, int):
+        return b"i" + str(value).encode()
+    if isinstance(value, float):
+        return b"f" + repr(value).encode()
+    if isinstance(value, str):
+        encoded = value.encode()
+        return b"s" + str(len(encoded)).encode() + b":" + encoded
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        return b"y" + str(len(raw)).encode() + b":" + raw
+    if isinstance(value, (list, tuple)):
+        parts = b"".join(canonical_bytes(item) for item in value)
+        return b"l" + str(len(value)).encode() + b":" + parts
+    if isinstance(value, Mapping):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        parts = b"".join(
+            canonical_bytes(str(key)) + canonical_bytes(item) for key, item in items
+        )
+        return b"d" + str(len(items)).encode() + b":" + parts
+    raise TypeError(f"cannot canonically encode value of type {type(value).__name__}")
+
+
+def fingerprint_state(state: Any) -> bytes:
+    """Fingerprint an arbitrary JSON-like contract state."""
+    return fast_hash(canonical_bytes(state))
+
+
+def fingerprint_state_hex(state: Any) -> str:
+    """Fingerprint a contract state and return 0x-prefixed hex."""
+    return "0x" + fingerprint_state(state).hex()
+
+
+def snapshot_fingerprint(contract_fingerprints: Mapping[str, bytes]) -> bytes:
+    """Combine per-contract fingerprints into the data snapshot fingerprint.
+
+    ``contract_fingerprints`` maps contract names to their 32-byte state
+    fingerprints.  Contracts excluded from the snapshot (mismatching
+    fingerprints, Section III-A3) are simply absent from the mapping.
+    """
+    leaves = [
+        name.encode() + b"\x00" + digest
+        for name, digest in sorted(contract_fingerprints.items())
+    ]
+    return MerkleTree(leaves, hash_function=fast_hash).root
+
+
+def snapshot_fingerprint_hex(contract_fingerprints: Mapping[str, bytes]) -> str:
+    """Hex form of :func:`snapshot_fingerprint`."""
+    return "0x" + snapshot_fingerprint(contract_fingerprints).hex()

@@ -1,0 +1,157 @@
+"""Pure-Python Keccak-256 (the pre-standard Keccak used by Ethereum).
+
+Ethereum addresses, transaction hashes, and the Blockumulus snapshot
+fingerprints in the original paper are all derived from Keccak-256 (note:
+*not* NIST SHA3-256, which uses a different padding byte).  The standard
+library exposes SHA3 but not legacy Keccak, so this module implements the
+Keccak-f[1600] permutation and the sponge construction from scratch.
+
+The implementation favours clarity over raw speed: hashing is used for
+fingerprints, addresses, and message identifiers whose inputs are small
+(bytes to kilobytes), so the pure-Python sponge is fast enough for the
+simulator and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+# Round constants for Keccak-f[1600] (24 rounds).
+_ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+# Rotation offsets indexed by (x, y) flattened as x + 5 * y.
+_ROTATION_OFFSETS = (
+    0, 1, 62, 28, 27,
+    36, 44, 6, 55, 20,
+    3, 10, 43, 25, 39,
+    41, 45, 15, 21, 8,
+    18, 2, 61, 56, 14,
+)
+
+_MASK64 = (1 << 64) - 1
+
+#: Sponge rate in bytes for Keccak-256 (1088 bits).
+RATE_BYTES = 136
+#: Digest size in bytes.
+DIGEST_SIZE = 32
+
+
+def _rotl64(value: int, shift: int) -> int:
+    """Rotate a 64-bit integer left by ``shift`` bits."""
+    shift %= 64
+    if shift == 0:
+        return value
+    return ((value << shift) | (value >> (64 - shift))) & _MASK64
+
+
+def _keccak_f1600(state: list[int]) -> None:
+    """Apply the Keccak-f[1600] permutation to ``state`` in place.
+
+    ``state`` is a list of 25 64-bit lanes laid out as ``state[x + 5 * y]``.
+    """
+    for round_constant in _ROUND_CONSTANTS:
+        # Theta step.
+        parity = [
+            state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20]
+            for x in range(5)
+        ]
+        for x in range(5):
+            delta = parity[(x - 1) % 5] ^ _rotl64(parity[(x + 1) % 5], 1)
+            for y in range(0, 25, 5):
+                state[x + y] ^= delta
+
+        # Rho and pi steps.
+        rotated = [0] * 25
+        for x in range(5):
+            for y in range(5):
+                new_index = y + 5 * ((2 * x + 3 * y) % 5)
+                rotated[new_index] = _rotl64(
+                    state[x + 5 * y], _ROTATION_OFFSETS[x + 5 * y]
+                )
+
+        # Chi step.
+        for y in range(0, 25, 5):
+            row = rotated[y:y + 5]
+            for x in range(5):
+                state[x + y] = row[x] ^ ((~row[(x + 1) % 5]) & row[(x + 2) % 5])
+
+        # Iota step.
+        state[0] ^= round_constant
+
+
+class Keccak256:
+    """Incremental Keccak-256 hasher mirroring the ``hashlib`` interface."""
+
+    digest_size = DIGEST_SIZE
+    block_size = RATE_BYTES
+    name = "keccak256"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = [0] * 25
+        self._buffer = bytearray()
+        self._finalized = False
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Keccak256":
+        """Absorb ``data`` into the sponge, returning ``self`` for chaining."""
+        if self._finalized:
+            raise ValueError("cannot update a finalized Keccak256 instance")
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"expected bytes-like input, got {type(data).__name__}")
+        self._buffer.extend(data)
+        while len(self._buffer) >= RATE_BYTES:
+            self._absorb_block(bytes(self._buffer[:RATE_BYTES]))
+            del self._buffer[:RATE_BYTES]
+        return self
+
+    def _absorb_block(self, block: bytes) -> None:
+        for lane_index in range(RATE_BYTES // 8):
+            lane = int.from_bytes(block[lane_index * 8:lane_index * 8 + 8], "little")
+            self._state[lane_index] ^= lane
+        _keccak_f1600(self._state)
+
+    def digest(self) -> bytes:
+        """Return the 32-byte digest without mutating the hasher."""
+        # Work on copies so the hasher stays usable for further updates.
+        state = list(self._state)
+        padded = bytearray(self._buffer)
+        padded.append(0x01)  # Keccak (pre-SHA3) domain padding.
+        padded.extend(b"\x00" * (RATE_BYTES - len(padded)))
+        padded[-1] |= 0x80
+        for lane_index in range(RATE_BYTES // 8):
+            lane = int.from_bytes(padded[lane_index * 8:lane_index * 8 + 8], "little")
+            state[lane_index] ^= lane
+        _keccak_f1600(state)
+        output = bytearray()
+        for lane_index in range(DIGEST_SIZE // 8):
+            output.extend(state[lane_index].to_bytes(8, "little"))
+        return bytes(output)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "Keccak256":
+        """Return an independent copy of the hasher state."""
+        clone = Keccak256()
+        clone._state = list(self._state)
+        clone._buffer = bytearray(self._buffer)
+        return clone
+
+
+def keccak256(data: bytes) -> bytes:
+    """Hash ``data`` with Keccak-256 and return the 32-byte digest."""
+    return Keccak256(data).digest()
+
+
+def keccak256_hex(data: bytes) -> str:
+    """Hash ``data`` with Keccak-256 and return the hex digest."""
+    return Keccak256(data).hexdigest()

@@ -1,0 +1,179 @@
+"""Elliptic-curve arithmetic on secp256k1.
+
+Ethereum accounts (and therefore Blockumulus cell and client identities) are
+secp256k1 key pairs.  This module implements the group law in affine and
+Jacobian coordinates together with scalar multiplication, which is all the
+ECDSA layer (:mod:`repro.crypto.ecdsa`) needs.
+
+The curve is ``y^2 = x^3 + 7`` over the prime field ``F_p`` with the standard
+SEC2 parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Field prime.
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+#: Group order.
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+#: Curve coefficient ``b`` in ``y^2 = x^3 + b``.
+B = 7
+#: Generator point coordinates.
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+class InvalidPointError(ValueError):
+    """Raised when coordinates do not satisfy the curve equation."""
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine point on secp256k1; ``x is None`` encodes the point at infinity."""
+
+    x: int | None
+    y: int | None
+
+    def is_infinity(self) -> bool:
+        """Return True if this is the identity element."""
+        return self.x is None
+
+    def __post_init__(self) -> None:
+        if self.x is None:
+            return
+        if not (0 <= self.x < P and 0 <= self.y < P):
+            raise InvalidPointError("coordinates out of field range")
+        if (self.y * self.y - self.x * self.x * self.x - B) % P != 0:
+            raise InvalidPointError("point is not on secp256k1")
+
+    def encode(self, compressed: bool = False) -> bytes:
+        """Serialize the point in SEC1 format (64-byte uncompressed by default)."""
+        if self.is_infinity():
+            raise InvalidPointError("cannot encode the point at infinity")
+        if compressed:
+            prefix = b"\x03" if self.y & 1 else b"\x02"
+            return prefix + self.x.to_bytes(32, "big")
+        return self.x.to_bytes(32, "big") + self.y.to_bytes(32, "big")
+
+
+#: The identity element of the group.
+INFINITY = Point(None, None)
+#: The generator point.
+GENERATOR = Point(GX, GY)
+
+
+def _inverse_mod(value: int, modulus: int) -> int:
+    """Return the modular inverse of ``value`` mod ``modulus``."""
+    if value % modulus == 0:
+        raise ZeroDivisionError("no inverse exists for zero")
+    return pow(value, -1, modulus)
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Add two affine points on the curve."""
+    if p1.is_infinity():
+        return p2
+    if p2.is_infinity():
+        return p1
+    if p1.x == p2.x and (p1.y + p2.y) % P == 0:
+        return INFINITY
+    if p1.x == p2.x:
+        slope = (3 * p1.x * p1.x) * _inverse_mod(2 * p1.y, P) % P
+    else:
+        slope = (p2.y - p1.y) * _inverse_mod(p2.x - p1.x, P) % P
+    x3 = (slope * slope - p1.x - p2.x) % P
+    y3 = (slope * (p1.x - x3) - p1.y) % P
+    return Point(x3, y3)
+
+
+def _jacobian_double(x: int, y: int, z: int) -> tuple[int, int, int]:
+    if y == 0 or z == 0:
+        return 0, 1, 0
+    ysq = (y * y) % P
+    s = (4 * x * ysq) % P
+    m = (3 * x * x) % P
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = (2 * y * z) % P
+    return nx, ny, nz
+
+
+def _jacobian_add(
+    x1: int, y1: int, z1: int, x2: int, y2: int, z2: int
+) -> tuple[int, int, int]:
+    if z1 == 0:
+        return x2, y2, z2
+    if z2 == 0:
+        return x1, y1, z1
+    z1sq = (z1 * z1) % P
+    z2sq = (z2 * z2) % P
+    u1 = (x1 * z2sq) % P
+    u2 = (x2 * z1sq) % P
+    s1 = (y1 * z2sq * z2) % P
+    s2 = (y2 * z1sq * z1) % P
+    if u1 == u2:
+        if s1 != s2:
+            return 0, 1, 0
+        return _jacobian_double(x1, y1, z1)
+    h = (u2 - u1) % P
+    r = (s2 - s1) % P
+    hsq = (h * h) % P
+    hcu = (h * hsq) % P
+    u1hsq = (u1 * hsq) % P
+    nx = (r * r - hcu - 2 * u1hsq) % P
+    ny = (r * (u1hsq - nx) - s1 * hcu) % P
+    nz = (h * z1 * z2) % P
+    return nx, ny, nz
+
+
+def _from_jacobian(x: int, y: int, z: int) -> Point:
+    if z == 0:
+        return INFINITY
+    z_inv = _inverse_mod(z, P)
+    z_inv_sq = (z_inv * z_inv) % P
+    return Point((x * z_inv_sq) % P, (y * z_inv_sq * z_inv) % P)
+
+
+def scalar_multiply(scalar: int, point: Point = GENERATOR) -> Point:
+    """Compute ``scalar * point`` using Jacobian double-and-add."""
+    scalar %= N
+    if scalar == 0 or point.is_infinity():
+        return INFINITY
+    rx, ry, rz = 0, 1, 0
+    px, py, pz = point.x, point.y, 1
+    while scalar:
+        if scalar & 1:
+            rx, ry, rz = _jacobian_add(rx, ry, rz, px, py, pz)
+        px, py, pz = _jacobian_double(px, py, pz)
+        scalar >>= 1
+    return _from_jacobian(rx, ry, rz)
+
+
+def decode_point(data: bytes) -> Point:
+    """Decode a 64-byte uncompressed or 33-byte compressed SEC1 point."""
+    if len(data) == 64:
+        return Point(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+    if len(data) == 65 and data[0] == 0x04:
+        return decode_point(data[1:])
+    if len(data) == 33 and data[0] in (0x02, 0x03):
+        x = int.from_bytes(data[1:], "big")
+        y_sq = (pow(x, 3, P) + B) % P
+        y = pow(y_sq, (P + 1) // 4, P)
+        if (y * y) % P != y_sq:
+            raise InvalidPointError("x coordinate has no square root on the curve")
+        if (y & 1) != (data[0] & 1):
+            y = P - y
+        return Point(x, y)
+    raise InvalidPointError(f"unsupported point encoding of length {len(data)}")
+
+
+def recover_y(x: int, is_odd: bool) -> int:
+    """Recover the y coordinate for ``x`` with the requested parity."""
+    y_sq = (pow(x, 3, P) + B) % P
+    y = pow(y_sq, (P + 1) // 4, P)
+    if (y * y) % P != y_sq:
+        raise InvalidPointError("x coordinate is not on the curve")
+    if (y & 1) != int(is_odd):
+        y = P - y
+    return y

@@ -1,0 +1,22 @@
+"""Serialization utilities: hex helpers, RLP, and canonical JSON."""
+
+from .canonical_json import CanonicalJSONError, dump_bytes, dumps, loads
+from .hexutil import HexError, from_hex, hex_to_int, int_to_hex, strip_0x, to_hex
+from .rlp import RLPError, decode, decode_int, encode
+
+__all__ = [
+    "CanonicalJSONError",
+    "HexError",
+    "RLPError",
+    "decode",
+    "decode_int",
+    "dump_bytes",
+    "dumps",
+    "encode",
+    "from_hex",
+    "hex_to_int",
+    "int_to_hex",
+    "loads",
+    "strip_0x",
+    "to_hex",
+]

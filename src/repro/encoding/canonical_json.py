@@ -1,0 +1,69 @@
+"""Canonical JSON serialization for signed REST payloads.
+
+Blockumulus messages travel as JSON bodies of GET/POST requests (Section
+III-C2).  Signature verification requires that the signer and the verifier
+serialize the payload to the *same* byte string, so this module provides a
+canonical form: sorted keys, no insignificant whitespace, UTF-8, and
+``bytes`` values rendered as 0x-hex strings.
+
+The byte counts reported for Table II are taken from this encoding plus a
+modelled HTTP header, mirroring the paper's WireShark methodology.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from .hexutil import to_hex
+
+
+class CanonicalJSONError(ValueError):
+    """Raised when a value cannot be canonically serialized."""
+
+
+def _normalize(value: Any) -> Any:
+    """Convert a payload value into plain JSON-serializable types."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise CanonicalJSONError("cannot serialize NaN or infinite floats")
+        return value
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return to_hex(bytes(value))
+    if isinstance(value, (list, tuple)):
+        return [_normalize(item) for item in value]
+    if isinstance(value, dict):
+        normalized = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CanonicalJSONError("canonical JSON object keys must be strings")
+            normalized[key] = _normalize(item)
+        return normalized
+    # Objects exposing a to_payload()/hex() hook (addresses, signatures).
+    if hasattr(value, "to_payload"):
+        return _normalize(value.to_payload())
+    if hasattr(value, "hex") and callable(value.hex):
+        return value.hex()
+    raise CanonicalJSONError(
+        f"cannot canonically serialize value of type {type(value).__name__}"
+    )
+
+
+def dumps(value: Any) -> str:
+    """Serialize ``value`` to a canonical JSON string."""
+    return json.dumps(_normalize(value), sort_keys=True, separators=(",", ":"))
+
+
+def dump_bytes(value: Any) -> bytes:
+    """Serialize ``value`` to canonical UTF-8 JSON bytes (the signing input)."""
+    return dumps(value).encode()
+
+
+def loads(text: str | bytes) -> Any:
+    """Parse JSON text produced by :func:`dumps`."""
+    if isinstance(text, (bytes, bytearray)):
+        text = text.decode()
+    return json.loads(text)

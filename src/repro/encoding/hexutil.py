@@ -1,0 +1,48 @@
+"""Hex-string helpers shared by the encoding and chain layers."""
+
+from __future__ import annotations
+
+
+class HexError(ValueError):
+    """Raised when a hex string cannot be parsed."""
+
+
+def strip_0x(text: str) -> str:
+    """Remove a leading ``0x``/``0X`` prefix if present."""
+    if text.startswith("0x") or text.startswith("0X"):
+        return text[2:]
+    return text
+
+
+def to_hex(data: bytes) -> str:
+    """Encode bytes as a 0x-prefixed lowercase hex string."""
+    return "0x" + bytes(data).hex()
+
+
+def from_hex(text: str) -> bytes:
+    """Decode a (possibly 0x-prefixed) hex string into bytes."""
+    stripped = strip_0x(text)
+    if len(stripped) % 2:
+        stripped = "0" + stripped
+    try:
+        return bytes.fromhex(stripped)
+    except ValueError as exc:
+        raise HexError(f"invalid hex string: {text!r}") from exc
+
+
+def int_to_hex(value: int) -> str:
+    """Encode a non-negative integer as minimal 0x-prefixed hex."""
+    if value < 0:
+        raise HexError("cannot hex-encode a negative integer")
+    return hex(value)
+
+
+def hex_to_int(text: str) -> int:
+    """Decode a hex string (with or without 0x) into an integer."""
+    stripped = strip_0x(text)
+    if not stripped:
+        return 0
+    try:
+        return int(stripped, 16)
+    except ValueError as exc:
+        raise HexError(f"invalid hex integer: {text!r}") from exc

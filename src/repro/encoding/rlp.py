@@ -1,0 +1,123 @@
+"""Recursive Length Prefix (RLP) encoding and decoding.
+
+RLP is Ethereum's canonical serialization for transactions and blocks.  The
+simulated chain in :mod:`repro.ethchain` uses it so transaction hashes and
+the gas charged for calldata bytes follow the same rules as the real
+network, which is what makes the Table III fee figures meaningful.
+
+Supported item types: ``bytes`` (and ``bytearray``), ``str`` (UTF-8
+encoded), non-negative ``int`` (big-endian minimal encoding, ``0`` -> empty
+string), and arbitrarily nested lists/tuples of those.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class RLPError(ValueError):
+    """Raised when encoding or decoding fails."""
+
+
+def _encode_length(length: int, offset: int) -> bytes:
+    if length < 56:
+        return bytes([offset + length])
+    length_bytes = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([offset + 55 + len(length_bytes)]) + length_bytes
+
+
+def _to_bytes(item: Any) -> bytes:
+    if isinstance(item, (bytes, bytearray, memoryview)):
+        return bytes(item)
+    if isinstance(item, str):
+        return item.encode()
+    if isinstance(item, bool):
+        # bool is an int subclass but encoding it is almost always a bug.
+        raise RLPError("refusing to RLP-encode a bool; use an int explicitly")
+    if isinstance(item, int):
+        if item < 0:
+            raise RLPError("cannot RLP-encode a negative integer")
+        if item == 0:
+            return b""
+        return item.to_bytes((item.bit_length() + 7) // 8, "big")
+    raise RLPError(f"cannot RLP-encode value of type {type(item).__name__}")
+
+
+def encode(item: Any) -> bytes:
+    """RLP-encode a bytes-like value, int, str, or nested sequence."""
+    if isinstance(item, (list, tuple)):
+        payload = b"".join(encode(element) for element in item)
+        return _encode_length(len(payload), 0xC0) + payload
+    data = _to_bytes(item)
+    if len(data) == 1 and data[0] < 0x80:
+        return data
+    return _encode_length(len(data), 0x80) + data
+
+
+def _decode_item(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise RLPError("unexpected end of RLP input")
+    prefix = data[offset]
+    if prefix < 0x80:
+        return bytes([prefix]), offset + 1
+    if prefix < 0xB8:
+        length = prefix - 0x80
+        start = offset + 1
+        end = start + length
+        if end > len(data):
+            raise RLPError("RLP string extends past end of input")
+        item = data[start:end]
+        if length == 1 and item[0] < 0x80:
+            raise RLPError("non-canonical single-byte RLP encoding")
+        return item, end
+    if prefix < 0xC0:
+        length_size = prefix - 0xB7
+        start = offset + 1
+        length = int.from_bytes(data[start:start + length_size], "big")
+        if length < 56:
+            raise RLPError("non-canonical long-string RLP length")
+        start += length_size
+        end = start + length
+        if end > len(data):
+            raise RLPError("RLP string extends past end of input")
+        return data[start:end], end
+    if prefix < 0xF8:
+        length = prefix - 0xC0
+        return _decode_list(data, offset + 1, length)
+    length_size = prefix - 0xF7
+    start = offset + 1
+    length = int.from_bytes(data[start:start + length_size], "big")
+    if length < 56:
+        raise RLPError("non-canonical long-list RLP length")
+    return _decode_list(data, start + length_size, length)
+
+
+def _decode_list(data: bytes, start: int, length: int) -> tuple[list[Any], int]:
+    end = start + length
+    if end > len(data):
+        raise RLPError("RLP list extends past end of input")
+    items: list[Any] = []
+    cursor = start
+    while cursor < end:
+        item, cursor = _decode_item(data, cursor)
+        items.append(item)
+    if cursor != end:
+        raise RLPError("RLP list payload length mismatch")
+    return items, end
+
+
+def decode(data: bytes) -> Any:
+    """Decode RLP bytes into nested lists of ``bytes``."""
+    if not data:
+        raise RLPError("cannot decode empty RLP input")
+    item, consumed = _decode_item(bytes(data), 0)
+    if consumed != len(data):
+        raise RLPError("trailing bytes after RLP item")
+    return item
+
+
+def decode_int(data: bytes) -> int:
+    """Interpret an RLP byte string as a big-endian integer."""
+    if data and data[0] == 0:
+        raise RLPError("integer encoding has leading zero bytes")
+    return int.from_bytes(data, "big")

@@ -1,0 +1,63 @@
+"""A from-scratch simulated Ethereum blockchain.
+
+Provides everything the Blockumulus overlay consensus needs from its public
+anchor chain: secp256k1 accounts, RLP-encoded signed transactions, gas
+metering on the mainnet schedule, PoW-style stochastic block production,
+and native contracts — most importantly the :class:`SnapshotRegistry`
+anchor contract and an :class:`ERC20Token` used by the L1 baseline.
+"""
+
+from .account import Account, StateError, WorldState
+from .block import Block, BlockHeader, build_block
+from .chain import Blockchain, ChainConfig, ChainError, make_funded_key
+from .contracts import (
+    CallContext,
+    ContractError,
+    ERC20Token,
+    NativeContract,
+    SnapshotRegistry,
+    contract_method,
+)
+from .gas import FeeSchedule, GasMeter, OutOfGasError, intrinsic_gas
+from .mempool import Mempool, MempoolError
+from .node import EthereumNode
+from .provider import Web3Provider
+from .transaction import (
+    EthTransaction,
+    TransactionError,
+    TransactionReceipt,
+    decode_call_data,
+    encode_call_data,
+)
+
+__all__ = [
+    "Account",
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "CallContext",
+    "ChainConfig",
+    "ChainError",
+    "ContractError",
+    "ERC20Token",
+    "EthTransaction",
+    "EthereumNode",
+    "FeeSchedule",
+    "GasMeter",
+    "Mempool",
+    "MempoolError",
+    "NativeContract",
+    "OutOfGasError",
+    "SnapshotRegistry",
+    "StateError",
+    "TransactionError",
+    "TransactionReceipt",
+    "Web3Provider",
+    "WorldState",
+    "build_block",
+    "contract_method",
+    "decode_call_data",
+    "encode_call_data",
+    "intrinsic_gas",
+    "make_funded_key",
+]

@@ -1,0 +1,14 @@
+"""Native contracts deployed on the simulated Ethereum chain."""
+
+from .base import CallContext, ContractError, NativeContract, contract_method
+from .erc20 import ERC20Token
+from .snapshot_registry import SnapshotRegistry
+
+__all__ = [
+    "CallContext",
+    "ContractError",
+    "ERC20Token",
+    "NativeContract",
+    "SnapshotRegistry",
+    "contract_method",
+]

@@ -1,0 +1,116 @@
+"""Pending-transaction pool for the simulated Ethereum chain.
+
+Transactions are ordered by gas price (descending) and then arrival order,
+mirroring how miners prioritize fee-paying transactions.  Per-sender nonce
+ordering is preserved so a cell submitting several snapshot reports in a row
+has them mined in order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..crypto.keys import Address
+from .transaction import EthTransaction, TransactionError
+
+
+class MempoolError(Exception):
+    """Raised when a transaction cannot be accepted into the pool."""
+
+
+class Mempool:
+    """A gas-price-priority transaction pool with per-sender nonce ordering."""
+
+    def __init__(self, max_size: int = 100_000) -> None:
+        self.max_size = max_size
+        self._by_sender: dict[Address, dict[int, EthTransaction]] = defaultdict(dict)
+        self._arrival: dict[str, int] = {}
+        self._arrival_counter = 0
+        self._known_hashes: set[str] = set()
+
+    def __len__(self) -> int:
+        return sum(len(slots) for slots in self._by_sender.values())
+
+    def add(self, tx: EthTransaction) -> str:
+        """Validate basic well-formedness and queue ``tx``; returns its hash."""
+        if len(self) >= self.max_size:
+            raise MempoolError("mempool is full")
+        try:
+            tx.validate_basic()
+        except TransactionError as exc:
+            raise MempoolError(f"rejected transaction: {exc}") from exc
+        tx_hash = tx.hash_hex()
+        if tx_hash in self._known_hashes:
+            raise MempoolError("transaction already known")
+        sender_slots = self._by_sender[tx.sender]
+        existing = sender_slots.get(tx.nonce)
+        if existing is not None and existing.gas_price >= tx.gas_price:
+            raise MempoolError("replacement transaction underpriced")
+        if existing is not None:
+            self._known_hashes.discard(existing.hash_hex())
+        sender_slots[tx.nonce] = tx
+        self._known_hashes.add(tx_hash)
+        self._arrival[tx_hash] = self._arrival_counter
+        self._arrival_counter += 1
+        return tx_hash
+
+    def contains(self, tx_hash: str) -> bool:
+        """Whether the pool currently holds the transaction."""
+        return tx_hash in self._known_hashes
+
+    def pending(self) -> list[EthTransaction]:
+        """All pending transactions in miner priority order."""
+        transactions = [
+            tx for slots in self._by_sender.values() for tx in slots.values()
+        ]
+        transactions.sort(
+            key=lambda tx: (-tx.gas_price, self._arrival.get(tx.hash_hex(), 0))
+        )
+        return transactions
+
+    def select_for_block(
+        self, expected_nonces: dict[Address, int], gas_limit: int
+    ) -> list[EthTransaction]:
+        """Pick transactions for a block respecting nonces and the gas limit.
+
+        ``expected_nonces`` maps each sender to the next nonce the world
+        state expects; transactions with future nonces stay queued until the
+        gap is filled (exactly as a real miner behaves).
+        """
+        selected: list[EthTransaction] = []
+        gas_budget = gas_limit
+        progress = dict(expected_nonces)
+        # Repeat passes so a lower-priority transaction that unblocks a
+        # sender's nonce sequence lets the higher-nonce ones in too.
+        made_progress = True
+        while made_progress:
+            made_progress = False
+            for tx in self.pending():
+                if tx in selected:
+                    continue
+                expected = progress.get(tx.sender, 0)
+                if tx.nonce != expected:
+                    continue
+                if tx.gas_limit > gas_budget:
+                    continue
+                selected.append(tx)
+                gas_budget -= tx.gas_limit
+                progress[tx.sender] = expected + 1
+                made_progress = True
+        return selected
+
+    def remove(self, tx: EthTransaction) -> None:
+        """Drop a transaction (after it was mined or invalidated)."""
+        tx_hash = tx.hash_hex()
+        self._known_hashes.discard(tx_hash)
+        self._arrival.pop(tx_hash, None)
+        slots = self._by_sender.get(tx.sender)
+        if slots and tx.nonce in slots and slots[tx.nonce].hash_hex() == tx_hash:
+            del slots[tx.nonce]
+            if not slots:
+                del self._by_sender[tx.sender]
+
+    def remove_mined(self, transactions: list[EthTransaction]) -> None:
+        """Drop every transaction included in a freshly mined block."""
+        for tx in transactions:
+            self.remove(tx)

@@ -1,0 +1,22 @@
+"""The uniform RESTful message layer of Blockumulus (Section III-C2)."""
+
+from .envelope import Envelope, EnvelopeError, NonceFactory
+from .opcodes import AUDITOR_OPCODES, CELL_OPCODES, CLIENT_OPCODES, Opcode
+from .payload import Payload, PayloadError
+from .signer import EcdsaSigner, SimulatedSigner, Signer, verify_signature
+
+__all__ = [
+    "AUDITOR_OPCODES",
+    "CELL_OPCODES",
+    "CLIENT_OPCODES",
+    "EcdsaSigner",
+    "Envelope",
+    "EnvelopeError",
+    "NonceFactory",
+    "Opcode",
+    "Payload",
+    "PayloadError",
+    "SimulatedSigner",
+    "Signer",
+    "verify_signature",
+]

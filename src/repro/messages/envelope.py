@@ -1,0 +1,151 @@
+"""Signed message envelopes M = {P, Sig_s(P)} and nonce generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..crypto.hashing import fast_hash
+from ..crypto.keys import Address
+from ..encoding import canonical_json
+from .opcodes import Opcode
+from .payload import Payload, PayloadError
+from .signer import Signer, verify_signature
+
+
+class EnvelopeError(ValueError):
+    """Raised for malformed or incorrectly signed envelopes."""
+
+
+class NonceFactory:
+    """Deterministic generator of unique message nonces (η).
+
+    The paper uses random nonces as message ids; for reproducibility each
+    participant derives its nonces from its address and a local counter,
+    which preserves uniqueness while keeping traces identical across runs.
+    """
+
+    def __init__(self, owner: Address) -> None:
+        self._owner = owner
+        self._counter = 0
+
+    def next(self) -> str:
+        """Produce the next unique nonce."""
+        self._counter += 1
+        digest = fast_hash(self._owner.value + self._counter.to_bytes(8, "big"))
+        return "0x" + digest[:12].hex()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A payload plus the sender's signature (and its scheme tag)."""
+
+    payload: Payload
+    signature: bytes
+    scheme: str = "ecdsa"
+
+    def __post_init__(self) -> None:
+        if len(self.signature) != 65:
+            raise EnvelopeError("signature must be exactly 65 bytes")
+
+    # ------------------------------------------------------------------
+    # Construction and verification
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        signer: Signer,
+        recipient: Address,
+        operation: Opcode,
+        data: dict[str, Any],
+        timestamp: float,
+        nonce: str,
+        reply_to: Optional[str] = None,
+    ) -> "Envelope":
+        """Build and sign an envelope from ``signer`` to ``recipient``."""
+        payload = Payload(
+            sender=signer.address,
+            recipient=recipient,
+            operation=operation,
+            nonce=nonce,
+            timestamp=timestamp,
+            data=data,
+            reply_to=reply_to,
+        )
+        signature = signer.sign(payload.canonical_bytes())
+        return cls(payload=payload, signature=signature, scheme=signer.scheme)
+
+    def verify(self) -> bool:
+        """Check the signature against the payload's claimed sender.
+
+        This is the authenticity check the service cell performs on every
+        incoming transaction (Section III-D3): the signature must verify
+        *and* the recovered identity must equal the sender field.
+        """
+        return verify_signature(
+            self.scheme,
+            self.payload.sender,
+            self.payload.canonical_bytes(),
+            self.signature,
+        )
+
+    # ------------------------------------------------------------------
+    # Wire form and size accounting
+    # ------------------------------------------------------------------
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-serializable wire form (the HTTP request/response body)."""
+        return {
+            "payload": self.payload.to_dict(),
+            "signature": "0x" + self.signature.hex(),
+            "scheme": self.scheme,
+        }
+
+    def wire_bytes(self) -> bytes:
+        """Canonical JSON encoding of the wire form."""
+        return canonical_json.dump_bytes(self.to_wire())
+
+    def byte_size(self) -> int:
+        """Size of the HTTP body in bytes (used for Table II accounting)."""
+        return len(self.wire_bytes())
+
+    @classmethod
+    def from_wire(cls, raw: dict[str, Any] | bytes | str) -> "Envelope":
+        """Parse an envelope from its wire form, verifying structure only."""
+        if isinstance(raw, (bytes, str)):
+            raw = canonical_json.loads(raw)
+        try:
+            payload = Payload.from_dict(raw["payload"])
+            signature_hex = raw["signature"]
+            scheme = raw.get("scheme", "ecdsa")
+        except (KeyError, TypeError, PayloadError) as exc:
+            raise EnvelopeError(f"malformed envelope: {exc}") from exc
+        signature_text = signature_hex[2:] if signature_hex.startswith("0x") else signature_hex
+        return cls(payload=payload, signature=bytes.fromhex(signature_text), scheme=scheme)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def sender(self) -> Address:
+        """The claimed sender address."""
+        return self.payload.sender
+
+    @property
+    def recipient(self) -> Address:
+        """The intended recipient address."""
+        return self.payload.recipient
+
+    @property
+    def operation(self) -> Opcode:
+        """The operation code."""
+        return self.payload.operation
+
+    @property
+    def nonce(self) -> str:
+        """The unique message id."""
+        return self.payload.nonce
+
+    @property
+    def data(self) -> dict[str, Any]:
+        """The operation-specific data field."""
+        return self.payload.data

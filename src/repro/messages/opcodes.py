@@ -1,0 +1,71 @@
+"""Operation codes of the uniform RESTful interface.
+
+Every Blockumulus message carries an operation code ``O`` that determines
+how the data field ``D`` is interpreted (Section III-C2).  The codes cover
+the six communication vectors the paper lists: client-cell, cell-cell,
+auditor-cell, cell-blockchain, auditor-blockchain, and client-auditor (the
+last three are carried over the Ethereum provider rather than this message
+layer, so only the first three appear here).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Opcode(str, Enum):
+    """Operation codes for client-cell, cell-cell, and auditor-cell messages."""
+
+    # Client -> service cell.
+    TX_SUBMIT = "tx_submit"                 # invoke a bContract function
+    SUBSCRIBE = "subscribe"                 # open an access subscription with a cell
+    DEPLOY_CONTRACT = "deploy_contract"     # community bContract deployment (via Deployer)
+    QUERY_STATE = "query_state"             # read-only bContract state query
+
+    # Service cell -> other consortium cells.
+    TX_FORWARD = "tx_forward"               # forward a client transaction
+    TX_CONFIRM = "tx_confirm"               # signed confirmation with fingerprint
+    TX_REJECT = "tx_reject"                 # execution failed / fingerprint mismatch
+    CELL_EXCLUDE = "cell_exclude"           # propose temporary exclusion of a cell
+    CELL_SYNC = "cell_sync"                 # state resync after exclusion
+
+    # Service cell -> client.
+    TX_RECEIPT = "tx_receipt"               # aggregated multi-signature receipt
+    TX_ERROR = "tx_error"                   # transaction reverted / deadline missed
+    SUBSCRIBE_ACK = "subscribe_ack"
+    QUERY_RESULT = "query_result"
+
+    # Auditor <-> cell.
+    SNAPSHOT_REQUEST = "snapshot_request"   # auditor downloads a data snapshot
+    SNAPSHOT_RESPONSE = "snapshot_response"
+    LEDGER_REQUEST = "ledger_request"       # auditor downloads the tx ledger segment
+    LEDGER_RESPONSE = "ledger_response"
+
+    # Liveness.
+    PING = "ping"
+    PONG = "pong"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Opcodes a client is allowed to originate.
+CLIENT_OPCODES = frozenset(
+    {Opcode.TX_SUBMIT, Opcode.SUBSCRIBE, Opcode.DEPLOY_CONTRACT, Opcode.QUERY_STATE, Opcode.PING}
+)
+
+#: Opcodes only another consortium cell may originate.
+CELL_OPCODES = frozenset(
+    {
+        Opcode.TX_FORWARD,
+        Opcode.TX_CONFIRM,
+        Opcode.TX_REJECT,
+        Opcode.CELL_EXCLUDE,
+        Opcode.CELL_SYNC,
+        Opcode.PING,
+        Opcode.PONG,
+    }
+)
+
+#: Opcodes an auditor may originate.
+AUDITOR_OPCODES = frozenset({Opcode.SNAPSHOT_REQUEST, Opcode.LEDGER_REQUEST, Opcode.PING})

@@ -1,0 +1,98 @@
+"""The Blockumulus message payload tuple P = ⟨As, Ar, O, η, τ, t, D⟩.
+
+Section III-C2 of the paper defines each request body as a payload tuple
+plus the sender's ECDSA signature over it.  The payload is serialized with
+canonical JSON so that the signer and every verifier hash identical bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..crypto.hashing import fast_hash
+from ..crypto.keys import Address
+from ..encoding import canonical_json
+from .opcodes import Opcode
+
+
+class PayloadError(ValueError):
+    """Raised when a payload is malformed."""
+
+
+@dataclass(frozen=True)
+class Payload:
+    """The signed portion of every Blockumulus message.
+
+    Fields mirror the paper's tuple: ``sender`` (As), ``recipient`` (Ar),
+    ``operation`` (O), ``nonce`` (η, a random message id), ``reply_to``
+    (τ, the nonce of the message being answered, if any), ``timestamp``
+    (t), and ``data`` (D, whose schema depends on the operation).
+    """
+
+    sender: Address
+    recipient: Address
+    operation: Opcode
+    nonce: str
+    timestamp: float
+    data: dict[str, Any] = field(default_factory=dict)
+    reply_to: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sender, Address) or not isinstance(self.recipient, Address):
+            raise PayloadError("sender and recipient must be Address instances")
+        if not isinstance(self.operation, Opcode):
+            raise PayloadError("operation must be an Opcode")
+        if not self.nonce:
+            raise PayloadError("payload nonce must be non-empty")
+        if not isinstance(self.data, dict):
+            raise PayloadError("payload data must be a dict")
+        # Quantize the timestamp to the wire precision (microseconds) so the
+        # in-memory payload and its round-tripped wire form are identical;
+        # contracts that store the signed timestamp stay bit-equal across
+        # cells that received the transaction directly vs. via forwarding.
+        object.__setattr__(self, "timestamp", round(float(self.timestamp), 6))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form used for canonical serialization."""
+        return {
+            "sender": self.sender.hex(),
+            "recipient": self.recipient.hex(),
+            "operation": self.operation.value,
+            "nonce": self.nonce,
+            "reply_to": self.reply_to,
+            "timestamp": self.timestamp,
+            "data": self.data,
+        }
+
+    def canonical_bytes(self) -> bytes:
+        """The exact bytes that get signed."""
+        return canonical_json.dump_bytes(self.to_dict())
+
+    def hash(self) -> bytes:
+        """Hash of the canonical payload (the message/transaction id)."""
+        return fast_hash(self.canonical_bytes())
+
+    def hash_hex(self) -> str:
+        """0x-prefixed payload hash."""
+        return "0x" + self.hash().hex()
+
+    def byte_size(self) -> int:
+        """Size of the canonical payload encoding in bytes."""
+        return len(self.canonical_bytes())
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "Payload":
+        """Rebuild a payload from its plain-dict form."""
+        try:
+            return cls(
+                sender=Address.from_hex(raw["sender"]),
+                recipient=Address.from_hex(raw["recipient"]),
+                operation=Opcode(raw["operation"]),
+                nonce=raw["nonce"],
+                reply_to=raw.get("reply_to"),
+                timestamp=float(raw["timestamp"]),
+                data=dict(raw.get("data", {})),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise PayloadError(f"malformed payload: {exc}") from exc

@@ -1,0 +1,13 @@
+"""Gossip P2P substrate: the unstructured-network baseline of Observation 2."""
+
+from .gossip import GossipSimulator, NakamotoChainModel, PropagationResult
+from .topology import Topology, TopologyError, random_regularish_topology
+
+__all__ = [
+    "GossipSimulator",
+    "NakamotoChainModel",
+    "PropagationResult",
+    "Topology",
+    "TopologyError",
+    "random_regularish_topology",
+]

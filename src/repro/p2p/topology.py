@@ -1,0 +1,94 @@
+"""Random unstructured P2P topologies.
+
+Observation 2 of the paper attributes the cost of public blockchains to
+their unstructured permissionless P2P networks: peers only know a random
+subset of the network and reach the rest by gossip.  This module builds the
+random topologies over which the gossip baseline (:mod:`repro.p2p.gossip`)
+measures propagation latency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+class TopologyError(ValueError):
+    """Raised for impossible topology requests."""
+
+
+@dataclass
+class Topology:
+    """An undirected peer graph."""
+
+    node_count: int
+    edges: set[tuple[int, int]] = field(default_factory=set)
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Add the undirected edge (a, b)."""
+        if a == b:
+            raise TopologyError("self-loops are not allowed")
+        self.edges.add((min(a, b), max(a, b)))
+
+    def neighbors(self, node: int) -> list[int]:
+        """All peers adjacent to ``node``."""
+        result = []
+        for a, b in self.edges:
+            if a == node:
+                result.append(b)
+            elif b == node:
+                result.append(a)
+        return sorted(result)
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """node -> sorted neighbour list for the whole graph."""
+        table: dict[int, list[int]] = {node: [] for node in range(self.node_count)}
+        for a, b in self.edges:
+            table[a].append(b)
+            table[b].append(a)
+        return {node: sorted(peers) for node, peers in table.items()}
+
+    def average_degree(self) -> float:
+        """Mean number of neighbours per node."""
+        if self.node_count == 0:
+            return 0.0
+        return 2 * len(self.edges) / self.node_count
+
+    def is_connected(self) -> bool:
+        """Whether every node can reach every other node."""
+        if self.node_count == 0:
+            return True
+        adjacency = self.adjacency()
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for peer in adjacency[node]:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return len(seen) == self.node_count
+
+
+def random_regularish_topology(node_count: int, degree: int, rng: random.Random) -> Topology:
+    """A connected random topology with roughly ``degree`` neighbours per node.
+
+    Built as a ring (guaranteeing connectivity) plus random chords, the way
+    real blockchain P2P layers combine bootstrap peers with random discovery.
+    """
+    if node_count < 2:
+        raise TopologyError("a P2P network needs at least two nodes")
+    if degree < 2 or degree >= node_count:
+        raise TopologyError("degree must be in [2, node_count)")
+    topology = Topology(node_count=node_count)
+    for node in range(node_count):
+        topology.add_edge(node, (node + 1) % node_count)
+    target_edges = node_count * degree // 2
+    attempts = 0
+    while len(topology.edges) < target_edges and attempts < 50 * target_edges:
+        a = rng.randrange(node_count)
+        b = rng.randrange(node_count)
+        attempts += 1
+        if a != b:
+            topology.add_edge(a, b)
+    return topology

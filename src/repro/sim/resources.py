@@ -1,0 +1,91 @@
+"""Capacity-constrained resources for the simulation kernel.
+
+A :class:`Resource` models a pool of identical servers (for Blockumulus: a
+cell's CPU workers, or its pool of concurrently running bContract
+interpreters).  Processes request a slot, hold it while they consume
+simulated service time, and release it; excess requests queue FIFO.  The
+contention captured here is what turns per-transaction CPU cost into the
+throughput ceilings of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from .environment import Environment
+from .events import Event, SimulationError
+
+
+class Resource:
+    """A FIFO resource with fixed integer capacity."""
+
+    def __init__(self, env: Environment, capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError("resource capacity must be at least 1")
+        self.env = env
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+        #: Cumulative busy time across all slots, for utilisation reporting.
+        self.busy_time = 0.0
+        self._peak_queue = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a slot."""
+        return len(self._waiting)
+
+    @property
+    def peak_queue_length(self) -> int:
+        """The longest queue observed so far."""
+        return self._peak_queue
+
+    def request(self) -> Event:
+        """Return an event that fires once a slot has been granted."""
+        grant = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed(self)
+        else:
+            self._waiting.append(grant)
+            self._peak_queue = max(self._peak_queue, len(self._waiting))
+        return grant
+
+    def release(self) -> None:
+        """Release one held slot, granting it to the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on {self.name} with no slot in use")
+        if self._waiting:
+            grant = self._waiting.popleft()
+            grant.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float) -> Generator[Event, None, None]:
+        """A process fragment that acquires a slot, holds it, and releases it.
+
+        Usage inside a process::
+
+            yield from cell.cpu.use(cpu_seconds)
+        """
+        yield self.request()
+        started = self.env.now
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.busy_time += self.env.now - started
+            self.release()
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Average fraction of capacity busy over ``elapsed`` seconds."""
+        horizon = self.env.now if elapsed is None else elapsed
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (horizon * self.capacity))

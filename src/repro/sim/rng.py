@@ -1,0 +1,41 @@
+"""Seeded random-number streams for reproducible experiments.
+
+Every stochastic component of the simulation (link latencies, workload
+inter-arrival jitter, client key generation, gossip fan-out choices) draws
+from its own named stream derived from a single experiment seed.  Adding a
+new component therefore never perturbs the random draws of existing ones,
+which keeps regression baselines stable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..crypto.keccak import keccak256
+
+
+class SeedSequence:
+    """Derives independent, named random streams from a master seed."""
+
+    def __init__(self, master_seed: int | str | bytes = 0) -> None:
+        if isinstance(master_seed, int):
+            self._seed_bytes = str(master_seed).encode()
+        elif isinstance(master_seed, str):
+            self._seed_bytes = master_seed.encode()
+        else:
+            self._seed_bytes = bytes(master_seed)
+
+    def seed_for(self, name: str) -> int:
+        """Return a 64-bit integer seed for the stream ``name``."""
+        digest = keccak256(self._seed_bytes + b"/" + name.encode())
+        return int.from_bytes(digest[:8], "big")
+
+    def stream(self, name: str) -> random.Random:
+        """Return a :class:`random.Random` dedicated to ``name``."""
+        return random.Random(self.seed_for(name))
+
+    def streams(self, *names: str) -> Iterator[random.Random]:
+        """Yield one stream per name, in order."""
+        for name in names:
+            yield self.stream(name)

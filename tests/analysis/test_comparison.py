@@ -1,0 +1,62 @@
+"""Table I comparison matrix."""
+
+from repro.analysis.comparison import (
+    PRIOR_WORK,
+    SolutionFeatures,
+    blockumulus_row,
+    comparison_table,
+    render_table,
+)
+
+
+def test_prior_work_matches_paper_rows():
+    names = [row.name for row in PRIOR_WORK]
+    assert names == [
+        "Algorand", "RapidChain", "Lightning", "Ekiden", "Arbitrum",
+        "Jidar", "Monoxide", "Plasma", "OmniLedger",
+    ]
+    by_name = {row.name: row for row in PRIOR_WORK}
+    assert not by_name["Algorand"].general_purpose_contracts
+    assert by_name["Ekiden"].general_purpose_contracts
+    assert by_name["OmniLedger"].storage_scalability
+    # No prior system covers all four capabilities simultaneously.
+    assert not any(
+        row.general_purpose_contracts and row.tps_scalability
+        and row.storage_scalability and row.compute_scalability
+        for row in PRIOR_WORK
+    )
+
+
+def test_blockumulus_row_derived_from_measurements():
+    row = blockumulus_row(
+        supports_contract_deployment=True,
+        measured_tps=500.0,
+        baseline_tps=12.0,
+        storage_scales_with_cells=True,
+        compute_scales_with_cells=True,
+    )
+    assert row.general_purpose_contracts and row.tps_scalability
+    assert row.storage_scalability and row.compute_scalability
+
+
+def test_blockumulus_row_honest_when_measurements_are_poor():
+    row = blockumulus_row(True, measured_tps=5.0, baseline_tps=12.0,
+                          storage_scales_with_cells=False, compute_scales_with_cells=True)
+    assert not row.tps_scalability and not row.storage_scalability
+
+
+def test_comparison_table_places_blockumulus_last():
+    table = comparison_table()
+    assert table[-1].name == "Blockumulus"
+    assert len(table) == 10
+
+
+def test_render_table_text():
+    text = render_table(comparison_table())
+    assert "Blockumulus" in text and "Algorand" in text
+    assert "yes" in text and "no" in text
+
+
+def test_row_rendering_marks():
+    row = SolutionFeatures("X", True, False, True, False)
+    assert row.row() == ("X", "yes", "no", "yes", "no")

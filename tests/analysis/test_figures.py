@@ -1,0 +1,40 @@
+"""Figure-rendering helpers over measured workload reports."""
+
+import pytest
+
+from repro.analysis.figures import fig8_report, fig9_report, fig10_report, headline_claims
+from repro.client import run_burst_transfers, run_sequential_transfers
+from tests.conftest import make_deployment
+
+
+@pytest.fixture(scope="module")
+def small_reports():
+    sequential = run_sequential_transfers(make_deployment(), count=10, pools=2)
+    burst = run_burst_transfers(make_deployment(seed=43), count=30, pools=2)
+    return sequential, burst
+
+
+def test_fig8_rendering(small_reports):
+    sequential, _burst = small_reports
+    text = fig8_report([sequential])
+    assert "[Fig.8]" in text and "p90=" in text and "#" in text
+
+
+def test_fig9_rendering(small_reports):
+    _sequential, burst = small_reports
+    text = fig9_report([burst])
+    assert "[Fig.9]" in text and "makespan=" in text
+
+
+def test_fig10_rendering(small_reports):
+    _sequential, burst = small_reports
+    text = fig10_report([burst])
+    assert "tps" in text and "#" in text
+
+
+def test_headline_claims_extraction(small_reports):
+    sequential, burst = small_reports
+    claims = headline_claims([sequential, burst])
+    assert claims["worst_normal_load_p90"] > 0
+    # No 20k-burst in this reduced set: the makespan slot is NaN.
+    assert claims["best_20k_makespan"] != claims["best_20k_makespan"]

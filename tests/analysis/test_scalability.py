@@ -1,0 +1,70 @@
+"""Section IV scalability models and the log-log fit helper."""
+
+import pytest
+
+from repro.analysis.scalability import ScalabilityModel, ScalabilityParameters, fit_growth_exponent
+
+
+@pytest.fixture
+def model():
+    return ScalabilityModel()
+
+
+def test_latency_is_linear_in_transactions(model):
+    assert model.cumulative_latency(2_000, cells=4) == pytest.approx(
+        2 * model.cumulative_latency(1_000, cells=4))
+
+
+def test_communication_linear_in_transactions_and_grows_with_cells(model):
+    assert model.communication_bytes(2_000, 4) == 2 * model.communication_bytes(1_000, 4)
+    assert model.communication_bytes(1_000, 8) > model.communication_bytes(1_000, 2)
+
+
+def test_storage_is_three_replicas_per_cell(model):
+    params = model.parameters
+    assert model.storage_bytes(10, 4) == 3 * 4 * 10 * params.transaction_footprint_bytes
+
+
+def test_compute_scales_with_users_and_transactions(model):
+    base = model.compute_seconds(1_000, users=100, cells=4)
+    assert model.compute_seconds(2_000, users=100, cells=4) == pytest.approx(2 * base)
+    assert model.compute_seconds(1_000, users=10_000, cells=4) > base
+
+
+def test_fee_is_independent_of_transaction_volume(model):
+    fee = ScalabilityModel.fee_overhead(reports_per_day=144, gas_per_report=49_193, cells=4)
+    assert fee == 4 * 144 * 49_193
+
+
+def test_fit_growth_exponent_identifies_linear_and_constant():
+    sizes = [100, 200, 400, 800]
+    linear = [3 * size for size in sizes]
+    constant = [42.0] * len(sizes)
+    quadratic = [size ** 2 for size in sizes]
+    assert fit_growth_exponent(sizes, linear) == pytest.approx(1.0, abs=0.01)
+    assert fit_growth_exponent(sizes, constant) == pytest.approx(0.0, abs=0.01)
+    assert fit_growth_exponent(sizes, quadratic) == pytest.approx(2.0, abs=0.01)
+
+
+def test_fit_growth_exponent_validation():
+    with pytest.raises(ValueError):
+        fit_growth_exponent([1], [1])
+    with pytest.raises(ValueError):
+        fit_growth_exponent([1, 2], [0, 1])
+    with pytest.raises(ValueError):
+        fit_growth_exponent([2, 2], [1, 1])
+
+
+def test_model_exponents_match_the_paper_claims(model):
+    sizes = [500, 1_000, 2_000, 4_000]
+    data = [model.communication_bytes(n, 4) for n in sizes]
+    storage = [model.storage_bytes(n, 4) for n in sizes]
+    fees = [ScalabilityModel.fee_overhead(144, 49_193, 4) for _ in sizes]
+    assert fit_growth_exponent(sizes, data) == pytest.approx(1.0, abs=0.01)
+    assert fit_growth_exponent(sizes, storage) == pytest.approx(1.0, abs=0.01)
+    assert fit_growth_exponent(sizes, [fee + 1e-9 for fee in fees]) == pytest.approx(0.0, abs=0.01)
+
+
+def test_parameters_are_overridable():
+    custom = ScalabilityModel(ScalabilityParameters(transaction_footprint_bytes=1_000))
+    assert custom.storage_bytes(1, 1) == 3_000

@@ -1,0 +1,45 @@
+"""The Ethereum L1 and gossip-P2P baselines used by experiment E9."""
+
+import pytest
+
+from repro.baselines import run_ethereum_payment_baseline, run_p2p_baseline
+
+
+@pytest.fixture(scope="module")
+def eth_result():
+    return run_ethereum_payment_baseline(transactions=120, senders=4, block_interval=5.0)
+
+
+def test_ethereum_baseline_confirms_all_transfers(eth_result):
+    assert eth_result.transactions == 120
+    assert eth_result.failures == 0
+
+
+def test_ethereum_baseline_latency_is_block_bound(eth_result):
+    # Confirmation latency is bounded below by waiting for a block.
+    assert eth_result.latencies.p50() > 1.0
+
+
+def test_ethereum_baseline_fee_accounting(eth_result):
+    assert eth_result.gas_per_transfer > 21_000
+    assert eth_result.total_gas >= eth_result.gas_per_transfer * eth_result.transactions * 0.5
+    assert eth_result.fee_per_transaction_usd > 0
+    summary = eth_result.summary()
+    assert summary["throughput_tps"] > 0
+
+
+def test_p2p_baseline_summary_shape():
+    result = run_p2p_baseline(network_size=400, degree=8)
+    summary = result.summary()
+    assert summary["propagation_p90"] >= summary["propagation_p50"] > 0
+    assert 0 < summary["stale_rate"] < 1
+    assert summary["effective_throughput_tps"] <= summary["throughput_tps"]
+    assert result.confirmation_latency > 60
+
+
+def test_baselines_are_orders_of_magnitude_behind_blockumulus(eth_result):
+    p2p = run_p2p_baseline(network_size=400)
+    # The paper's Blockumulus prototype sustains hundreds of TPS; both
+    # public-chain baselines sit around or below a dozen TPS.
+    assert p2p.effective_throughput_tps < 50
+    assert eth_result.throughput_tps < 50

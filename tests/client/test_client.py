@@ -1,0 +1,83 @@
+"""The client API: submissions, queries, contingency submissions."""
+
+import pytest
+
+from repro.client import BlockumulusClient, ClientError, FastMoneyClient, TransactionResult
+from repro.crypto.keys import PrivateKey
+from tests.conftest import make_deployment
+
+
+def run(deployment, event):
+    deployment.env.run(event)
+    return event.value
+
+
+def test_client_has_unique_node_and_address(deployment):
+    a = BlockumulusClient(deployment)
+    b = BlockumulusClient(deployment)
+    assert a.node_name != b.node_name
+    assert a.address != b.address
+
+
+def test_submit_returns_transaction_result(deployment):
+    client = BlockumulusClient(deployment)
+    result = run(deployment, client.submit("fastmoney", "faucet", {"amount": 5}))
+    assert isinstance(result, TransactionResult)
+    assert result.ok and result.receipt is not None
+    assert result.tx_id == result.receipt.tx_id
+    assert result.latency > 0
+
+
+def test_submit_with_override_signer(deployment):
+    client = BlockumulusClient(deployment)
+    throwaway = deployment.make_client_signer("throwaway-account")
+    result = run(deployment, client.submit("fastmoney", "faucet", {"amount": 7}, signer=throwaway))
+    assert result.ok
+    fastmoney = deployment.cell(0).contracts.get("fastmoney")
+    assert fastmoney.query("balance_of", {"account": throwaway.address.hex()}) == 7
+
+
+def test_query_error_propagates(deployment):
+    client = BlockumulusClient(deployment)
+    event = client.query("fastmoney", "nonexistent_view", {})
+    with pytest.raises(ClientError):
+        deployment.env.run(event)
+
+
+def test_unknown_contract_reported_as_error(deployment):
+    client = BlockumulusClient(deployment)
+    result = run(deployment, client.submit("ghost-contract", "do", {}))
+    assert not result.ok
+    assert "ghost-contract" in result.error
+
+
+def test_offline_service_cell_fails_fast(deployment):
+    client = BlockumulusClient(deployment)
+    deployment.network.set_online(deployment.cell(0).node_name, False)
+    result = run(deployment, client.submit("fastmoney", "faucet", {"amount": 1}))
+    assert not result.ok and "unreachable" in result.error
+
+
+def test_contingency_submission_lands_on_chain(deployment):
+    client = BlockumulusClient(deployment)
+    eth_key = PrivateKey.from_seed("contingency-payer")
+    deployment.eth_node.chain.fund(eth_key.address, 10 ** 20)
+    event = client.submit_contingency("fastmoney", "faucet", {"amount": 9}, eth_key=eth_key)
+    receipt = deployment.env.run(event)
+    assert receipt.success
+    stored = deployment.registry_contract.all_contingencies(deployment.eth_node.chain.state)
+    assert len(stored) == 1
+    assert stored[0]["payload"]["data"]["contract"] == "fastmoney"
+
+
+def test_clients_can_use_different_service_cells(four_cell_deployment):
+    deployment = four_cell_deployment
+    clients = [BlockumulusClient(deployment, service_cell_index=i) for i in range(4)]
+    results = [run(deployment, FastMoneyClient(c).faucet(3)) for c in clients]
+    assert all(result.ok for result in results)
+    balances = [
+        deployment.cell(0).contracts.get("fastmoney").query(
+            "balance_of", {"account": client.address.hex()})
+        for client in clients
+    ]
+    assert balances == [3, 3, 3, 3]

@@ -1,0 +1,64 @@
+"""Workload generators (reduced-scale versions of the paper's harness)."""
+
+import pytest
+
+from repro.client.workload import (
+    WorkloadError,
+    build_client_pools,
+    run_burst_cas_uploads,
+    run_burst_transfers,
+    run_sequential_transfers,
+)
+from tests.conftest import make_deployment
+
+
+def test_build_client_pools_round_robin(four_cell_deployment):
+    pools = build_client_pools(four_cell_deployment, pools=8)
+    assert len(pools) == 8
+    assert pools[0].service_cell is four_cell_deployment.cell(0)
+    assert pools[5].service_cell is four_cell_deployment.cell(1)
+    with pytest.raises(WorkloadError):
+        build_client_pools(four_cell_deployment, pools=0)
+
+
+def test_sequential_transfer_workload_summary():
+    deployment = make_deployment()
+    report = run_sequential_transfers(deployment, count=12, pools=4)
+    assert len(report.results) == 12
+    assert report.failure_count == 0
+    summary = report.summary()
+    assert summary["transactions"] == 12
+    assert summary["latency_p90"] >= summary["latency_p50"] > 0
+    assert summary["throughput_tps"] > 0
+
+
+def test_burst_transfer_workload():
+    deployment = make_deployment()
+    report = run_burst_transfers(deployment, count=40, pools=4)
+    assert len(report.results) == 40
+    assert report.failure_count == 0
+    throughput = report.throughput()
+    assert throughput.operations == 40
+    assert throughput.makespan > 0
+
+
+def test_burst_cas_workload_stores_blobs():
+    deployment = make_deployment()
+    report = run_burst_cas_uploads(deployment, count=20, pools=4, blob_bytes=32)
+    assert report.failure_count == 0
+    cas = deployment.cell(0).contracts.get("system.cas")
+    assert cas.query("stats", {})["puts"] == 20
+
+
+def test_latencies_series_covers_only_successes():
+    deployment = make_deployment()
+    report = run_burst_transfers(deployment, count=10, pools=2)
+    assert len(report.latencies()) == len(report.successes) == 10
+
+
+def test_empty_workload_report_raises():
+    deployment = make_deployment()
+    report = run_burst_transfers(deployment, count=5, pools=1)
+    report.results = [r for r in report.results if not r.ok]
+    with pytest.raises(WorkloadError):
+        report.throughput()

@@ -1,0 +1,66 @@
+"""Shared fixtures for the Blockumulus test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BlockumulusDeployment, DeploymentConfig
+from repro.crypto import PrivateKey
+from repro.sim import ConstantLatency, Environment, SeedSequence, fast_test_service_model
+
+
+def fast_config(**overrides) -> DeploymentConfig:
+    """A deployment configuration tuned for fast functional tests."""
+    defaults = dict(
+        consortium_size=2,
+        report_period=30.0,
+        service_model=fast_test_service_model(),
+        client_cell_latency=ConstantLatency(0.01),
+        cell_cell_latency=ConstantLatency(0.005),
+        signature_scheme="ecdsa",
+        seed=42,
+        eth_block_interval=3.0,
+    )
+    defaults.update(overrides)
+    return DeploymentConfig(**defaults)
+
+
+def make_deployment(**overrides) -> BlockumulusDeployment:
+    """Build a fast-test deployment."""
+    return BlockumulusDeployment(fast_config(**overrides))
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def seeds() -> SeedSequence:
+    """A deterministic seed sequence."""
+    return SeedSequence(1234)
+
+
+@pytest.fixture
+def deployment() -> BlockumulusDeployment:
+    """A two-cell fast deployment with default contracts."""
+    return make_deployment()
+
+
+@pytest.fixture
+def four_cell_deployment() -> BlockumulusDeployment:
+    """A four-cell fast deployment."""
+    return make_deployment(consortium_size=4)
+
+
+@pytest.fixture
+def alice_key() -> PrivateKey:
+    """A deterministic client key."""
+    return PrivateKey.from_seed("alice")
+
+
+@pytest.fixture
+def bob_key() -> PrivateKey:
+    """A second deterministic client key."""
+    return PrivateKey.from_seed("bob")

@@ -1,0 +1,86 @@
+"""The Ballot voting bContract."""
+
+import pytest
+
+from repro.contracts import Ballot, BContractError, InvocationContext
+from repro.crypto.keys import PrivateKey
+
+CHAIR = PrivateKey.from_seed("ballot-chair").address
+VOTERS = [PrivateKey.from_seed(f"voter-{i}").address for i in range(5)]
+
+
+def ctx(sender=CHAIR, tx_id=None, timestamp=10.0):
+    tx_id = tx_id or f"0x{abs(hash((sender.hex(), timestamp))) % 10**12:x}"
+    return InvocationContext(sender=sender, tx_id=tx_id, timestamp=timestamp, cell_id="c", cycle=0)
+
+
+@pytest.fixture
+def ballot():
+    contract = Ballot("ballot")
+    contract.invoke(ctx(), "create_election", {
+        "election_id": "e1", "question": "Best consensus?",
+        "choices": ["overlay", "nakamoto", "pos"], "closes_at": 100.0,
+    })
+    return contract
+
+
+def test_create_election_and_metadata(ballot):
+    info = ballot.query("election", {"election_id": "e1"})
+    assert info["question"] == "Best consensus?"
+    assert info["choices"] == ["overlay", "nakamoto", "pos"]
+    assert info["creator"] == CHAIR.hex()
+
+
+def test_duplicate_election_rejected(ballot):
+    with pytest.raises(BContractError):
+        ballot.invoke(ctx(timestamp=11.0), "create_election", {
+            "election_id": "e1", "question": "again?", "choices": ["a", "b"], "closes_at": 50.0,
+        })
+
+
+def test_election_validation():
+    contract = Ballot("ballot")
+    with pytest.raises(BContractError):
+        contract.invoke(ctx(), "create_election", {
+            "election_id": "bad", "question": "?", "choices": ["only-one"], "closes_at": 100.0})
+    with pytest.raises(BContractError):
+        contract.invoke(ctx(), "create_election", {
+            "election_id": "bad", "question": "?", "choices": ["a", "a"], "closes_at": 100.0})
+    with pytest.raises(BContractError):
+        contract.invoke(ctx(timestamp=200.0), "create_election", {
+            "election_id": "bad", "question": "?", "choices": ["a", "b"], "closes_at": 100.0})
+
+
+def test_voting_and_tally(ballot):
+    for index, voter in enumerate(VOTERS):
+        choice = "overlay" if index < 3 else "nakamoto"
+        ballot.invoke(ctx(sender=voter, timestamp=20.0 + index), "vote",
+                      {"election_id": "e1", "choice": choice})
+    tally = ballot.query("tally", {"election_id": "e1"})
+    assert tally == {"overlay": 3, "nakamoto": 2, "pos": 0}
+    assert ballot.query("winner", {"election_id": "e1"}) == {"choice": "overlay", "votes": 3}
+
+
+def test_double_voting_rejected(ballot):
+    ballot.invoke(ctx(sender=VOTERS[0], timestamp=20.0), "vote",
+                  {"election_id": "e1", "choice": "overlay"})
+    with pytest.raises(BContractError):
+        ballot.invoke(ctx(sender=VOTERS[0], timestamp=21.0), "vote",
+                      {"election_id": "e1", "choice": "pos"})
+
+
+def test_vote_after_deadline_rejected(ballot):
+    with pytest.raises(BContractError):
+        ballot.invoke(ctx(sender=VOTERS[0], timestamp=200.0), "vote",
+                      {"election_id": "e1", "choice": "overlay"})
+
+
+def test_invalid_choice_and_unknown_election(ballot):
+    with pytest.raises(BContractError):
+        ballot.invoke(ctx(sender=VOTERS[0], timestamp=20.0), "vote",
+                      {"election_id": "e1", "choice": "anarchy"})
+    with pytest.raises(BContractError):
+        ballot.invoke(ctx(sender=VOTERS[0], timestamp=20.0), "vote",
+                      {"election_id": "ghost", "choice": "overlay"})
+    with pytest.raises(BContractError):
+        ballot.query("tally", {"election_id": "ghost"})

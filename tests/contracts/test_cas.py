@@ -1,0 +1,84 @@
+"""The content-addressable storage system bContract."""
+
+import pytest
+
+from repro.contracts import BContractError, ContentAddressableStorage, InvocationContext
+from repro.crypto.keys import PrivateKey
+
+ALICE = PrivateKey.from_seed("cas-alice").address
+
+
+def ctx(tx_id="0x1"):
+    return InvocationContext(sender=ALICE, tx_id=tx_id, timestamp=0.0, cell_id="cell-0", cycle=0)
+
+
+@pytest.fixture
+def cas():
+    return ContentAddressableStorage("system.cas")
+
+
+def test_put_and_get(cas):
+    result = cas.invoke(ctx(), "put", {"content_hex": "0xdeadbeef"})
+    digest = result["hash"]
+    assert result["references"] == 1 and result["size"] == 4
+    assert cas.query("get", {"digest": digest})["content_hex"] == "0xdeadbeef"
+
+
+def test_content_hash_is_deterministic(cas):
+    assert cas.content_hash(b"abc") == ContentAddressableStorage.content_hash(b"abc")
+
+
+def test_duplicate_put_increments_reference_count(cas):
+    first = cas.invoke(ctx("0x1"), "put", {"content_hex": "0x0102"})
+    second = cas.invoke(ctx("0x2"), "put", {"content_hex": "0x0102"})
+    assert first["hash"] == second["hash"]
+    assert second["references"] == 2
+    assert cas.query("stats", {})["blobs"] == 1
+
+
+def test_add_reference_and_release(cas):
+    digest = cas.invoke(ctx(), "put", {"content_hex": "0xaa"})["hash"]
+    cas.invoke(ctx("0x2"), "add_reference", {"digest": digest})
+    assert cas.query("reference_count", {"digest": digest}) == 2
+    cas.invoke(ctx("0x3"), "release", {"digest": digest})
+    assert cas.query("reference_count", {"digest": digest}) == 1
+
+
+def test_release_to_zero_purges_blob(cas):
+    digest = cas.invoke(ctx(), "put", {"content_hex": "0xbb"})["hash"]
+    cas.invoke(ctx("0x2"), "release", {"digest": digest})
+    assert cas.query("reference_count", {"digest": digest}) == 0
+    with pytest.raises(BContractError):
+        cas.query("get", {"digest": digest})
+    assert cas.query("stats", {})["purged"] == 1
+
+
+def test_release_unknown_blob_rejected(cas):
+    with pytest.raises(BContractError):
+        cas.invoke(ctx(), "release", {"digest": "0x" + "00" * 32})
+
+
+def test_invalid_hex_rejected(cas):
+    with pytest.raises(BContractError):
+        cas.invoke(ctx(), "put", {"content_hex": "zz"})
+    with pytest.raises(BContractError):
+        cas.invoke(ctx(), "put", {"content_hex": 42})
+
+
+def test_oversized_blob_rejected(cas):
+    oversized = "0x" + "00" * (ContentAddressableStorage.MAX_BLOB_BYTES + 1)
+    with pytest.raises(BContractError):
+        cas.invoke(ctx(), "put", {"content_hex": oversized})
+
+
+def test_fetch_blob_helper(cas):
+    digest = cas.invoke(ctx(), "put", {"content_hex": "0x010203"})["hash"]
+    assert cas.fetch_blob(digest) == b"\x01\x02\x03"
+    with pytest.raises(BContractError):
+        cas.fetch_blob("0x" + "ff" * 32)
+
+
+def test_fingerprint_reflects_stored_blobs(cas):
+    before = cas.fingerprint()
+    cas.invoke(ctx(), "put", {"content_hex": "0x01"})
+    assert cas.fingerprint() != before

@@ -1,0 +1,108 @@
+"""The community-contract deployer system bContract."""
+
+import pytest
+
+from repro.contracts import (
+    BContractError,
+    CommunityDeployer,
+    ContractRegistry,
+    InvocationContext,
+)
+from repro.crypto.keys import PrivateKey
+
+OWNER = PrivateKey.from_seed("deployer-owner").address
+OTHER = PrivateKey.from_seed("deployer-other").address
+
+SOURCE = '''
+class Tally(BContract):
+    TYPE = "community/tally"
+
+    @bcontract_method
+    def add(self, ctx, amount):
+        return {"total": self.store.increment("total", amount)}
+
+    @bcontract_view
+    def total(self):
+        return self.store.get("total", 0)
+'''
+
+
+def ctx(sender=OWNER, tx_id="0x1"):
+    return InvocationContext(sender=sender, tx_id=tx_id, timestamp=1.0, cell_id="cell-0", cycle=0)
+
+
+@pytest.fixture
+def setup():
+    registry = ContractRegistry()
+    deployer = CommunityDeployer("system.deployer")
+    deployer.bind(registry.register, registry.remove)
+    registry.register(deployer)
+    return registry, deployer
+
+
+def test_deploy_registers_contract(setup):
+    registry, deployer = setup
+    result = deployer.invoke(ctx(), "deploy", {"name": "tally", "source": SOURCE})
+    assert result["name"] == "tally" and result["owner"] == OWNER.hex()
+    assert registry.contains("tally")
+    contract = registry.get("tally")
+    contract.invoke(ctx(tx_id="0x2"), "add", {"amount": 3})
+    assert contract.query("total", {}) == 3
+    assert deployer.query("deployed", {}) == ["tally"]
+
+
+def test_reserved_names_rejected(setup):
+    _registry, deployer = setup
+    with pytest.raises(BContractError):
+        deployer.invoke(ctx(), "deploy", {"name": "system.evil", "source": SOURCE})
+    with pytest.raises(BContractError):
+        deployer.invoke(ctx(), "deploy", {"name": "", "source": SOURCE})
+
+
+def test_duplicate_name_rejected(setup):
+    _registry, deployer = setup
+    deployer.invoke(ctx(), "deploy", {"name": "tally", "source": SOURCE})
+    with pytest.raises(BContractError):
+        deployer.invoke(ctx(tx_id="0x2"), "deploy", {"name": "tally", "source": SOURCE})
+
+
+def test_bad_source_rejected_and_nothing_registered(setup):
+    registry, deployer = setup
+    with pytest.raises(BContractError):
+        deployer.invoke(ctx(), "deploy", {"name": "bad", "source": "import os"})
+    assert not registry.contains("bad")
+    assert deployer.query("deployed", {}) == []
+
+
+def test_destroy_by_owner(setup):
+    registry, deployer = setup
+    deployer.invoke(ctx(), "deploy", {"name": "tally", "source": SOURCE})
+    deployer.invoke(ctx(tx_id="0x2"), "destroy", {"name": "tally"})
+    assert not registry.contains("tally")
+    assert deployer.query("deployed", {}) == []
+
+
+def test_destroy_by_non_owner_rejected(setup):
+    registry, deployer = setup
+    deployer.invoke(ctx(), "deploy", {"name": "tally", "source": SOURCE})
+    with pytest.raises(BContractError):
+        deployer.invoke(ctx(sender=OTHER, tx_id="0x2"), "destroy", {"name": "tally"})
+    assert registry.contains("tally")
+
+
+def test_indestructible_contract(setup):
+    _registry, deployer = setup
+    deployer.invoke(ctx(), "deploy", {"name": "tally", "source": SOURCE, "destroyable": False})
+    with pytest.raises(BContractError):
+        deployer.invoke(ctx(tx_id="0x2"), "destroy", {"name": "tally"})
+
+
+def test_record_view(setup):
+    _registry, deployer = setup
+    deployer.invoke(ctx(), "deploy", {"name": "tally", "source": SOURCE, "params": {"limit": 5}})
+    record = deployer.query("record", {"name": "tally"})
+    assert record["owner"] == OWNER.hex()
+    assert record["params"] == {"limit": 5}
+    assert record["source_hash"].startswith("0x")
+    with pytest.raises(BContractError):
+        deployer.query("record", {"name": "ghost"})

@@ -1,0 +1,89 @@
+"""The DividendPool bContract (censorship-scenario contract)."""
+
+import pytest
+
+from repro.contracts import BContractError, DividendPool, InvocationContext
+from repro.crypto.keys import PrivateKey
+
+BUSINESS = PrivateKey.from_seed("pool-business").address
+INVESTOR = PrivateKey.from_seed("pool-investor").address
+OTHER = PrivateKey.from_seed("pool-other").address
+
+
+def ctx(sender, tx_id, timestamp):
+    return InvocationContext(sender=sender, tx_id=tx_id, timestamp=timestamp, cell_id="c", cycle=0)
+
+
+@pytest.fixture
+def pool():
+    contract = DividendPool("dividendpool", params={"business_owner": BUSINESS.hex()})
+    contract.invoke(ctx(INVESTOR, "0x1", 1.0), "invest", {"amount": 1000})
+    contract.invoke(ctx(OTHER, "0x2", 1.5), "invest", {"amount": 500})
+    return contract
+
+
+def test_invest_accumulates(pool):
+    position = pool.query("position", {"account": INVESTOR.hex()})
+    assert position["invested"] == 1000
+    assert pool.query("totals", {})["total_invested"] == 1500
+
+
+def test_invalid_investment_rejected(pool):
+    with pytest.raises(BContractError):
+        pool.invoke(ctx(INVESTOR, "0x3", 2.0), "invest", {"amount": 0})
+
+
+def test_declare_dividend_credits_investors(pool):
+    result = pool.invoke(ctx(BUSINESS, "0x3", 2.0), "declare_dividend",
+                         {"rate_percent": 10, "claim_deadline": 100.0})
+    assert result["credited"] == 150
+    assert pool.query("position", {"account": INVESTOR.hex()})["pending_dividend"] == 100
+
+
+def test_only_owner_declares(pool):
+    with pytest.raises(BContractError):
+        pool.invoke(ctx(INVESTOR, "0x3", 2.0), "declare_dividend",
+                    {"rate_percent": 10, "claim_deadline": 100.0})
+
+
+def test_withdraw_before_deadline(pool):
+    pool.invoke(ctx(BUSINESS, "0x3", 2.0), "declare_dividend",
+                {"rate_percent": 10, "claim_deadline": 100.0})
+    result = pool.invoke(ctx(INVESTOR, "0x4", 50.0), "withdraw_dividend", {})
+    assert result["withdrawn_now"] == 100
+    assert pool.query("position", {"account": INVESTOR.hex()})["pending_dividend"] == 0
+    with pytest.raises(BContractError):
+        pool.invoke(ctx(INVESTOR, "0x5", 60.0), "withdraw_dividend", {})
+
+
+def test_withdraw_after_deadline_rejected(pool):
+    pool.invoke(ctx(BUSINESS, "0x3", 2.0), "declare_dividend",
+                {"rate_percent": 10, "claim_deadline": 100.0})
+    with pytest.raises(BContractError):
+        pool.invoke(ctx(INVESTOR, "0x4", 150.0), "withdraw_dividend", {})
+
+
+def test_reinvest_unclaimed_after_deadline(pool):
+    pool.invoke(ctx(BUSINESS, "0x3", 2.0), "declare_dividend",
+                {"rate_percent": 10, "claim_deadline": 100.0})
+    # Investor withdraws; the other investor forgets.
+    pool.invoke(ctx(INVESTOR, "0x4", 50.0), "withdraw_dividend", {})
+    result = pool.invoke(ctx(BUSINESS, "0x5", 150.0), "reinvest_unclaimed", {})
+    assert result["reinvested"] == 50
+    assert pool.query("position", {"account": OTHER.hex()})["invested"] == 550
+
+
+def test_reinvest_before_deadline_rejected(pool):
+    pool.invoke(ctx(BUSINESS, "0x3", 2.0), "declare_dividend",
+                {"rate_percent": 10, "claim_deadline": 100.0})
+    with pytest.raises(BContractError):
+        pool.invoke(ctx(BUSINESS, "0x4", 50.0), "reinvest_unclaimed", {})
+
+
+def test_declaration_validation(pool):
+    with pytest.raises(BContractError):
+        pool.invoke(ctx(BUSINESS, "0x3", 2.0), "declare_dividend",
+                    {"rate_percent": 0, "claim_deadline": 100.0})
+    with pytest.raises(BContractError):
+        pool.invoke(ctx(BUSINESS, "0x3", 2.0), "declare_dividend",
+                    {"rate_percent": 10, "claim_deadline": 1.0})

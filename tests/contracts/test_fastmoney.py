@@ -1,0 +1,102 @@
+"""The FastMoney payment bContract."""
+
+import pytest
+
+from repro.contracts import BContractError, FastMoney, InvocationContext
+from repro.crypto.keys import PrivateKey
+
+ALICE = PrivateKey.from_seed("fm-alice").address
+BOB = PrivateKey.from_seed("fm-bob").address
+CAROL = PrivateKey.from_seed("fm-carol").address
+
+
+def ctx(sender=ALICE, tx_id="0x1", timestamp=1.0):
+    return InvocationContext(sender=sender, tx_id=tx_id, timestamp=timestamp, cell_id="cell-0", cycle=0)
+
+
+@pytest.fixture
+def fastmoney():
+    contract = FastMoney("fastmoney")
+    contract.invoke(ctx(tx_id="0xfund"), "faucet", {"amount": 100})
+    return contract
+
+
+def test_faucet_credits_and_updates_supply(fastmoney):
+    assert fastmoney.query("balance_of", {"account": ALICE.hex()}) == 100
+    assert fastmoney.query("total_supply", {}) == 100
+
+
+def test_faucet_can_be_disabled():
+    closed = FastMoney("closed", params={"allow_faucet": False})
+    with pytest.raises(BContractError):
+        closed.invoke(ctx(), "faucet", {"amount": 10})
+
+
+def test_genesis_balances():
+    contract = FastMoney("genesis", params={"genesis_balances": {BOB.hex(): 50}})
+    assert contract.query("balance_of", {"account": BOB.hex()}) == 50
+    assert contract.query("total_supply", {}) == 50
+
+
+def test_transfer_moves_funds(fastmoney):
+    result = fastmoney.invoke(ctx(tx_id="0x2"), "transfer", {"to": BOB.hex(), "amount": 30})
+    assert result == {"from": ALICE.hex(), "to": BOB.hex(), "amount": 30}
+    assert fastmoney.query("balance_of", {"account": ALICE.hex()}) == 70
+    assert fastmoney.query("balance_of", {"account": BOB.hex()}) == 30
+    assert fastmoney.query("transfer_count", {}) == 1
+
+
+def test_transfer_result_is_order_independent(fastmoney):
+    # Results must not expose running balances (cross-cell determinism).
+    result = fastmoney.invoke(ctx(tx_id="0x2"), "transfer", {"to": BOB.hex(), "amount": 10})
+    assert "balance" not in str(sorted(result))
+
+
+def test_insufficient_funds_rejected(fastmoney):
+    with pytest.raises(BContractError):
+        fastmoney.invoke(ctx(tx_id="0x2"), "transfer", {"to": BOB.hex(), "amount": 1000})
+    assert fastmoney.query("balance_of", {"account": ALICE.hex()}) == 100
+
+
+def test_self_transfer_rejected(fastmoney):
+    with pytest.raises(BContractError):
+        fastmoney.invoke(ctx(tx_id="0x2"), "transfer", {"to": ALICE.hex(), "amount": 1})
+
+
+def test_replayed_transaction_id_rejected(fastmoney):
+    fastmoney.invoke(ctx(tx_id="0xdup"), "transfer", {"to": BOB.hex(), "amount": 5})
+    with pytest.raises(BContractError):
+        fastmoney.invoke(ctx(tx_id="0xdup"), "transfer", {"to": CAROL.hex(), "amount": 5})
+
+
+def test_invalid_amounts_rejected(fastmoney):
+    for amount in (0, -5, 1.5, "ten", True):
+        with pytest.raises(BContractError):
+            fastmoney.invoke(ctx(tx_id=f"0x{amount}"), "transfer", {"to": BOB.hex(), "amount": amount})
+
+
+def test_invalid_recipient_rejected(fastmoney):
+    with pytest.raises(BContractError):
+        fastmoney.invoke(ctx(tx_id="0x2"), "transfer", {"to": "not-an-address", "amount": 1})
+
+
+def test_burn(fastmoney):
+    fastmoney.invoke(ctx(tx_id="0x2"), "burn", {"amount": 40})
+    assert fastmoney.query("balance_of", {"account": ALICE.hex()}) == 60
+    assert fastmoney.query("total_supply", {}) == 60
+    with pytest.raises(BContractError):
+        fastmoney.invoke(ctx(tx_id="0x3"), "burn", {"amount": 1000})
+
+
+def test_unknown_account_balance_is_zero(fastmoney):
+    assert fastmoney.query("balance_of", {"account": CAROL.hex()}) == 0
+
+
+def test_supply_conserved_by_transfers(fastmoney):
+    fastmoney.invoke(ctx(tx_id="0x2"), "transfer", {"to": BOB.hex(), "amount": 60})
+    fastmoney.invoke(ctx(sender=BOB, tx_id="0x3"), "transfer", {"to": CAROL.hex(), "amount": 20})
+    total = sum(
+        fastmoney.query("balance_of", {"account": account.hex()})
+        for account in (ALICE, BOB, CAROL)
+    )
+    assert total == fastmoney.query("total_supply", {}) == 100

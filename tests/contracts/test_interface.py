@@ -1,0 +1,117 @@
+"""The BContract base class: dispatch, atomicity, fingerprints."""
+
+import pytest
+
+from repro.contracts import (
+    BContract,
+    BContractError,
+    InvocationContext,
+    bcontract_method,
+    bcontract_view,
+)
+from repro.crypto.keys import PrivateKey
+
+ALICE = PrivateKey.from_seed("iface-alice").address
+
+
+class Counter(BContract):
+    """Minimal contract used to exercise the base class."""
+
+    TYPE = "test/counter"
+
+    @bcontract_method
+    def bump(self, ctx, by=1):
+        if by <= 0:
+            raise BContractError("by must be positive")
+        value = self.store.increment("count", by)
+        return {"count": value}
+
+    @bcontract_method
+    def buggy(self, ctx):
+        self.store.put("partial", True)
+        raise RuntimeError("unexpected crash")
+
+    @bcontract_view
+    def value(self):
+        return self.store.get("count", 0)
+
+
+def ctx(tx_id="0x01", timestamp=1.0):
+    return InvocationContext(sender=ALICE, tx_id=tx_id, timestamp=timestamp, cell_id="cell-0", cycle=0)
+
+
+def test_method_and_view_discovery():
+    counter = Counter("counter")
+    assert counter.methods() == ["buggy", "bump"]
+    assert counter.views() == ["value"]
+
+
+def test_invoke_and_query():
+    counter = Counter("counter")
+    result = counter.invoke(ctx(), "bump", {"by": 3})
+    assert result == {"count": 3}
+    assert counter.query("value", {}) == 3
+
+
+def test_unknown_method_and_view_raise():
+    counter = Counter("counter")
+    with pytest.raises(BContractError):
+        counter.invoke(ctx(), "missing", {})
+    with pytest.raises(BContractError):
+        counter.query("missing", {})
+
+
+def test_bad_arguments_revert():
+    counter = Counter("counter")
+    with pytest.raises(BContractError):
+        counter.invoke(ctx(), "bump", {"unexpected": 1})
+    assert counter.query("value", {}) == 0
+
+
+def test_contract_error_rolls_back_writes():
+    counter = Counter("counter")
+    counter.invoke(ctx(), "bump", {})
+    fingerprint = counter.fingerprint()
+    with pytest.raises(BContractError):
+        counter.invoke(ctx(), "bump", {"by": -1})
+    assert counter.fingerprint() == fingerprint
+
+
+def test_internal_error_wrapped_and_rolled_back():
+    counter = Counter("counter")
+    with pytest.raises(BContractError):
+        counter.invoke(ctx(), "buggy", {})
+    assert not counter.store.contains("partial")
+
+
+def test_fingerprint_changes_with_state():
+    counter = Counter("counter")
+    before = counter.fingerprint_hex()
+    counter.invoke(ctx(), "bump", {})
+    assert counter.fingerprint_hex() != before
+
+
+def test_clone_and_restore_roundtrip():
+    counter = Counter("counter")
+    counter.invoke(ctx(), "bump", {"by": 7})
+    exported = counter.export_state()
+    clone = Counter("counter")
+    clone.restore_state(exported)
+    assert clone.fingerprint() == counter.fingerprint()
+    assert clone.query("value", {}) == 7
+
+
+def test_describe_summary():
+    counter = Counter("counter", owner=ALICE)
+    info = counter.describe()
+    assert info["name"] == "counter"
+    assert info["type"] == "test/counter"
+    assert info["owner"] == ALICE.hex()
+    assert "bump" in info["methods"]
+
+
+def test_require_sender_helper():
+    context = ctx()
+    context.require_sender(ALICE)
+    with pytest.raises(BContractError):
+        context.require_sender(PrivateKey.from_seed("other").address)

@@ -1,0 +1,80 @@
+"""The restricted interpreter for community bContract source."""
+
+import pytest
+
+from repro.contracts.interpreter import InterpreterError, instantiate_contract, load_contract_class
+
+VALID_SOURCE = '''
+class Greeter(BContract):
+    TYPE = "community/greeter"
+
+    @bcontract_method
+    def greet(self, ctx, name):
+        if not name:
+            raise BContractError("name required")
+        self.store.increment("greetings")
+        return {"message": "hello " + name}
+
+    @bcontract_view
+    def count(self):
+        return self.store.get("greetings", 0)
+'''
+
+
+def test_load_valid_contract_class():
+    cls = load_contract_class(VALID_SOURCE)
+    assert cls.__name__ == "Greeter"
+
+
+def test_instantiate_and_invoke():
+    from repro.contracts import InvocationContext
+    from repro.crypto.keys import PrivateKey
+
+    contract = instantiate_contract(VALID_SOURCE, name="greeter")
+    ctx = InvocationContext(
+        sender=PrivateKey.from_seed("caller").address,
+        tx_id="0x1", timestamp=0.0, cell_id="cell-0", cycle=0,
+    )
+    result = contract.invoke(ctx, "greet", {"name": "world"})
+    assert result == {"message": "hello world"}
+    assert contract.query("count", {}) == 1
+
+
+def test_empty_source_rejected():
+    with pytest.raises(InterpreterError):
+        load_contract_class("   ")
+
+
+def test_import_is_forbidden():
+    with pytest.raises(InterpreterError):
+        load_contract_class("import os\nclass X(BContract):\n    pass\n")
+
+
+def test_dunder_escapes_forbidden():
+    with pytest.raises(InterpreterError):
+        load_contract_class("class X(BContract):\n    y = ().__class__.__subclasses__()\n")
+
+
+def test_open_forbidden():
+    with pytest.raises(InterpreterError):
+        load_contract_class("class X(BContract):\n    f = open('/etc/passwd')\n")
+
+
+def test_source_must_define_exactly_one_contract():
+    with pytest.raises(InterpreterError):
+        load_contract_class("x = 1\n")
+    two = VALID_SOURCE + "\nclass Another(BContract):\n    pass\n"
+    with pytest.raises(InterpreterError):
+        load_contract_class(two)
+
+
+def test_syntax_error_reported():
+    with pytest.raises(InterpreterError):
+        load_contract_class("class Broken(BContract:\n    pass\n")
+
+
+def test_loaded_contracts_are_isolated_instances():
+    first = instantiate_contract(VALID_SOURCE, name="a")
+    second = instantiate_contract(VALID_SOURCE, name="b")
+    first.store.put("greetings", 10)
+    assert second.query("count", {}) == 0

@@ -1,0 +1,131 @@
+"""KeyValueStore: journaling, incremental fingerprints, cloning."""
+
+import pytest
+
+from repro.contracts.state_store import EMPTY_FINGERPRINT, KeyValueStore, StoreError
+
+
+def test_put_get_delete():
+    store = KeyValueStore()
+    store.put("a", 1)
+    assert store.get("a") == 1
+    assert store.contains("a")
+    store.delete("a")
+    assert store.get("a") is None
+    assert len(store) == 0
+
+
+def test_require_raises_for_missing_key():
+    with pytest.raises(StoreError):
+        KeyValueStore().require("missing")
+
+
+def test_keys_and_items_sorted_with_prefix():
+    store = KeyValueStore({"b/2": 2, "a/1": 1, "b/1": 3})
+    assert store.keys() == ["a/1", "b/1", "b/2"]
+    assert store.keys("b/") == ["b/1", "b/2"]
+    assert list(store.items("b/")) == [("b/1", 3), ("b/2", 2)]
+
+
+def test_increment():
+    store = KeyValueStore()
+    assert store.increment("count") == 1
+    assert store.increment("count", 4) == 5
+
+
+def test_non_string_keys_rejected():
+    with pytest.raises(StoreError):
+        KeyValueStore().put(5, "value")
+
+
+def test_empty_store_fingerprint():
+    assert KeyValueStore().fingerprint() == EMPTY_FINGERPRINT
+
+
+def test_fingerprint_tracks_content_not_history():
+    a = KeyValueStore()
+    a.put("x", 1)
+    a.put("y", 2)
+    a.delete("x")
+    b = KeyValueStore()
+    b.put("y", 2)
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_fingerprint_matches_recomputation_after_updates():
+    store = KeyValueStore()
+    for index in range(50):
+        store.put(f"key-{index % 7}", index)
+        if index % 3 == 0:
+            store.delete(f"key-{index % 5}")
+    assert store.fingerprint() == store.recompute_fingerprint()
+
+
+def test_fingerprint_insertion_order_independent():
+    a = KeyValueStore()
+    b = KeyValueStore()
+    a.put("x", 1)
+    a.put("y", 2)
+    b.put("y", 2)
+    b.put("x", 1)
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_journal_commit_keeps_writes():
+    store = KeyValueStore({"balance": 10})
+    store.begin()
+    store.put("balance", 5)
+    store.commit()
+    assert store.get("balance") == 5
+
+
+def test_journal_rollback_restores_values_and_fingerprint():
+    store = KeyValueStore({"balance": 10})
+    before = store.fingerprint()
+    store.begin()
+    store.put("balance", 5)
+    store.put("new", "entry")
+    store.delete("balance")
+    store.rollback()
+    assert store.get("balance") == 10
+    assert not store.contains("new")
+    assert store.fingerprint() == before
+
+
+def test_journal_misuse_raises():
+    store = KeyValueStore()
+    with pytest.raises(StoreError):
+        store.commit()
+    with pytest.raises(StoreError):
+        store.rollback()
+    store.begin()
+    with pytest.raises(StoreError):
+        store.begin()
+
+
+def test_clone_snapshot_captures_fingerprint():
+    store = KeyValueStore({"a": 1})
+    snapshot = store.clone_snapshot()
+    assert snapshot.fingerprint == store.fingerprint()
+    assert snapshot.entry_count == 1
+    assert snapshot.fingerprint_hex().startswith("0x")
+    store.put("b", 2)
+    assert snapshot.fingerprint != store.fingerprint()
+
+
+def test_export_and_restore_state():
+    store = KeyValueStore({"a": {"nested": [1, 2]}, "b": 2})
+    exported = store.export_state()
+    exported["a"]["nested"].append(3)  # the export is a deep copy
+    assert store.get("a") == {"nested": [1, 2]}
+
+    other = KeyValueStore()
+    other.restore_state(store.export_state())
+    assert other.fingerprint() == store.fingerprint()
+
+
+def test_restore_inside_transaction_rejected():
+    store = KeyValueStore()
+    store.begin()
+    with pytest.raises(StoreError):
+        store.restore_state({})

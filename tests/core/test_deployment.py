@@ -1,0 +1,78 @@
+"""Deployment orchestration."""
+
+import pytest
+
+from repro.messages import EcdsaSigner, SimulatedSigner
+from tests.conftest import make_deployment
+
+
+def test_deployment_builds_requested_consortium():
+    deployment = make_deployment(consortium_size=4)
+    assert deployment.consortium_size == 4
+    assert len({cell.address for cell in deployment.cells}) == 4
+    assert deployment.invariants.consortium_size == 4
+    assert deployment.cell(1) is deployment.cells[1]
+    assert deployment.cell_by_address(deployment.cells[2].address) is deployment.cells[2]
+    with pytest.raises(KeyError):
+        deployment.cell_by_address(deployment.make_client_signer("nobody").address)
+
+
+def test_registry_contract_knows_cell_eth_accounts():
+    deployment = make_deployment(consortium_size=3)
+    registry = deployment.registry_contract
+    assert registry.cells == [key.address for key in deployment.cell_eth_keys]
+    assert registry.report_period == int(deployment.config.report_period)
+
+
+def test_default_contracts_deployed_identically_everywhere():
+    deployment = make_deployment()
+    names = {tuple(cell.contracts.names()) for cell in deployment.cells}
+    assert len(names) == 1
+    assert "fastmoney" in deployment.cell(0).contracts.names()
+    assert "system.cas" in deployment.cell(0).contracts.names()
+    assert "system.deployer" in deployment.cell(0).contracts.names()
+    # Instances are independent objects (no shared mutable state).
+    assert deployment.cell(0).contracts.get("fastmoney") is not deployment.cell(1).contracts.get("fastmoney")
+
+
+def test_default_contract_deployment_can_be_disabled():
+    deployment = make_deployment(deploy_default_contracts=False)
+    assert deployment.cell(0).contracts.names() == ["system.cas", "system.deployer"]
+
+
+def test_signature_scheme_selection():
+    ecdsa_deployment = make_deployment(signature_scheme="ecdsa")
+    sim_deployment = make_deployment(signature_scheme="sim", seed=77)
+    assert isinstance(ecdsa_deployment.cell_signers[0], EcdsaSigner)
+    assert isinstance(sim_deployment.cell_signers[0], SimulatedSigner)
+    assert isinstance(sim_deployment.make_client_signer("x"), SimulatedSigner)
+
+
+def test_cell_eth_accounts_funded():
+    deployment = make_deployment()
+    for key in deployment.cell_eth_keys:
+        assert deployment.eth.get_balance(key.address) > 0
+
+
+def test_run_cycles_advances_time():
+    deployment = make_deployment(report_period=10.0)
+    start = deployment.env.now
+    deployment.run_cycles(2)
+    assert deployment.env.now >= start + 20.0
+
+
+def test_statistics_shape():
+    deployment = make_deployment()
+    deployment.run(until=5.0)
+    stats = deployment.statistics()
+    assert stats["consortium_size"] == 2
+    assert len(stats["cells"]) == 2
+    assert stats["eth_height"] >= 0
+    assert "deployment_id" in stats["invariants"]
+
+
+def test_deterministic_given_seed():
+    a = make_deployment(seed=123)
+    b = make_deployment(seed=123)
+    assert [cell.address for cell in a.cells] == [cell.address for cell in b.cells]
+    assert a.registry_contract.address == b.registry_contract.address

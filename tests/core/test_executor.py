@@ -1,0 +1,112 @@
+"""The deterministic transaction executor."""
+
+import pytest
+
+from repro.contracts import BContractError, ContractRegistry, FastMoney
+from repro.contracts.system.cas import ContentAddressableStorage
+from repro.core.executor import TransactionExecutor
+from repro.core.ledger import TransactionLedger
+from repro.crypto.keys import PrivateKey
+from repro.messages import EcdsaSigner, Envelope, Opcode
+from repro.sim import Environment
+
+CLIENT = EcdsaSigner.from_seed("exec-client")
+CELL = PrivateKey.from_seed("exec-cell").address
+
+
+@pytest.fixture
+def setup():
+    registry = ContractRegistry()
+    registry.register(ContentAddressableStorage(ContentAddressableStorage.DEFAULT_NAME))
+    fastmoney = FastMoney("fastmoney", params={"genesis_balances": {CLIENT.address.hex(): 100}})
+    registry.register(fastmoney)
+    ledger = TransactionLedger(Environment(), "cell-0")
+    executor = TransactionExecutor("cell-0", registry)
+    return registry, ledger, executor
+
+
+def admit(ledger, data, nonce="0x1", timestamp=2.0):
+    envelope = Envelope.create(
+        signer=CLIENT, recipient=CELL, operation=Opcode.TX_SUBMIT,
+        data=data, timestamp=timestamp, nonce=nonce,
+    )
+    return ledger.admit(envelope, cycle=0)
+
+
+def test_successful_execution(setup):
+    registry, ledger, executor = setup
+    entry = admit(ledger, {"contract": "fastmoney", "method": "transfer",
+                           "args": {"to": "0x" + "aa" * 20, "amount": 25}})
+    outcome = executor.execute(entry)
+    assert outcome.ok and outcome.status == "executed"
+    assert outcome.result["amount"] == 25
+    assert outcome.fingerprint == registry.get("fastmoney").fingerprint()
+    assert outcome.fingerprint_hex().startswith("0x")
+
+
+def test_contract_rejection_is_an_outcome_not_an_exception(setup):
+    _registry, ledger, executor = setup
+    entry = admit(ledger, {"contract": "fastmoney", "method": "transfer",
+                           "args": {"to": "0x" + "aa" * 20, "amount": 10_000}})
+    outcome = executor.execute(entry)
+    assert not outcome.ok and "insufficient" in outcome.error
+
+
+def test_unknown_contract_raises(setup):
+    _registry, ledger, executor = setup
+    entry = admit(ledger, {"contract": "ghost", "method": "x", "args": {}})
+    with pytest.raises(BContractError):
+        executor.execute(entry)
+
+
+def test_malformed_call_rejected(setup):
+    _registry, ledger, executor = setup
+    entry = admit(ledger, {"method": "transfer", "args": {}})
+    with pytest.raises(BContractError):
+        executor.execute(entry)
+    entry2 = admit(ledger, {"contract": "fastmoney", "args": {}}, nonce="0x2")
+    with pytest.raises(BContractError):
+        executor.execute(entry2)
+
+
+def test_execution_fingerprint_is_order_independent_identifier(setup):
+    _registry, ledger, executor = setup
+    entry = admit(ledger, {"contract": "fastmoney", "method": "transfer",
+                           "args": {"to": "0x" + "aa" * 20, "amount": 5}})
+    outcome = executor.execute(entry)
+    assert outcome.execution_fingerprint() != outcome.fingerprint
+    assert outcome.execution_fingerprint_hex().startswith("0x")
+
+
+def test_identical_transactions_produce_identical_execution_fingerprints(setup):
+    registry, ledger, executor = setup
+    other_registry = ContractRegistry()
+    other_registry.register(ContentAddressableStorage(ContentAddressableStorage.DEFAULT_NAME))
+    other_registry.register(
+        FastMoney("fastmoney", params={"genesis_balances": {CLIENT.address.hex(): 100}})
+    )
+    other_ledger = TransactionLedger(Environment(), "cell-1")
+    other_executor = TransactionExecutor("cell-1", other_registry)
+
+    data = {"contract": "fastmoney", "method": "transfer",
+            "args": {"to": "0x" + "aa" * 20, "amount": 5}}
+    entry_a = admit(ledger, data)
+    entry_b = admit(other_ledger, data)
+    assert (
+        executor.execute(entry_a).execution_fingerprint()
+        == other_executor.execute(entry_b).execution_fingerprint()
+    )
+
+
+def test_context_uses_signed_timestamp(setup):
+    registry, ledger, executor = setup
+    entry = admit(ledger, {"contract": "fastmoney", "method": "transfer",
+                           "args": {"to": "0x" + "aa" * 20, "amount": 1}}, timestamp=42.0)
+    executor.execute(entry)
+    stored = registry.get("fastmoney").store.get(f"processed/{entry.tx_id}")
+    assert stored == pytest.approx(42.0)
+
+
+def test_query_view(setup):
+    _registry, _ledger, executor = setup
+    assert executor.query("fastmoney", "balance_of", {"account": CLIENT.address.hex()}) == 100

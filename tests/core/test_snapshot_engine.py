@@ -1,0 +1,103 @@
+"""Data snapshots and the snapshot engine."""
+
+import pytest
+
+from repro.contracts import ContractRegistry, FastMoney, InvocationContext
+from repro.core.snapshot import SnapshotEngine, SnapshotError
+from repro.crypto.fingerprint import snapshot_fingerprint
+from repro.crypto.keys import PrivateKey
+
+ALICE = PrivateKey.from_seed("snap-alice").address
+
+
+@pytest.fixture
+def registry():
+    reg = ContractRegistry()
+    reg.register(FastMoney("fastmoney"))
+    return reg
+
+
+@pytest.fixture
+def engine(registry):
+    return SnapshotEngine("cell-0", registry, retain=3)
+
+
+def mutate(registry, tx_id="0x1"):
+    contract = registry.get("fastmoney")
+    ctx = InvocationContext(sender=ALICE, tx_id=tx_id, timestamp=1.0, cell_id="cell-0", cycle=0)
+    contract.invoke(ctx, "faucet", {"amount": 10})
+
+
+def test_snapshot_contains_contract_fingerprints(engine, registry):
+    snapshot = engine.take_snapshot(cycle=0, timestamp=10.0, first_sequence=0, last_sequence=5)
+    assert "fastmoney" in snapshot.contract_fingerprints
+    assert snapshot.fingerprint == snapshot_fingerprint(snapshot.contract_fingerprints)
+    assert snapshot.fingerprint_hex().startswith("0x")
+    assert snapshot.contract_fingerprint_hex("fastmoney").startswith("0x")
+    assert "fastmoney" in snapshot.state_export
+
+
+def test_snapshot_changes_with_state(engine, registry):
+    first = engine.take_snapshot(cycle=0, timestamp=10.0, first_sequence=0, last_sequence=0)
+    mutate(registry)
+    second = engine.take_snapshot(cycle=1, timestamp=20.0, first_sequence=1, last_sequence=1)
+    assert first.fingerprint != second.fingerprint
+
+
+def test_snapshot_identical_for_identical_state(registry):
+    engine_a = SnapshotEngine("cell-0", registry, retain=3)
+    other_registry = ContractRegistry()
+    other_registry.register(FastMoney("fastmoney"))
+    engine_b = SnapshotEngine("cell-1", other_registry, retain=3)
+    mutate(registry, "0xsame")
+    mutate(other_registry, "0xsame")
+    a = engine_a.take_snapshot(cycle=0, timestamp=10.0, first_sequence=0, last_sequence=0)
+    b = engine_b.take_snapshot(cycle=0, timestamp=11.0, first_sequence=0, last_sequence=0)
+    assert a.fingerprint == b.fingerprint
+
+
+def test_excluded_contract_left_out(engine, registry):
+    registry.exclude("fastmoney")
+    snapshot = engine.take_snapshot(cycle=0, timestamp=10.0, first_sequence=0, last_sequence=0)
+    assert "fastmoney" not in snapshot.contract_fingerprints
+    assert snapshot.excluded_contracts == ("fastmoney",)
+
+
+def test_out_of_order_cycles_rejected(engine):
+    engine.take_snapshot(cycle=1, timestamp=10.0, first_sequence=0, last_sequence=0)
+    with pytest.raises(SnapshotError):
+        engine.take_snapshot(cycle=1, timestamp=20.0, first_sequence=0, last_sequence=0)
+    with pytest.raises(SnapshotError):
+        engine.take_snapshot(cycle=0, timestamp=30.0, first_sequence=0, last_sequence=0)
+
+
+def test_retention_pruning(engine):
+    for cycle in range(5):
+        engine.take_snapshot(cycle=cycle, timestamp=float(cycle), first_sequence=0, last_sequence=0)
+    assert engine.retained_cycles() == [2, 3, 4]
+    assert engine.latest_cycle == 4
+    assert engine.has(4) and not engine.has(0)
+    with pytest.raises(SnapshotError):
+        engine.get(0)
+
+
+def test_latest_requires_a_snapshot(registry):
+    engine = SnapshotEngine("cell-0", registry)
+    with pytest.raises(SnapshotError):
+        engine.latest()
+    assert engine.latest_cycle is None
+
+
+def test_minimum_retention_enforced(registry):
+    with pytest.raises(SnapshotError):
+        SnapshotEngine("cell-0", registry, retain=1)
+
+
+def test_wire_form_and_storage_accounting(engine, registry):
+    mutate(registry)
+    engine.take_snapshot(cycle=0, timestamp=10.0, first_sequence=0, last_sequence=0)
+    wire = engine.latest().to_wire()
+    assert wire["cycle"] == 0 and "state_export" in wire
+    slim = engine.latest().to_wire(include_state=False)
+    assert "state_export" not in slim
+    assert engine.storage_bytes() > 0

@@ -1,0 +1,74 @@
+"""Canonical encoding and state fingerprinting."""
+
+import pytest
+
+from repro.crypto.fingerprint import (
+    canonical_bytes,
+    fingerprint_state,
+    fingerprint_state_hex,
+    snapshot_fingerprint,
+    snapshot_fingerprint_hex,
+)
+
+
+def test_dict_key_order_does_not_matter():
+    a = {"x": 1, "y": [1, 2, 3], "z": {"nested": True}}
+    b = {"z": {"nested": True}, "y": [1, 2, 3], "x": 1}
+    assert fingerprint_state(a) == fingerprint_state(b)
+
+
+def test_list_order_matters():
+    assert fingerprint_state([1, 2, 3]) != fingerprint_state([3, 2, 1])
+
+
+def test_type_distinctions():
+    assert canonical_bytes(1) != canonical_bytes("1")
+    assert canonical_bytes(True) != canonical_bytes(1)
+    assert canonical_bytes(None) != canonical_bytes(0)
+    assert canonical_bytes(b"ab") != canonical_bytes("ab")
+
+
+def test_value_changes_change_fingerprint():
+    assert fingerprint_state({"balance": 10}) != fingerprint_state({"balance": 11})
+
+
+def test_nested_structures_supported():
+    state = {"accounts": {"0xabc": {"balance": 5, "history": [1, 2]}}, "supply": 5}
+    assert len(fingerprint_state(state)) == 32
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(TypeError):
+        canonical_bytes(object())
+
+
+def test_fingerprint_hex_prefix():
+    assert fingerprint_state_hex({"a": 1}).startswith("0x")
+
+
+def test_snapshot_fingerprint_combines_contracts():
+    parts = {"fastmoney": b"\x01" * 32, "system.cas": b"\x02" * 32}
+    combined = snapshot_fingerprint(parts)
+    assert len(combined) == 32
+    assert combined != parts["fastmoney"]
+
+
+def test_snapshot_fingerprint_is_order_independent():
+    parts_a = {"a": b"\x01" * 32, "b": b"\x02" * 32}
+    parts_b = {"b": b"\x02" * 32, "a": b"\x01" * 32}
+    assert snapshot_fingerprint(parts_a) == snapshot_fingerprint(parts_b)
+
+
+def test_snapshot_fingerprint_detects_excluded_contract():
+    full = {"a": b"\x01" * 32, "b": b"\x02" * 32}
+    partial = {"a": b"\x01" * 32}
+    assert snapshot_fingerprint(full) != snapshot_fingerprint(partial)
+
+
+def test_snapshot_fingerprint_hex():
+    assert snapshot_fingerprint_hex({"a": b"\x01" * 32}).startswith("0x")
+
+
+def test_float_and_string_lengths_disambiguated():
+    # "ab" + "c" must not collide with "a" + "bc".
+    assert canonical_bytes(["ab", "c"]) != canonical_bytes(["a", "bc"])

@@ -1,0 +1,75 @@
+"""Keccak-256 against published test vectors and API behaviour."""
+
+import pytest
+
+from repro.crypto.keccak import Keccak256, keccak256, keccak256_hex
+
+# Known Keccak-256 (pre-SHA3 padding) vectors.
+VECTORS = {
+    b"": "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470",
+    b"abc": "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45",
+    b"testing": "5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02",
+    b"The quick brown fox jumps over the lazy dog":
+        "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15",
+}
+
+
+@pytest.mark.parametrize("message,expected", sorted(VECTORS.items()))
+def test_known_vectors(message, expected):
+    assert keccak256(message).hex() == expected
+
+
+def test_hex_digest_matches_digest():
+    assert keccak256_hex(b"abc") == keccak256(b"abc").hex()
+
+
+def test_digest_is_32_bytes():
+    assert len(keccak256(b"x" * 1000)) == 32
+
+
+def test_incremental_update_equals_one_shot():
+    hasher = Keccak256()
+    hasher.update(b"The quick brown fox ")
+    hasher.update(b"jumps over the lazy dog")
+    assert hasher.hexdigest() == VECTORS[b"The quick brown fox jumps over the lazy dog"]
+
+
+def test_update_returns_self_for_chaining():
+    assert Keccak256().update(b"a").update(b"bc").hexdigest() == VECTORS[b"abc"]
+
+
+def test_multi_block_input():
+    # Exercise more than one sponge block (rate = 136 bytes).
+    data = b"a" * 500
+    assert keccak256(data) == Keccak256(data).digest()
+    incremental = Keccak256()
+    for offset in range(0, len(data), 37):
+        incremental.update(data[offset:offset + 37])
+    assert incremental.digest() == keccak256(data)
+
+
+def test_digest_does_not_finalize_state():
+    hasher = Keccak256(b"ab")
+    first = hasher.digest()
+    assert hasher.digest() == first
+    hasher.update(b"c")
+    assert hasher.hexdigest() == VECTORS[b"abc"]
+
+
+def test_copy_is_independent():
+    hasher = Keccak256(b"ab")
+    clone = hasher.copy()
+    clone.update(b"c")
+    hasher.update(b"X")
+    assert clone.hexdigest() == VECTORS[b"abc"]
+    assert hasher.hexdigest() != clone.hexdigest()
+
+
+def test_rejects_non_bytes_input():
+    with pytest.raises(TypeError):
+        Keccak256().update("not-bytes")
+
+
+def test_distinct_inputs_distinct_digests():
+    digests = {keccak256(bytes([i])) for i in range(64)}
+    assert len(digests) == 64

@@ -1,0 +1,88 @@
+"""secp256k1 group arithmetic."""
+
+import pytest
+
+from repro.crypto.secp256k1 import (
+    GENERATOR,
+    INFINITY,
+    InvalidPointError,
+    N,
+    P,
+    Point,
+    decode_point,
+    point_add,
+    recover_y,
+    scalar_multiply,
+)
+
+
+def test_generator_is_on_curve():
+    assert (GENERATOR.y ** 2 - GENERATOR.x ** 3 - 7) % P == 0
+
+
+def test_off_curve_point_rejected():
+    with pytest.raises(InvalidPointError):
+        Point(1, 1)
+
+
+def test_point_addition_identity():
+    assert point_add(GENERATOR, INFINITY) == GENERATOR
+    assert point_add(INFINITY, GENERATOR) == GENERATOR
+
+
+def test_addition_of_inverse_is_infinity():
+    negated = Point(GENERATOR.x, P - GENERATOR.y)
+    assert point_add(GENERATOR, negated).is_infinity()
+
+
+def test_doubling_matches_scalar_two():
+    doubled = point_add(GENERATOR, GENERATOR)
+    assert doubled == scalar_multiply(2)
+
+
+def test_scalar_multiplication_distributes():
+    # (3 + 5) * G == 3*G + 5*G
+    left = scalar_multiply(8)
+    right = point_add(scalar_multiply(3), scalar_multiply(5))
+    assert left == right
+
+
+def test_order_times_generator_is_infinity():
+    assert scalar_multiply(N).is_infinity()
+
+
+def test_scalar_zero_is_infinity():
+    assert scalar_multiply(0).is_infinity()
+
+
+def test_known_multiple():
+    # 2*G from the SEC2 test data.
+    doubled = scalar_multiply(2)
+    assert doubled.x == 0xC6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5
+    assert doubled.y == 0x1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A
+
+
+def test_encode_decode_uncompressed_roundtrip():
+    point = scalar_multiply(123456789)
+    assert decode_point(point.encode()) == point
+
+
+def test_encode_decode_compressed_roundtrip():
+    point = scalar_multiply(987654321)
+    assert decode_point(point.encode(compressed=True)) == point
+
+
+def test_decode_rejects_bad_length():
+    with pytest.raises(InvalidPointError):
+        decode_point(b"\x02" * 10)
+
+
+def test_recover_y_parities():
+    point = scalar_multiply(42)
+    assert recover_y(point.x, bool(point.y & 1)) == point.y
+    assert recover_y(point.x, not bool(point.y & 1)) == P - point.y
+
+
+def test_encode_infinity_rejected():
+    with pytest.raises(InvalidPointError):
+        INFINITY.encode()

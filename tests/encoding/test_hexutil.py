@@ -1,0 +1,44 @@
+"""Hex helpers."""
+
+import pytest
+
+from repro.encoding.hexutil import HexError, from_hex, hex_to_int, int_to_hex, strip_0x, to_hex
+
+
+def test_to_hex_prefix():
+    assert to_hex(b"\x01\x02") == "0x0102"
+
+
+def test_from_hex_with_and_without_prefix():
+    assert from_hex("0x0102") == b"\x01\x02"
+    assert from_hex("0102") == b"\x01\x02"
+
+
+def test_from_hex_odd_length_padded():
+    assert from_hex("0x1") == b"\x01"
+
+
+def test_from_hex_invalid():
+    with pytest.raises(HexError):
+        from_hex("0xzz")
+
+
+def test_strip_prefix():
+    assert strip_0x("0xabc") == "abc"
+    assert strip_0x("abc") == "abc"
+    assert strip_0x("0Xabc") == "abc"
+
+
+def test_int_roundtrip():
+    assert hex_to_int(int_to_hex(123456)) == 123456
+    assert hex_to_int("0x") == 0
+
+
+def test_int_to_hex_rejects_negative():
+    with pytest.raises(HexError):
+        int_to_hex(-1)
+
+
+def test_hex_to_int_invalid():
+    with pytest.raises(HexError):
+        hex_to_int("0xgg")

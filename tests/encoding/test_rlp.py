@@ -1,0 +1,92 @@
+"""RLP encoding against the canonical Ethereum test vectors."""
+
+import pytest
+
+from repro.encoding.rlp import RLPError, decode, decode_int, encode
+
+
+def test_single_byte_below_0x80_encodes_as_itself():
+    assert encode(b"a") == b"a"
+    assert encode(0x7F) == b"\x7f"
+
+
+def test_empty_string():
+    assert encode(b"") == b"\x80"
+    assert encode(0) == b"\x80"
+
+
+def test_dog_vector():
+    assert encode(b"dog") == b"\x83dog"
+
+
+def test_cat_dog_list_vector():
+    assert encode([b"cat", b"dog"]) == b"\xc8\x83cat\x83dog"
+
+
+def test_empty_list():
+    assert encode([]) == b"\xc0"
+
+
+def test_integer_vectors():
+    assert encode(15) == b"\x0f"
+    assert encode(1024) == b"\x82\x04\x00"
+
+
+def test_long_string_prefix():
+    text = b"Lorem ipsum dolor sit amet, consectetur adipisicing elit"
+    encoded = encode(text)
+    assert encoded[0] == 0xB8
+    assert encoded[1] == len(text)
+    assert encoded[2:] == text
+
+
+def test_nested_list_roundtrip():
+    value = [b"cat", [b"dog", [b""]], b"horse", [[]]]
+    assert decode(encode(value)) == [b"cat", [b"dog", [b""]], b"horse", [[]]]
+
+
+def test_string_inputs_are_utf8():
+    assert encode("dog") == encode(b"dog")
+
+
+def test_negative_int_rejected():
+    with pytest.raises(RLPError):
+        encode(-1)
+
+
+def test_bool_rejected():
+    with pytest.raises(RLPError):
+        encode(True)
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(RLPError):
+        encode(1.5)
+
+
+def test_decode_int_helper():
+    assert decode_int(decode(encode(1024))) == 1024
+    assert decode_int(b"") == 0
+
+
+def test_decode_rejects_trailing_bytes():
+    with pytest.raises(RLPError):
+        decode(encode(b"dog") + b"\x00")
+
+
+def test_decode_rejects_empty_input():
+    with pytest.raises(RLPError):
+        decode(b"")
+
+
+def test_decode_rejects_non_canonical_single_byte():
+    # 0x81 0x05 is the non-canonical encoding of 0x05.
+    with pytest.raises(RLPError):
+        decode(b"\x81\x05")
+
+
+def test_large_payload_roundtrip():
+    value = [b"x" * 300, [b"y" * 100] * 5, 2 ** 64]
+    decoded = decode(encode(value))
+    assert decoded[0] == b"x" * 300
+    assert decode_int(decoded[2]) == 2 ** 64

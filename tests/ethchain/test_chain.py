@@ -1,0 +1,111 @@
+"""Blockchain state transitions, fees, and block assembly."""
+
+import pytest
+
+from repro.crypto.keys import Address, PrivateKey
+from repro.ethchain.chain import Blockchain, ChainError, make_funded_key
+from repro.ethchain.contracts.erc20 import ERC20Token
+from repro.ethchain.transaction import EthTransaction
+
+
+@pytest.fixture
+def chain():
+    return Blockchain()
+
+
+@pytest.fixture
+def alice(chain):
+    return make_funded_key(chain, "chain-alice", ether=10.0)
+
+
+@pytest.fixture
+def bob(chain):
+    return make_funded_key(chain, "chain-bob", ether=1.0)
+
+
+def test_genesis_block_exists(chain):
+    assert chain.height == 0
+    assert chain.latest_block().number == 0
+
+
+def test_value_transfer_moves_funds_and_charges_fee(chain, alice, bob):
+    miner = Address.zero()
+    tx = EthTransaction.transfer(alice, nonce=0, to=bob.address, value=10 ** 18, gas_price=10 ** 9)
+    block = chain.apply_block([tx], miner=miner, timestamp=10.0)
+    receipt = block.receipts[0]
+    assert receipt.success and receipt.gas_used == 21_000
+    fee = 21_000 * 10 ** 9
+    assert chain.state.balance_of(bob.address) == 10 ** 18 + 10 ** 18  # initial 1 ETH + transfer
+    assert chain.state.balance_of(alice.address) == 9 * 10 ** 18 - fee
+    assert chain.state.balance_of(miner) == fee
+    assert chain.state.nonce_of(alice.address) == 1
+
+
+def test_wrong_nonce_rejected(chain, alice, bob):
+    tx = EthTransaction.transfer(alice, nonce=5, to=bob.address, value=1, gas_price=10 ** 9)
+    with pytest.raises(ChainError):
+        chain.apply_block([tx], miner=Address.zero(), timestamp=1.0)
+
+
+def test_insufficient_funds_rejected(chain, bob, alice):
+    tx = EthTransaction.transfer(bob, nonce=0, to=alice.address, value=100 * 10 ** 18, gas_price=10 ** 9)
+    with pytest.raises(ChainError):
+        chain.apply_block([tx], miner=Address.zero(), timestamp=1.0)
+
+
+def test_contract_deployment_and_call(chain, alice):
+    token_address = Blockchain.contract_address_for(alice.address, "token")
+    chain.deploy_contract(ERC20Token(token_address, name="Test", symbol="TST"))
+    mint = EthTransaction.contract_call(
+        alice, nonce=0, contract=token_address, method="mint",
+        args={"to": alice.address.hex(), "amount": 1000}, gas_price=10 ** 9,
+    )
+    chain.apply_block([mint], miner=Address.zero(), timestamp=1.0)
+    assert chain.call_view(token_address, "balance_of", alice.address) == 1000
+
+
+def test_reverted_contract_call_keeps_fee_and_reverts_state(chain, alice):
+    token_address = Blockchain.contract_address_for(alice.address, "token2")
+    chain.deploy_contract(ERC20Token(token_address, name="Test", symbol="TST"))
+    bad_transfer = EthTransaction.contract_call(
+        alice, nonce=0, contract=token_address, method="transfer",
+        args={"to": "0x" + "11" * 20, "amount": 5}, gas_price=10 ** 9,
+    )
+    block = chain.apply_block([bad_transfer], miner=Address.zero(), timestamp=1.0)
+    receipt = block.receipts[0]
+    assert not receipt.success and "insufficient balance" in receipt.error
+    assert receipt.fee_wei > 0
+    assert chain.call_view(token_address, "balance_of", "0x" + "11" * 20) == 0
+
+
+def test_duplicate_contract_deployment_rejected(chain, alice):
+    address = Blockchain.contract_address_for(alice.address, "dup")
+    chain.deploy_contract(ERC20Token(address, name="A", symbol="A"))
+    with pytest.raises(ChainError):
+        chain.deploy_contract(ERC20Token(address, name="B", symbol="B"))
+
+
+def test_receipt_lookup_by_hash(chain, alice, bob):
+    tx = EthTransaction.transfer(alice, nonce=0, to=bob.address, value=1, gas_price=10 ** 9)
+    chain.apply_block([tx], miner=Address.zero(), timestamp=1.0)
+    receipt = chain.receipt(tx.hash_hex())
+    assert receipt is not None and receipt.block_number == 1
+    assert chain.receipt("0x" + "00" * 32) is None
+
+
+def test_block_timestamps_never_go_backwards(chain, alice, bob):
+    chain.apply_block([], miner=Address.zero(), timestamp=100.0)
+    block = chain.apply_block([], miner=Address.zero(), timestamp=50.0)
+    assert block.timestamp >= 100.0
+
+
+def test_contract_address_derivation_is_deterministic(alice):
+    a = Blockchain.contract_address_for(alice.address, "salt")
+    b = Blockchain.contract_address_for(alice.address, "salt")
+    c = Blockchain.contract_address_for(alice.address, "other")
+    assert a == b and a != c
+
+
+def test_unknown_contract_view_rejected(chain):
+    with pytest.raises(ChainError):
+        chain.call_view(Address.zero(), "balance_of", "0x" + "00" * 20)

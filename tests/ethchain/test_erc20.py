@@ -1,0 +1,76 @@
+"""The ERC-20 style native token contract."""
+
+import pytest
+
+from repro.crypto.keys import Address, PrivateKey
+from repro.ethchain.chain import Blockchain, make_funded_key
+from repro.ethchain.contracts.erc20 import ERC20Token
+from repro.ethchain.transaction import EthTransaction
+
+
+@pytest.fixture
+def setup():
+    chain = Blockchain()
+    alice = make_funded_key(chain, "erc20-alice")
+    bob = make_funded_key(chain, "erc20-bob")
+    token_address = Blockchain.contract_address_for(alice.address, "erc20")
+    chain.deploy_contract(ERC20Token(token_address, name="Coin", symbol="CN"))
+    return chain, alice, bob, token_address
+
+
+def call(chain, key, contract, method, args):
+    tx = EthTransaction.contract_call(
+        key, nonce=chain.state.nonce_of(key.address), contract=contract,
+        method=method, args=args, gas_price=10 ** 9,
+    )
+    block = chain.apply_block([tx], miner=Address.zero(), timestamp=1.0)
+    return block.receipts[0]
+
+
+def test_mint_and_balance(setup):
+    chain, alice, bob, token = setup
+    receipt = call(chain, alice, token, "mint", {"to": alice.address.hex(), "amount": 500})
+    assert receipt.success
+    assert chain.call_view(token, "balance_of", alice.address) == 500
+    assert chain.call_view(token, "total_supply") == 500
+
+
+def test_transfer(setup):
+    chain, alice, bob, token = setup
+    call(chain, alice, token, "mint", {"to": alice.address.hex(), "amount": 100})
+    receipt = call(chain, alice, token, "transfer", {"to": bob.address.hex(), "amount": 40})
+    assert receipt.success
+    assert chain.call_view(token, "balance_of", alice.address) == 60
+    assert chain.call_view(token, "balance_of", bob.address) == 40
+
+
+def test_transfer_insufficient_balance_reverts(setup):
+    chain, alice, bob, token = setup
+    receipt = call(chain, alice, token, "transfer", {"to": bob.address.hex(), "amount": 1})
+    assert not receipt.success
+
+
+def test_approve_and_transfer_from(setup):
+    chain, alice, bob, token = setup
+    call(chain, alice, token, "mint", {"to": alice.address.hex(), "amount": 100})
+    call(chain, alice, token, "approve", {"spender": bob.address.hex(), "amount": 30})
+    receipt = call(chain, bob, token, "transfer_from",
+                   {"owner": alice.address.hex(), "to": bob.address.hex(), "amount": 30})
+    assert receipt.success
+    assert chain.call_view(token, "balance_of", bob.address) == 30
+    over = call(chain, bob, token, "transfer_from",
+                {"owner": alice.address.hex(), "to": bob.address.hex(), "amount": 1})
+    assert not over.success
+
+
+def test_transfer_emits_log(setup):
+    chain, alice, bob, token = setup
+    call(chain, alice, token, "mint", {"to": alice.address.hex(), "amount": 10})
+    receipt = call(chain, alice, token, "transfer", {"to": bob.address.hex(), "amount": 5})
+    assert any(log["event"] == "Transfer" for log in receipt.logs)
+
+
+def test_invalid_amounts_revert(setup):
+    chain, alice, bob, token = setup
+    assert not call(chain, alice, token, "mint", {"to": alice.address.hex(), "amount": 0}).success
+    assert not call(chain, alice, token, "transfer", {"to": bob.address.hex(), "amount": -5}).success

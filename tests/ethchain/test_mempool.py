@@ -1,0 +1,93 @@
+"""Mempool ordering and replacement rules."""
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.ethchain.mempool import Mempool, MempoolError
+from repro.ethchain.transaction import EthTransaction
+
+ALICE = PrivateKey.from_seed("mempool-alice")
+BOB = PrivateKey.from_seed("mempool-bob")
+
+
+def transfer(key, nonce, gas_price=10 ** 9):
+    return EthTransaction.transfer(key, nonce=nonce, to=BOB.address, value=1, gas_price=gas_price)
+
+
+def test_add_and_contains():
+    pool = Mempool()
+    tx = transfer(ALICE, 0)
+    tx_hash = pool.add(tx)
+    assert pool.contains(tx_hash)
+    assert len(pool) == 1
+
+
+def test_duplicate_rejected():
+    pool = Mempool()
+    tx = transfer(ALICE, 0)
+    pool.add(tx)
+    with pytest.raises(MempoolError):
+        pool.add(transfer(ALICE, 0))
+
+
+def test_replacement_requires_higher_gas_price():
+    pool = Mempool()
+    pool.add(transfer(ALICE, 0, gas_price=10 ** 9))
+    with pytest.raises(MempoolError):
+        pool.add(transfer(ALICE, 0, gas_price=10 ** 9 // 2))
+    pool.add(transfer(ALICE, 0, gas_price=2 * 10 ** 9))
+    assert len(pool) == 1
+
+
+def test_pending_sorted_by_gas_price():
+    pool = Mempool()
+    cheap = transfer(ALICE, 0, gas_price=1 * 10 ** 9)
+    rich = transfer(BOB, 0, gas_price=5 * 10 ** 9)
+    pool.add(cheap)
+    pool.add(rich)
+    assert pool.pending()[0].sender == BOB.address
+
+
+def test_select_for_block_respects_nonce_order():
+    pool = Mempool()
+    pool.add(transfer(ALICE, 1))
+    pool.add(transfer(ALICE, 0))
+    selected = pool.select_for_block({ALICE.address: 0}, gas_limit=10_000_000)
+    assert [tx.nonce for tx in selected] == [0, 1]
+
+
+def test_select_for_block_skips_nonce_gap():
+    pool = Mempool()
+    pool.add(transfer(ALICE, 2))
+    selected = pool.select_for_block({ALICE.address: 0}, gas_limit=10_000_000)
+    assert selected == []
+
+
+def test_select_for_block_respects_gas_limit():
+    pool = Mempool()
+    pool.add(transfer(ALICE, 0))
+    pool.add(transfer(BOB, 0))
+    selected = pool.select_for_block({ALICE.address: 0, BOB.address: 0}, gas_limit=30_000)
+    assert len(selected) == 1
+
+
+def test_remove_mined():
+    pool = Mempool()
+    tx = transfer(ALICE, 0)
+    pool.add(tx)
+    pool.remove_mined([tx])
+    assert len(pool) == 0 and not pool.contains(tx.hash_hex())
+
+
+def test_unsigned_transaction_rejected():
+    pool = Mempool()
+    unsigned = EthTransaction(nonce=0, gas_price=1, gas_limit=21_000, to=BOB.address, value=1)
+    with pytest.raises(MempoolError):
+        pool.add(unsigned)
+
+
+def test_full_pool_rejected():
+    pool = Mempool(max_size=1)
+    pool.add(transfer(ALICE, 0))
+    with pytest.raises(MempoolError):
+        pool.add(transfer(BOB, 0))

@@ -1,0 +1,85 @@
+"""Ethereum-style transactions: signing, hashing, calldata, validation."""
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.ethchain.transaction import (
+    EthTransaction,
+    TransactionError,
+    decode_call_data,
+    encode_call_data,
+)
+
+KEY = PrivateKey.from_seed("eth-tx-tests")
+OTHER = PrivateKey.from_seed("other")
+
+
+def make_transfer(nonce=0, value=10 ** 18):
+    return EthTransaction.transfer(KEY, nonce=nonce, to=OTHER.address, value=value, gas_price=10 ** 9)
+
+
+def test_sender_recovered_from_signature():
+    tx = make_transfer()
+    tx._sender = None
+    assert tx.sender == KEY.address
+
+
+def test_hash_is_stable_and_signature_dependent():
+    tx1 = make_transfer()
+    tx2 = make_transfer()
+    assert tx1.hash_hex() == tx2.hash_hex()
+    assert make_transfer(nonce=1).hash_hex() != tx1.hash_hex()
+
+
+def test_unsigned_transaction_cannot_encode():
+    tx = EthTransaction(nonce=0, gas_price=1, gas_limit=21_000, to=OTHER.address, value=1)
+    with pytest.raises(TransactionError):
+        tx.encode()
+
+
+def test_validate_basic_checks_gas_limit():
+    tx = EthTransaction(nonce=0, gas_price=1, gas_limit=100, to=OTHER.address, value=1)
+    tx.sign(KEY)
+    with pytest.raises(TransactionError):
+        tx.validate_basic()
+
+
+def test_contract_call_roundtrip():
+    tx = EthTransaction.contract_call(
+        KEY, nonce=3, contract=OTHER.address, method="report",
+        args={"cycle": 7, "fingerprint": "0x" + "ab" * 32}, gas_price=22 * 10 ** 9,
+    )
+    method, args = decode_call_data(tx.data)
+    assert method == "report"
+    assert args == {"cycle": 7, "fingerprint": "0x" + "ab" * 32}
+    assert tx.sender == KEY.address
+
+
+def test_calldata_selector_checked():
+    data = encode_call_data("report", {"cycle": 1})
+    tampered = b"\x00\x00\x00\x00" + data[4:]
+    with pytest.raises(TransactionError):
+        decode_call_data(tampered)
+
+
+def test_calldata_too_short():
+    with pytest.raises(TransactionError):
+        decode_call_data(b"\x01")
+
+
+def test_intrinsic_gas_reflects_calldata():
+    plain = make_transfer()
+    call = EthTransaction.contract_call(
+        KEY, nonce=0, contract=OTHER.address, method="m", args={"k": "v"}, gas_price=1
+    )
+    assert plain.intrinsic_gas() == 21_000
+    assert call.intrinsic_gas() > 21_000
+
+
+def test_byte_size_positive_and_reasonable():
+    assert 100 < make_transfer().byte_size() < 300
+
+
+def test_max_fee():
+    tx = make_transfer()
+    assert tx.max_fee() == tx.gas_limit * tx.gas_price

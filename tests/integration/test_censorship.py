@@ -1,0 +1,63 @@
+"""Section V-B: the transaction-filtering attack and its on-chain escape hatch."""
+
+from repro.client import BlockumulusClient
+from repro.core.faults import censor_method
+from repro.crypto.keys import PrivateKey
+from tests.conftest import make_deployment
+
+
+def _deployment_with_dividends():
+    deployment = make_deployment(consortium_size=2, report_period=15.0, eth_block_interval=2.0)
+    business = BlockumulusClient(deployment, signer=deployment.make_client_signer("business"))
+    investor = BlockumulusClient(deployment, signer=deployment.make_client_signer("investor"))
+    env = deployment.env
+    env.run(investor.submit("dividendpool", "invest", {"amount": 1000}))
+    env.run(business.submit("dividendpool", "declare_dividend",
+                            {"rate_percent": 10, "claim_deadline": env.now + 1_000}))
+    return deployment, business, investor
+
+
+def test_censoring_cells_silently_drop_the_withdrawal():
+    deployment, _business, investor = _deployment_with_dividends()
+    # The bribed consortium filters out dividend withdrawals (every cell).
+    for cell in deployment.cells:
+        cell.fault.censor = censor_method("dividendpool", "withdraw_dividend")
+
+    withdrawal = investor.submit("dividendpool", "withdraw_dividend", {})
+    guard = deployment.env.any_of([withdrawal, deployment.env.timeout(30.0)])
+    deployment.env.run(guard)
+    # The client never receives a reply, and no cell executed the withdrawal.
+    assert not withdrawal.triggered
+    for cell in deployment.cells:
+        position = cell.contracts.get("dividendpool").query(
+            "position", {"account": investor.address.hex()})
+        assert position["pending_dividend"] == 100
+    # The service cell (the investor's access provider) exercised the censor
+    # path; the other cells never even saw the transaction.
+    service_cell = investor.service_cell
+    assert service_cell.fault.events
+    assert service_cell.fault.events[0]["kind"] == "censor"
+
+
+def test_contingency_submission_forces_execution():
+    deployment, _business, investor = _deployment_with_dividends()
+    for cell in deployment.cells:
+        cell.fault.censor = censor_method("dividendpool", "withdraw_dividend")
+
+    # The investor escalates: the withdrawal is submitted directly to the
+    # Ethereum anchor contract, which cells must poll and execute.
+    eth_key = PrivateKey.from_seed("investor-eth")
+    deployment.eth_node.chain.fund(eth_key.address, 10 ** 20)
+    receipt_event = investor.submit_contingency(
+        "dividendpool", "withdraw_dividend", {}, eth_key=eth_key)
+    receipt = deployment.env.run(receipt_event)
+    assert receipt.success
+
+    # After the next report cycle every cell has executed the withdrawal.
+    deployment.run(until=deployment.env.now + 2 * deployment.config.report_period + 5)
+    for cell in deployment.cells:
+        position = cell.contracts.get("dividendpool").query(
+            "position", {"account": investor.address.hex()})
+        assert position["pending_dividend"] == 0
+        assert position["withdrawn"] == 100
+        assert cell.statistics()["contingencies_executed"] >= 1

@@ -1,0 +1,97 @@
+"""Sections V-C/V-D: conspiring or compromised cells, crashes, and exclusion."""
+
+from repro.audit import Auditor
+from repro.client import BlockumulusClient, FastMoneyClient
+from tests.conftest import make_deployment
+
+
+def test_crashed_cell_causes_reverts_then_exclusion_restores_service():
+    deployment = make_deployment(consortium_size=3, forwarding_deadline=2.0, miss_threshold=3)
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    fastmoney = FastMoneyClient(client)
+    deployment.env.run(fastmoney.faucet(100))
+
+    # Cell 2 crashes: it stops answering forwards entirely.
+    deployment.cell(2).fault.crashed = True
+    deployment.network.set_online(deployment.cell(2).node_name, False)
+
+    # Until the miss threshold is reached, transactions revert because the
+    # forwarding deadline passes without cell 2's confirmation.
+    failures = 0
+    for index in range(3):
+        result_event = fastmoney.transfer("0x" + "aa" * 20, 1)
+        deployment.env.run(result_event)
+        if not result_event.value.ok:
+            failures += 1
+    assert failures == 3
+    service_cell = deployment.cell(0)
+    assert deployment.cell(2).address in service_cell.consensus.excluded_cells()
+
+    # Once the crashed cell is excluded the consortium serves clients again.
+    result_event = fastmoney.transfer("0x" + "aa" * 20, 1)
+    deployment.env.run(result_event)
+    assert result_event.value.ok
+    # The receipt now carries confirmations only from the live cells.
+    assert len(result_event.value.receipt.confirmations) == 2
+
+
+def test_state_tampering_cell_detected_by_anchored_snapshots():
+    deployment = make_deployment(consortium_size=3, report_period=15.0, eth_block_interval=2.0)
+    deployment.cell(1).fault.tamper_state = True
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    fastmoney = FastMoneyClient(client)
+    deployment.env.run(fastmoney.faucet(100))
+    # Land a transfer in cycle 1 so the tampering cell's divergence shows up
+    # in a cycle that also has a previous snapshot for succession replay.
+    deployment.run(until=16.0)
+    deployment.env.run(fastmoney.transfer("0x" + "bb" * 20, 10))
+    deployment.run(until=50.0)
+
+    cycle = 1
+    honest_fp = deployment.anchored_report(cycle, 0)
+    tampered_fp = deployment.anchored_report(cycle, 1)
+    assert honest_fp is not None and tampered_fp is not None
+    # The compromised cell's anchored fingerprint diverges publicly.
+    assert honest_fp != tampered_fp
+    assert deployment.anchored_report(cycle, 2) == honest_fp
+
+    # Auditors attribute the divergence to the tampering cell, not the honest ones.
+    auditor = Auditor(deployment)
+    assert auditor.run_audit(cell_index=0, cycle=cycle).passed
+    assert not auditor.run_audit(cell_index=1, cycle=cycle).passed
+
+
+def test_byzantine_majority_cannot_hide_from_the_anchor_contract():
+    """Even if most cells tamper, the single honest cell's record survives
+    (the Byzantine-fault argument of Section V-D / Theorem 1)."""
+    deployment = make_deployment(consortium_size=3, report_period=15.0, eth_block_interval=2.0)
+    deployment.cell(1).fault.tamper_fingerprint = True
+    deployment.cell(2).fault.tamper_fingerprint = True
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    deployment.env.run(FastMoneyClient(client).faucet(10))
+    deployment.run(until=65.0)
+
+    cycle = deployment.cell(0).snapshots.latest_cycle - 1
+    auditor = Auditor(deployment)
+    reports = auditor.cross_audit(cycle)
+    verdicts = {report.cell: report.passed for report in reports}
+    assert verdicts["cell-0"] is True
+    assert verdicts["cell-1"] is False and verdicts["cell-2"] is False
+
+
+def test_slow_cell_excluded_after_repeated_deadline_misses():
+    deployment = make_deployment(consortium_size=2, forwarding_deadline=0.5, miss_threshold=2)
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    fastmoney = FastMoneyClient(client)
+    deployment.env.run(fastmoney.faucet(100))
+    # After funding, cell 1 turns pathologically slow.
+    deployment.cell(1).fault.extra_confirm_delay = 5.0
+    for _ in range(2):
+        event = fastmoney.transfer("0x" + "cc" * 20, 1)
+        deployment.env.run(event)
+        assert not event.value.ok
+    assert deployment.cell(1).address in deployment.cell(0).consensus.excluded_cells()
+    # With the slow cell excluded, Theorem 1 says one valid cell suffices.
+    event = fastmoney.transfer("0x" + "cc" * 20, 1)
+    deployment.env.run(event)
+    assert event.value.ok

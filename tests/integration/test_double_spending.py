@@ -1,0 +1,66 @@
+"""Section V-A: double spending through two different service cells."""
+
+from repro.client import BlockumulusClient, FastMoneyClient
+from repro.messages import Envelope, Opcode
+from tests.conftest import make_deployment
+
+
+def test_conflicting_transfers_cannot_both_succeed():
+    deployment = make_deployment(consortium_size=2)
+    alice_signer = deployment.make_client_signer("double-spend-alice")
+
+    # Fund Alice with exactly 10 coins through cell 0.
+    funding_client = BlockumulusClient(deployment, signer=alice_signer, service_cell_index=0)
+    deployment.env.run(FastMoneyClient(funding_client).faucet(10))
+
+    # Alice submits two conflicting 10-coin transfers at the same instant,
+    # one through each cell (the scenario of Section V-A).
+    client_via_cell0 = BlockumulusClient(deployment, signer=alice_signer, service_cell_index=0)
+    client_via_cell1 = BlockumulusClient(deployment, signer=alice_signer, service_cell_index=1)
+    bob = "0x" + "b0" * 20
+    charlie = "0x" + "c0" * 20
+    to_bob = FastMoneyClient(client_via_cell0).transfer(bob, 10)
+    to_charlie = FastMoneyClient(client_via_cell1).transfer(charlie, 10)
+    deployment.env.run(deployment.env.all_of([to_bob, to_charlie]))
+
+    results = [to_bob.value, to_charlie.value]
+    successes = [result for result in results if result.ok]
+    # At most one of the conflicting transfers gets a receipt.
+    assert len(successes) <= 1
+
+    # No cell ever credits both recipients: the sum of credited funds never
+    # exceeds Alice's balance on any cell.
+    for cell in deployment.cells:
+        fastmoney = cell.contracts.get("fastmoney")
+        bob_balance = fastmoney.query("balance_of", {"account": bob})
+        charlie_balance = fastmoney.query("balance_of", {"account": charlie})
+        assert bob_balance + charlie_balance <= 10
+        assert fastmoney.query("total_supply", {}) == 10
+
+
+def test_identical_transaction_replay_through_both_cells_executes_once():
+    deployment = make_deployment(consortium_size=2)
+    alice_signer = deployment.make_client_signer("replay-alice")
+    client = BlockumulusClient(deployment, signer=alice_signer, service_cell_index=0)
+    deployment.env.run(FastMoneyClient(client).faucet(10))
+
+    envelope = Envelope.create(
+        signer=alice_signer,
+        recipient=deployment.cell(0).address,
+        operation=Opcode.TX_SUBMIT,
+        data={"contract": "fastmoney", "method": "transfer",
+              "args": {"to": "0x" + "d0" * 20, "amount": 10}},
+        timestamp=deployment.env.now,
+        nonce=client.nonces.next(),
+    )
+    # The exact same signed envelope is pushed to both cells (replay attempt).
+    network = deployment.network
+    network.send(client.node_name, deployment.cell(0).node_name, envelope, envelope.byte_size())
+    network.send(client.node_name, deployment.cell(1).node_name, envelope, envelope.byte_size())
+    deployment.run(until=deployment.env.now + 10)
+
+    for cell in deployment.cells:
+        fastmoney = cell.contracts.get("fastmoney")
+        # The recipient was credited exactly once on every cell.
+        assert fastmoney.query("balance_of", {"account": "0x" + "d0" * 20}) == 10
+        assert fastmoney.query("balance_of", {"account": alice_signer.address.hex()}) == 0

@@ -1,0 +1,61 @@
+"""Reduced-scale checks of the paper's headline behaviour.
+
+Full-scale reproductions of Figures 8-10 live in the benchmark harness;
+these tests assert the qualitative shape (latency band under normal load,
+bulk-discount throughput, zero failures under burst) quickly enough for the
+regular test run, using the calibrated Azure-B1ms service model.
+"""
+
+import pytest
+
+from repro.client import run_burst_transfers, run_sequential_transfers
+from repro.core import BlockumulusDeployment, DeploymentConfig
+
+
+def azure_deployment(cells, **overrides):
+    settings = dict(
+        consortium_size=cells,
+        signature_scheme="sim",
+        report_period=3_600.0,
+        forwarding_deadline=600.0,
+        seed=2021,
+    )
+    settings.update(overrides)
+    return BlockumulusDeployment(DeploymentConfig(**settings))
+
+
+@pytest.mark.slow
+def test_normal_load_latency_in_the_2_to_5_second_band():
+    report = run_sequential_transfers(azure_deployment(2), count=60, pools=8)
+    assert report.failure_count == 0
+    p90 = report.latencies().p90()
+    assert 1.0 < p90 < 3.0  # the paper reports ~2 s for 2 cells
+
+
+@pytest.mark.slow
+def test_latency_grows_slower_than_the_number_of_cells():
+    p90 = {}
+    for cells in (2, 8):
+        report = run_sequential_transfers(azure_deployment(cells), count=60, pools=8)
+        assert report.failure_count == 0
+        p90[cells] = report.latencies().p90()
+    assert p90[8] > p90[2]
+    # Quadrupling the consortium size less than quadruples the latency.
+    assert p90[8] / p90[2] < 4.0
+
+
+@pytest.mark.slow
+def test_burst_throughput_shows_bulk_discount_and_no_failures():
+    small = run_burst_transfers(azure_deployment(2), count=400, pools=8)
+    large = run_burst_transfers(azure_deployment(2, seed=2022), count=1200, pools=8)
+    assert small.failure_count == 0 and large.failure_count == 0
+    # Larger bursts achieve higher throughput (fixed overhead amortized).
+    assert large.throughput().throughput > small.throughput().throughput
+
+
+@pytest.mark.slow
+def test_more_cells_reduce_burst_throughput():
+    two = run_burst_transfers(azure_deployment(2), count=600, pools=8)
+    eight = run_burst_transfers(azure_deployment(8), count=600, pools=8)
+    assert two.failure_count == 0 and eight.failure_count == 0
+    assert eight.throughput().throughput < two.throughput().throughput

@@ -1,0 +1,66 @@
+"""The payload tuple P = <As, Ar, O, eta, tau, t, D>."""
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.messages.opcodes import Opcode
+from repro.messages.payload import Payload, PayloadError
+
+ALICE = PrivateKey.from_seed("payload-alice").address
+CELL = PrivateKey.from_seed("payload-cell").address
+
+
+def make_payload(**overrides):
+    fields = dict(
+        sender=ALICE,
+        recipient=CELL,
+        operation=Opcode.TX_SUBMIT,
+        nonce="0xabc123",
+        timestamp=12.345678901,
+        data={"contract": "fastmoney", "method": "transfer", "args": {"amount": 5}},
+    )
+    fields.update(overrides)
+    return Payload(**fields)
+
+
+def test_canonical_bytes_are_deterministic():
+    assert make_payload().canonical_bytes() == make_payload().canonical_bytes()
+
+
+def test_hash_changes_with_data():
+    assert make_payload().hash() != make_payload(data={"contract": "ballot"}).hash()
+    assert make_payload().hash_hex().startswith("0x")
+
+
+def test_timestamp_quantized_to_wire_precision():
+    payload = make_payload(timestamp=1.23456789)
+    assert payload.timestamp == pytest.approx(1.234568)
+    roundtripped = Payload.from_dict(payload.to_dict())
+    assert roundtripped.timestamp == payload.timestamp
+    assert roundtripped.canonical_bytes() == payload.canonical_bytes()
+
+
+def test_dict_roundtrip_preserves_hash():
+    payload = make_payload(reply_to="0xdef")
+    assert Payload.from_dict(payload.to_dict()).hash() == payload.hash()
+
+
+def test_validation_errors():
+    with pytest.raises(PayloadError):
+        make_payload(sender="not-an-address")
+    with pytest.raises(PayloadError):
+        make_payload(operation="tx_submit")
+    with pytest.raises(PayloadError):
+        make_payload(nonce="")
+    with pytest.raises(PayloadError):
+        make_payload(data=[1, 2, 3])
+
+
+def test_from_dict_rejects_missing_fields():
+    with pytest.raises(PayloadError):
+        Payload.from_dict({"sender": ALICE.hex()})
+
+
+def test_byte_size_reports_canonical_length():
+    payload = make_payload()
+    assert payload.byte_size() == len(payload.canonical_bytes())

@@ -1,0 +1,57 @@
+"""Signature schemes and opcode classification."""
+
+from repro.messages.opcodes import AUDITOR_OPCODES, CELL_OPCODES, CLIENT_OPCODES, Opcode
+from repro.messages.signer import EcdsaSigner, SimulatedSigner, verify_signature
+
+
+def test_ecdsa_signer_sign_and_verify():
+    signer = EcdsaSigner.from_seed("scheme-test")
+    signature = signer.sign(b"message")
+    assert len(signature) == 65
+    assert verify_signature("ecdsa", signer.address, b"message", signature)
+    assert not verify_signature("ecdsa", signer.address, b"other", signature)
+
+
+def test_ecdsa_wrong_address_rejected():
+    signer = EcdsaSigner.from_seed("scheme-a")
+    other = EcdsaSigner.from_seed("scheme-b")
+    signature = signer.sign(b"m")
+    assert not verify_signature("ecdsa", other.address, b"m", signature)
+
+
+def test_simulated_signer_is_deterministic():
+    a = SimulatedSigner("same-seed")
+    b = SimulatedSigner("same-seed")
+    assert a.address == b.address
+    assert a.sign(b"x") == b.sign(b"x")
+
+
+def test_simulated_signer_verification():
+    signer = SimulatedSigner("fast")
+    signature = signer.sign(b"payload")
+    assert len(signature) == 65
+    assert verify_signature("sim", signer.address, b"payload", signature)
+    assert not verify_signature("sim", signer.address, b"tampered", signature)
+
+
+def test_unknown_scheme_rejected():
+    signer = SimulatedSigner("x")
+    assert not verify_signature("bogus", signer.address, b"m", signer.sign(b"m"))
+
+
+def test_unregistered_sim_address_rejected():
+    signer = EcdsaSigner.from_seed("never-registered-as-sim")
+    assert not verify_signature("sim", signer.address, b"m", b"\x00" * 65)
+
+
+def test_garbage_ecdsa_signature_rejected():
+    signer = EcdsaSigner.from_seed("garbage")
+    assert not verify_signature("ecdsa", signer.address, b"m", b"\xff" * 65)
+
+
+def test_opcode_categories_are_disjoint_enough():
+    assert Opcode.TX_SUBMIT in CLIENT_OPCODES
+    assert Opcode.TX_FORWARD in CELL_OPCODES
+    assert Opcode.SNAPSHOT_REQUEST in AUDITOR_OPCODES
+    assert Opcode.TX_FORWARD not in CLIENT_OPCODES
+    assert str(Opcode.TX_SUBMIT) == "tx_submit"

@@ -1,0 +1,76 @@
+"""Gossip topologies, propagation, and the Nakamoto baseline model."""
+
+import random
+
+import pytest
+
+from repro.p2p import (
+    GossipSimulator,
+    NakamotoChainModel,
+    Topology,
+    TopologyError,
+    random_regularish_topology,
+)
+
+
+def test_random_topology_is_connected_and_degree_bounded():
+    topology = random_regularish_topology(200, degree=6, rng=random.Random(1))
+    assert topology.is_connected()
+    assert 2 <= topology.average_degree() <= 8
+
+
+def test_topology_validation():
+    rng = random.Random(1)
+    with pytest.raises(TopologyError):
+        random_regularish_topology(1, 2, rng)
+    with pytest.raises(TopologyError):
+        random_regularish_topology(10, 1, rng)
+    with pytest.raises(TopologyError):
+        Topology(3).add_edge(1, 1)
+
+
+def test_neighbors_and_adjacency():
+    topology = Topology(3)
+    topology.add_edge(0, 1)
+    topology.add_edge(1, 2)
+    assert topology.neighbors(1) == [0, 2]
+    assert topology.adjacency()[0] == [1]
+
+
+def test_propagation_reaches_every_node():
+    simulator = GossipSimulator(node_count=300, degree=8, rng=random.Random(3))
+    result = simulator.propagate(origin=0)
+    assert len(result.delivery_times) == 300
+    assert result.delivery_times[0] == 0.0
+    assert result.coverage_time(0.5) <= result.coverage_time(0.9) <= result.full_coverage_time
+
+
+def test_propagation_latency_grows_with_network_size():
+    small = GossipSimulator(node_count=100, degree=8, rng=random.Random(5)).propagate()
+    large = GossipSimulator(node_count=3_000, degree=8, rng=random.Random(5)).propagate()
+    assert large.coverage_time(0.9) > small.coverage_time(0.9)
+
+
+def test_coverage_fraction_validation():
+    simulator = GossipSimulator(node_count=50, degree=4, rng=random.Random(2))
+    result = simulator.propagate()
+    with pytest.raises(ValueError):
+        result.coverage_time(0)
+
+
+def test_nakamoto_model_quantities():
+    model = NakamotoChainModel(
+        block_interval=13.0, transactions_per_block=150,
+        confirmation_depth=12, propagation_delay=2.0,
+    )
+    assert model.throughput_tps() == pytest.approx(11.54, rel=0.01)
+    assert model.expected_confirmation_latency() == pytest.approx(162.5)
+    assert 0 < model.stale_rate() < 1
+    assert model.effective_throughput_tps() < model.throughput_tps()
+
+
+def test_blockumulus_level_throughput_is_far_above_the_gossip_baseline():
+    model = NakamotoChainModel()
+    # The paper's stress test sustains hundreds of transactions per second;
+    # the gossip baseline sits around a dozen.
+    assert model.effective_throughput_tps() < 50

@@ -1,0 +1,67 @@
+"""Property-based tests for the encoding layers (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fingerprint import canonical_bytes, fingerprint_state
+from repro.encoding import canonical_json, rlp
+
+# JSON-like values with string keys, bounded depth.
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(min_value=-10**12, max_value=10**12)
+    | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+rlp_values = st.recursive(
+    st.binary(max_size=80) | st.integers(min_value=0, max_value=2**128),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=15,
+)
+
+
+def _normalize_rlp(value):
+    """What RLP decoding is expected to give back (everything is bytes)."""
+    if isinstance(value, int):
+        if value == 0:
+            return b""
+        return value.to_bytes((value.bit_length() + 7) // 8, "big")
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    return [_normalize_rlp(item) for item in value]
+
+
+@settings(max_examples=150, deadline=None)
+@given(rlp_values)
+def test_rlp_roundtrip(value):
+    assert rlp.decode(rlp.encode(value)) == _normalize_rlp(value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(json_values)
+def test_canonical_json_roundtrip(value):
+    assert canonical_json.loads(canonical_json.dumps(value)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.text(max_size=8), json_values, max_size=5))
+def test_canonical_json_is_insertion_order_independent(mapping):
+    reordered = dict(reversed(list(mapping.items())))
+    assert canonical_json.dumps(mapping) == canonical_json.dumps(reordered)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.text(max_size=8), json_values, max_size=5))
+def test_fingerprint_is_insertion_order_independent(mapping):
+    reordered = dict(reversed(list(mapping.items())))
+    assert fingerprint_state(mapping) == fingerprint_state(reordered)
+
+
+@settings(max_examples=100, deadline=None)
+@given(json_values, json_values)
+def test_canonical_bytes_injective_enough(a, b):
+    # Distinct values must not collide in their canonical encoding.
+    if a != b:
+        assert canonical_bytes(a) != canonical_bytes(b)

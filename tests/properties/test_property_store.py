@@ -1,0 +1,68 @@
+"""Property-based tests for the KeyValueStore invariants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts.state_store import KeyValueStore
+
+keys = st.text(alphabet="abcdef/0123456789", min_size=1, max_size=10)
+values = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.text(max_size=16),
+    st.lists(st.integers(min_value=0, max_value=100), max_size=4),
+)
+operations = st.lists(
+    st.tuples(st.sampled_from(["put", "delete"]), keys, values), max_size=60
+)
+
+
+def apply_operations(store, ops):
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+        else:
+            store.delete(key)
+
+
+@settings(max_examples=120, deadline=None)
+@given(operations)
+def test_incremental_fingerprint_matches_full_recomputation(ops):
+    store = KeyValueStore()
+    apply_operations(store, ops)
+    assert store.fingerprint() == store.recompute_fingerprint()
+
+
+@settings(max_examples=120, deadline=None)
+@given(operations)
+def test_fingerprint_depends_only_on_final_content(ops):
+    history_store = KeyValueStore()
+    apply_operations(history_store, ops)
+    fresh_store = KeyValueStore()
+    for key, value in history_store.items():
+        fresh_store.put(key, value)
+    assert history_store.fingerprint() == fresh_store.fingerprint()
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations, operations)
+def test_rollback_restores_exact_state_and_fingerprint(initial_ops, txn_ops):
+    store = KeyValueStore()
+    apply_operations(store, initial_ops)
+    content_before = dict(store.items())
+    fingerprint_before = store.fingerprint()
+    store.begin()
+    apply_operations(store, txn_ops)
+    store.rollback()
+    assert dict(store.items()) == content_before
+    assert store.fingerprint() == fingerprint_before
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations)
+def test_export_restore_preserves_fingerprint(ops):
+    store = KeyValueStore()
+    apply_operations(store, ops)
+    clone = KeyValueStore()
+    clone.restore_state(store.export_state())
+    assert clone.fingerprint() == store.fingerprint()
+    assert dict(clone.items()) == dict(store.items())

@@ -1,0 +1,112 @@
+"""Event and process semantics of the simulation kernel."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def test_event_succeed_delivers_value(env):
+    event = env.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.succeed(42)
+    env.run()
+    assert seen == [42]
+
+
+def test_event_cannot_trigger_twice(env):
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception(env):
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")
+
+
+def test_unhandled_failure_propagates(env):
+    event = env.event()
+    event.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError):
+        env.run()
+
+
+def test_process_returns_value(env):
+    def worker():
+        yield env.timeout(1)
+        return "done"
+
+    process = env.process(worker())
+    assert env.run(process) == "done"
+    assert env.now == 1
+
+
+def test_process_receives_timeout_values(env):
+    def worker():
+        value = yield env.timeout(2, value="tick")
+        return value
+
+    assert env.run(env.process(worker())) == "tick"
+
+
+def test_process_exception_propagates_to_waiter(env):
+    def failing():
+        yield env.timeout(1)
+        raise ValueError("inner failure")
+
+    def outer():
+        try:
+            yield env.process(failing())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert env.run(env.process(outer())) == "caught inner failure"
+
+
+def test_process_yielding_non_event_fails(env):
+    def bad():
+        yield 42
+
+    with pytest.raises(SimulationError):
+        env.run(env.process(bad()))
+
+
+def test_all_of_waits_for_every_event(env):
+    def worker(delay):
+        yield env.timeout(delay)
+        return delay
+
+    processes = [env.process(worker(d)) for d in (3, 1, 2)]
+    env.run(env.all_of(processes))
+    assert env.now == 3
+    assert all(p.processed or p.triggered for p in processes)
+
+
+def test_any_of_fires_on_first_event(env):
+    slow = env.timeout(10)
+    fast = env.timeout(2)
+    env.run(env.any_of([slow, fast]))
+    assert env.now == 2
+
+
+def test_all_of_empty_fires_immediately(env):
+    event = env.all_of([])
+    assert event.triggered
+
+
+def test_negative_timeout_rejected(env):
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_waiting_on_already_fired_event(env):
+    def worker():
+        fired = env.timeout(0)
+        yield env.timeout(1)
+        # fired has already been processed by now; waiting must still work.
+        yield fired
+        return env.now
+
+    assert env.run(env.process(worker())) == 1

@@ -1,0 +1,96 @@
+"""Metrics: sample series, percentiles, throughput, rendering."""
+
+import pytest
+
+from repro.sim.metrics import (
+    MetricsError,
+    MetricsRegistry,
+    SampleSeries,
+    ThroughputResult,
+    ascii_bars,
+    ascii_cdf,
+    format_seconds,
+)
+
+
+def test_summary_statistics():
+    series = SampleSeries("s")
+    series.extend([1, 2, 3, 4, 5])
+    assert series.min() == 1 and series.max() == 5
+    assert series.mean() == 3
+    assert series.p50() == 3
+    assert series.percentile(1.0) == 5
+
+
+def test_percentile_interpolates():
+    series = SampleSeries()
+    series.extend([0, 10])
+    assert series.percentile(0.25) == pytest.approx(2.5)
+
+
+def test_p90_matches_definition():
+    series = SampleSeries()
+    series.extend(range(1, 101))
+    assert series.p90() == pytest.approx(90.1)
+
+
+def test_empty_series_raises():
+    with pytest.raises(MetricsError):
+        SampleSeries().mean()
+
+
+def test_fraction_below():
+    series = SampleSeries()
+    series.extend([1, 2, 3, 4])
+    assert series.fraction_below(2.5) == 0.5
+    assert series.fraction_below(100) == 1.0
+
+
+def test_cdf_is_monotonic():
+    series = SampleSeries()
+    series.extend([5, 1, 3, 2, 4, 9, 7])
+    cdf = series.cdf(points=10)
+    values = [value for value, _fraction in cdf]
+    fractions = [fraction for _value, fraction in cdf]
+    assert values == sorted(values)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+
+
+def test_throughput_result():
+    result = ThroughputResult(operations=100, first_start=0.0, last_end=20.0)
+    assert result.makespan == 20
+    assert result.throughput == pytest.approx(5.0)
+
+
+def test_registry_counters_and_latencies():
+    registry = MetricsRegistry()
+    registry.increment("tx", 2)
+    registry.increment("tx")
+    assert registry.counter("tx") == 3
+    assert registry.counter("missing") == 0
+    registry.record_latency("op", 1.0, 3.0)
+    registry.record_latency("op", 2.0, 2.5)
+    assert len(registry.series("op")) == 2
+    throughput = registry.throughput("op")
+    assert throughput.operations == 2 and throughput.makespan == pytest.approx(2.0)
+    assert registry.series_names() == ["op"]
+
+
+def test_latency_cannot_be_negative():
+    registry = MetricsRegistry()
+    with pytest.raises(MetricsError):
+        registry.record_latency("op", 5.0, 4.0)
+
+
+def test_format_seconds_scales():
+    assert format_seconds(0.0000005).endswith("us")
+    assert format_seconds(0.005).endswith("ms")
+    assert format_seconds(2.5).endswith("s")
+
+
+def test_ascii_renderings_do_not_crash():
+    series = SampleSeries()
+    series.extend([0.5, 1.0, 1.5, 2.0, 4.0])
+    assert "#" in ascii_cdf(series)
+    assert "tps" in ascii_bars([("2 cells", 700.0), ("8 cells", 400.0)], unit=" tps")

@@ -1,0 +1,91 @@
+"""Simulated network: delivery, latency, byte accounting, fault states."""
+
+import pytest
+
+from repro.sim import ConstantLatency, Environment, Network, SeedSequence, SimulationError
+from repro.sim.network import HTTP_FRAMING_BYTES
+
+
+@pytest.fixture
+def network(env, seeds):
+    return Network(env, seeds.stream("net"), default_latency=ConstantLatency(0.1))
+
+
+def test_delivery_invokes_handler_with_source(env, network):
+    received = []
+    network.register("cell", handler=lambda src, payload, size: received.append((src, payload, size)))
+    network.register("client")
+    network.send("client", "cell", {"op": "ping"}, payload_bytes=100)
+    env.run()
+    assert len(received) == 1
+    src, payload, size = received[0]
+    assert src == "client" and payload == {"op": "ping"}
+    assert size == 100 + HTTP_FRAMING_BYTES
+
+
+def test_delivery_delay_includes_latency_and_transmission(env, network):
+    times = []
+    network.register("cell", handler=lambda *_: times.append(env.now))
+    network.register("client", uplink_bps=8_000)  # 1 kilobyte/s uplink
+    network.send("client", "cell", "payload", payload_bytes=1_000 - HTTP_FRAMING_BYTES)
+    env.run()
+    # 0.1 s propagation + 1 s serialization on the slow uplink (plus fast downlink).
+    assert times[0] == pytest.approx(1.1, rel=0.01)
+
+
+def test_unknown_node_rejected(env, network):
+    network.register("a")
+    with pytest.raises(SimulationError):
+        network.send("a", "ghost", {}, 10)
+
+
+def test_traffic_accounting_per_direction(env, network):
+    network.register("a", handler=lambda *_: None)
+    network.register("b", handler=lambda *_: None)
+    network.send("a", "b", "x", 100)
+    network.send("a", "b", "y", 200)
+    network.send("b", "a", "z", 50)
+    env.run()
+    assert network.bytes_between("a", "b") == 300 + 2 * HTTP_FRAMING_BYTES
+    assert network.bytes_between("b", "a") == 50 + HTTP_FRAMING_BYTES
+    assert network.total_messages() == 3
+    network.reset_traffic()
+    assert network.total_bytes() == 0
+
+
+def test_offline_destination_drops_message(env, network):
+    received = []
+    network.register("cell", handler=lambda *_: received.append(1))
+    network.register("client")
+    network.set_online("cell", False)
+    assert not network.send("client", "cell", {}, 10)
+    env.run()
+    assert received == [] and network.dropped_messages == 1
+
+
+def test_crash_while_in_flight_drops_message(env, network):
+    received = []
+    network.register("cell", handler=lambda *_: received.append(1))
+    network.register("client")
+    network.send("client", "cell", {}, 10)
+    network.set_online("cell", False)
+    env.run()
+    assert received == []
+
+
+def test_per_link_latency_override(env, network):
+    times = {}
+    network.register("fast", handler=lambda *_: times.setdefault("fast", env.now))
+    network.register("slow", handler=lambda *_: times.setdefault("slow", env.now))
+    network.register("src")
+    network.set_link("src", "fast", ConstantLatency(0.01))
+    network.set_link("src", "slow", ConstantLatency(2.0))
+    network.send("src", "fast", {}, 10)
+    network.send("src", "slow", {}, 10)
+    env.run()
+    assert times["fast"] < 0.1 < times["slow"]
+
+
+def test_bandwidth_must_be_positive(env, network):
+    with pytest.raises(SimulationError):
+        network.register("bad", uplink_bps=0)

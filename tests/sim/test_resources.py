@@ -1,0 +1,85 @@
+"""Capacity-constrained resources."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+from repro.sim.resources import Resource
+
+
+def test_capacity_must_be_positive(env):
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_serialization_under_capacity_one(env):
+    resource = Resource(env, capacity=1)
+    finished = []
+
+    def job(name, duration):
+        yield from resource.use(duration)
+        finished.append((env.now, name))
+
+    env.process(job("a", 3))
+    env.process(job("b", 2))
+    env.run()
+    assert finished == [(3, "a"), (5, "b")]
+
+
+def test_parallelism_matches_capacity(env):
+    resource = Resource(env, capacity=2)
+    finished = []
+
+    def job(name):
+        yield from resource.use(4)
+        finished.append((env.now, name))
+
+    for name in ("a", "b", "c"):
+        env.process(job(name))
+    env.run()
+    # Two jobs run in parallel, the third starts when one slot frees.
+    assert finished == [(4, "a"), (4, "b"), (8, "c")]
+
+
+def test_queue_length_and_peak(env):
+    resource = Resource(env, capacity=1)
+
+    def job():
+        yield from resource.use(1)
+
+    for _ in range(4):
+        env.process(job())
+    env.run(until=0.5)
+    assert resource.in_use == 1
+    assert resource.queue_length == 3
+    env.run()
+    assert resource.peak_queue_length == 3
+    assert resource.queue_length == 0
+
+
+def test_release_without_request_raises(env):
+    resource = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_utilization_accounting(env):
+    resource = Resource(env, capacity=1)
+
+    def job():
+        yield from resource.use(5)
+
+    env.process(job())
+    env.run(until=10)
+    assert resource.utilization() == pytest.approx(0.5)
+
+
+def test_busy_time_accumulates_across_jobs(env):
+    resource = Resource(env, capacity=2)
+
+    def job(duration):
+        yield from resource.use(duration)
+
+    env.process(job(2))
+    env.process(job(3))
+    env.run()
+    assert resource.busy_time == pytest.approx(5)

@@ -1,0 +1,29 @@
+"""Seeded random streams."""
+
+from repro.sim.rng import SeedSequence
+
+
+def test_same_master_same_stream():
+    a = SeedSequence(1).stream("latency")
+    b = SeedSequence(1).stream("latency")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    seq = SeedSequence(1)
+    assert seq.seed_for("a") != seq.seed_for("b")
+
+
+def test_different_masters_differ():
+    assert SeedSequence(1).seed_for("x") != SeedSequence(2).seed_for("x")
+
+
+def test_string_and_bytes_masters():
+    assert SeedSequence("exp").seed_for("x") == SeedSequence(b"exp").seed_for("x")
+
+
+def test_streams_iterator():
+    seq = SeedSequence(3)
+    streams = list(seq.streams("a", "b", "c"))
+    assert len(streams) == 3
+    assert streams[0].random() != streams[1].random()
