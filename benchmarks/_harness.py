@@ -14,12 +14,16 @@ makespans are reported either way.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 from repro.core import BlockumulusDeployment, DeploymentConfig
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+#: Machine-readable benchmark baselines live at the repository root so the
+#: result trajectory (BENCH_*.json) is easy to diff across PRs.
+BENCH_JSON_DIR = Path(__file__).parent.parent
 
 #: Consortium sizes evaluated in the paper.
 CONSORTIUM_SIZES = (2, 4, 8)
@@ -56,4 +60,16 @@ def write_output(name: str, text: str) -> Path:
     path = OUTPUT_DIR / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark result as ``BENCH_<name>.json``.
+
+    These files are the regression baseline the next PRs are measured
+    against; keep the payload stable-keyed and JSON-native (no objects).
+    """
+    path = BENCH_JSON_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[bench json written to {path}]")
     return path

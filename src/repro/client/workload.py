@@ -245,10 +245,24 @@ def run_burst_transfers(
     amount: int = 1,
     label: Optional[str] = None,
     horizon: float = 3_600.0,
+    submit_at: Optional[float] = None,
 ) -> WorkloadReport:
-    """Submit ``count`` FastMoney transfers at the same instant."""
+    """Submit ``count`` FastMoney transfers at the same instant.
+
+    ``submit_at`` pins the submission to an absolute simulated time after
+    the funding phase.  Experiments that compare two configurations of the
+    same workload (e.g. the batched-pipeline ablation) use it so both runs
+    sign transactions with identical timestamps and therefore identical
+    transaction ids.
+    """
     clients = build_client_pools(deployment, pools)
     _fund_pools(deployment, clients, amount * count * 2)
+    if submit_at is not None:
+        if submit_at < deployment.env.now:
+            raise WorkloadError(
+                f"cannot submit at {submit_at}: funding finished at {deployment.env.now}"
+            )
+        deployment.run(until=submit_at)
     report = WorkloadReport(
         label=label or f"fig10/{deployment.consortium_size}cells/{count}tx",
         consortium_size=deployment.consortium_size,

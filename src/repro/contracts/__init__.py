@@ -4,7 +4,7 @@ from .context import BContractError, InvocationContext
 from .interface import BContract, bcontract_method, bcontract_view
 from .interpreter import InterpreterError, instantiate_contract, load_contract_class
 from .registry import ContractRegistry, RegistryError
-from .state_store import EMPTY_FINGERPRINT, KeyValueStore, StoreError, StoreSnapshot
+from .state_store import EMPTY_FINGERPRINT, KeyValueStore, StateExport, StoreError, StoreSnapshot
 from .system import CommunityDeployer, ContentAddressableStorage
 from .community import Ballot, DividendPool, FastMoney
 
@@ -22,6 +22,7 @@ __all__ = [
     "InvocationContext",
     "KeyValueStore",
     "RegistryError",
+    "StateExport",
     "StoreError",
     "StoreSnapshot",
     "bcontract_method",

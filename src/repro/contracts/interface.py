@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from .context import BContractError, InvocationContext
-from .state_store import KeyValueStore, StoreSnapshot
+from .state_store import KeyValueStore, StateExport, StoreSnapshot
 
 
 def bcontract_method(func: Callable[..., Any]) -> Callable[..., Any]:
@@ -107,11 +107,26 @@ class BContract:
         return result
 
     def query(self, view: str, args: dict[str, Any]) -> Any:
-        """Execute a read-only view (never mutates state)."""
+        """Execute a read-only view (never mutates state).
+
+        Exceptions map exactly as in :meth:`invoke`: a bad argument set or a
+        view bug surfaces as :class:`BContractError` instead of escaping raw
+        into the cell's read path (views take no journal — they must not
+        write, so there is nothing to roll back).
+        """
         handler = self._views.get(view)
         if handler is None:
             raise BContractError(f"{self.name}: unknown view {view!r}")
-        return handler(**args)
+        if not isinstance(args, dict):
+            raise BContractError(f"{self.name}: arguments must be an object")
+        try:
+            return handler(**args)
+        except BContractError:
+            raise
+        except TypeError as exc:
+            raise BContractError(f"{self.name}.{view}: bad arguments ({exc})") from exc
+        except Exception as exc:  # noqa: BLE001 - view bugs must not crash the cell
+            raise BContractError(f"{self.name}.{view}: internal error ({exc})") from exc
 
     # ------------------------------------------------------------------
     # Fingerprinting and cloning (the mandatory interfaces)
@@ -134,6 +149,10 @@ class BContract:
     def export_state(self) -> dict[str, Any]:
         """Full copy of the contract data (auditor download)."""
         return self.store.export_state()
+
+    def export_state_lazy(self) -> StateExport:
+        """O(1) copy-on-write export; materializes on first download."""
+        return self.store.cow_export()
 
     def restore_state(self, data: dict[str, Any]) -> None:
         """Overwrite the contract data (cell resync after exclusion)."""

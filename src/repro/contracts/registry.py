@@ -102,6 +102,15 @@ class ContractRegistry:
         """Full state export of every contract (auditor snapshot download)."""
         return {name: contract.export_state() for name, contract in self._contracts.items()}
 
+    def export_all_lazy(self) -> dict[str, Any]:
+        """O(1) copy-on-write export handles for every contract.
+
+        The snapshot engine stores these instead of eager deep copies; each
+        handle materializes the contract's frozen state only if an auditor
+        actually downloads the snapshot.
+        """
+        return {name: contract.export_state_lazy() for name, contract in self._contracts.items()}
+
     def apply_to_all(self, action: Callable[[BContract], Any]) -> dict[str, Any]:
         """Run ``action`` on every contract, returning per-name results."""
         return {name: action(self._contracts[name]) for name in self.names()}

@@ -15,11 +15,16 @@ model used by all bundled bContracts:
   without copying the whole state;
 * **cloning** — an O(1) capture of the current fingerprint plus entry
   count, which is what the snapshot engine asks contracts for at the end
-  of a report cycle.
+  of a report cycle;
+* **copy-on-write exports** — an O(1) logical freeze of the contents at
+  snapshot time: only keys written afterwards are copied, and the full
+  frozen dict is materialized lazily when an auditor actually downloads
+  the snapshot.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
@@ -45,6 +50,68 @@ class StoreSnapshot:
         return "0x" + self.fingerprint.hex()
 
 
+class StateExport:
+    """A copy-on-write export of a :class:`KeyValueStore` at one instant.
+
+    Creating the export is O(1): no data is copied.  The store then captures
+    the *old* value of every key written after the export was taken (first
+    write wins, so the overlay holds exactly the export-time values of the
+    dirty keys).  :meth:`materialize` produces the frozen dict an auditor
+    downloads — current data patched back with the overlay — and detaches
+    the export from the store so later writes cost nothing.
+
+    This replaces the eager per-report-cycle ``copy.deepcopy`` of every
+    contract's full state: cycles whose snapshots nobody downloads never pay
+    for a copy beyond their dirty keys.
+    """
+
+    def __init__(self, store: "KeyValueStore") -> None:
+        self._store: Optional[KeyValueStore] = store
+        self._overlay: dict[str, Any] = {}
+        self._frozen: Optional[dict[str, Any]] = None
+
+    def _capture(self, key: str, old: Any) -> None:
+        """Record the export-time value of ``key`` before its first rewrite."""
+        if key not in self._overlay:
+            self._overlay[key] = old if old is _MISSING else copy.deepcopy(old)
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the frozen dict has been built already."""
+        return self._frozen is not None
+
+    @property
+    def dirty_key_count(self) -> int:
+        """Keys written since the export was taken (0 once materialized)."""
+        return len(self._overlay)
+
+    def materialize(self) -> dict[str, Any]:
+        """Build (once) and return the frozen export dict."""
+        if self._frozen is not None:
+            return self._frozen
+        store = self._store
+        if store is None:
+            raise StoreError("state export was released before materialization")
+        data = {key: copy.deepcopy(value) for key, value in store._data.items()}
+        for key, old in self._overlay.items():
+            if old is _MISSING:
+                data.pop(key, None)
+            else:
+                data[key] = old
+        self._frozen = data
+        self._overlay = {}
+        store._detach_export(self)
+        self._store = None
+        return self._frozen
+
+    def release(self) -> None:
+        """Detach without materializing (the snapshot was pruned unread)."""
+        if self._store is not None:
+            self._store._detach_export(self)
+            self._store = None
+        self._overlay = {}
+
+
 def _entry_digest(key: str, value: Any) -> bytes:
     """Digest of one (key, value) entry."""
     return fast_hash(key.encode() + b"\x00" + canonical_bytes(value))
@@ -65,6 +132,8 @@ class KeyValueStore:
         self._data: dict[str, Any] = {}
         self._fingerprint = EMPTY_FINGERPRINT
         self._journal: Optional[list[tuple[str, Any]]] = None
+        #: Pending copy-on-write exports that still track this store.
+        self._exports: list[StateExport] = []
         for key, value in (initial or {}).items():
             self.put(key, value)
 
@@ -105,6 +174,7 @@ class KeyValueStore:
         if not isinstance(key, str):
             raise StoreError("store keys must be strings")
         old = self._data.get(key, _MISSING)
+        self._notify_exports(key, old)
         if old is not _MISSING:
             self._fingerprint = _xor_bytes(self._fingerprint, _entry_digest(key, old))
         self._fingerprint = _xor_bytes(self._fingerprint, _entry_digest(key, value))
@@ -117,6 +187,7 @@ class KeyValueStore:
         old = self._data.get(key, _MISSING)
         if old is _MISSING:
             return
+        self._notify_exports(key, old)
         self._fingerprint = _xor_bytes(self._fingerprint, _entry_digest(key, old))
         if self._journal is not None:
             self._journal.append((key, old))
@@ -124,7 +195,10 @@ class KeyValueStore:
 
     def increment(self, key: str, amount: int | float = 1) -> Any:
         """Add ``amount`` to a numeric value (treating absent as zero)."""
-        value = self.get(key, 0) + amount
+        current = self.get(key, 0)
+        if isinstance(current, bool) or not isinstance(current, (int, float)):
+            raise StoreError(f"cannot increment non-numeric value at {key!r}")
+        value = current + amount
         self.put(key, value)
         return value
 
@@ -182,18 +256,48 @@ class KeyValueStore:
         return StoreSnapshot(fingerprint=self._fingerprint, entry_count=len(self._data))
 
     # ------------------------------------------------------------------
+    # Copy-on-write exports
+    # ------------------------------------------------------------------
+    def cow_export(self) -> StateExport:
+        """Take an O(1) copy-on-write export of the current contents."""
+        export = StateExport(self)
+        self._exports.append(export)
+        return export
+
+    def _notify_exports(self, key: str, old: Any) -> None:
+        """Let pending exports capture ``key``'s value before it changes."""
+        if self._exports:
+            for export in self._exports:
+                export._capture(key, old)
+
+    def _detach_export(self, export: StateExport) -> None:
+        """Stop tracking ``export`` (materialized or released)."""
+        try:
+            self._exports.remove(export)
+        except ValueError:
+            pass
+
+    @property
+    def pending_export_count(self) -> int:
+        """Copy-on-write exports still tracking this store."""
+        return len(self._exports)
+
+    # ------------------------------------------------------------------
     # Export / restore (auditor replay support)
     # ------------------------------------------------------------------
     def export_state(self) -> dict[str, Any]:
         """A deep-enough copy of the contents for replay and persistence."""
-        import copy
-
         return copy.deepcopy(self._data)
 
     def restore_state(self, data: dict[str, Any]) -> None:
         """Replace the contents with ``data`` (recomputing the fingerprint)."""
         if self._journal is not None:
             raise StoreError("cannot restore state inside an open transaction")
+        # Pending exports must see the pre-restore values of every key that
+        # is about to vanish; keys surviving into ``data`` are captured again
+        # harmlessly (first capture wins).
+        for key, value in self._data.items():
+            self._notify_exports(key, value)
         self._data = {}
         self._fingerprint = EMPTY_FINGERPRINT
         for key, value in data.items():

@@ -1,5 +1,6 @@
 """Blockumulus core: cells, overlay consensus, snapshots, receipts, deployment."""
 
+from .batching import BatchDispatcher
 from .cell import BlockumulusCell
 from .config import ConfigError, DeploymentConfig, SystemInvariants
 from .consensus import CellStanding, ConsensusError, OverlayConsensus
@@ -7,22 +8,25 @@ from .deployment import BlockumulusDeployment
 from .executor import ExecutionOutcome, TransactionExecutor
 from .faults import FaultPlan, censor_method, censor_sender
 from .ledger import LedgerEntry, LedgerError, TransactionLedger
-from .receipts import AggregatedReceipt, Confirmation, ReceiptError
-from .snapshot import DataSnapshot, SnapshotEngine, SnapshotError
+from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, ReceiptError
+from .snapshot import DataSnapshot, LazySnapshotExport, SnapshotEngine, SnapshotError
 from .subscription import PricingPolicy, Subscription, SubscriptionError, SubscriptionManager
 
 __all__ = [
     "AggregatedReceipt",
+    "BatchDispatcher",
     "BlockumulusCell",
     "BlockumulusDeployment",
     "CellStanding",
     "Confirmation",
+    "ConfirmationBatch",
     "ConfigError",
     "ConsensusError",
     "DataSnapshot",
     "DeploymentConfig",
     "ExecutionOutcome",
     "FaultPlan",
+    "LazySnapshotExport",
     "LedgerEntry",
     "LedgerError",
     "OverlayConsensus",

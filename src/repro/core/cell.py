@@ -27,6 +27,7 @@ from ..contracts.system.deployer import CommunityDeployer
 from ..crypto.keys import Address, PrivateKey
 from ..ethchain.contracts.snapshot_registry import SnapshotRegistry
 from ..ethchain.provider import Web3Provider
+from ..messages.batch import BatchError, ForwardBatch
 from ..messages.envelope import Envelope, NonceFactory
 from ..messages.opcodes import Opcode
 from ..messages.signer import Signer
@@ -36,12 +37,13 @@ from ..sim.latency import CellServiceModel
 from ..sim.metrics import MetricsRegistry
 from ..sim.network import Network
 from ..sim.resources import Resource
+from .batching import BatchDispatcher
 from .config import SystemInvariants
 from .consensus import OverlayConsensus
 from .executor import ExecutionOutcome, TransactionExecutor
 from .faults import FaultPlan
 from .ledger import LedgerError, TransactionLedger
-from .receipts import AggregatedReceipt, Confirmation
+from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, ReceiptError
 from .snapshot import SnapshotEngine
 from .subscription import PricingPolicy, SubscriptionManager, SubscriptionError
 
@@ -85,6 +87,8 @@ class BlockumulusCell:
         enforce_subscriptions: bool = False,
         auto_report: bool = True,
         snapshots_retained: int = 3,
+        message_batching: bool = True,
+        batch_quantum: float = 0.02,
     ) -> None:
         self.env = env
         self.index = index
@@ -111,6 +115,21 @@ class BlockumulusCell:
         )
         self.fault = FaultPlan()
         self.nonces = NonceFactory(signer.address)
+        # Batched overlay pipeline: outgoing forwards/confirmations for the
+        # same destination coalesce into one envelope per scheduling quantum.
+        self.batcher: Optional[BatchDispatcher] = (
+            BatchDispatcher(
+                env=env,
+                network=network,
+                signer=signer,
+                nonces=self.nonces,
+                node_name=node_name,
+                quantum=batch_quantum,
+                metrics=metrics,
+            )
+            if message_batching
+            else None
+        )
 
         # Simulated hardware.
         self.cpu = Resource(env, capacity=service_model.cpu_workers, name=f"{node_name}-cpu")
@@ -179,8 +198,12 @@ class BlockumulusCell:
             self.env.process(self._serve_transaction(src_node, envelope))
         elif operation == Opcode.TX_FORWARD:
             self.env.process(self._process_forwarded(src_node, envelope))
+        elif operation == Opcode.TX_FORWARD_BATCH:
+            self.env.process(self._process_forward_batch(src_node, envelope))
         elif operation in (Opcode.TX_CONFIRM, Opcode.TX_REJECT):
             self._accept_confirmation(envelope)
+        elif operation == Opcode.TX_CONFIRM_BATCH:
+            self._accept_confirmation_batch(envelope)
         elif operation == Opcode.SUBSCRIBE:
             self._client_nodes[envelope.sender] = src_node
             self.env.process(self._serve_subscription(src_node, envelope))
@@ -264,6 +287,11 @@ class BlockumulusCell:
         self._pending[entry.tx_id] = pending
         for peer_address, peer_node in active_peers.items():
             yield from self.cpu.use(self.service_model.forward_cpu_per_cell)
+            if self.batcher is not None:
+                # Batched pipeline: the client envelope joins this peer's next
+                # batch flush instead of costing a dedicated network message.
+                self.batcher.queue_forward(peer_node, peer_address, envelope)
+                continue
             forward = Envelope.create(
                 signer=self.signer,
                 recipient=peer_address,
@@ -381,8 +409,44 @@ class BlockumulusCell:
         except (KeyError, ValueError) as exc:
             self.metrics.increment(f"{self.node_name}/malformed_forwards")
             return
+        yield from self._handle_forwarded(src_node, forward.sender, client_envelope, forward.nonce)
+
+    def _process_forward_batch(
+        self, src_node: str, batch_envelope: Envelope
+    ) -> Generator[Event, Any, None]:
+        """Authenticate one batch envelope, then fan out its transactions.
+
+        The authentication overhead is paid once per batch — this is where
+        the batched pipeline saves cell time on top of network messages.
+        Each inner transaction still runs in its own process (parallel up to
+        the service model's invocation limit), exactly like singletons.
+        """
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not batch_envelope.verify() or not self.invariants.is_cell(batch_envelope.sender):
+            self.metrics.increment(f"{self.node_name}/forward_auth_failures")
+            return
+        try:
+            client_envelopes = ForwardBatch.from_data(batch_envelope.data).envelopes()
+        except BatchError:
+            self.metrics.increment(f"{self.node_name}/malformed_forwards")
+            return
+        for client_envelope in client_envelopes:
+            self.env.process(
+                self._handle_forwarded(
+                    src_node, batch_envelope.sender, client_envelope, batch_envelope.nonce
+                )
+            )
+
+    def _handle_forwarded(
+        self,
+        src_node: str,
+        origin: Address,
+        client_envelope: Envelope,
+        reply_nonce: str,
+    ) -> Generator[Event, Any, None]:
+        """Admit, execute, and confirm one forwarded client transaction."""
         if not client_envelope.verify():
-            self._confirm(src_node, forward, client_envelope.payload.hash_hex(),
+            self._confirm(src_node, origin, reply_nonce, client_envelope.payload.hash_hex(),
                           contract="", fingerprint_hex="0x" + "00" * 32,
                           status="rejected", error="client signature invalid")
             return
@@ -405,7 +469,7 @@ class BlockumulusCell:
                     "0x" + existing.fingerprint.hex() if existing.fingerprint else "0x" + "00" * 32
                 )
                 self._confirm(
-                    src_node, forward, existing.tx_id, existing.contract or "",
+                    src_node, origin, reply_nonce, existing.tx_id, existing.contract or "",
                     fingerprint_hex,
                     status="executed" if existing.status == "executed" else "rejected",
                     error=existing.error or "duplicate transaction",
@@ -417,7 +481,8 @@ class BlockumulusCell:
         outcome = yield from self._execute_entry(entry)
         self._confirm(
             src_node,
-            forward,
+            origin,
+            reply_nonce,
             outcome.tx_id,
             outcome.contract,
             outcome.execution_fingerprint_hex(),
@@ -428,14 +493,15 @@ class BlockumulusCell:
     def _confirm(
         self,
         dst_node: str,
-        forward: Envelope,
+        origin: Address,
+        reply_nonce: str,
         tx_id: str,
         contract: str,
         fingerprint_hex: str,
         status: str,
         error: Optional[str] = None,
     ) -> None:
-        """Send a signed confirmation back to the service cell."""
+        """Send a signed confirmation back to the service cell at ``origin``."""
         confirmation = Confirmation.create(
             self.signer,
             tx_id=tx_id,
@@ -445,15 +511,20 @@ class BlockumulusCell:
             timestamp=self.env.now,
             error=error,
         )
+        if self.batcher is not None:
+            # The confirmation joins the next batch owed to the service cell;
+            # routing at the receiver is by tx_id, so no reply_to is needed.
+            self.batcher.queue_confirmation(dst_node, origin, confirmation)
+            return
         opcode = Opcode.TX_CONFIRM if status == "executed" else Opcode.TX_REJECT
         reply = Envelope.create(
             signer=self.signer,
-            recipient=forward.sender,
+            recipient=origin,
             operation=opcode,
             data={"confirmation": confirmation.to_wire()},
             timestamp=self.env.now,
             nonce=self.nonces.next(),
-            reply_to=forward.nonce,
+            reply_to=reply_nonce,
         )
         self.network.send(self.node_name, dst_node, reply, reply.byte_size())
 
@@ -467,7 +538,24 @@ class BlockumulusCell:
         except (KeyError, ValueError):
             self.metrics.increment(f"{self.node_name}/malformed_confirmations")
             return
-        if confirmation.cell != envelope.sender or not confirmation.verify():
+        self._register_confirmation(envelope.sender, confirmation)
+
+    def _accept_confirmation_batch(self, envelope: Envelope) -> None:
+        """Handle a TX_CONFIRM_BATCH arriving at the service cell."""
+        if not envelope.verify() or not self.invariants.is_cell(envelope.sender):
+            self.metrics.increment(f"{self.node_name}/confirm_auth_failures")
+            return
+        try:
+            batch = ConfirmationBatch.from_data(envelope.data)
+        except ReceiptError:
+            self.metrics.increment(f"{self.node_name}/malformed_confirmations")
+            return
+        for confirmation in batch.confirmations:
+            self._register_confirmation(envelope.sender, confirmation)
+
+    def _register_confirmation(self, sender: Address, confirmation: Confirmation) -> None:
+        """Verify one confirmation and route it to its waiting transaction."""
+        if confirmation.cell != sender or not confirmation.verify():
             self.metrics.increment(f"{self.node_name}/confirm_auth_failures")
             return
         pending = self._pending.get(confirmation.tx_id)
@@ -705,4 +793,5 @@ class BlockumulusCell:
             "contingencies_executed": self._contingencies_executed,
             "cpu_utilization": self.cpu.utilization(),
             "subscriber_count": len(self.subscriptions.subscribers()),
+            "batching": self.batcher.statistics() if self.batcher is not None else None,
         }

@@ -101,6 +101,8 @@ class BlockumulusDeployment:
                 enforce_subscriptions=self.config.enforce_subscriptions,
                 auto_report=self.config.auto_report,
                 snapshots_retained=self.config.snapshots_retained,
+                message_batching=self.config.message_batching,
+                batch_quantum=self.config.batch_quantum,
             )
             self.cells.append(cell)
 

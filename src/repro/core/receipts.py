@@ -127,6 +127,47 @@ class Confirmation:
             raise ReceiptError(f"malformed confirmation: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class ConfirmationBatch:
+    """Confirmations for many transactions, shipped in one envelope.
+
+    The batched pipeline coalesces every confirmation a cell owes the same
+    service cell during one scheduling quantum into a single
+    ``TX_CONFIRM_BATCH`` message.  Each inner confirmation keeps its own
+    signature (it must later be embeddable in an aggregated receipt), so the
+    receiver verifies items exactly as it would singleton confirmations.
+    Executed and rejected confirmations ride together; the per-item
+    ``status`` field carries the distinction the singleton path encodes in
+    the ``TX_CONFIRM`` / ``TX_REJECT`` opcode split.
+    """
+
+    confirmations: tuple[Confirmation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.confirmations:
+            raise ReceiptError("a confirmation batch must carry at least one confirmation")
+
+    def __len__(self) -> int:
+        return len(self.confirmations)
+
+    @classmethod
+    def of(cls, confirmations: list[Confirmation]) -> "ConfirmationBatch":
+        """Build a batch from already-signed confirmations."""
+        return cls(confirmations=tuple(confirmations))
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of a ``TX_CONFIRM_BATCH`` envelope."""
+        return {"confirmations": [confirmation.to_wire() for confirmation in self.confirmations]}
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "ConfirmationBatch":
+        """Parse a batch from an envelope's data field."""
+        items = raw.get("confirmations")
+        if not isinstance(items, list) or not items:
+            raise ReceiptError("confirmation batch carries no confirmation list")
+        return cls(confirmations=tuple(Confirmation.from_wire(item) for item in items))
+
+
 @dataclass
 class AggregatedReceipt:
     """The multi-signature proof returned to the client."""

@@ -6,19 +6,73 @@ and fingerprint its data, combines the per-contract fingerprints into the
 state export) so auditors can download it during the next main stage
 (Sections III-A2, III-D2).  The paper's storage analysis assumes three
 retained snapshots: the one being built plus two kept for auditing.
+
+State exports are **copy-on-write**: taking a snapshot is O(1) per
+contract, only keys written after the snapshot get their old values
+preserved, and the frozen export dict is materialized lazily the first
+time somebody (an auditor, the wire encoder) actually reads it.  Report
+cycles whose snapshots are pruned unread never pay for a full state copy.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
 from ..contracts.registry import ContractRegistry
+from ..contracts.state_store import StateExport
 from ..crypto.fingerprint import snapshot_fingerprint
 
 
 class SnapshotError(Exception):
     """Raised for invalid snapshot queries."""
+
+
+class LazySnapshotExport(Mapping):
+    """Per-contract copy-on-write exports behind a read-only mapping.
+
+    Reads behave exactly like the eager ``{contract: state}`` dict the
+    engine used to build at snapshot time, but the underlying data is only
+    copied when first accessed.  Once materialized the result is cached and
+    immutable, so repeated auditor downloads serve the same frozen dicts.
+    """
+
+    def __init__(self, exports: dict[str, StateExport]) -> None:
+        self._exports = exports
+        self._frozen: Optional[dict[str, dict[str, Any]]] = None
+
+    def _materialize(self) -> dict[str, dict[str, Any]]:
+        if self._frozen is None:
+            self._frozen = {name: export.materialize() for name, export in self._exports.items()}
+        return self._frozen
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the frozen per-contract dicts have been built."""
+        return self._frozen is not None
+
+    def release(self) -> None:
+        """Drop the copy-on-write handles without materializing."""
+        if self._frozen is None:
+            for export in self._exports.values():
+                export.release()
+
+    def __getitem__(self, name: str) -> dict[str, Any]:
+        return self._materialize()[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._exports)
+
+    def __len__(self) -> int:
+        return len(self._exports)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._exports
+
+    def to_dict(self) -> dict[str, dict[str, Any]]:
+        """The materialized ``{contract: state}`` export."""
+        return self._materialize()
 
 
 @dataclass(frozen=True)
@@ -34,8 +88,9 @@ class DataSnapshot:
     excluded_contracts: tuple[str, ...]
     #: The combined data snapshot fingerprint anchored on Ethereum.
     fingerprint: bytes
-    #: Full state export per contract (what auditors download).
-    state_export: dict[str, dict[str, Any]] = field(default_factory=dict, repr=False)
+    #: Full state export per contract (what auditors download).  Either a
+    #: plain dict or a :class:`LazySnapshotExport` that materializes on read.
+    state_export: Mapping[str, dict[str, Any]] = field(default_factory=dict, repr=False)
     #: Sequence numbers of ledger entries covered by this snapshot.
     first_sequence: int = 0
     last_sequence: int = -1
@@ -66,8 +121,19 @@ class DataSnapshot:
             "last_sequence": self.last_sequence,
         }
         if include_state:
-            payload["state_export"] = self.state_export
+            payload["state_export"] = self.materialized_state()
         return payload
+
+    def materialized_state(self) -> dict[str, dict[str, Any]]:
+        """The state export as a plain dict (forces materialization)."""
+        if isinstance(self.state_export, LazySnapshotExport):
+            return self.state_export.to_dict()
+        return dict(self.state_export)
+
+    def release_state(self) -> None:
+        """Drop an unmaterialized lazy export (called when pruned unread)."""
+        if isinstance(self.state_export, LazySnapshotExport):
+            self.state_export.release()
 
 
 class SnapshotEngine:
@@ -81,6 +147,9 @@ class SnapshotEngine:
         self.retain = retain
         self._snapshots: dict[int, DataSnapshot] = {}
         self._latest_cycle: Optional[int] = None
+        #: Canonical-JSON size cache: snapshots are immutable once taken, so
+        #: each is serialized at most once for the storage accounting.
+        self._wire_sizes: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Snapshot creation
@@ -112,7 +181,9 @@ class SnapshotEngine:
             contract_fingerprints=fingerprints,
             excluded_contracts=tuple(self.registry.excluded()),
             fingerprint=combined,
-            state_export=self.registry.export_all() if include_state else {},
+            state_export=(
+                LazySnapshotExport(self.registry.export_all_lazy()) if include_state else {}
+            ),
             first_sequence=first_sequence,
             last_sequence=last_sequence,
         )
@@ -124,7 +195,9 @@ class SnapshotEngine:
     def _prune(self) -> None:
         while len(self._snapshots) > self.retain:
             oldest = min(self._snapshots)
+            self._snapshots[oldest].release_state()
             del self._snapshots[oldest]
+            self._wire_sizes.pop(oldest, None)
 
     # ------------------------------------------------------------------
     # Queries
@@ -156,10 +229,22 @@ class SnapshotEngine:
         return sorted(self._snapshots)
 
     def storage_bytes(self) -> int:
-        """Approximate bytes devoted to retained snapshots (Section IV-C)."""
+        """Approximate bytes devoted to retained snapshots (Section IV-C).
+
+        Measuring the serialized size necessarily materializes any
+        still-lazy state exports, so call this only when the storage
+        accounting is actually wanted.  Snapshots are immutable once taken,
+        so each retained snapshot is serialized at most once; repeated
+        calls reuse the cached sizes instead of re-encoding every
+        snapshot's full state.
+        """
         from ..encoding import canonical_json
 
-        return sum(
-            len(canonical_json.dump_bytes(snapshot.to_wire(include_state=True)))
-            for snapshot in self._snapshots.values()
-        )
+        total = 0
+        for cycle, snapshot in self._snapshots.items():
+            size = self._wire_sizes.get(cycle)
+            if size is None:
+                size = len(canonical_json.dump_bytes(snapshot.to_wire(include_state=True)))
+                self._wire_sizes[cycle] = size
+            total += size
+        return total

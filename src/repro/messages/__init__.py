@@ -1,5 +1,6 @@
 """The uniform RESTful message layer of Blockumulus (Section III-C2)."""
 
+from .batch import BatchError, ForwardBatch
 from .envelope import Envelope, EnvelopeError, NonceFactory
 from .opcodes import AUDITOR_OPCODES, CELL_OPCODES, CLIENT_OPCODES, Opcode
 from .payload import Payload, PayloadError
@@ -7,11 +8,13 @@ from .signer import EcdsaSigner, SimulatedSigner, Signer, verify_signature
 
 __all__ = [
     "AUDITOR_OPCODES",
+    "BatchError",
     "CELL_OPCODES",
     "CLIENT_OPCODES",
     "EcdsaSigner",
     "Envelope",
     "EnvelopeError",
+    "ForwardBatch",
     "NonceFactory",
     "Opcode",
     "Payload",

@@ -117,10 +117,13 @@ class Envelope:
             payload = Payload.from_dict(raw["payload"])
             signature_hex = raw["signature"]
             scheme = raw.get("scheme", "ecdsa")
-        except (KeyError, TypeError, PayloadError) as exc:
+            signature_text = (
+                signature_hex[2:] if signature_hex.startswith("0x") else signature_hex
+            )
+            signature = bytes.fromhex(signature_text)
+        except (KeyError, TypeError, AttributeError, ValueError, PayloadError) as exc:
             raise EnvelopeError(f"malformed envelope: {exc}") from exc
-        signature_text = signature_hex[2:] if signature_hex.startswith("0x") else signature_hex
-        return cls(payload=payload, signature=bytes.fromhex(signature_text), scheme=scheme)
+        return cls(payload=payload, signature=signature, scheme=scheme)
 
     # ------------------------------------------------------------------
     # Convenience accessors

@@ -24,7 +24,9 @@ class Opcode(str, Enum):
 
     # Service cell -> other consortium cells.
     TX_FORWARD = "tx_forward"               # forward a client transaction
+    TX_FORWARD_BATCH = "tx_forward_batch"   # one envelope carrying many forwards
     TX_CONFIRM = "tx_confirm"               # signed confirmation with fingerprint
+    TX_CONFIRM_BATCH = "tx_confirm_batch"   # one envelope carrying many confirmations
     TX_REJECT = "tx_reject"                 # execution failed / fingerprint mismatch
     CELL_EXCLUDE = "cell_exclude"           # propose temporary exclusion of a cell
     CELL_SYNC = "cell_sync"                 # state resync after exclusion
@@ -58,7 +60,9 @@ CLIENT_OPCODES = frozenset(
 CELL_OPCODES = frozenset(
     {
         Opcode.TX_FORWARD,
+        Opcode.TX_FORWARD_BATCH,
         Opcode.TX_CONFIRM,
+        Opcode.TX_CONFIRM_BATCH,
         Opcode.TX_REJECT,
         Opcode.CELL_EXCLUDE,
         Opcode.CELL_SYNC,

@@ -8,7 +8,7 @@ Figures 8–10 and the ablations.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -38,7 +38,7 @@ class SampleSeries:
     def __init__(self, name: str = "series") -> None:
         self.name = name
         self._values: list[float] = []
-        self._sorted: list[float] | None = []
+        self._sorted: list[float] | None = None
 
     def add(self, value: float) -> None:
         """Record one sample."""
@@ -116,10 +116,15 @@ class SampleSeries:
         return self.percentile(0.99)
 
     def fraction_below(self, threshold: float) -> float:
-        """Fraction of samples strictly below ``threshold``."""
+        """Fraction of samples strictly below ``threshold``.
+
+        ``bisect_left`` keeps samples equal to the threshold out of the
+        count, matching the documented strict inequality (this statistic
+        feeds the Fig. 8 CDF claims, where boundary values are common).
+        """
         self._require_data()
         ordered = self._ensure_sorted()
-        return bisect_right(ordered, threshold) / len(ordered)
+        return bisect_left(ordered, threshold) / len(ordered)
 
     def cdf(self, points: int = 50) -> list[tuple[float, float]]:
         """An empirical CDF as ``(value, cumulative_fraction)`` pairs."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from .environment import Environment
 from .events import SimulationError
@@ -179,6 +179,24 @@ class Network:
     def bytes_between(self, src: str, dst: str) -> int:
         """Total bytes sent on the directed pair ``src`` -> ``dst``."""
         return self.traffic[(src, dst)].bytes
+
+    def messages_between(self, src: str, dst: str) -> int:
+        """Messages sent on the directed pair ``src`` -> ``dst``."""
+        return self.traffic[(src, dst)].messages
+
+    def messages_among(self, nodes: Iterable[str]) -> int:
+        """Messages exchanged between any two distinct nodes of ``nodes``.
+
+        The batching benchmark uses this to count inter-cell traffic: pass
+        the cell node names and get the total overlay message count,
+        regardless of whether messages were singletons or batches.
+        """
+        member = set(nodes)
+        return sum(
+            counter.messages
+            for (src, dst), counter in self.traffic.items()
+            if src in member and dst in member
+        )
 
     def total_bytes(self) -> int:
         """Total bytes transferred across the whole network."""

@@ -129,3 +129,86 @@ def test_restore_inside_transaction_rejected():
     store.begin()
     with pytest.raises(StoreError):
         store.restore_state({})
+
+
+def test_increment_non_numeric_value_raises_store_error():
+    store = KeyValueStore({"label": "not a number", "flag": True})
+    with pytest.raises(StoreError):
+        store.increment("label")
+    with pytest.raises(StoreError):
+        store.increment("flag")
+    # The failed increments changed nothing.
+    assert store.get("label") == "not a number"
+
+
+# ----------------------------------------------------------------------
+# Copy-on-write exports
+# ----------------------------------------------------------------------
+def test_cow_export_freezes_state_at_export_time():
+    store = KeyValueStore({"a": 1, "b": {"nested": [1]}})
+    export = store.cow_export()
+    assert not export.materialized
+    store.put("a", 2)
+    store.delete("b")
+    store.put("c", 3)
+    frozen = export.materialize()
+    assert frozen == {"a": 1, "b": {"nested": [1]}}
+    # Materializing detaches the export: later writes are free and unseen.
+    store.put("a", 99)
+    assert export.materialize() == {"a": 1, "b": {"nested": [1]}}
+    assert store.pending_export_count == 0
+
+
+def test_cow_export_only_copies_dirty_keys():
+    store = KeyValueStore({f"k{i}": i for i in range(100)})
+    export = store.cow_export()
+    store.put("k0", -1)
+    store.put("k1", -1)
+    store.put("k0", -2)  # second write to the same key captures nothing new
+    assert export.dirty_key_count == 2
+
+
+def test_cow_export_unaffected_by_journal_rollback():
+    store = KeyValueStore({"balance": 10})
+    export = store.cow_export()
+    store.begin()
+    store.put("balance", 5)
+    store.rollback()
+    store.put("balance", 7)
+    assert export.materialize() == {"balance": 10}
+
+
+def test_multiple_cow_exports_see_their_own_instant():
+    store = KeyValueStore({"x": 1})
+    first = store.cow_export()
+    store.put("x", 2)
+    second = store.cow_export()
+    store.put("x", 3)
+    assert first.materialize() == {"x": 1}
+    assert second.materialize() == {"x": 2}
+    assert store.get("x") == 3
+
+
+def test_cow_export_survives_restore_state():
+    store = KeyValueStore({"a": 1, "b": 2})
+    export = store.cow_export()
+    store.restore_state({"a": 10, "c": 30})
+    assert export.materialize() == {"a": 1, "b": 2}
+
+
+def test_released_export_cannot_materialize_and_stops_tracking():
+    store = KeyValueStore({"a": 1})
+    export = store.cow_export()
+    export.release()
+    assert store.pending_export_count == 0
+    store.put("a", 2)
+    with pytest.raises(StoreError):
+        export.materialize()
+
+
+def test_materialized_export_is_a_deep_copy():
+    store = KeyValueStore({"a": {"nested": [1]}})
+    export = store.cow_export()
+    frozen = export.materialize()
+    frozen["a"]["nested"].append(2)
+    assert store.get("a") == {"nested": [1]}

@@ -1,0 +1,151 @@
+"""The batched overlay pipeline: codec, equivalence with singletons, savings."""
+
+import pytest
+
+from repro.client import BlockumulusClient, CasClient
+from repro.core.receipts import Confirmation, ConfirmationBatch, ReceiptError
+from repro.encoding import canonical_json
+from repro.messages.signer import EcdsaSigner
+from tests.conftest import make_deployment
+
+
+# ----------------------------------------------------------------------
+# ConfirmationBatch codec
+# ----------------------------------------------------------------------
+def test_confirmation_batch_round_trip_preserves_signatures():
+    signer = EcdsaSigner.from_seed("confirm-batch-cell")
+    confirmations = [
+        Confirmation.create(
+            signer,
+            tx_id=f"0x{index:064x}",
+            contract="fastmoney",
+            fingerprint_hex="0x" + "11" * 32,
+            status="executed" if index % 2 == 0 else "rejected",
+            timestamp=2.5,
+            error=None if index % 2 == 0 else "insufficient balance",
+        )
+        for index in range(3)
+    ]
+    batch = ConfirmationBatch.of(confirmations)
+    # Full canonical-JSON round trip, as the envelope data field travels.
+    raw = canonical_json.loads(canonical_json.dump_bytes(batch.to_data()))
+    parsed = ConfirmationBatch.from_data(raw)
+    assert len(parsed) == 3
+    for original, round_tripped in zip(confirmations, parsed.confirmations):
+        assert round_tripped.verify()
+        assert round_tripped.tx_id == original.tx_id
+        assert round_tripped.status == original.status
+        assert round_tripped.error == original.error
+
+
+def test_malformed_confirmation_batches_rejected():
+    with pytest.raises(ReceiptError):
+        ConfirmationBatch(confirmations=())
+    with pytest.raises(ReceiptError):
+        ConfirmationBatch.from_data({})
+    with pytest.raises(ReceiptError):
+        ConfirmationBatch.from_data({"confirmations": [{"cell": "0x00"}]})
+
+
+# ----------------------------------------------------------------------
+# Batched vs. singleton runs are observably identical (except cheaper)
+# ----------------------------------------------------------------------
+BLOBS = [f"pipeline-blob-{index}".encode() for index in range(8)]
+
+
+def run_cas_burst(batched: bool):
+    """Submit the same 8 simultaneous CAS uploads through one deployment."""
+    deployment = make_deployment(message_batching=batched)
+    client = BlockumulusClient(
+        deployment,
+        signer=deployment.make_client_signer("pipeline-client"),
+        node_name="pipeline-client",
+    )
+    cas = CasClient(client)
+    events = []
+    for index, blob in enumerate(BLOBS):
+        signer = deployment.make_client_signer(f"pipeline-account/{index}")
+        events.append(cas.put(blob, signer=signer))
+    deployment.env.run(deployment.env.all_of(events))
+    return deployment, [event.value for event in events]
+
+
+@pytest.fixture(scope="module")
+def burst_runs():
+    return {batched: run_cas_burst(batched) for batched in (False, True)}
+
+
+def test_both_modes_confirm_every_transaction(burst_runs):
+    for batched, (_deployment, results) in burst_runs.items():
+        assert all(result.ok for result in results), f"failures with batched={batched}"
+
+
+def test_ledgers_identical_across_modes(burst_runs):
+    def ledger_digest(deployment):
+        digests = []
+        for cell in deployment.cells:
+            entries = sorted(
+                (entry.tx_id, entry.status, entry.contract, repr(entry.result))
+                for entry in cell.ledger
+            )
+            digests.append(entries)
+        return digests
+
+    singleton, batched = burst_runs[False][0], burst_runs[True][0]
+    assert ledger_digest(singleton) == ledger_digest(batched)
+
+
+def test_receipts_identical_across_modes(burst_runs):
+    def receipt_digest(results):
+        return sorted(
+            (
+                result.receipt.tx_id,
+                result.receipt.contract,
+                result.receipt.fingerprint_hex,
+                repr(result.receipt.result),
+                tuple(sorted(result.receipt.cells())),
+            )
+            for result in results
+        )
+
+    assert receipt_digest(burst_runs[False][1]) == receipt_digest(burst_runs[True][1])
+    for result in burst_runs[True][1]:
+        assert result.receipt.verify()
+
+
+def test_contract_fingerprints_identical_across_modes(burst_runs):
+    def fingerprints(deployment):
+        return {
+            cell.node_name: {
+                name: cell.contracts.get(name).fingerprint_hex()
+                for name in cell.contracts.names()
+            }
+            for cell in deployment.cells
+        }
+
+    assert fingerprints(burst_runs[False][0]) == fingerprints(burst_runs[True][0])
+
+
+def test_batching_at_least_halves_inter_cell_messages(burst_runs):
+    def inter_cell_messages(deployment):
+        nodes = [cell.node_name for cell in deployment.cells]
+        return deployment.network.messages_among(nodes)
+
+    singleton = inter_cell_messages(burst_runs[False][0])
+    batched = inter_cell_messages(burst_runs[True][0])
+    # 8 simultaneous transactions: 8 forwards + 8 confirmations per-tx, a
+    # handful of batch envelopes when coalesced.
+    assert singleton == 2 * len(BLOBS)
+    assert batched * 2 <= singleton
+
+    service_cell = burst_runs[True][0].cell(0)
+    stats = service_cell.batcher.statistics()
+    assert stats["items_coalesced"] >= len(BLOBS)
+    assert stats["mean_batch_size"] > 1.0
+
+
+def test_singleton_deployment_has_no_batcher(burst_runs):
+    deployment = burst_runs[False][0]
+    assert all(cell.batcher is None for cell in deployment.cells)
+    stats = deployment.cell(0).statistics()
+    assert stats["batching"] is None

@@ -101,3 +101,66 @@ def test_wire_form_and_storage_accounting(engine, registry):
     slim = engine.latest().to_wire(include_state=False)
     assert "state_export" not in slim
     assert engine.storage_bytes() > 0
+
+
+# ----------------------------------------------------------------------
+# Copy-on-write state exports
+# ----------------------------------------------------------------------
+def test_snapshot_export_is_lazy_until_downloaded(engine, registry):
+    mutate(registry)
+    snapshot = engine.take_snapshot(cycle=0, timestamp=10.0, first_sequence=0, last_sequence=0)
+    assert not snapshot.state_export.materialized
+    # Membership checks do not force a copy either.
+    assert "fastmoney" in snapshot.state_export
+    assert not snapshot.state_export.materialized
+    # The download (wire form) materializes the frozen export.
+    wire = snapshot.to_wire()
+    assert snapshot.state_export.materialized
+    assert wire["state_export"]["fastmoney"]
+
+
+def test_mutation_after_snapshot_does_not_change_the_export(engine, registry):
+    mutate(registry, "0xbefore")
+    snapshot = engine.take_snapshot(cycle=0, timestamp=10.0, first_sequence=0, last_sequence=0)
+    # An auditor downloading before and after later mutations must see the
+    # same frozen state; mutate *before* the first download to exercise the
+    # copy-on-write path rather than the cached-materialization path.
+    mutate(registry, "0xafter")
+    exported = snapshot.to_wire()["state_export"]["fastmoney"]
+    fresh = FastMoney("fastmoney")
+    fresh.restore_state(exported)
+    assert fresh.fingerprint() == snapshot.contract_fingerprints["fastmoney"]
+    assert fresh.query("balance_of", {"account": ALICE.hex()}) == 10
+    # The live contract has moved on.
+    assert registry.get("fastmoney").query("balance_of", {"account": ALICE.hex()}) == 20
+
+
+def test_pruned_snapshot_releases_its_export(engine, registry):
+    store = registry.get("fastmoney").store
+    for cycle in range(5):
+        engine.take_snapshot(cycle=cycle, timestamp=float(cycle), first_sequence=0, last_sequence=0)
+    # Only the retained snapshots still track the store.
+    assert store.pending_export_count == 3
+    assert engine.retained_cycles() == [2, 3, 4]
+
+
+def test_storage_bytes_cached_per_snapshot(engine, registry, monkeypatch):
+    from repro.encoding import canonical_json
+
+    mutate(registry)
+    engine.take_snapshot(cycle=0, timestamp=10.0, first_sequence=0, last_sequence=0)
+    engine.take_snapshot(cycle=1, timestamp=20.0, first_sequence=1, last_sequence=1)
+    calls = {"count": 0}
+    original = canonical_json.dump_bytes
+
+    def counting_dump(obj):
+        calls["count"] += 1
+        return original(obj)
+
+    monkeypatch.setattr(canonical_json, "dump_bytes", counting_dump)
+    first = engine.storage_bytes()
+    serializations_first_pass = calls["count"]
+    second = engine.storage_bytes()
+    assert first == second > 0
+    # The second call served every size from the cache.
+    assert calls["count"] == serializations_first_pass

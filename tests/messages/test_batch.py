@@ -1,0 +1,97 @@
+"""Batch envelope codec: sign/verify round trips and malformed input."""
+
+import pytest
+
+from repro.crypto.keys import PrivateKey
+from repro.messages import BatchError, Envelope, ForwardBatch, Opcode
+from repro.messages.signer import EcdsaSigner
+
+
+def make_signer(seed: str) -> EcdsaSigner:
+    return EcdsaSigner(PrivateKey.from_seed(seed))
+
+
+def client_envelope(index: int, recipient) -> Envelope:
+    signer = make_signer(f"batch-client-{index}")
+    return Envelope.create(
+        signer=signer,
+        recipient=recipient,
+        operation=Opcode.TX_SUBMIT,
+        data={"contract": "fastmoney", "method": "faucet", "args": {"amount": index + 1}},
+        timestamp=float(index),
+        nonce=f"0x{index:024x}",
+    )
+
+
+@pytest.fixture
+def cell_signer():
+    return make_signer("batch-cell")
+
+
+def test_forward_batch_round_trip_preserves_client_signatures(cell_signer):
+    recipient = make_signer("batch-peer").address
+    originals = [client_envelope(i, recipient) for i in range(4)]
+    batch = ForwardBatch.of(originals)
+
+    outer = Envelope.create(
+        signer=cell_signer,
+        recipient=recipient,
+        operation=Opcode.TX_FORWARD_BATCH,
+        data=batch.to_data(),
+        timestamp=10.0,
+        nonce="0x" + "ab" * 12,
+    )
+    # Full wire round trip of the outer envelope.
+    parsed_outer = Envelope.from_wire(outer.wire_bytes())
+    assert parsed_outer.verify()
+    assert parsed_outer.operation == Opcode.TX_FORWARD_BATCH
+
+    parsed_batch = ForwardBatch.from_data(parsed_outer.data)
+    assert len(parsed_batch) == 4
+    inner = parsed_batch.envelopes()
+    for original, round_tripped in zip(originals, inner):
+        assert round_tripped.verify()
+        assert round_tripped.payload.hash_hex() == original.payload.hash_hex()
+        assert round_tripped.data == original.data
+
+
+def test_tampered_outer_batch_fails_verification(cell_signer):
+    recipient = make_signer("batch-peer").address
+    batch = ForwardBatch.of([client_envelope(0, recipient)])
+    outer = Envelope.create(
+        signer=cell_signer,
+        recipient=recipient,
+        operation=Opcode.TX_FORWARD_BATCH,
+        data=batch.to_data(),
+        timestamp=1.0,
+        nonce="0x" + "cd" * 12,
+    )
+    wire = outer.to_wire()
+    wire["payload"]["data"]["transactions"].append(
+        client_envelope(9, recipient).to_wire()
+    )
+    assert not Envelope.from_wire(wire).verify()
+
+
+def test_empty_and_malformed_batches_rejected():
+    with pytest.raises(BatchError):
+        ForwardBatch(transactions=())
+    with pytest.raises(BatchError):
+        ForwardBatch.from_data({})
+    with pytest.raises(BatchError):
+        ForwardBatch.from_data({"transactions": []})
+    with pytest.raises(BatchError):
+        ForwardBatch.from_data({"transactions": ["not a wire object"]})
+    with pytest.raises(BatchError):
+        ForwardBatch.from_data({"transactions": [{"payload": "garbage"}]}).envelopes()
+
+
+def test_inner_envelope_with_bad_signature_hex_raises_batch_error(cell_signer):
+    recipient = make_signer("batch-peer").address
+    wire = client_envelope(0, recipient).to_wire()
+    wire["signature"] = "0xzz"  # not hex: must surface as BatchError, not ValueError
+    with pytest.raises(BatchError):
+        ForwardBatch.from_data({"transactions": [wire]}).envelopes()
+    wire["signature"] = 1234  # not even a string
+    with pytest.raises(BatchError):
+        ForwardBatch.from_data({"transactions": [wire]}).envelopes()

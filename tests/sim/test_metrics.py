@@ -46,6 +46,27 @@ def test_fraction_below():
     assert series.fraction_below(100) == 1.0
 
 
+def test_fraction_below_is_strict_at_duplicate_boundary_values():
+    series = SampleSeries()
+    series.extend([1, 2, 2, 2, 3])
+    # "Strictly below 2" counts only the single 1, not the three 2s.
+    assert series.fraction_below(2) == pytest.approx(0.2)
+    assert series.fraction_below(1) == 0.0
+    assert series.fraction_below(3.0001) == 1.0
+
+
+def test_sorted_cache_starts_empty_and_invalidates():
+    series = SampleSeries()
+    assert series._sorted is None  # the empty-series invariant
+    with pytest.raises(MetricsError):
+        series.min()
+    series.add(2)
+    assert series.min() == 2
+    series.add(1)
+    assert series._sorted is None  # add() invalidates the cache
+    assert series.min() == 1
+
+
 def test_cdf_is_monotonic():
     series = SampleSeries()
     series.extend([5, 1, 3, 2, 4, 9, 7])
