@@ -1,0 +1,116 @@
+"""Recovery benchmark: crash–rejoin latency and message cost vs. log length.
+
+For each log length N the benchmark crashes one cell of a three-cell
+consortium after an anchored snapshot, runs N further transactions against
+the surviving quorum, and then recovers the crashed cell through the full
+pipeline (snapshot download, ledger backfill, tail replay with per-entry
+fingerprint matching, quorum rejoin).  Recorded per run:
+
+* recovery latency (simulated seconds from sync request to readmission),
+* message and byte cost of the recovery exchange,
+* entries backfilled vs. replayed,
+* whether ledgers and contract fingerprints are identical across all
+  cells after the rejoin (they must be — that is the acceptance bar).
+
+Results land in ``benchmarks/output/recovery.txt`` and the machine-readable
+baseline ``BENCH_recovery.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+from repro.client import BlockumulusClient, FastMoneyClient
+
+from _harness import azure_deployment, bench_scale, write_bench_json, write_output
+
+#: Post-crash transaction counts (the replayed log lengths).
+LOG_LENGTHS = (25, 50, 100)
+#: Transactions landed before the crash (covered by the donor snapshot).
+WARMUP_TRANSACTIONS = 20
+
+
+def _sequential_transfers(deployment, fastmoney, count: int, destination: str) -> None:
+    for _ in range(count):
+        event = fastmoney.transfer(destination, 1)
+        deployment.env.run(event)
+        assert event.value.ok, event.value.error
+
+
+def _state_fingerprints(cell) -> dict[str, str]:
+    return {name: cell.contracts.get(name).fingerprint_hex() for name in cell.contracts.names()}
+
+
+def _crash_rejoin_run(log_length: int) -> dict:
+    deployment = azure_deployment(cells=3, report_period=600.0)
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    fastmoney = FastMoneyClient(client)
+    deployment.env.run(fastmoney.faucet(10_000))
+    _sequential_transfers(deployment, fastmoney, WARMUP_TRANSACTIONS, "0x" + "aa" * 20)
+
+    # Cross the report boundary so the donor has an anchored snapshot.
+    deployment.run(until=601.0)
+    assert deployment.cell(0).snapshots.latest_cycle == 0
+
+    deployment.crash_cell(2)
+    deployment.exclude_cell(2)
+    _sequential_transfers(deployment, fastmoney, log_length, "0x" + "bb" * 20)
+
+    recovery = deployment.recover_cell(2)
+    deployment.env.run(recovery)
+    result = recovery.value
+    assert result.ok, result.reason
+    deployment.run(until=deployment.env.now + 5.0)  # readmit commits land
+
+    digests = {tuple(map(tuple, cell.ledger.sync_digest())) for cell in deployment.cells}
+    fingerprints = {
+        tuple(sorted(_state_fingerprints(cell).items())) for cell in deployment.cells
+    }
+    return {
+        "log_length": log_length,
+        "backfilled": result.backfilled,
+        "replayed": result.replayed,
+        "recovery_latency_s": round(result.duration, 6),
+        "messages": result.messages_used,
+        "bytes": result.bytes_used,
+        "readmitted": result.readmitted,
+        "acks": result.ack_count,
+        "ledgers_identical": len(digests) == 1,
+        "fingerprints_identical": len(fingerprints) == 1,
+    }
+
+
+def test_recovery_latency_and_message_cost():
+    runs = [_crash_rejoin_run(length) for length in LOG_LENGTHS]
+
+    for run in runs:
+        # The full downtime log was recovered and the consortium converged.
+        assert run["replayed"] == run["log_length"]
+        assert run["readmitted"] and run["ledgers_identical"] and run["fingerprints_identical"]
+        assert run["messages"] > 0 and run["recovery_latency_s"] > 0
+    # Longer logs cost more to replay (deterministic, same seed per run).
+    assert runs[-1]["recovery_latency_s"] >= runs[0]["recovery_latency_s"]
+    assert runs[-1]["bytes"] >= runs[0]["bytes"]
+
+    lines = [
+        "Recovery cost vs. post-crash log length (3 cells, Azure-B1ms model)",
+        f"{'log':>5} {'backfill':>9} {'replayed':>9} {'latency [s]':>12} "
+        f"{'messages':>9} {'bytes':>12}",
+    ]
+    for run in runs:
+        lines.append(
+            f"{run['log_length']:>5} {run['backfilled']:>9} {run['replayed']:>9} "
+            f"{run['recovery_latency_s']:>12.4f} {run['messages']:>9} {run['bytes']:>12}"
+        )
+    lines.append(
+        "ledgers and contract fingerprints identical across all cells after "
+        "every crash-rejoin cycle"
+    )
+    write_output("recovery", "\n".join(lines))
+    write_bench_json(
+        "recovery",
+        {
+            "scale": bench_scale(),
+            "consortium_size": 3,
+            "warmup_transactions": WARMUP_TRANSACTIONS,
+            "runs": runs,
+        },
+    )

@@ -9,6 +9,12 @@ from .executor import ExecutionOutcome, TransactionExecutor
 from .faults import FaultPlan, censor_method, censor_sender
 from .ledger import LedgerEntry, LedgerError, TransactionLedger
 from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, ReceiptError
+from .recovery import (
+    MembershipManager,
+    RecoveryCoordinator,
+    RecoveryError,
+    RecoveryResult,
+)
 from .snapshot import DataSnapshot, LazySnapshotExport, SnapshotEngine, SnapshotError
 from .subscription import PricingPolicy, Subscription, SubscriptionError, SubscriptionManager
 
@@ -29,9 +35,13 @@ __all__ = [
     "LazySnapshotExport",
     "LedgerEntry",
     "LedgerError",
+    "MembershipManager",
     "OverlayConsensus",
     "PricingPolicy",
     "ReceiptError",
+    "RecoveryCoordinator",
+    "RecoveryError",
+    "RecoveryResult",
     "SnapshotEngine",
     "SnapshotError",
     "Subscription",

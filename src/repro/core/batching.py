@@ -19,7 +19,7 @@ remain fully supported for deployments running with batching disabled
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from ..crypto.keys import Address
 from ..messages.batch import ForwardBatch
@@ -58,6 +58,7 @@ class BatchDispatcher:
         node_name: str,
         quantum: float,
         metrics: Optional[MetricsRegistry] = None,
+        offline: Optional[Callable[[], bool]] = None,
     ) -> None:
         if quantum < 0:
             raise ValueError("the batch quantum cannot be negative")
@@ -68,10 +69,16 @@ class BatchDispatcher:
         self.node_name = node_name
         self.quantum = quantum
         self.metrics = metrics
+        #: Liveness gate checked at flush time: a cell that crashed between
+        #: queueing and flushing must not emit the batch (a per-transaction
+        #: sender would already have gone silent), so crash behaviour is
+        #: identical with batching on and off.
+        self.offline = offline
         self._queues: dict[str, _DestinationQueue] = {}
         #: Lifetime counters (exposed through the cell's statistics).
         self.batches_sent = 0
         self.items_coalesced = 0
+        self.items_dropped = 0
 
     # ------------------------------------------------------------------
     # Queueing
@@ -115,6 +122,14 @@ class BatchDispatcher:
             return
         forwards, queue.forwards = queue.forwards, []
         confirmations, queue.confirmations = queue.confirmations, []
+        if self.offline is not None and self.offline():
+            # The cell crashed while the batch was waiting for its quantum:
+            # the queued items die with the process, like any unflushed
+            # outbound buffer on a crashed machine.
+            self.items_dropped += len(forwards) + len(confirmations)
+            if self.metrics is not None:
+                self.metrics.increment(f"{self.node_name}/batch_items_dropped")
+            return
         if forwards:
             self._send(
                 dst_node,
@@ -163,6 +178,7 @@ class BatchDispatcher:
         return {
             "batches_sent": self.batches_sent,
             "items_coalesced": self.items_coalesced,
+            "items_dropped": self.items_dropped,
             "mean_batch_size": (
                 self.items_coalesced / self.batches_sent if self.batches_sent else 0.0
             ),

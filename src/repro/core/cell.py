@@ -29,6 +29,7 @@ from ..ethchain.contracts.snapshot_registry import SnapshotRegistry
 from ..ethchain.provider import Web3Provider
 from ..messages.batch import BatchError, ForwardBatch
 from ..messages.envelope import Envelope, NonceFactory
+from ..messages.membership import MembershipError, SyncRequest, SyncState
 from ..messages.opcodes import Opcode
 from ..messages.signer import Signer
 from ..sim.environment import Environment
@@ -44,6 +45,7 @@ from .executor import ExecutionOutcome, TransactionExecutor
 from .faults import FaultPlan
 from .ledger import LedgerError, TransactionLedger
 from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, ReceiptError
+from .recovery import MembershipManager, RecoveryCoordinator
 from .snapshot import SnapshotEngine
 from .subscription import PricingPolicy, SubscriptionManager, SubscriptionError
 
@@ -115,8 +117,13 @@ class BlockumulusCell:
         )
         self.fault = FaultPlan()
         self.nonces = NonceFactory(signer.address)
+        self.membership = MembershipManager(self)
+        self.recovery = RecoveryCoordinator(self)
         # Batched overlay pipeline: outgoing forwards/confirmations for the
         # same destination coalesce into one envelope per scheduling quantum.
+        # The ``offline`` gate keeps a crashed cell from flushing batches it
+        # queued before the crash (a per-transaction sender would never have
+        # queued them), so both pipeline modes crash identically.
         self.batcher: Optional[BatchDispatcher] = (
             BatchDispatcher(
                 env=env,
@@ -126,6 +133,7 @@ class BlockumulusCell:
                 node_name=node_name,
                 quantum=batch_quantum,
                 metrics=metrics,
+                offline=lambda: self.fault.crashed,
             )
             if message_batching
             else None
@@ -143,6 +151,9 @@ class BlockumulusCell:
         self._client_nodes: dict[Address, str] = {}
         self._pending: dict[str, _PendingTransaction] = {}
 
+        # While a resync is in flight the cell must not take snapshots: it
+        # would anchor fingerprints of half-restored state.
+        self.recovering = False
         # Report-stage state: when True, incoming executions queue on the event.
         self.in_report_stage = False
         self._stage_resume: Event = env.event()
@@ -164,6 +175,18 @@ class BlockumulusCell:
         """Install the address -> node-name map of the other consortium cells."""
         self._peers = {
             address: node for address, node in peers.items() if address != self.address
+        }
+
+    def peer_node(self, address: Address) -> Optional[str]:
+        """Network node name of the peer cell at ``address`` (None if unknown)."""
+        return self._peers.get(address)
+
+    def active_peer_nodes(self) -> dict[Address, str]:
+        """Peers currently part of the confirmation quorum (this cell's view)."""
+        return {
+            address: node
+            for address, node in self._peers.items()
+            if self.consensus.is_active(address)
         }
 
     def _deploy_system_contracts(self) -> None:
@@ -214,6 +237,18 @@ class BlockumulusCell:
             self.env.process(self._serve_snapshot_request(src_node, envelope))
         elif operation == Opcode.LEDGER_REQUEST:
             self.env.process(self._serve_ledger_request(src_node, envelope))
+        elif operation == Opcode.CELL_SYNC:
+            self.env.process(self._serve_sync(src_node, envelope))
+        elif operation == Opcode.CELL_EXCLUDE:
+            self.env.process(self.membership.handle_proposal(src_node, envelope))
+        elif operation == Opcode.CELL_EXCLUDE_VOTE:
+            self.membership.handle_vote(envelope)
+        elif operation == Opcode.CELL_REJOIN:
+            self.env.process(self.membership.handle_rejoin(src_node, envelope))
+        elif operation == Opcode.MEMBERSHIP_UPDATE:
+            self.membership.handle_update(envelope)
+        elif operation in (Opcode.CELL_SYNC_STATE, Opcode.CELL_REJOIN_ACK, Opcode.PONG):
+            self.membership.resolve_reply(envelope)
         elif operation == Opcode.PING:
             self._reply(src_node, envelope, Opcode.PONG, {"node": self.node_name})
         else:
@@ -222,7 +257,9 @@ class BlockumulusCell:
     def _reply(
         self, dst_node: str, request: Envelope, operation: Opcode, data: dict[str, Any]
     ) -> None:
-        """Sign and send a reply to ``request``."""
+        """Sign and send a reply to ``request`` (crashed cells stay silent)."""
+        if self.fault.crashed:
+            return
         reply = Envelope.create(
             signer=self.signer,
             recipient=request.sender,
@@ -278,15 +315,13 @@ class BlockumulusCell:
             self.ledger.mutex.release()
 
         # Forward to every active consortium peer.
-        active_peers = {
-            address: node
-            for address, node in self._peers.items()
-            if address in set(self.consensus.active_cells())
-        }
+        active_peers = self.active_peer_nodes()
         pending = _PendingTransaction(self.env, entry.tx_id, set(active_peers))
         self._pending[entry.tx_id] = pending
         for peer_address, peer_node in active_peers.items():
             yield from self.cpu.use(self.service_model.forward_cpu_per_cell)
+            if self.fault.crashed:
+                return
             if self.batcher is not None:
                 # Batched pipeline: the client envelope joins this peer's next
                 # batch flush instead of costing a dedicated network message.
@@ -333,6 +368,11 @@ class BlockumulusCell:
             newly_excluded = self.consensus.record_miss(address, cycle)
             if newly_excluded:
                 self.metrics.increment(f"{self.node_name}/cells_excluded")
+                # Spread the observation: open a consortium-wide vote so the
+                # other cells stop forwarding to the dead peer as well.
+                self.membership.propose_exclusion(
+                    address, cycle, reason="forwarding deadline missed"
+                )
 
         self.subscriptions.record_transaction(envelope.sender)
 
@@ -445,6 +485,11 @@ class BlockumulusCell:
         reply_nonce: str,
     ) -> Generator[Event, Any, None]:
         """Admit, execute, and confirm one forwarded client transaction."""
+        if self.fault.crashed:
+            # The cell crashed after the forward (or its batch) was already
+            # delivered: drop the work exactly as per-transaction traffic
+            # arriving after the crash would have been dropped.
+            return
         if not client_envelope.verify():
             self._confirm(src_node, origin, reply_nonce, client_envelope.payload.hash_hex(),
                           contract="", fingerprint_hex="0x" + "00" * 32,
@@ -453,6 +498,10 @@ class BlockumulusCell:
         if self.fault.extra_confirm_delay:
             self.fault.record("delay", seconds=self.fault.extra_confirm_delay)
             yield self.env.timeout(self.fault.extra_confirm_delay)
+        if self.fault.crashed:
+            # Crashed while the transaction was waiting in this cell: it is
+            # never admitted, exactly as if the envelope had been dropped.
+            return
 
         yield self.ledger.mutex.request()
         try:
@@ -501,7 +550,14 @@ class BlockumulusCell:
         status: str,
         error: Optional[str] = None,
     ) -> None:
-        """Send a signed confirmation back to the service cell at ``origin``."""
+        """Send a signed confirmation back to the service cell at ``origin``.
+
+        A cell that crashed between executing the transaction and this point
+        sends nothing — matching what its peers observe in either pipeline
+        mode (the batch dispatcher applies the same gate at flush time).
+        """
+        if self.fault.crashed:
+            return
         confirmation = Confirmation.create(
             self.signer,
             tx_id=tx_id,
@@ -675,13 +731,52 @@ class BlockumulusCell:
         )
 
     # ------------------------------------------------------------------
+    # Resync donor interface (crash recovery, Section V)
+    # ------------------------------------------------------------------
+    def _serve_sync(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
+        """Serve a recovering peer the snapshot + ledger tail it is missing.
+
+        Any consortium cell may ask — including one this cell currently
+        holds excluded, since the whole point of the request is to get back
+        into the quorum.
+        """
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not envelope.verify() or not self.invariants.is_cell(envelope.sender):
+            self.metrics.increment(f"{self.node_name}/membership_auth_failures")
+            return
+        try:
+            request = SyncRequest.from_data(envelope.data)
+        except MembershipError as exc:
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+            return
+        snapshot_wire = None
+        start = request.since_sequence
+        if self.snapshots.latest_cycle is not None:
+            latest = self.snapshots.latest()
+            snapshot_wire = latest.to_wire(include_state=True)
+            # If the snapshot predates what the requester already has, the
+            # requester will roll back to the snapshot boundary — ship the
+            # whole post-snapshot tail so it can re-execute forward again.
+            start = min(start, latest.last_sequence + 1)
+        bundle = SyncState(
+            donor=self.address,
+            snapshot=snapshot_wire,
+            entries=tuple(self.ledger.sync_segment(start)),
+            excluded=tuple(
+                address.hex() for address in self.consensus.excluded_cells()
+            ),
+        )
+        self.metrics.increment(f"{self.node_name}/syncs_served")
+        self._reply(src_node, envelope, Opcode.CELL_SYNC_STATE, bundle.to_data())
+
+    # ------------------------------------------------------------------
     # Report-cycle lifecycle (Fig. 6)
     # ------------------------------------------------------------------
     def _lifecycle(self) -> Generator[Event, Any, None]:
         while True:
             next_deadline = self.consensus.next_deadline(self.env.now)
             yield self.env.timeout(max(0.0, next_deadline - self.env.now))
-            if self.fault.crashed:
+            if self.fault.crashed or self.recovering:
                 continue
             completed_cycle = self.consensus.cycle_of(self.env.now) - 1
             if completed_cycle < 0:
@@ -794,4 +889,15 @@ class BlockumulusCell:
             "cpu_utilization": self.cpu.utilization(),
             "subscriber_count": len(self.subscriptions.subscribers()),
             "batching": self.batcher.statistics() if self.batcher is not None else None,
+            "recovering": self.recovering,
+            "last_recovery": (
+                {
+                    "ok": self.recovery.last_result.ok,
+                    "duration": self.recovery.last_result.duration,
+                    "replayed": self.recovery.last_result.replayed,
+                    "backfilled": self.recovery.last_result.backfilled,
+                }
+                if self.recovery.last_result is not None
+                else None
+            ),
         }

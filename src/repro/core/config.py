@@ -39,6 +39,8 @@ class SystemInvariants:
     forwarding_deadline: float = 10.0
     #: Consecutive missed deadlines before a cell is temporarily excluded.
     miss_threshold: int = 5
+    #: How long an exclusion-vote liveness probe (PING) waits for a PONG.
+    probe_deadline: float = 2.0
 
     def __post_init__(self) -> None:
         if not self.deployment_id:
@@ -55,6 +57,8 @@ class SystemInvariants:
             raise ConfigError("the forwarding deadline δ must be positive")
         if self.miss_threshold < 1:
             raise ConfigError("the miss threshold must be at least 1")
+        if self.probe_deadline <= 0:
+            raise ConfigError("the probe deadline must be positive")
 
     @property
     def consortium_size(self) -> int:
@@ -78,6 +82,13 @@ class DeploymentConfig:
     forwarding_deadline: float = 10.0
     #: Missed-deadline threshold for temporary cell exclusion.
     miss_threshold: int = 5
+    #: Exclusion-vote liveness-probe timeout (seconds).
+    probe_deadline: float = 2.0
+    #: Standby cells provisioned in the system invariants but booted into
+    #: the excluded state: they hold no data and receive no traffic until
+    #: :meth:`BlockumulusDeployment.activate_standby` bootstraps them from
+    #: a live donor and they pass the rejoin quorum (dynamic membership).
+    standby_cells: int = 0
     #: Deployment identifier.
     deployment_id: str = "blockumulus-sim"
     #: Random seed for the whole experiment.
@@ -120,6 +131,10 @@ class DeploymentConfig:
             raise ConfigError("at least two snapshots must be retained for auditing")
         if self.batch_quantum < 0:
             raise ConfigError("batch_quantum cannot be negative")
+        if self.standby_cells < 0:
+            raise ConfigError("standby_cells cannot be negative")
+        if self.probe_deadline <= 0:
+            raise ConfigError("probe_deadline must be positive")
 
     def cell_name(self, index: int) -> str:
         """Canonical node name of cell ``index``."""
@@ -134,4 +149,5 @@ class DeploymentConfig:
             initial_timestamp=t0,
             forwarding_deadline=self.forwarding_deadline,
             miss_threshold=self.miss_threshold,
+            probe_deadline=self.probe_deadline,
         )

@@ -29,6 +29,9 @@ class CellStanding:
     consecutive_misses: int = 0
     total_misses: int = 0
     excluded_since_cycle: int | None = None
+    #: Cycle of the most recent readmission (freshness bound for replayed
+    #: exclusion evidence; None if the cell was never readmitted).
+    readmitted_cycle: int | None = None
 
     @property
     def is_excluded(self) -> bool:
@@ -117,11 +120,19 @@ class OverlayConsensus:
         if not standing.is_excluded:
             standing.excluded_since_cycle = cycle
 
-    def readmit(self, cell: Address) -> None:
-        """Re-admit a previously excluded cell (next report cycle)."""
+    def readmit(self, cell: Address, cycle: int | None = None) -> None:
+        """Re-admit a previously excluded cell (next report cycle).
+
+        ``cycle`` (when known) records the readmission cycle so later
+        replayed exclusion evidence from before the readmission can be
+        recognized as stale.
+        """
         standing = self.standing(cell)
         standing.excluded_since_cycle = None
         standing.consecutive_misses = 0
+        if cycle is not None:
+            previous = standing.readmitted_cycle
+            standing.readmitted_cycle = cycle if previous is None else max(previous, cycle)
 
     def excluded_cells(self) -> list[Address]:
         """Addresses of all currently excluded cells."""
@@ -132,6 +143,34 @@ class OverlayConsensus:
         return [
             address for address, standing in self._standing.items() if not standing.is_excluded
         ]
+
+    def is_active(self, cell: Address) -> bool:
+        """Whether ``cell`` is currently part of the confirmation quorum."""
+        return not self.standing(cell).is_excluded
+
+    # ------------------------------------------------------------------
+    # Membership quorums (dynamic membership, Section V)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def quorum_size(voters: int) -> int:
+        """Strict majority of ``voters`` (the exclusion/readmission quorum)."""
+        if voters < 1:
+            raise ConsensusError("a quorum needs at least one voter")
+        return voters // 2 + 1
+
+    def exclusion_quorum(self, suspect: Address) -> int:
+        """Agreeing votes needed to exclude ``suspect`` consortium-wide.
+
+        The electorate is every currently active cell except the suspect
+        itself (a suspect obviously does not vote on its own exclusion).
+        """
+        voters = [address for address in self.active_cells() if address != suspect]
+        return self.quorum_size(max(1, len(voters)))
+
+    def readmission_quorum(self, rejoiner: Address) -> int:
+        """Agreeing acks needed to readmit ``rejoiner`` into the quorum."""
+        voters = [address for address in self.active_cells() if address != rejoiner]
+        return self.quorum_size(max(1, len(voters)))
 
     # ------------------------------------------------------------------
     # Theorem 1

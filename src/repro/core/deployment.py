@@ -54,13 +54,17 @@ class BlockumulusDeployment:
         self.eth = Web3Provider(self.eth_node)
 
         # --- Cell identities ----------------------------------------------
+        # Standby cells are full consortium members in the (immutable)
+        # system invariants, but boot excluded and offline; they join the
+        # quorum later through the recovery bootstrap (dynamic membership).
+        total_cells = self.config.consortium_size + self.config.standby_cells
         self.cell_signers: list[Signer] = [
             self._make_signer(f"{self.config.deployment_id}/cell-{index}")
-            for index in range(self.config.consortium_size)
+            for index in range(total_cells)
         ]
         self.cell_eth_keys: list[PrivateKey] = [
             PrivateKey.from_seed(f"{self.config.deployment_id}/cell-eth-{index}")
-            for index in range(self.config.consortium_size)
+            for index in range(total_cells)
         ]
         for key in self.cell_eth_keys:
             self.eth_node.chain.fund(key.address, CELL_ETH_FUNDING_WEI)
@@ -83,7 +87,8 @@ class BlockumulusDeployment:
 
         # --- Cells ----------------------------------------------------------
         self.cells: list[BlockumulusCell] = []
-        for index in range(self.config.consortium_size):
+        self.standby_indices: list[int] = list(range(self.config.consortium_size, total_cells))
+        for index in range(total_cells):
             cell = BlockumulusCell(
                 env=self.env,
                 index=index,
@@ -119,8 +124,24 @@ class BlockumulusDeployment:
         if self.config.deploy_default_contracts:
             self.deploy_community_contract_instances(self._default_contracts())
 
+        # Standby cells boot excluded in every cell's membership view (their
+        # own view of other standbys included) and stay offline — they are
+        # indistinguishable from crashed-and-excluded members until
+        # :meth:`activate_standby` bootstraps them.
+        standby_addresses = {self.cells[i].address for i in self.standby_indices}
         for cell in self.cells:
-            cell.start()
+            for address in standby_addresses:
+                if address != cell.address:
+                    cell.consensus.exclude(address, cycle=0)
+        self._started: set[int] = set()
+        for index in self.standby_indices:
+            standby = self.cells[index]
+            standby.fault.crashed = True
+            self.network.set_online(standby.node_name, False)
+        for index, cell in enumerate(self.cells):
+            if index not in self.standby_indices:
+                cell.start()
+                self._started.add(index)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -174,6 +195,72 @@ class BlockumulusDeployment:
             if cell.address == address:
                 return cell
         raise KeyError(f"no cell with address {address.hex()}")
+
+    # ------------------------------------------------------------------
+    # Dynamic membership (crash, exclusion, recovery, standby activation)
+    # ------------------------------------------------------------------
+    def crash_cell(self, index: int) -> None:
+        """Crash a cell: it stops answering and drops all in-flight work."""
+        cell = self.cells[index]
+        cell.fault.crashed = True
+        self.network.set_online(cell.node_name, False)
+
+    def exclude_cell(self, index: int, cycle: int | None = None) -> None:
+        """Exclude a cell from every peer's quorum view administratively.
+
+        This is the scripted "mutual agreement" exclusion of the paper's
+        Section V (as opposed to the organic path, where missed deadlines
+        trigger a consortium-wide probe-and-vote).  Traffic keeps flowing:
+        service cells simply stop forwarding to the excluded member.
+        """
+        subject = self.cells[index]
+        for cell in self.cells:
+            if cell is subject:
+                continue
+            at_cycle = cycle if cycle is not None else cell.consensus.cycle_of(self.env.now)
+            cell.consensus.exclude(subject.address, at_cycle)
+
+    def restore_cell(self, index: int) -> None:
+        """Bring a crashed cell's process and network endpoint back up."""
+        cell = self.cells[index]
+        cell.fault.crashed = False
+        self.network.set_online(cell.node_name, True)
+
+    def _pick_donor(self, index: int) -> BlockumulusCell:
+        """First live cell other than ``index`` (the resync donor)."""
+        for donor_index, donor in enumerate(self.cells):
+            if donor_index == index or donor.fault.crashed:
+                continue
+            if not self.network.is_online(donor.node_name):
+                continue
+            return donor
+        raise ValueError("no live donor cell available for recovery")
+
+    def recover_cell(self, index: int, donor_index: int | None = None):
+        """Restart a crashed cell and run the full resync + rejoin flow.
+
+        Returns the recovery :class:`~repro.sim.events.Process`; run the
+        environment until it completes and read its ``value`` for the
+        :class:`~repro.core.recovery.RecoveryResult`.
+        """
+        cell = self.cells[index]
+        self.restore_cell(index)
+        donor = self.cells[donor_index] if donor_index is not None else self._pick_donor(index)
+        return self.env.process(cell.recovery.resync(donor.address, donor.node_name))
+
+    def activate_standby(self, index: int, donor_index: int | None = None):
+        """Boot a standby cell into the quorum by bootstrapping from a donor.
+
+        The standby downloads the donor's latest snapshot and full ledger,
+        replays it, and goes through the same rejoin handshake as a
+        recovered crashed cell.  Returns the recovery process.
+        """
+        if index not in self.standby_indices:
+            raise ValueError(f"cell {index} is not a standby cell")
+        if index not in self._started:
+            self.cells[index].start()
+            self._started.add(index)
+        return self.recover_cell(index, donor_index=donor_index)
 
     def run(self, until: float | None = None) -> None:
         """Advance the simulation (wrapper around ``Environment.run``)."""

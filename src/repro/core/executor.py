@@ -1,6 +1,8 @@
 """Transaction execution against a cell's deployed bContracts.
 
-The executor is the deterministic part of transaction processing: given an
+This is the invocation half of the bContract interface of Sections III-C7
+and III-D3: the executor is the deterministic part of transaction
+processing — given an
 admitted ledger entry it locates the target bContract, builds the
 invocation context (using only values that are identical on every cell —
 the signed client payload and the ledger cycle), invokes the method, and

@@ -43,7 +43,7 @@ class LedgerEntry:
     contingency: bool = False
 
     def summary(self) -> dict[str, Any]:
-        """Compact dict used in audits and logs."""
+        """Compact dict used in audits, resync bundles, and logs."""
         return {
             "sequence": self.sequence,
             "tx_id": self.tx_id,
@@ -53,6 +53,9 @@ class LedgerEntry:
             "contract": self.contract,
             "error": self.error,
             "contingency": self.contingency,
+            "fingerprint": (
+                "0x" + self.fingerprint.hex() if self.fingerprint is not None else None
+            ),
         }
 
 
@@ -98,6 +101,12 @@ class TransactionLedger:
         self._entries.append(entry)
         self._by_tx_id[tx_id] = entry
         return entry
+
+    def entry_at(self, sequence: int) -> LedgerEntry:
+        """Fetch the ledger entry with the given sequence number."""
+        if not 0 <= sequence < len(self._entries):
+            raise LedgerError(f"no ledger entry with sequence {sequence}")
+        return self._entries[sequence]
 
     def contains(self, tx_id: str) -> bool:
         """Whether the transaction id has been admitted."""
@@ -156,6 +165,102 @@ class TransactionLedger:
             }
             for entry in self._entries
             if first_cycle <= entry.cycle <= last_cycle
+        ]
+
+    # ------------------------------------------------------------------
+    # Resync support (crash recovery, Section V)
+    # ------------------------------------------------------------------
+    def sync_segment(self, since_sequence: int) -> list[dict[str, Any]]:
+        """Wire-friendly export of every entry from ``since_sequence`` on.
+
+        This is what a donor cell ships to a recovering peer: the summary
+        (including the per-entry execution fingerprint), the signed client
+        envelope, and the recorded result, so the recovering cell can both
+        backfill its ledger and check its own replay entry by entry.
+        """
+        return [
+            {
+                "summary": entry.summary(),
+                "envelope": entry.envelope.to_wire(),
+                "result": entry.result,
+            }
+            for entry in self._entries[max(0, since_sequence):]
+        ]
+
+    def backfill(self, envelope: Envelope, summary: dict[str, Any], result: Any) -> LedgerEntry:
+        """Install a donor-provided entry whose effects a snapshot already covers.
+
+        Used during resync for entries at or below the donor snapshot's
+        ``last_sequence``: the restored state already reflects them, so they
+        are recorded with the donor's outcome instead of being re-executed.
+        The donor's sequence number must be exactly the next local sequence —
+        anything else means the ledgers diverged and recovery must abort.
+        """
+        sequence = int(summary["sequence"])
+        if sequence != len(self._entries):
+            raise LedgerError(
+                f"backfill sequence {sequence} does not follow local head {len(self._entries)}"
+            )
+        tx_id = envelope.payload.hash_hex()
+        if tx_id != summary.get("tx_id"):
+            raise LedgerError(f"backfill envelope does not hash to tx {summary.get('tx_id')}")
+        if tx_id in self._by_tx_id:
+            raise LedgerError(f"transaction {tx_id} is already in the ledger")
+        fingerprint_hex = summary.get("fingerprint")
+        entry = LedgerEntry(
+            sequence=sequence,
+            tx_id=tx_id,
+            cycle=int(summary["cycle"]),
+            admitted_at=float(summary.get("admitted_at", self.env.now)),
+            envelope=envelope,
+            status=str(summary.get("status", "admitted")),
+            result=result,
+            error=summary.get("error"),
+            fingerprint=(
+                bytes.fromhex(fingerprint_hex[2:]) if fingerprint_hex else None
+            ),
+            contract=summary.get("contract"),
+            contingency=bool(summary.get("contingency", False)),
+        )
+        self._entries.append(entry)
+        self._by_tx_id[tx_id] = entry
+        return entry
+
+    def truncate(self, last_sequence: int) -> int:
+        """Drop every entry with a sequence above ``last_sequence``.
+
+        Used during resync when the donor's snapshot is *older* than this
+        cell's ledger head: restoring the snapshot rolls contract state
+        back to the snapshot boundary, so the local entries past it must be
+        dropped and re-executed from the donor's tail to keep ledger and
+        state consistent.  Returns how many entries were removed.
+        """
+        keep = max(0, last_sequence + 1)
+        removed = self._entries[keep:]
+        if not removed:
+            return 0
+        del self._entries[keep:]
+        for entry in removed:
+            self._by_tx_id.pop(entry.tx_id, None)
+        return len(removed)
+
+    def sync_digest(self) -> list[tuple[int, str, str, Any]]:
+        """Timing-independent view of the ledger for cross-cell comparison.
+
+        Two cells are in sync exactly when their digests are equal: same
+        entries, same order, same outcomes, same post-execution
+        fingerprints.  Admission timestamps are deliberately left out — a
+        recovered cell backfills entries long after its peers admitted
+        them.
+        """
+        return [
+            (
+                entry.sequence,
+                entry.tx_id,
+                entry.status,
+                "0x" + entry.fingerprint.hex() if entry.fingerprint is not None else None,
+            )
+            for entry in self._entries
         ]
 
     def statistics(self) -> dict[str, int]:

@@ -1,0 +1,735 @@
+"""Crash recovery and dynamic consortium membership (Section V).
+
+The paper's security analysis argues that the overlay consensus *survives*
+cell crashes, censorship, and tampering; this module closes the loop by
+letting the consortium actually *recover*:
+
+* :class:`MembershipManager` — the per-cell voting half.  A cell whose
+  miss counter crossed the exclusion threshold broadcasts an exclusion
+  proposal; every live peer probes the suspect with a PING and answers
+  with a signed vote; a strict majority of agreeing votes is committed
+  consortium-wide as a :class:`~repro.messages.membership.MembershipUpdate`
+  so every cell's view of the active quorum converges.  The same manager
+  answers rejoin requests by checking the rejoiner's claimed state
+  fingerprint against its own contract data.
+
+* :class:`RecoveryCoordinator` — the resync half, run by a rejoining (or
+  brand-new standby) cell.  It downloads the donor's latest anchored
+  snapshot and post-snapshot ledger tail in one ``CELL_SYNC`` exchange,
+  restores contract state, backfills the ledger entries the snapshot
+  already covers, replays the remainder through its own executor while
+  matching the donor's recorded per-entry execution fingerprints, adopts
+  the snapshot into its snapshot engine, and finally requests readmission
+  with the quorum handshake above.  The result is a cell whose ledger,
+  contract state, and future snapshot fingerprints are indistinguishable
+  from a cell that never crashed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from ..contracts.context import BContractError
+from ..crypto.fingerprint import snapshot_fingerprint
+from ..crypto.keys import Address
+from ..messages.envelope import Envelope
+from ..messages.membership import (
+    ExclusionProposal,
+    ExclusionVote,
+    MembershipError,
+    MembershipUpdate,
+    RejoinAck,
+    RejoinRequest,
+    SyncRequest,
+    SyncState,
+)
+from ..messages.opcodes import Opcode
+from ..sim.events import Event
+from .ledger import LedgerError
+from .snapshot import DataSnapshot, SnapshotError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cell import BlockumulusCell
+
+
+class RecoveryError(Exception):
+    """Raised for unrecoverable resync failures (ledger divergence etc.)."""
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one crash→resync→rejoin cycle, for tests and benchmarks."""
+
+    cell: str
+    donor: str
+    ok: bool
+    reason: Optional[str] = None
+    snapshot_cycle: Optional[int] = None
+    backfilled: int = 0
+    replayed: int = 0
+    #: Local post-crash entries rolled back because the donor snapshot was
+    #: older than this cell's ledger head (they are re-executed from the
+    #: donor tail).
+    truncated: int = 0
+    skipped_contracts: list[str] = field(default_factory=list)
+    fingerprint_matched: bool = False
+    readmitted: bool = False
+    ack_count: int = 0
+    started_at: float = 0.0
+    completed_at: float = 0.0
+    messages_used: int = 0
+    bytes_used: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Recovery latency in simulated seconds (sync start to readmission)."""
+        return self.completed_at - self.started_at
+
+
+class _RejoinCollection:
+    """Acks gathered for one rejoin attempt, firing at quorum."""
+
+    def __init__(self, env: Any, required: int) -> None:
+        self.required = required
+        self.acks: dict[str, RejoinAck] = {}
+        self.done: Event = env.event()
+
+    def add(self, ack: RejoinAck) -> None:
+        """Record one verified ack, firing the quorum event when reached."""
+        self.acks[ack.voter.hex()] = ack
+        agreeing = sum(1 for item in self.acks.values() if item.agree)
+        if agreeing >= self.required and not self.done.triggered:
+            self.done.succeed(agreeing)
+
+
+class MembershipManager:
+    """Quorum voting on exclusions and readmissions, for one cell."""
+
+    def __init__(self, cell: "BlockumulusCell") -> None:
+        self.cell = cell
+        #: Pending PING / CELL_SYNC_STATE waiters, keyed by request nonce.
+        self._waiters: dict[str, Event] = {}
+        #: Votes collected for exclusion proposals this cell initiated,
+        #: keyed by (suspect hex, cycle).
+        self._exclusion_votes: dict[tuple[str, int], dict[str, ExclusionVote]] = {}
+        #: Proposals already committed (so quorum is broadcast only once).
+        self._committed: set[tuple[str, int]] = set()
+        #: The in-flight rejoin attempt, if this cell is recovering.
+        self._rejoin_collection: Optional[_RejoinCollection] = None
+
+    # ------------------------------------------------------------------
+    # Outgoing plumbing
+    # ------------------------------------------------------------------
+    def _send(
+        self,
+        dst_node: str,
+        recipient: Address,
+        operation: Opcode,
+        data: dict[str, Any],
+        reply_to: Optional[str] = None,
+    ) -> Envelope:
+        """Sign and send one membership envelope (crashed cells stay silent)."""
+        cell = self.cell
+        envelope = Envelope.create(
+            signer=cell.signer,
+            recipient=recipient,
+            operation=operation,
+            data=data,
+            timestamp=cell.env.now,
+            nonce=cell.nonces.next(),
+            reply_to=reply_to,
+        )
+        if not cell.fault.crashed:
+            cell.network.send(cell.node_name, dst_node, envelope, envelope.byte_size())
+        return envelope
+
+    def register_waiter(self, nonce: str) -> Event:
+        """Create an event that fires when a reply to ``nonce`` arrives."""
+        waiter = self.cell.env.event()
+        self._waiters[nonce] = waiter
+        return waiter
+
+    def resolve_reply(self, envelope: Envelope) -> None:
+        """Route PONG / CELL_SYNC_STATE / CELL_REJOIN_ACK replies."""
+        if not envelope.verify():
+            self.cell.metrics.increment(f"{self.cell.node_name}/membership_auth_failures")
+            return
+        if envelope.operation == Opcode.CELL_REJOIN_ACK:
+            self._on_rejoin_ack(envelope)
+            return
+        reply_to = envelope.payload.reply_to
+        if reply_to is None:
+            return
+        waiter = self._waiters.pop(reply_to, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(envelope)
+
+    # ------------------------------------------------------------------
+    # Exclusion: proposal, probing, votes, commit
+    # ------------------------------------------------------------------
+    def propose_exclusion(self, suspect: Address, cycle: int, reason: str) -> None:
+        """Open a consortium-wide vote on excluding ``suspect``.
+
+        Called by the cell when its own miss counter for ``suspect``
+        crossed the threshold (it has already excluded the suspect
+        locally); the proposal spreads that observation so every cell's
+        membership view converges instead of each one burning its own
+        misses against a dead peer.
+        """
+        cell = self.cell
+        key = (suspect.hex(), cycle)
+        if key in self._exclusion_votes or key in self._committed:
+            return
+        own_vote = ExclusionVote.create(cell.signer, suspect, cycle, agree=True)
+        self._exclusion_votes[key] = {cell.address.hex(): own_vote}
+        proposal = ExclusionProposal(suspect=suspect, cycle=cycle, reason=reason)
+        # Broadcast to every peer (not just this cell's active view): a peer
+        # this cell holds excluded may be live again and entitled to vote.
+        for address, node in cell._peers.items():
+            if address == suspect:
+                continue
+            self._send(node, address, Opcode.CELL_EXCLUDE, proposal.to_data())
+        cell.metrics.increment(f"{cell.node_name}/exclusion_proposals")
+        self._maybe_commit_exclusion(suspect, cycle)
+
+    def handle_proposal(
+        self, src_node: str, envelope: Envelope
+    ) -> Generator[Event, Any, None]:
+        """Probe the suspect named in a peer's proposal and vote (a process)."""
+        cell = self.cell
+        yield cell.env.timeout(cell.service_model.auth_overhead.sample(cell.rng))
+        if not envelope.verify() or not cell.invariants.is_cell(envelope.sender):
+            cell.metrics.increment(f"{cell.node_name}/membership_auth_failures")
+            return
+        try:
+            proposal = ExclusionProposal.from_data(envelope.data)
+        except MembershipError:
+            cell.metrics.increment(f"{cell.node_name}/malformed_membership")
+            return
+        if proposal.suspect == cell.address or not cell.invariants.is_cell(proposal.suspect):
+            return
+        if not cell.consensus.is_active(proposal.suspect):
+            agree = True  # our own observations already excluded the suspect
+        else:
+            agree = yield from self._probe(proposal.suspect)
+        vote = ExclusionVote.create(cell.signer, proposal.suspect, proposal.cycle, agree)
+        self._send(
+            src_node,
+            envelope.sender,
+            Opcode.CELL_EXCLUDE_VOTE,
+            vote.to_data(),
+            reply_to=envelope.nonce,
+        )
+        cell.metrics.increment(f"{cell.node_name}/exclusion_votes_cast")
+
+    def _probe(self, suspect: Address) -> Generator[Event, Any, bool]:
+        """PING the suspect; True (= vote to exclude) if it stays silent."""
+        cell = self.cell
+        node = cell.peer_node(suspect)
+        if node is None:
+            return True
+        ping = Envelope.create(
+            signer=cell.signer,
+            recipient=suspect,
+            operation=Opcode.PING,
+            data={"probe": True},
+            timestamp=cell.env.now,
+            nonce=cell.nonces.next(),
+        )
+        waiter = self.register_waiter(ping.nonce)
+        accepted = cell.network.send(cell.node_name, node, ping, ping.byte_size())
+        if not accepted:
+            self._waiters.pop(ping.nonce, None)
+            return True
+        deadline = cell.env.timeout(cell.invariants.probe_deadline)
+        yield cell.env.any_of([waiter, deadline])
+        alive = waiter.triggered
+        self._waiters.pop(ping.nonce, None)
+        return not alive
+
+    def handle_vote(self, envelope: Envelope) -> None:
+        """Count one incoming vote on a proposal this cell initiated."""
+        cell = self.cell
+        if not envelope.verify() or not cell.invariants.is_cell(envelope.sender):
+            cell.metrics.increment(f"{cell.node_name}/membership_auth_failures")
+            return
+        try:
+            vote = ExclusionVote.from_data(envelope.data)
+        except MembershipError:
+            cell.metrics.increment(f"{cell.node_name}/malformed_membership")
+            return
+        if vote.voter != envelope.sender or not vote.verify():
+            cell.metrics.increment(f"{cell.node_name}/membership_auth_failures")
+            return
+        collected = self._exclusion_votes.get((vote.suspect.hex(), vote.cycle))
+        if collected is None:
+            return
+        collected[vote.voter.hex()] = vote
+        self._maybe_commit_exclusion(vote.suspect, vote.cycle)
+
+    def _maybe_commit_exclusion(self, suspect: Address, cycle: int) -> None:
+        """Broadcast the quorum-backed exclusion once enough votes agree."""
+        cell = self.cell
+        key = (suspect.hex(), cycle)
+        if key in self._committed:
+            return
+        collected = self._exclusion_votes.get(key, {})
+        agreeing = tuple(vote for vote in collected.values() if vote.agree)
+        if len(agreeing) < cell.consensus.exclusion_quorum(suspect):
+            return
+        self._committed.add(key)
+        if cell.consensus.is_active(suspect):
+            cell.consensus.exclude(suspect, cycle)
+        update = MembershipUpdate(
+            action="exclude", subject=suspect, cycle=cycle, votes=agreeing
+        )
+        # Commit goes to every peer so membership views converge even for
+        # peers outside this cell's (possibly stale) active view.
+        for address, node in cell._peers.items():
+            if address == suspect:
+                continue
+            self._send(node, address, Opcode.MEMBERSHIP_UPDATE, update.to_data())
+        cell.metrics.increment(f"{cell.node_name}/exclusions_committed")
+
+    # ------------------------------------------------------------------
+    # Membership updates (commit messages from peers)
+    # ------------------------------------------------------------------
+    def handle_update(self, envelope: Envelope) -> None:
+        """Apply a quorum-backed exclude/readmit after re-verifying evidence."""
+        cell = self.cell
+        if not envelope.verify() or not cell.invariants.is_cell(envelope.sender):
+            cell.metrics.increment(f"{cell.node_name}/membership_auth_failures")
+            return
+        try:
+            update = MembershipUpdate.from_data(envelope.data)
+        except MembershipError:
+            cell.metrics.increment(f"{cell.node_name}/malformed_membership")
+            return
+        if update.subject == cell.address or not cell.invariants.is_cell(update.subject):
+            return
+        supporters = {
+            address
+            for address in update.verified_supporters()
+            if cell.invariants.is_cell(address) and address != update.subject
+        }
+        standing = cell.consensus.standing(update.subject)
+        if update.action == "exclude":
+            if (
+                standing.readmitted_cycle is not None
+                and update.cycle < standing.readmitted_cycle
+            ):
+                # Replayed evidence from before the subject's readmission.
+                return
+            if len(supporters) < cell.consensus.exclusion_quorum(update.subject):
+                return
+            if cell.consensus.is_active(update.subject):
+                cell.consensus.exclude(update.subject, update.cycle)
+                cell.metrics.increment(f"{cell.node_name}/cells_excluded_by_quorum")
+        else:
+            if (
+                standing.excluded_since_cycle is not None
+                and update.cycle < standing.excluded_since_cycle
+            ):
+                # Acks gathered for an earlier recovery cannot readmit the
+                # subject after a later exclusion.
+                return
+            if len(supporters) < cell.consensus.readmission_quorum(update.subject):
+                return
+            if not cell.consensus.is_active(update.subject):
+                cell.consensus.readmit(update.subject, update.cycle)
+                cell.metrics.increment(f"{cell.node_name}/cells_readmitted")
+
+    # ------------------------------------------------------------------
+    # Rejoin: fingerprint check (peer side) and quorum handshake (rejoiner)
+    # ------------------------------------------------------------------
+    def _combined_fingerprint_hex(self) -> str:
+        """Combined fingerprint of this cell's non-excluded contract data."""
+        return "0x" + snapshot_fingerprint(self.cell.contracts.fingerprints()).hex()
+
+    def handle_rejoin(
+        self, src_node: str, envelope: Envelope
+    ) -> Generator[Event, Any, None]:
+        """Check a rejoiner's state fingerprint and answer with a signed ack."""
+        cell = self.cell
+        yield cell.env.timeout(cell.service_model.auth_overhead.sample(cell.rng))
+        if not envelope.verify() or not cell.invariants.is_cell(envelope.sender):
+            cell.metrics.increment(f"{cell.node_name}/membership_auth_failures")
+            return
+        try:
+            request = RejoinRequest.from_data(envelope.data)
+        except MembershipError:
+            cell.metrics.increment(f"{cell.node_name}/malformed_membership")
+            return
+        if request.cell != envelope.sender:
+            return
+        own_fingerprint = self._combined_fingerprint_hex()
+        agree = own_fingerprint == request.fingerprint_hex
+        ack = RejoinAck.create(
+            cell.signer,
+            rejoiner=request.cell,
+            cycle=request.cycle,
+            fingerprint_hex=own_fingerprint,
+            agree=agree,
+        )
+        self._send(
+            src_node,
+            envelope.sender,
+            Opcode.CELL_REJOIN_ACK,
+            ack.to_data(),
+            reply_to=envelope.nonce,
+        )
+        cell.metrics.increment(f"{cell.node_name}/rejoin_checks")
+
+    def _on_rejoin_ack(self, envelope: Envelope) -> None:
+        """Collect one ack for this cell's in-flight rejoin attempt."""
+        cell = self.cell
+        collection = self._rejoin_collection
+        if collection is None:
+            return
+        try:
+            ack = RejoinAck.from_data(envelope.data)
+        except MembershipError:
+            cell.metrics.increment(f"{cell.node_name}/malformed_membership")
+            return
+        if (
+            ack.voter != envelope.sender
+            or not cell.invariants.is_cell(ack.voter)
+            or ack.rejoiner != cell.address
+            or not ack.verify()
+        ):
+            cell.metrics.increment(f"{cell.node_name}/membership_auth_failures")
+            return
+        collection.add(ack)
+
+    def request_rejoin(
+        self, basis_cycle: int, last_sequence: int
+    ) -> Generator[Event, Any, tuple[bool, list[RejoinAck]]]:
+        """Ask the live quorum to readmit this cell (a process).
+
+        Broadcasts a :class:`RejoinRequest` carrying the post-resync state
+        fingerprint, waits for a strict majority of agreeing signed acks
+        (or the forwarding deadline), and on success commits the
+        readmission consortium-wide with a :class:`MembershipUpdate`.
+        """
+        cell = self.cell
+        if not cell._peers:
+            return True, []
+        active_peers = cell.active_peer_nodes()
+        required = cell.consensus.quorum_size(max(1, len(active_peers)))
+        collection = _RejoinCollection(cell.env, required)
+        self._rejoin_collection = collection
+        handshake_cycle = cell.consensus.cycle_of(cell.env.now)
+        request = RejoinRequest(
+            cell=cell.address,
+            cycle=handshake_cycle,
+            basis_cycle=basis_cycle,
+            last_sequence=last_sequence,
+            fingerprint_hex=self._combined_fingerprint_hex(),
+        )
+        # The request and the commit go to *every* peer: a peer this cell
+        # holds excluded (e.g. a standby view that predates the crash) may
+        # be live, and skipping it would permanently split the membership
+        # views.  The quorum is still measured against the active view.
+        for address, node in cell._peers.items():
+            self._send(node, address, Opcode.CELL_REJOIN, request.to_data())
+        deadline = cell.env.timeout(cell.invariants.forwarding_deadline)
+        yield cell.env.any_of([collection.done, deadline])
+        self._rejoin_collection = None
+        acks = list(collection.acks.values())
+        agreeing = tuple(ack for ack in acks if ack.agree)
+        if len(agreeing) < required:
+            cell.metrics.increment(f"{cell.node_name}/rejoin_rejected")
+            return False, acks
+        update = MembershipUpdate(
+            action="readmit", subject=cell.address, cycle=handshake_cycle, acks=agreeing
+        )
+        for address, node in cell._peers.items():
+            self._send(node, address, Opcode.MEMBERSHIP_UPDATE, update.to_data())
+        cell.metrics.increment(f"{cell.node_name}/rejoins_committed")
+        return True, acks
+
+
+class RecoveryCoordinator:
+    """Bootstraps a rejoining (or fresh standby) cell from a live donor."""
+
+    def __init__(self, cell: "BlockumulusCell") -> None:
+        self.cell = cell
+        self.last_result: Optional[RecoveryResult] = None
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _traffic_totals(self) -> tuple[int, int]:
+        """(messages, bytes) observed so far on any link touching this cell."""
+        node = self.cell.node_name
+        messages = 0
+        total_bytes = 0
+        for (src, dst), counter in self.cell.network.traffic.items():
+            if src == node or dst == node:
+                messages += counter.messages
+                total_bytes += counter.bytes
+        return messages, total_bytes
+
+    # ------------------------------------------------------------------
+    # The resync process
+    # ------------------------------------------------------------------
+    def resync(
+        self, donor: Address, donor_node: str
+    ) -> Generator[Event, Any, RecoveryResult]:
+        """Download, restore, replay, prove, and rejoin (a process).
+
+        Returns a :class:`RecoveryResult`; ``ok`` is False when the donor
+        is unreachable, the ledgers diverged, or any replayed entry's
+        execution fingerprint failed to match the donor's record.  A
+        failed recovery re-crashes the cell (it may hold half-restored
+        state, so letting it run — and anchor fingerprints — would be
+        worse than staying down); the operator can retry with a different
+        donor via :meth:`BlockumulusDeployment.recover_cell`.
+        """
+        cell = self.cell
+        result = RecoveryResult(
+            cell=cell.node_name,
+            donor=donor.hex(),
+            ok=False,
+            started_at=cell.env.now,
+        )
+        messages_before, bytes_before = self._traffic_totals()
+        cell.recovering = True
+        try:
+            result = yield from self._resync_body(donor, donor_node, result,
+                                                  messages_before, bytes_before)
+        finally:
+            cell.recovering = False
+        if not result.ok:
+            # Half-restored state must not serve traffic or anchor
+            # fingerprints; go back down until the operator retries.
+            cell.fault.crashed = True
+            cell.network.set_online(cell.node_name, False)
+        return result
+
+    def _resync_body(
+        self,
+        donor: Address,
+        donor_node: str,
+        result: RecoveryResult,
+        messages_before: int,
+        bytes_before: int,
+    ) -> Generator[Event, Any, RecoveryResult]:
+        cell = self.cell
+        bundle = yield from self._fetch_sync_state(donor, donor_node)
+        if bundle is None:
+            result.reason = "donor unreachable or sync request timed out"
+            return self._finish(result, messages_before, bytes_before)
+        self._adopt_membership_view(bundle)
+
+        replay_base = -1
+        snapshot: Optional[DataSnapshot] = None
+        if bundle.snapshot is not None:
+            try:
+                snapshot = DataSnapshot.from_wire(bundle.snapshot, cell_id=cell.node_name)
+            except SnapshotError as exc:
+                result.reason = f"malformed donor snapshot: {exc}"
+                return self._finish(result, messages_before, bytes_before)
+            result.snapshot_cycle = snapshot.cycle
+            replay_base = snapshot.last_sequence
+            restore_error = self._restore_snapshot(snapshot, result)
+            if restore_error is not None:
+                result.reason = restore_error
+                return self._finish(result, messages_before, bytes_before)
+
+        replay_error = yield from self._replay_entries(bundle, replay_base, result)
+        if replay_error is not None:
+            result.reason = replay_error
+            return self._finish(result, messages_before, bytes_before)
+        result.fingerprint_matched = True
+
+        if snapshot is not None and (
+            cell.snapshots.latest_cycle is None
+            or snapshot.cycle > cell.snapshots.latest_cycle
+        ):
+            cell.snapshots.adopt(snapshot)
+
+        basis_cycle = snapshot.cycle if snapshot is not None else 0
+        readmitted, acks = yield from cell.membership.request_rejoin(
+            basis_cycle=basis_cycle, last_sequence=len(cell.ledger) - 1
+        )
+        result.readmitted = readmitted
+        result.ack_count = len(acks)
+        result.ok = readmitted
+        if not readmitted:
+            result.reason = "readmission quorum not reached"
+        cell.metrics.increment(f"{cell.node_name}/recoveries")
+        return self._finish(result, messages_before, bytes_before)
+
+    def _finish(
+        self, result: RecoveryResult, messages_before: int, bytes_before: int
+    ) -> RecoveryResult:
+        """Stamp timing/traffic totals and remember the result."""
+        messages_after, bytes_after = self._traffic_totals()
+        result.completed_at = self.cell.env.now
+        result.messages_used = messages_after - messages_before
+        result.bytes_used = bytes_after - bytes_before
+        self.last_result = result
+        return result
+
+    def _fetch_sync_state(
+        self, donor: Address, donor_node: str
+    ) -> Generator[Event, Any, Optional[SyncState]]:
+        """One CELL_SYNC round-trip to the donor (None on timeout)."""
+        cell = self.cell
+        request = Envelope.create(
+            signer=cell.signer,
+            recipient=donor,
+            operation=Opcode.CELL_SYNC,
+            data=SyncRequest(since_sequence=len(cell.ledger)).to_data(),
+            timestamp=cell.env.now,
+            nonce=cell.nonces.next(),
+        )
+        waiter = cell.membership.register_waiter(request.nonce)
+        accepted = cell.network.send(
+            cell.node_name, donor_node, request, request.byte_size()
+        )
+        if not accepted:
+            return None
+        deadline = cell.env.timeout(cell.invariants.forwarding_deadline)
+        yield cell.env.any_of([waiter, deadline])
+        if not waiter.triggered:
+            return None
+        reply: Envelope = waiter.value
+        try:
+            return SyncState.from_data(reply.data)
+        except MembershipError:
+            return None
+
+    def _adopt_membership_view(self, bundle: SyncState) -> None:
+        """Replace this cell's stale membership view with the donor's.
+
+        A cell that was down (or a standby that never served) has no way to
+        have tracked exclusions and readmissions that happened in the
+        meantime; the donor's current view is the best available and comes
+        from the same peer trusted for state.  The rejoiner's own standing
+        is skipped — its peers decide that through the rejoin vote.
+        """
+        cell = self.cell
+        excluded = set(bundle.excluded)
+        cycle = cell.consensus.cycle_of(cell.env.now)
+        for address in cell.invariants.cell_addresses:
+            if address == cell.address:
+                continue
+            if address.hex() in excluded:
+                if cell.consensus.is_active(address):
+                    cell.consensus.exclude(address, cycle)
+            elif not cell.consensus.is_active(address):
+                cell.consensus.readmit(address, cycle)
+
+    def _restore_snapshot(
+        self, snapshot: DataSnapshot, result: RecoveryResult
+    ) -> Optional[str]:
+        """Overwrite local contract state from the donor snapshot.
+
+        Proof step 1: every restored contract must hash to the fingerprint
+        the donor's snapshot (and hence its anchored report) claims for it.
+        If the snapshot is *older* than this cell's ledger head, the local
+        entries past the snapshot boundary are rolled back first — their
+        effects vanish with the restore, and they are re-executed from the
+        donor's tail.  Returns an error string on mismatch, None on
+        success.
+        """
+        cell = self.cell
+        result.truncated = cell.ledger.truncate(snapshot.last_sequence)
+        state_export = snapshot.materialized_state()
+        for name, state in state_export.items():
+            if not cell.contracts.contains(name):
+                # A community contract deployed while this cell was down and
+                # before the donor snapshot: its source is no longer in the
+                # ledger tail, so it cannot be rebuilt here.  Recorded so
+                # operators can redeploy it explicitly.
+                result.skipped_contracts.append(name)
+                continue
+            contract = cell.contracts.get(name)
+            contract.restore_state(state)
+            expected = snapshot.contract_fingerprints.get(name)
+            if expected is not None and contract.fingerprint() != expected:
+                return f"restored state of {name!r} does not match the donor fingerprint"
+        for name in snapshot.excluded_contracts:
+            if cell.contracts.contains(name):
+                cell.contracts.exclude(name)
+        return None
+
+    def _replay_entries(
+        self, bundle: SyncState, replay_base: int, result: RecoveryResult
+    ) -> Generator[Event, Any, Optional[str]]:
+        """Backfill snapshot-covered entries and re-execute the tail.
+
+        Proof step 2: every re-executed entry's post-execution contract
+        fingerprint must equal the donor's recorded one — matching the
+        consortium's execution fingerprints entry by entry is what
+        qualifies the cell to rejoin the confirmation quorum.
+        """
+        cell = self.cell
+        for item in bundle.entries:
+            summary = item.get("summary", {})
+            sequence = int(summary.get("sequence", -1))
+            if sequence < len(cell.ledger):
+                local_tx = cell.ledger.entry_at(sequence).tx_id
+                if local_tx != summary.get("tx_id"):
+                    return (
+                        f"ledger divergence at sequence {sequence}: "
+                        f"local {local_tx} vs donor {summary.get('tx_id')}"
+                    )
+                continue
+            try:
+                envelope = Envelope.from_wire(item["envelope"])
+            except (KeyError, ValueError) as exc:
+                return f"malformed donor ledger entry at sequence {sequence}: {exc}"
+            if not envelope.verify():
+                return f"donor ledger entry {sequence} has an invalid client signature"
+            if sequence <= replay_base:
+                try:
+                    cell.ledger.backfill(envelope, summary, item.get("result"))
+                except LedgerError as exc:
+                    return f"ledger backfill failed: {exc}"
+                result.backfilled += 1
+                continue
+            # Re-execute the post-snapshot tail, paying the same simulated
+            # CPU cost as live execution so recovery latency is honest.
+            yield from cell.cpu.use(cell.service_model.invoke_cpu)
+            try:
+                entry = cell.ledger.admit(
+                    envelope,
+                    cycle=int(summary.get("cycle", 0)),
+                    contingency=bool(summary.get("contingency", False)),
+                )
+            except LedgerError as exc:
+                return f"ledger replay admission failed: {exc}"
+            try:
+                outcome = cell.executor.execute(entry)
+            except BContractError as exc:
+                return f"replay of sequence {sequence} failed: {exc}"
+            if outcome.ok:
+                cell.ledger.mark_executed(
+                    outcome.tx_id, outcome.contract, outcome.result, outcome.fingerprint
+                )
+            else:
+                cell.ledger.mark_rejected(
+                    outcome.tx_id, outcome.contract, outcome.error or ""
+                )
+            donor_status = summary.get("status")
+            if donor_status is not None and outcome.status != donor_status:
+                return (
+                    f"replay of sequence {sequence} diverged: local status "
+                    f"{outcome.status!r} vs donor {donor_status!r}"
+                )
+            donor_fingerprint = summary.get("fingerprint")
+            if (
+                donor_fingerprint is not None
+                and outcome.ok
+                and "0x" + outcome.fingerprint.hex() != donor_fingerprint
+            ):
+                return (
+                    f"replay of sequence {sequence} diverged from the "
+                    "donor's recorded execution fingerprint"
+                )
+            result.replayed += 1
+        return None

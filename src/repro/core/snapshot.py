@@ -124,6 +124,31 @@ class DataSnapshot:
             payload["state_export"] = self.materialized_state()
         return payload
 
+    @classmethod
+    def from_wire(cls, raw: dict[str, Any], cell_id: Optional[str] = None) -> "DataSnapshot":
+        """Rebuild a snapshot from its wire form (cell resync).
+
+        ``cell_id`` overrides the recorded owner so a recovering cell can
+        adopt a donor's snapshot under its own identity.
+        """
+        try:
+            return cls(
+                cycle=int(raw["cycle"]),
+                taken_at=float(raw["taken_at"]),
+                cell_id=cell_id if cell_id is not None else str(raw["cell_id"]),
+                contract_fingerprints={
+                    name: bytes.fromhex(value[2:])
+                    for name, value in raw["contract_fingerprints"].items()
+                },
+                excluded_contracts=tuple(raw.get("excluded_contracts", [])),
+                fingerprint=bytes.fromhex(raw["fingerprint"][2:]),
+                state_export=dict(raw.get("state_export", {})),
+                first_sequence=int(raw.get("first_sequence", 0)),
+                last_sequence=int(raw.get("last_sequence", -1)),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise SnapshotError(f"malformed snapshot wire form: {exc}") from exc
+
     def materialized_state(self) -> dict[str, dict[str, Any]]:
         """The state export as a plain dict (forces materialization)."""
         if isinstance(self.state_export, LazySnapshotExport):
@@ -189,6 +214,25 @@ class SnapshotEngine:
         )
         self._snapshots[cycle] = snapshot
         self._latest_cycle = cycle
+        self._prune()
+        return snapshot
+
+    def adopt(self, snapshot: DataSnapshot) -> DataSnapshot:
+        """Install a donor's snapshot as this cell's own (crash recovery).
+
+        A cell that was down for one or more report cycles cannot take the
+        snapshots it missed; adopting the donor's latest snapshot re-anchors
+        the engine's cycle sequence so (a) ``take_snapshot`` succeeds at the
+        next boundary and (b) auditors running the succession audit on the
+        recovered cell find the predecessor snapshot they need.
+        """
+        if self._latest_cycle is not None and snapshot.cycle <= self._latest_cycle:
+            raise SnapshotError(
+                f"cannot adopt snapshot for cycle {snapshot.cycle}: "
+                f"local engine is already at cycle {self._latest_cycle}"
+            )
+        self._snapshots[snapshot.cycle] = snapshot
+        self._latest_cycle = snapshot.cycle
         self._prune()
         return snapshot
 

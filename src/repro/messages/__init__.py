@@ -2,6 +2,16 @@
 
 from .batch import BatchError, ForwardBatch
 from .envelope import Envelope, EnvelopeError, NonceFactory
+from .membership import (
+    ExclusionProposal,
+    ExclusionVote,
+    MembershipError,
+    MembershipUpdate,
+    RejoinAck,
+    RejoinRequest,
+    SyncRequest,
+    SyncState,
+)
 from .opcodes import AUDITOR_OPCODES, CELL_OPCODES, CLIENT_OPCODES, Opcode
 from .payload import Payload, PayloadError
 from .signer import EcdsaSigner, SimulatedSigner, Signer, verify_signature
@@ -14,12 +24,20 @@ __all__ = [
     "EcdsaSigner",
     "Envelope",
     "EnvelopeError",
+    "ExclusionProposal",
+    "ExclusionVote",
     "ForwardBatch",
+    "MembershipError",
+    "MembershipUpdate",
     "NonceFactory",
     "Opcode",
     "Payload",
     "PayloadError",
+    "RejoinAck",
+    "RejoinRequest",
     "SimulatedSigner",
     "Signer",
+    "SyncRequest",
+    "SyncState",
     "verify_signature",
 ]

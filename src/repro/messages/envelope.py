@@ -1,4 +1,10 @@
-"""Signed message envelopes M = {P, Sig_s(P)} and nonce generation."""
+"""Signed message envelopes M = {P, Sig_s(P)} and nonce generation.
+
+Section III-C2: every Blockumulus request and response is a payload tuple
+P plus the sender's signature over its canonical bytes; Section III-D3
+makes verifying that signature (and that the recovered identity equals the
+claimed sender) the first step of serving any transaction.
+"""
 
 from __future__ import annotations
 

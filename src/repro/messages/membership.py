@@ -1,0 +1,461 @@
+"""Membership and resync message bodies (Section V fault handling).
+
+The overlay consensus of Section III-A4 only *defines* when a cell stops
+being valid; the dynamic-membership protocol built on top of it needs
+concrete wire messages: a cell that observed enough missed deadlines
+broadcasts an *exclusion proposal*, the other live cells probe the suspect
+and answer with *signed votes*, and a quorum of agreeing votes is committed
+consortium-wide as a *membership update*.  A recovered (or brand-new
+standby) cell walks the reverse path: it downloads a snapshot and the
+post-snapshot ledger tail (*sync request/state*), replays it, and asks to
+be re-admitted with a *rejoin request* whose state fingerprint the live
+cells check before signing a *rejoin ack*.
+
+Votes and acks are individually signed statements — like the transaction
+confirmations of Section III-D3 — so a membership update can carry them as
+third-party-verifiable evidence: no single cell can forge a quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..crypto.keys import Address
+from ..encoding import canonical_json
+from .signer import Signer, verify_signature
+
+
+class MembershipError(ValueError):
+    """Raised for malformed membership or resync message bodies."""
+
+
+def _address(raw: Any, what: str) -> Address:
+    """Parse a hex address field, mapping failures to MembershipError."""
+    try:
+        return Address.from_hex(raw)
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise MembershipError(f"malformed {what} address: {raw!r}") from exc
+
+
+@dataclass(frozen=True)
+class ExclusionProposal:
+    """A cell's claim that ``suspect`` stopped meeting its deadlines.
+
+    Carried in the data field of a ``CELL_EXCLUDE`` envelope; the outer
+    envelope signature identifies the proposer.
+    """
+
+    suspect: Address
+    cycle: int
+    reason: str
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of a ``CELL_EXCLUDE`` envelope."""
+        return {"suspect": self.suspect.hex(), "cycle": self.cycle, "reason": self.reason}
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "ExclusionProposal":
+        """Rebuild a proposal from an envelope's data field."""
+        try:
+            return cls(
+                suspect=_address(raw["suspect"], "suspect"),
+                cycle=int(raw["cycle"]),
+                reason=str(raw.get("reason", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MembershipError(f"malformed exclusion proposal: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ExclusionVote:
+    """One cell's signed verdict on an exclusion proposal.
+
+    ``agree`` is True when the voter's own liveness probe of the suspect
+    timed out (or the voter had already excluded the suspect itself).
+    """
+
+    voter: Address
+    suspect: Address
+    cycle: int
+    agree: bool
+    signature: bytes
+    scheme: str = "ecdsa"
+
+    @staticmethod
+    def signing_body(voter: Address, suspect: Address, cycle: int, agree: bool) -> bytes:
+        """Canonical bytes a voter signs for an exclusion vote."""
+        return canonical_json.dump_bytes(
+            {
+                "kind": "exclusion_vote",
+                "voter": voter.hex(),
+                "suspect": suspect.hex(),
+                "cycle": cycle,
+                "agree": agree,
+            }
+        )
+
+    @classmethod
+    def create(
+        cls, signer: Signer, suspect: Address, cycle: int, agree: bool
+    ) -> "ExclusionVote":
+        """Build and sign a vote on behalf of ``signer``."""
+        body = cls.signing_body(signer.address, suspect, cycle, agree)
+        return cls(
+            voter=signer.address,
+            suspect=suspect,
+            cycle=cycle,
+            agree=agree,
+            signature=signer.sign(body),
+            scheme=signer.scheme,
+        )
+
+    def verify(self) -> bool:
+        """Check the voter's signature over the vote body."""
+        body = self.signing_body(self.voter, self.suspect, self.cycle, self.agree)
+        return verify_signature(self.scheme, self.voter, body, self.signature)
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-serializable form (embedded in votes and updates)."""
+        return {
+            "voter": self.voter.hex(),
+            "suspect": self.suspect.hex(),
+            "cycle": self.cycle,
+            "agree": self.agree,
+            "signature": "0x" + self.signature.hex(),
+            "scheme": self.scheme,
+        }
+
+    @classmethod
+    def from_wire(cls, raw: dict[str, Any]) -> "ExclusionVote":
+        """Parse a vote from its wire form."""
+        try:
+            return cls(
+                voter=_address(raw["voter"], "voter"),
+                suspect=_address(raw["suspect"], "suspect"),
+                cycle=int(raw["cycle"]),
+                agree=bool(raw["agree"]),
+                signature=bytes.fromhex(raw["signature"][2:]),
+                scheme=raw.get("scheme", "ecdsa"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MembershipError(f"malformed exclusion vote: {exc}") from exc
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of a ``CELL_EXCLUDE_VOTE`` envelope."""
+        return {"vote": self.to_wire()}
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "ExclusionVote":
+        """Rebuild a vote from an envelope's data field."""
+        vote = raw.get("vote")
+        if not isinstance(vote, dict):
+            raise MembershipError("exclusion-vote envelope carries no vote object")
+        return cls.from_wire(vote)
+
+
+@dataclass(frozen=True)
+class RejoinRequest:
+    """A recovered cell's request to re-enter the confirmation quorum.
+
+    ``fingerprint_hex`` is the combined fingerprint of the rejoiner's
+    contract data after resync (the same combination rule the snapshot
+    engine anchors on Ethereum); ``basis_cycle``/``last_sequence`` say
+    which donor snapshot and ledger position the state was rebuilt from.
+    ``cycle`` is the *handshake cycle* — the report cycle the rejoiner is
+    asking to be readmitted in.  Acks sign over it, so a quorum of acks
+    gathered for one recovery cannot be replayed to readmit the cell after
+    a later exclusion (receivers reject updates older than the exclusion).
+    """
+
+    cell: Address
+    cycle: int
+    basis_cycle: int
+    last_sequence: int
+    fingerprint_hex: str
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of a ``CELL_REJOIN`` envelope."""
+        return {
+            "cell": self.cell.hex(),
+            "cycle": self.cycle,
+            "basis_cycle": self.basis_cycle,
+            "last_sequence": self.last_sequence,
+            "fingerprint": self.fingerprint_hex,
+        }
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "RejoinRequest":
+        """Rebuild a rejoin request from an envelope's data field."""
+        try:
+            return cls(
+                cell=_address(raw["cell"], "cell"),
+                cycle=int(raw["cycle"]),
+                basis_cycle=int(raw["basis_cycle"]),
+                last_sequence=int(raw["last_sequence"]),
+                fingerprint_hex=str(raw["fingerprint"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MembershipError(f"malformed rejoin request: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class RejoinAck:
+    """A live cell's signed verdict on a rejoin request.
+
+    ``agree`` is True when the rejoiner's claimed state fingerprint matched
+    the voter's own contract data at check time; the fingerprint the voter
+    actually computed rides along so disagreements are diagnosable.
+    """
+
+    voter: Address
+    rejoiner: Address
+    cycle: int
+    fingerprint_hex: str
+    agree: bool
+    signature: bytes
+    scheme: str = "ecdsa"
+
+    @staticmethod
+    def signing_body(
+        voter: Address, rejoiner: Address, cycle: int, fingerprint_hex: str, agree: bool
+    ) -> bytes:
+        """Canonical bytes a voter signs for a rejoin ack."""
+        return canonical_json.dump_bytes(
+            {
+                "kind": "rejoin_ack",
+                "voter": voter.hex(),
+                "rejoiner": rejoiner.hex(),
+                "cycle": cycle,
+                "fingerprint": fingerprint_hex,
+                "agree": agree,
+            }
+        )
+
+    @classmethod
+    def create(
+        cls,
+        signer: Signer,
+        rejoiner: Address,
+        cycle: int,
+        fingerprint_hex: str,
+        agree: bool,
+    ) -> "RejoinAck":
+        """Build and sign an ack on behalf of ``signer``."""
+        body = cls.signing_body(signer.address, rejoiner, cycle, fingerprint_hex, agree)
+        return cls(
+            voter=signer.address,
+            rejoiner=rejoiner,
+            cycle=cycle,
+            fingerprint_hex=fingerprint_hex,
+            agree=agree,
+            signature=signer.sign(body),
+            scheme=signer.scheme,
+        )
+
+    def verify(self) -> bool:
+        """Check the voter's signature over the ack body."""
+        body = self.signing_body(
+            self.voter, self.rejoiner, self.cycle, self.fingerprint_hex, self.agree
+        )
+        return verify_signature(self.scheme, self.voter, body, self.signature)
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-serializable form (embedded in acks and updates)."""
+        return {
+            "voter": self.voter.hex(),
+            "rejoiner": self.rejoiner.hex(),
+            "cycle": self.cycle,
+            "fingerprint": self.fingerprint_hex,
+            "agree": self.agree,
+            "signature": "0x" + self.signature.hex(),
+            "scheme": self.scheme,
+        }
+
+    @classmethod
+    def from_wire(cls, raw: dict[str, Any]) -> "RejoinAck":
+        """Parse an ack from its wire form."""
+        try:
+            return cls(
+                voter=_address(raw["voter"], "voter"),
+                rejoiner=_address(raw["rejoiner"], "rejoiner"),
+                cycle=int(raw["cycle"]),
+                fingerprint_hex=str(raw["fingerprint"]),
+                agree=bool(raw["agree"]),
+                signature=bytes.fromhex(raw["signature"][2:]),
+                scheme=raw.get("scheme", "ecdsa"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MembershipError(f"malformed rejoin ack: {exc}") from exc
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of a ``CELL_REJOIN_ACK`` envelope."""
+        return {"ack": self.to_wire()}
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "RejoinAck":
+        """Rebuild an ack from an envelope's data field."""
+        ack = raw.get("ack")
+        if not isinstance(ack, dict):
+            raise MembershipError("rejoin-ack envelope carries no ack object")
+        return cls.from_wire(ack)
+
+
+@dataclass(frozen=True)
+class MembershipUpdate:
+    """A quorum-backed membership change, broadcast consortium-wide.
+
+    ``action`` is ``"exclude"`` (evidence: agreeing :class:`ExclusionVote`
+    objects) or ``"readmit"`` (evidence: agreeing :class:`RejoinAck`
+    objects).  Receivers re-verify every signature and count distinct
+    consortium voters before applying the change, so the update is exactly
+    as trustworthy as the evidence it carries.
+    """
+
+    action: str                      # "exclude" | "readmit"
+    subject: Address
+    cycle: int
+    votes: tuple[ExclusionVote, ...] = ()
+    acks: tuple[RejoinAck, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.action not in ("exclude", "readmit"):
+            raise MembershipError(f"unknown membership action {self.action!r}")
+        if self.action == "exclude" and not self.votes:
+            raise MembershipError("an exclusion update must carry votes")
+        if self.action == "readmit" and not self.acks:
+            raise MembershipError("a readmission update must carry acks")
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of a ``MEMBERSHIP_UPDATE`` envelope."""
+        return {
+            "action": self.action,
+            "subject": self.subject.hex(),
+            "cycle": self.cycle,
+            "votes": [vote.to_wire() for vote in self.votes],
+            "acks": [ack.to_wire() for ack in self.acks],
+        }
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "MembershipUpdate":
+        """Rebuild an update from an envelope's data field."""
+        try:
+            return cls(
+                action=str(raw["action"]),
+                subject=_address(raw["subject"], "subject"),
+                cycle=int(raw["cycle"]),
+                votes=tuple(
+                    ExclusionVote.from_wire(item) for item in raw.get("votes", [])
+                ),
+                acks=tuple(RejoinAck.from_wire(item) for item in raw.get("acks", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MembershipError(f"malformed membership update: {exc}") from exc
+
+    def verified_supporters(self) -> set[Address]:
+        """Distinct voters whose *agreeing* evidence carries a valid signature.
+
+        The evidence must name this update's subject **and cycle** — votes
+        and acks are signed over both, so evidence gathered for one
+        exclusion or recovery episode cannot be replayed under a different
+        cycle number.
+        """
+        supporters: set[Address] = set()
+        if self.action == "exclude":
+            for vote in self.votes:
+                if (
+                    vote.agree
+                    and vote.suspect == self.subject
+                    and vote.cycle == self.cycle
+                    and vote.verify()
+                ):
+                    supporters.add(vote.voter)
+        else:
+            for ack in self.acks:
+                if (
+                    ack.agree
+                    and ack.rejoiner == self.subject
+                    and ack.cycle == self.cycle
+                    and ack.verify()
+                ):
+                    supporters.add(ack.voter)
+        return supporters
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """A recovering cell's request for a snapshot plus the ledger tail.
+
+    ``since_sequence`` is the first ledger sequence number the requester is
+    missing; the donor answers with its latest snapshot and every entry
+    from that sequence onward.
+    """
+
+    since_sequence: int
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of a ``CELL_SYNC`` envelope."""
+        return {"since_sequence": self.since_sequence}
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "SyncRequest":
+        """Rebuild a sync request from an envelope's data field."""
+        try:
+            since = int(raw["since_sequence"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MembershipError(f"malformed sync request: {exc}") from exc
+        if since < 0:
+            raise MembershipError("since_sequence cannot be negative")
+        return cls(since_sequence=since)
+
+
+@dataclass(frozen=True)
+class SyncState:
+    """A donor cell's resync bundle: snapshot + post-snapshot ledger tail.
+
+    ``snapshot`` is the donor's latest data snapshot in wire form (None if
+    the donor has not taken one yet); ``entries`` are the donor's ledger
+    entries from the snapshot boundary (or the requested sequence,
+    whichever is earlier) onward, each carrying the summary (with
+    per-entry execution fingerprint), the signed client envelope, and the
+    recorded result.  ``excluded`` is the donor's current membership view
+    (hex addresses of excluded cells) so the requester can refresh its own
+    stale view along with its state.
+    """
+
+    donor: Address
+    snapshot: Optional[dict[str, Any]]
+    entries: tuple[dict[str, Any], ...]
+    excluded: tuple[str, ...] = ()
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of a ``CELL_SYNC_STATE`` envelope."""
+        return {
+            "donor": self.donor.hex(),
+            "snapshot": self.snapshot,
+            "entries": list(self.entries),
+            "excluded": list(self.excluded),
+        }
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "SyncState":
+        """Rebuild a sync bundle from an envelope's data field."""
+        snapshot = raw.get("snapshot")
+        if snapshot is not None and not isinstance(snapshot, dict):
+            raise MembershipError("sync snapshot must be an object or null")
+        entries = raw.get("entries")
+        if not isinstance(entries, list) or not all(
+            isinstance(item, dict) for item in entries
+        ):
+            raise MembershipError("sync entries must be a list of objects")
+        excluded = raw.get("excluded", [])
+        if not isinstance(excluded, list) or not all(
+            isinstance(item, str) for item in excluded
+        ):
+            raise MembershipError("sync excluded view must be a list of hex addresses")
+        return cls(
+            donor=_address(raw.get("donor"), "donor"),
+            snapshot=snapshot,
+            entries=tuple(entries),
+            excluded=tuple(excluded),
+        )

@@ -28,8 +28,15 @@ class Opcode(str, Enum):
     TX_CONFIRM = "tx_confirm"               # signed confirmation with fingerprint
     TX_CONFIRM_BATCH = "tx_confirm_batch"   # one envelope carrying many confirmations
     TX_REJECT = "tx_reject"                 # execution failed / fingerprint mismatch
+
+    # Dynamic membership (exclusion quorum + crash recovery, Section V).
     CELL_EXCLUDE = "cell_exclude"           # propose temporary exclusion of a cell
-    CELL_SYNC = "cell_sync"                 # state resync after exclusion
+    CELL_EXCLUDE_VOTE = "cell_exclude_vote"  # signed vote on an exclusion proposal
+    MEMBERSHIP_UPDATE = "membership_update"  # quorum-backed exclude/readmit commit
+    CELL_REJOIN = "cell_rejoin"             # recovered cell asks to rejoin the quorum
+    CELL_REJOIN_ACK = "cell_rejoin_ack"     # signed fingerprint check on a rejoin
+    CELL_SYNC = "cell_sync"                 # state resync request after exclusion
+    CELL_SYNC_STATE = "cell_sync_state"     # snapshot + ledger tail for a resync
 
     # Service cell -> client.
     TX_RECEIPT = "tx_receipt"               # aggregated multi-signature receipt
@@ -65,7 +72,12 @@ CELL_OPCODES = frozenset(
         Opcode.TX_CONFIRM_BATCH,
         Opcode.TX_REJECT,
         Opcode.CELL_EXCLUDE,
+        Opcode.CELL_EXCLUDE_VOTE,
+        Opcode.MEMBERSHIP_UPDATE,
+        Opcode.CELL_REJOIN,
+        Opcode.CELL_REJOIN_ACK,
         Opcode.CELL_SYNC,
+        Opcode.CELL_SYNC_STATE,
         Opcode.PING,
         Opcode.PONG,
     }

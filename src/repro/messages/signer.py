@@ -56,9 +56,11 @@ class EcdsaSigner:
 
     @property
     def address(self) -> Address:
+        """The 20-byte address derived from the signing key."""
         return self.key.address
 
     def sign(self, message: bytes) -> bytes:
+        """Produce a 65-byte recoverable ECDSA signature over ``message``."""
         return self.key.sign(message).to_bytes()
 
     @classmethod
@@ -93,9 +95,11 @@ class SimulatedSigner:
 
     @property
     def address(self) -> Address:
+        """The 20-byte simulated identity derived from the seed."""
         return self._address
 
     def sign(self, message: bytes) -> bytes:
+        """Produce the 65-byte keyed-MAC stand-in signature."""
         first = fast_hash(self._secret + message)
         second = fast_hash(message + self._secret)
         return first + second + b"\x00"

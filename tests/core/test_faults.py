@@ -1,0 +1,131 @@
+"""Direct coverage of the FaultPlan switches (Section V attack models).
+
+The integration suite exercises these paths end to end; the tests here pin
+down the per-switch behaviour — predicate semantics, event recording, and
+the observable divergence each fault produces — independently of the
+recovery machinery.
+"""
+
+from repro.client import BlockumulusClient, FastMoneyClient
+from repro.core.faults import FaultPlan, censor_method, censor_sender
+from repro.messages import EcdsaSigner, Envelope, Opcode
+from tests.conftest import make_deployment
+
+
+def _envelope(signer, contract="fastmoney", method="transfer"):
+    return Envelope.create(
+        signer=signer,
+        recipient=EcdsaSigner.from_seed("faults/cell").address,
+        operation=Opcode.TX_SUBMIT,
+        data={"contract": contract, "method": method, "args": {}},
+        timestamp=0.0,
+        nonce="0x000000000001",
+    )
+
+
+# ----------------------------------------------------------------------
+# Censor predicates
+# ----------------------------------------------------------------------
+def test_censor_sender_matches_case_insensitively():
+    alice = EcdsaSigner.from_seed("faults/alice")
+    bob = EcdsaSigner.from_seed("faults/bob")
+    predicate = censor_sender(alice.address.hex().upper())
+    assert predicate(_envelope(alice))
+    assert not predicate(_envelope(bob))
+
+
+def test_censor_method_targets_one_call_only():
+    alice = EcdsaSigner.from_seed("faults/alice")
+    predicate = censor_method("dividendpool", "withdraw_dividend")
+    assert predicate(_envelope(alice, "dividendpool", "withdraw_dividend"))
+    assert not predicate(_envelope(alice, "dividendpool", "invest"))
+    assert not predicate(_envelope(alice, "fastmoney", "withdraw_dividend"))
+
+
+def test_fault_plan_records_censor_events():
+    alice = EcdsaSigner.from_seed("faults/alice")
+    plan = FaultPlan(censor=censor_sender(alice.address.hex()))
+    envelope = _envelope(alice)
+    assert plan.is_censored(envelope)
+    assert plan.events == [{"kind": "censor", "tx_id": envelope.payload.hash_hex()}]
+    # Non-matching traffic is passed through and not recorded.
+    assert not plan.is_censored(_envelope(EcdsaSigner.from_seed("faults/bob")))
+    assert len(plan.events) == 1
+
+
+def test_censoring_cell_silently_drops_the_transaction():
+    deployment = make_deployment(consortium_size=2)
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    fastmoney = FastMoneyClient(client)
+    deployment.env.run(fastmoney.faucet(100))
+
+    cell = deployment.cell(0)
+    cell.fault.censor = censor_sender(client.address.hex())
+    attempt = fastmoney.transfer("0x" + "aa" * 20, 1)
+    deployment.run(until=deployment.env.now + 5.0)
+    # Silence, not an error: the client never hears back (Section V-B).
+    assert not attempt.triggered
+    assert cell.fault.events and cell.fault.events[0]["kind"] == "censor"
+    assert cell.metrics.counter(f"{cell.node_name}/censored") == 1
+    assert len(cell.ledger) == 1  # only the pre-censorship faucet
+
+
+# ----------------------------------------------------------------------
+# State tampering
+# ----------------------------------------------------------------------
+def test_tamper_state_diverges_fingerprints_and_records_the_event():
+    deployment = make_deployment(consortium_size=2)
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    fastmoney = FastMoneyClient(client)
+    deployment.env.run(fastmoney.faucet(100))
+
+    tampering = deployment.cell(1)
+    tampering.fault.tamper_state = True
+    result = fastmoney.transfer("0x" + "bb" * 20, 5)
+    deployment.env.run(result)
+    # The transaction still confirms: execution fingerprints (tx-level)
+    # agree, and the corruption only shows up in the *state* fingerprints
+    # compared at snapshot time.
+    assert result.value.ok
+    honest = deployment.cell(0).contracts.get("fastmoney")
+    dirty = tampering.contracts.get("fastmoney")
+    assert honest.fingerprint_hex() != dirty.fingerprint_hex()
+    assert dirty.store.get("__tampered__") is not None
+    kinds = {event["kind"] for event in tampering.fault.events}
+    assert "tamper_state" in kinds
+
+
+# ----------------------------------------------------------------------
+# Confirmation delay
+# ----------------------------------------------------------------------
+def test_extra_confirm_delay_below_deadline_only_slows_the_receipt():
+    deployment = make_deployment(consortium_size=2, forwarding_deadline=5.0)
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    fastmoney = FastMoneyClient(client)
+    deployment.env.run(fastmoney.faucet(100))
+
+    deployment.cell(1).fault.extra_confirm_delay = 1.0
+    result = fastmoney.transfer("0x" + "cc" * 20, 1)
+    deployment.env.run(result)
+    assert result.value.ok
+    assert result.value.latency > 1.0
+    assert {"kind": "delay", "seconds": 1.0} in deployment.cell(1).fault.events
+
+
+def test_extra_confirm_delay_beyond_deadline_counts_as_a_miss():
+    deployment = make_deployment(
+        consortium_size=2, forwarding_deadline=0.5, miss_threshold=3
+    )
+    client = BlockumulusClient(deployment, service_cell_index=0)
+    fastmoney = FastMoneyClient(client)
+    deployment.env.run(fastmoney.faucet(100))
+
+    slow = deployment.cell(1)
+    slow.fault.extra_confirm_delay = 2.0
+    result = fastmoney.transfer("0x" + "dd" * 20, 1)
+    deployment.env.run(result)
+    assert not result.value.ok
+    assert "deadline" in result.value.error
+    standing = deployment.cell(0).consensus.standing(slow.address)
+    assert standing.consecutive_misses == 1
+    assert not standing.is_excluded  # below the threshold, not yet excluded

@@ -1,0 +1,46 @@
+"""The documentation tree must not contain broken intra-repo links."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_links.py"
+
+
+def test_readme_and_docs_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_checker_flags_broken_links_and_anchors(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "# Title\n"
+        "[missing](./does-not-exist.md)\n"
+        "[bad anchor](#nope)\n"
+        "[escape](../../../../../etc/passwd)\n"
+        "[ok external](https://example.com/)\n"
+    )
+    result = subprocess.run(
+        [sys.executable, str(CHECKER), str(bad)], capture_output=True, text=True
+    )
+    assert result.returncode == 1
+    assert "broken link" in result.stderr
+    assert "broken anchor" in result.stderr
+    assert "escapes the repository" in result.stderr
+
+
+def test_checker_accepts_valid_anchors(tmp_path):
+    good = tmp_path / "good.md"
+    other = tmp_path / "other.md"
+    other.write_text("# Some Heading!\n")
+    good.write_text("# A `Code` Heading\n[self](#a-code-heading)\n")
+    # Anchors across files only work inside the repo root; self-anchors and
+    # plain file links are checked anywhere.
+    result = subprocess.run(
+        [sys.executable, str(CHECKER), str(good)], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr

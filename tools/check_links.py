@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repository links in the project's Markdown files.
+
+Scans ``README.md`` and ``docs/*.md`` (or any files passed as arguments)
+for Markdown links ``[text](target)`` and checks that every *relative*
+target resolves to an existing file or directory inside the repository.
+Anchored links (``file.md#heading``) additionally require the anchor to
+match a heading in the target file, using GitHub's slug rules.  External
+links (``http(s)://``, ``mailto:``) are ignored — CI must not depend on
+the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link).  Used by the ``docs`` CI job and
+``tests/docs/test_doc_links.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links; deliberately simple — no images-with-titles, no
+#: reference-style links (the repo's docs do not use them).
+LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation stripped,
+    spaces to hyphens (backticks and inline markup removed first)."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs available in a Markdown file."""
+    slugs: set[str] = set()
+    for match in HEADING_PATTERN.finditer(path.read_text(encoding="utf-8")):
+        slugs.add(github_slug(match.group(1)))
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file."""
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in heading_slugs(path):
+                problems.append(f"{path}: broken anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        # Containment is only meaningful for files that live in the repo;
+        # explicitly passed out-of-tree files are checked against their own
+        # directory instead.
+        try:
+            root = REPO_ROOT if path.is_relative_to(REPO_ROOT) else path.parent
+        except AttributeError:  # pragma: no cover - Python < 3.9
+            root = REPO_ROOT
+        try:
+            resolved.relative_to(root)
+        except ValueError:
+            problems.append(f"{path}: link escapes the repository: {target!r}")
+            continue
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r}")
+            continue
+        if anchor and resolved.is_file() and resolved.suffix == ".md":
+            if anchor not in heading_slugs(resolved):
+                problems.append(f"{path}: broken anchor {target!r}")
+    return problems
+
+
+def default_files() -> list[Path]:
+    """README.md plus every Markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg).resolve() for arg in argv] or default_files()
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"{len(files)} file(s) checked, all intra-repo links resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
