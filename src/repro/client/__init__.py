@@ -3,16 +3,19 @@
 from .apps import BallotClient, CasClient, FastMoneyClient, deploy_contract_source
 from .client import BlockumulusClient, ClientError, TransactionResult
 from .workload import (
+    CONTENDED_CONTRACT,
     DEFAULT_CLIENT_POOLS,
     WorkloadError,
     WorkloadReport,
     build_client_pools,
     run_burst_cas_uploads,
     run_burst_transfers,
+    run_contended_transfers,
     run_sequential_transfers,
 )
 
 __all__ = [
+    "CONTENDED_CONTRACT",
     "BallotClient",
     "BlockumulusClient",
     "CasClient",
@@ -26,5 +29,6 @@ __all__ = [
     "deploy_contract_source",
     "run_burst_cas_uploads",
     "run_burst_transfers",
+    "run_contended_transfers",
     "run_sequential_transfers",
 ]

@@ -11,6 +11,8 @@ same inside the simulation:
   (Fig. 9).
 * :func:`run_burst_transfers` — N simultaneous FastMoney transfers
   (Fig. 10 / the 20,000-transaction headline).
+* :func:`run_contended_transfers` — N simultaneous transfers with a
+  tunable write-conflict rate (the execution-lane benchmark workload).
 
 Each returns a :class:`WorkloadReport` with the raw per-transaction results
 plus the latency series and throughput figures the benchmark harness
@@ -22,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
+from ..contracts.community import FastMoney
 from ..core.deployment import BlockumulusDeployment
 from ..crypto.keys import Address
 from ..sim.events import Event
@@ -272,6 +275,92 @@ def run_burst_transfers(
         client = clients[index % len(clients)]
         events.append(
             FastMoneyClient(client).transfer(_fresh_recipient(index), amount)
+        )
+    report.results = _collect(deployment, events, horizon)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Tunable-contention transfers (the execution-lane benchmark workload)
+# ----------------------------------------------------------------------
+#: Deployment name of the contention workload's FastMoney instance (kept
+#: apart from the default "fastmoney" so both can coexist).
+CONTENDED_CONTRACT = "fastmoney.contended"
+
+
+def run_contended_transfers(
+    deployment: BlockumulusDeployment,
+    count: int = 200,
+    conflict_rate: float = 0.0,
+    hot_accounts: int = 4,
+    pools: int = DEFAULT_CLIENT_POOLS,
+    amount: int = 1,
+    label: Optional[str] = None,
+    horizon: float = 3_600.0,
+    submit_at: Optional[float] = None,
+) -> WorkloadReport:
+    """Submit ``count`` simultaneous transfers with a tunable conflict rate.
+
+    Every transaction normally comes from its own genesis-funded account
+    and pays a fresh recipient, so its write set is disjoint from every
+    other transaction's and the conflict-aware lane scheduler can run them
+    all in parallel.  With probability ``conflict_rate`` a transaction is
+    instead sent *from* one of ``hot_accounts`` shared hot accounts — a
+    genuine read-modify-write on the hot balance key (the insufficient-funds
+    check), which conflicts with every other transfer from the same hot
+    account and forces the scheduler to serialize them.
+
+    ``conflict_rate=0`` is the embarrassingly parallel end of the dial,
+    ``conflict_rate=1`` with one hot account reproduces the fully serial
+    schedule.  The workload funds accounts through genesis balances (no
+    measurable funding phase), and ``submit_at`` pins the submission
+    instant so runs under different configurations sign byte-identical
+    payloads (identical transaction ids), which is what lets the benchmark
+    assert ledger/receipt/fingerprint equality across lane counts.
+    """
+    if not 0.0 <= conflict_rate <= 1.0:
+        raise WorkloadError("conflict_rate must be between 0 and 1")
+    if hot_accounts < 1:
+        raise WorkloadError("at least one hot account is required")
+    clients = build_client_pools(deployment, pools)
+    cold_signers = [
+        deployment.make_client_signer(f"contention-account/{index}") for index in range(count)
+    ]
+    hot_signers = [
+        deployment.make_client_signer(f"contention-hot/{index}") for index in range(hot_accounts)
+    ]
+    genesis = {signer.address.hex(): amount for signer in cold_signers}
+    for signer in hot_signers:
+        genesis[signer.address.hex()] = amount * count  # never runs dry
+    deployment.deploy_community_contract_instances(
+        [
+            FastMoney(
+                CONTENDED_CONTRACT,
+                params={"genesis_balances": genesis, "allow_faucet": False},
+            )
+        ]
+    )
+    rng = deployment.seeds.stream("workload-contention")
+    if submit_at is not None:
+        if submit_at < deployment.env.now:
+            raise WorkloadError(f"cannot submit at {submit_at}: now is {deployment.env.now}")
+        deployment.run(until=submit_at)
+    report = WorkloadReport(
+        label=label
+        or f"lanes/{deployment.consortium_size}cells/{count}tx/conflict{conflict_rate:.2f}",
+        consortium_size=deployment.consortium_size,
+    )
+    events = []
+    for index in range(count):
+        client = clients[index % len(clients)]
+        if rng.random() < conflict_rate:
+            signer = hot_signers[rng.randrange(hot_accounts)]
+        else:
+            signer = cold_signers[index]
+        events.append(
+            FastMoneyClient(client, contract_name=CONTENDED_CONTRACT).transfer(
+                _fresh_recipient(index), amount, signer=signer
+            )
         )
     report.results = _collect(deployment, events, horizon)
     return report

@@ -4,11 +4,20 @@ from .context import BContractError, InvocationContext
 from .interface import BContract, bcontract_method, bcontract_view
 from .interpreter import InterpreterError, instantiate_contract, load_contract_class
 from .registry import ContractRegistry, RegistryError
-from .state_store import EMPTY_FINGERPRINT, KeyValueStore, StateExport, StoreError, StoreSnapshot
+from .state_store import (
+    EMPTY_FINGERPRINT,
+    AccessSet,
+    KeyValueStore,
+    MutationJournal,
+    StateExport,
+    StoreError,
+    StoreSnapshot,
+)
 from .system import CommunityDeployer, ContentAddressableStorage
 from .community import Ballot, DividendPool, FastMoney
 
 __all__ = [
+    "AccessSet",
     "Ballot",
     "BContract",
     "BContractError",
@@ -21,6 +30,7 @@ __all__ = [
     "InterpreterError",
     "InvocationContext",
     "KeyValueStore",
+    "MutationJournal",
     "RegistryError",
     "StateExport",
     "StoreError",

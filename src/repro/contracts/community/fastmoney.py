@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from typing import Any
 
+from typing import Optional
+
 from ...crypto.keys import Address
 from ..context import BContractError, InvocationContext
 from ..interface import BContract, bcontract_method, bcontract_view
+from ..state_store import AccessSet
 
 
 def _normalize_address(value: Any) -> str:
@@ -113,6 +116,48 @@ class FastMoney(BContract):
         self.store.put(self._balance_key(sender), balance - amount)
         self.store.increment("supply", -amount)
         return {"account": sender, "balance": balance - amount}
+
+    # ------------------------------------------------------------------
+    # Access planning (conflict-aware execution lanes)
+    # ------------------------------------------------------------------
+    def access_plan(
+        self, method: str, args: dict, *, sender: str, tx_id: str
+    ) -> Optional[AccessSet]:
+        """Key-level access declarations for the payment methods.
+
+        Transfers from distinct senders to distinct recipients touch
+        disjoint balance keys and may execute concurrently; the shared
+        ``stats/transfers`` counter and the recipient credit are pure
+        increments whose running values never appear in a result, so they
+        are declared as commutative deltas.  ``faucet`` and ``burn`` expose
+        the sender's running balance in their results, so the balance key
+        is a full write for them.
+        """
+        try:
+            if method == "transfer":
+                sender_key = self._balance_key(sender)
+                recipient_key = self._balance_key(_normalize_address(args["to"]))
+                processed = self._processed_key(tx_id)
+                return AccessSet(
+                    reads=frozenset({processed, sender_key}),
+                    writes=frozenset({sender_key, processed}),
+                    deltas=frozenset({recipient_key, "stats/transfers"}),
+                )
+            if method == "faucet":
+                return AccessSet(
+                    writes=frozenset({self._balance_key(sender)}),
+                    deltas=frozenset({"supply"}),
+                )
+            if method == "burn":
+                sender_key = self._balance_key(sender)
+                return AccessSet(
+                    reads=frozenset({sender_key}),
+                    writes=frozenset({sender_key}),
+                    deltas=frozenset({"supply"}),
+                )
+        except Exception:  # noqa: BLE001 - a malformed call plans as exclusive
+            return None
+        return None
 
     # ------------------------------------------------------------------
     # Views

@@ -10,10 +10,10 @@ contracts only write their business methods.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from .context import BContractError, InvocationContext
-from .state_store import KeyValueStore, StateExport, StoreSnapshot
+from .state_store import AccessSet, KeyValueStore, StateExport, StoreSnapshot
 
 
 def bcontract_method(func: Callable[..., Any]) -> Callable[..., Any]:
@@ -49,6 +49,11 @@ class BContract:
         self.store = KeyValueStore()
         self._methods: dict[str, Callable[..., Any]] = {}
         self._views: dict[str, Callable[..., Any]] = {}
+        #: Observed access set of the most recent invocation (committed or
+        #: rolled back), for lane statistics and plan verification.
+        self.last_access: Optional[AccessSet] = None
+        #: Keys read by the most recent view query.
+        self.last_view_reads: frozenset[str] = frozenset()
         for attr_name in dir(self):
             if attr_name.startswith("__"):
                 continue
@@ -95,30 +100,32 @@ class BContract:
         try:
             result = handler(ctx, **args)
         except BContractError:
-            self.store.rollback()
+            self.last_access = self.store.rollback().access_set()
             raise
         except TypeError as exc:
-            self.store.rollback()
+            self.last_access = self.store.rollback().access_set()
             raise BContractError(f"{self.name}.{method}: bad arguments ({exc})") from exc
         except Exception as exc:  # noqa: BLE001 - contract bugs must revert cleanly
-            self.store.rollback()
+            self.last_access = self.store.rollback().access_set()
             raise BContractError(f"{self.name}.{method}: internal error ({exc})") from exc
-        self.store.commit()
+        self.last_access = self.store.commit().access_set()
         return result
 
     def query(self, view: str, args: dict[str, Any]) -> Any:
         """Execute a read-only view (never mutates state).
 
-        Exceptions map exactly as in :meth:`invoke`: a bad argument set or a
-        view bug surfaces as :class:`BContractError` instead of escaping raw
-        into the cell's read path (views take no journal — they must not
-        write, so there is nothing to roll back).
+        The view runs under the store's read-only guard: any write attempt
+        raises (and surfaces as :class:`BContractError`), so a buggy view
+        can never pollute the write set or the fingerprint, and the keys it
+        read are recorded in :attr:`last_view_reads`.  Other exceptions map
+        exactly as in :meth:`invoke`.
         """
         handler = self._views.get(view)
         if handler is None:
             raise BContractError(f"{self.name}: unknown view {view!r}")
         if not isinstance(args, dict):
             raise BContractError(f"{self.name}: arguments must be an object")
+        self.store.begin_view()
         try:
             return handler(**args)
         except BContractError:
@@ -127,6 +134,29 @@ class BContract:
             raise BContractError(f"{self.name}.{view}: bad arguments ({exc})") from exc
         except Exception as exc:  # noqa: BLE001 - view bugs must not crash the cell
             raise BContractError(f"{self.name}.{view}: internal error ({exc})") from exc
+        finally:
+            self.last_view_reads = self.store.end_view()
+
+    # ------------------------------------------------------------------
+    # Access planning (conflict-aware execution lanes)
+    # ------------------------------------------------------------------
+    def access_plan(
+        self, method: str, args: dict[str, Any], *, sender: str, tx_id: str
+    ) -> Optional[AccessSet]:
+        """Declare the store keys ``method`` may touch, before executing it.
+
+        The lane scheduler calls this to decide which transactions may run
+        concurrently.  Returning ``None`` (the default) means "unknown":
+        the transaction is treated as exclusive and serializes against
+        everything, which is always safe.  Overrides must be conservative —
+        every key the method can possibly write must appear in ``writes``
+        (or ``deltas`` for pure :meth:`KeyValueStore.increment` keys whose
+        running value the result does not expose); the executor verifies
+        observed mutations against the declared plan and reports overruns.
+        Implementations must not raise and must not read contract state
+        (plans are evaluated before the transaction's turn in the schedule).
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Fingerprinting and cloning (the mandatory interfaces)

@@ -11,8 +11,12 @@ model used by all bundled bContracts:
   the whole state after every transaction (crucial for the 20,000-tx
   stress experiments, and verified against a full recomputation in the
   property-based tests);
-* a write **journal** so a failed bContract invocation can be rolled back
-  without copying the whole state;
+* a **mutation journal** so a failed bContract invocation can be rolled
+  back without copying the whole state — the journal also records the
+  *access set* of the transaction (keys read, keys written, keys touched
+  by commutative increments), which is what the conflict-aware execution
+  lanes of :mod:`repro.core.lanes` compare against the declared access
+  plans;
 * **cloning** — an O(1) capture of the current fingerprint plus entry
   count, which is what the snapshot engine asks contracts for at the end
   of a report cycle;
@@ -36,6 +40,100 @@ _MISSING = object()
 
 class StoreError(Exception):
     """Raised on invalid store operations."""
+
+
+def access_sets_conflict(
+    a_reads: frozenset,
+    a_writes: frozenset,
+    a_deltas: frozenset,
+    b_reads: frozenset,
+    b_writes: frozenset,
+    b_deltas: frozenset,
+) -> bool:
+    """The one definition of access-set conflict, shared by every layer.
+
+    A write conflicts with any other access to the same key; a delta
+    conflicts with reads and writes but not with other deltas; reads never
+    conflict with reads.  Both :class:`AccessSet` (contract-local keys) and
+    the lane engine's contract-qualified footprints delegate here so the
+    semantics cannot drift apart.
+    """
+    if a_writes & (b_reads | b_writes | b_deltas):
+        return True
+    if b_writes & (a_reads | a_deltas):
+        return True
+    if a_deltas & b_reads or b_deltas & a_reads:
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class AccessSet:
+    """The keys one invocation touched, split by how it touched them.
+
+    * ``reads`` — keys whose values the invocation observed;
+    * ``writes`` — keys it overwrote or deleted (order-sensitive);
+    * ``deltas`` — keys it changed through :meth:`KeyValueStore.increment`
+      only.  Increments commute, so two transactions whose *only* shared
+      keys are mutual deltas produce the same final state in either order.
+
+    Conflict semantics (used by the lane scheduler): see
+    :func:`access_sets_conflict`.
+    """
+
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+    deltas: frozenset[str] = frozenset()
+
+    def conflicts_with(self, other: "AccessSet") -> bool:
+        """Whether running self and ``other`` concurrently could reorder effects."""
+        return access_sets_conflict(
+            self.reads, self.writes, self.deltas,
+            other.reads, other.writes, other.deltas,
+        )
+
+    @property
+    def mutations(self) -> frozenset[str]:
+        """Every key this access set may change (writes and deltas)."""
+        return self.writes | self.deltas
+
+    def covers_mutations_of(self, observed: "AccessSet") -> bool:
+        """Whether a declared plan accounts for every observed mutation."""
+        return observed.mutations <= self.mutations
+
+
+class MutationJournal:
+    """Undo log plus access-set recording for one open store transaction.
+
+    Formalizes what used to be an anonymous list of ``(key, old_value)``
+    pairs: the undo entries still drive :meth:`KeyValueStore.rollback`,
+    and alongside them the journal accumulates the transaction's observed
+    read/write/delta key sets for conflict analysis.
+    """
+
+    __slots__ = ("undo", "reads", "writes", "deltas")
+
+    def __init__(self) -> None:
+        self.undo: list[tuple[str, Any]] = []
+        self.reads: set[str] = set()
+        self.writes: set[str] = set()
+        self.deltas: set[str] = set()
+
+    def record(self, key: str, old: Any, access: str) -> None:
+        """Add one undo entry, classifying the access as 'write' or 'delta'."""
+        self.undo.append((key, old))
+        if access == "delta":
+            self.deltas.add(key)
+        else:
+            self.writes.add(key)
+
+    def access_set(self) -> AccessSet:
+        """Freeze the observed access sets (keys later rolled back included)."""
+        return AccessSet(
+            reads=frozenset(self.reads),
+            writes=frozenset(self.writes),
+            deltas=frozenset(self.deltas),
+        )
 
 
 @dataclass(frozen=True)
@@ -131,7 +229,10 @@ class KeyValueStore:
     def __init__(self, initial: Optional[dict[str, Any]] = None) -> None:
         self._data: dict[str, Any] = {}
         self._fingerprint = EMPTY_FINGERPRINT
-        self._journal: Optional[list[tuple[str, Any]]] = None
+        self._journal: Optional[MutationJournal] = None
+        #: Depth of nested read-only (view) guards; writes raise while > 0.
+        self._view_depth = 0
+        self._view_reads: set[str] = set()
         #: Pending copy-on-write exports that still track this store.
         self._exports: list[StateExport] = []
         for key, value in (initial or {}).items():
@@ -140,23 +241,35 @@ class KeyValueStore:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    def _record_read(self, key: str) -> None:
+        if self._journal is not None:
+            self._journal.reads.add(key)
+        if self._view_depth:
+            self._view_reads.add(key)
+
     def get(self, key: str, default: Any = None) -> Any:
         """Read the value at ``key`` (or ``default``)."""
+        self._record_read(key)
         return self._data.get(key, default)
 
     def require(self, key: str) -> Any:
         """Read the value at ``key``, raising if absent."""
+        self._record_read(key)
         if key not in self._data:
             raise StoreError(f"missing key {key!r}")
         return self._data[key]
 
     def contains(self, key: str) -> bool:
         """Whether ``key`` is present."""
+        self._record_read(key)
         return key in self._data
 
     def keys(self, prefix: str = "") -> list[str]:
         """All keys (optionally restricted to a prefix), sorted."""
-        return sorted(key for key in self._data if key.startswith(prefix))
+        found = sorted(key for key in self._data if key.startswith(prefix))
+        for key in found:
+            self._record_read(key)
+        return found
 
     def items(self, prefix: str = "") -> Iterator[tuple[str, Any]]:
         """Iterate (key, value) pairs sorted by key."""
@@ -169,64 +282,116 @@ class KeyValueStore:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def put(self, key: str, value: Any) -> None:
-        """Insert or replace the value at ``key``."""
+    def _apply_write(self, key: str, value: Any, access: str) -> None:
+        """Shared insert/replace path for :meth:`put` and :meth:`increment`."""
         if not isinstance(key, str):
             raise StoreError("store keys must be strings")
+        if self._view_depth:
+            raise StoreError(f"store is read-only during a view (write to {key!r} rejected)")
         old = self._data.get(key, _MISSING)
         self._notify_exports(key, old)
         if old is not _MISSING:
             self._fingerprint = _xor_bytes(self._fingerprint, _entry_digest(key, old))
         self._fingerprint = _xor_bytes(self._fingerprint, _entry_digest(key, value))
         if self._journal is not None:
-            self._journal.append((key, old))
+            self._journal.record(key, old, access)
         self._data[key] = value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or replace the value at ``key``."""
+        self._apply_write(key, value, "write")
 
     def delete(self, key: str) -> None:
         """Remove ``key`` if present."""
+        if self._view_depth:
+            raise StoreError(f"store is read-only during a view (delete of {key!r} rejected)")
         old = self._data.get(key, _MISSING)
         if old is _MISSING:
             return
         self._notify_exports(key, old)
         self._fingerprint = _xor_bytes(self._fingerprint, _entry_digest(key, old))
         if self._journal is not None:
-            self._journal.append((key, old))
+            self._journal.record(key, old, "write")
         del self._data[key]
 
     def increment(self, key: str, amount: int | float = 1) -> Any:
-        """Add ``amount`` to a numeric value (treating absent as zero)."""
-        current = self.get(key, 0)
+        """Add ``amount`` to a numeric value (treating absent as zero).
+
+        Increments are journaled as commutative *deltas* rather than plain
+        writes: two transactions whose only shared key is incremented by
+        both leave the same final state in either execution order, so the
+        lane scheduler may run them concurrently.  Note the *returned*
+        running value is order-dependent — contracts that expose it in a
+        transaction result must declare the key as a write in their access
+        plan.
+        """
+        current = self._data.get(key, 0)
         if isinstance(current, bool) or not isinstance(current, (int, float)):
             raise StoreError(f"cannot increment non-numeric value at {key!r}")
         value = current + amount
-        self.put(key, value)
+        self._apply_write(key, value, "delta")
         return value
 
     # ------------------------------------------------------------------
     # Journaling
     # ------------------------------------------------------------------
     def begin(self) -> None:
-        """Start recording writes so they can be rolled back."""
+        """Start recording accesses so writes can be rolled back."""
         if self._journal is not None:
             raise StoreError("a journal transaction is already open")
-        self._journal = []
+        self._journal = MutationJournal()
 
-    def commit(self) -> None:
-        """Discard the journal, keeping all writes."""
-        if self._journal is None:
-            raise StoreError("no journal transaction is open")
-        self._journal = None
-
-    def rollback(self) -> None:
-        """Undo every write made since :meth:`begin`."""
+    def commit(self) -> MutationJournal:
+        """Close the journal, keeping all writes; returns the journal."""
         if self._journal is None:
             raise StoreError("no journal transaction is open")
         journal, self._journal = self._journal, None
-        for key, old in reversed(journal):
+        return journal
+
+    def rollback(self) -> MutationJournal:
+        """Undo every write made since :meth:`begin`; returns the journal.
+
+        The returned journal still carries the transaction's observed
+        access sets — a rejected transaction's footprint is as relevant to
+        conflict statistics as a committed one's.
+        """
+        if self._journal is None:
+            raise StoreError("no journal transaction is open")
+        journal, self._journal = self._journal, None
+        for key, old in reversed(journal.undo):
             if old is _MISSING:
                 self.delete(key)
             else:
                 self.put(key, old)
+        return journal
+
+    # ------------------------------------------------------------------
+    # Read-only view guard
+    # ------------------------------------------------------------------
+    def begin_view(self) -> None:
+        """Enter a read-only section: writes raise until :meth:`end_view`.
+
+        View guards nest (a view may call another view); read recording
+        accumulates until the outermost guard ends.
+        """
+        if self._view_depth == 0:
+            self._view_reads = set()
+        self._view_depth += 1
+
+    def end_view(self) -> frozenset[str]:
+        """Leave the read-only section, returning the keys read inside it."""
+        if self._view_depth == 0:
+            raise StoreError("no view guard is open")
+        self._view_depth -= 1
+        reads = frozenset(self._view_reads)
+        if self._view_depth == 0:
+            self._view_reads = set()
+        return reads
+
+    @property
+    def in_view(self) -> bool:
+        """Whether a read-only view guard is currently active."""
+        return self._view_depth > 0
 
     @property
     def in_transaction(self) -> bool:

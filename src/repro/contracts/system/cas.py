@@ -14,11 +14,12 @@ contract.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from ...crypto.hashing import fast_hash
 from ..context import BContractError, InvocationContext
 from ..interface import BContract, bcontract_method, bcontract_view
+from ..state_store import AccessSet
 
 
 class ContentAddressableStorage(BContract):
@@ -30,6 +31,9 @@ class ContentAddressableStorage(BContract):
     DEFAULT_NAME = "system.cas"
     #: Upper bound on one blob (bytes of raw content).
     MAX_BLOB_BYTES = 4 * 1024 * 1024
+    #: Entries kept in the content-digest memo (planning + execution of the
+    #: same blob hash it once, not twice).
+    DIGEST_CACHE_SIZE = 1024
 
     @staticmethod
     def _blob_key(digest: str) -> str:
@@ -44,22 +48,42 @@ class ContentAddressableStorage(BContract):
         """The CAS address (hex digest) of ``content``."""
         return "0x" + fast_hash(content).hex()
 
+    def _digest_of(self, content_hex: str) -> tuple[str, int]:
+        """(digest, byte length) of a hex blob, memoized per contract.
+
+        The lane scheduler's ``access_plan`` and the subsequent ``put``
+        both need the digest; without the memo every upload would decode
+        and hash its blob twice.  The cache is a pure function of the
+        argument, so it cannot perturb determinism — only CPU time.
+        """
+        cached = self._digest_cache.get(content_hex)
+        if cached is not None:
+            return cached
+        content = _decode_hex(content_hex)
+        entry = (self.content_hash(content), len(content))
+        if len(self._digest_cache) >= self.DIGEST_CACHE_SIZE:
+            self._digest_cache.pop(next(iter(self._digest_cache)))
+        self._digest_cache[content_hex] = entry
+        return entry
+
+    def setup(self) -> None:
+        self._digest_cache: dict[str, tuple[str, int]] = {}
+
     # ------------------------------------------------------------------
     # Transaction methods
     # ------------------------------------------------------------------
     @bcontract_method
     def put(self, ctx: InvocationContext, content_hex: str) -> dict[str, Any]:
         """Store a blob (hex-encoded) and take one reference to it."""
-        content = _decode_hex(content_hex)
-        if len(content) > self.MAX_BLOB_BYTES:
+        digest, size = self._digest_of(content_hex)
+        if size > self.MAX_BLOB_BYTES:
             raise BContractError(f"blob exceeds the {self.MAX_BLOB_BYTES}-byte CAS limit")
-        digest = self.content_hash(content)
         if not self.store.contains(self._blob_key(digest)):
             self.store.put(self._blob_key(digest), content_hex)
             self.store.put(self._refs_key(digest), 0)
         references = self.store.increment(self._refs_key(digest))
         self.store.increment("stats/puts")
-        return {"hash": digest, "references": references, "size": len(content)}
+        return {"hash": digest, "references": references, "size": size}
 
     @bcontract_method
     def add_reference(self, ctx: InvocationContext, digest: str) -> dict[str, Any]:
@@ -79,6 +103,46 @@ class ContentAddressableStorage(BContract):
             self.store.increment("stats/purged")
             references = 0
         return {"hash": digest, "references": references}
+
+    # ------------------------------------------------------------------
+    # Access planning (conflict-aware execution lanes)
+    # ------------------------------------------------------------------
+    def access_plan(
+        self, method: str, args: dict, *, sender: str, tx_id: str
+    ) -> Optional[AccessSet]:
+        """Key-level access declarations for the blob methods.
+
+        Blobs are content-addressed, so uploads of distinct content touch
+        disjoint keys and parallelize freely (the Fig. 9 burst).  Reference
+        counts are *exposed* in results, so the ``refs/`` key is a full
+        write — two operations on the same blob serialize.
+        """
+        try:
+            if method == "put":
+                digest, _size = self._digest_of(args["content_hex"])
+            elif method in ("add_reference", "release"):
+                digest = str(args["digest"])
+            else:
+                return None
+            blob_key, refs_key = self._blob_key(digest), self._refs_key(digest)
+            if method == "put":
+                return AccessSet(
+                    reads=frozenset({blob_key}),
+                    writes=frozenset({blob_key, refs_key}),
+                    deltas=frozenset({"stats/puts"}),
+                )
+            if method == "add_reference":
+                return AccessSet(
+                    reads=frozenset({blob_key}),
+                    writes=frozenset({refs_key}),
+                )
+            return AccessSet(
+                reads=frozenset({blob_key}),
+                writes=frozenset({blob_key, refs_key}),
+                deltas=frozenset({"stats/purged"}),
+            )
+        except Exception:  # noqa: BLE001 - a malformed call plans as exclusive
+            return None
 
     # ------------------------------------------------------------------
     # Views

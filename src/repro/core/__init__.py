@@ -7,6 +7,14 @@ from .consensus import CellStanding, ConsensusError, OverlayConsensus
 from .deployment import BlockumulusDeployment
 from .executor import ExecutionOutcome, TransactionExecutor
 from .faults import FaultPlan, censor_method, censor_sender
+from .lanes import (
+    AccessFootprint,
+    LaneError,
+    LaneSchedule,
+    LaneScheduler,
+    footprint_for_entry,
+    partition_footprints,
+)
 from .ledger import LedgerEntry, LedgerError, TransactionLedger
 from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, ReceiptError
 from .recovery import (
@@ -19,6 +27,7 @@ from .snapshot import DataSnapshot, LazySnapshotExport, SnapshotEngine, Snapshot
 from .subscription import PricingPolicy, Subscription, SubscriptionError, SubscriptionManager
 
 __all__ = [
+    "AccessFootprint",
     "AggregatedReceipt",
     "BatchDispatcher",
     "BlockumulusCell",
@@ -32,6 +41,9 @@ __all__ = [
     "DeploymentConfig",
     "ExecutionOutcome",
     "FaultPlan",
+    "LaneError",
+    "LaneSchedule",
+    "LaneScheduler",
     "LazySnapshotExport",
     "LedgerEntry",
     "LedgerError",
@@ -52,4 +64,6 @@ __all__ = [
     "TransactionLedger",
     "censor_method",
     "censor_sender",
+    "footprint_for_entry",
+    "partition_footprints",
 ]

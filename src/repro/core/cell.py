@@ -20,7 +20,6 @@ from __future__ import annotations
 import random
 from typing import Any, Generator, Optional
 
-from ..contracts.context import BContractError
 from ..contracts.registry import ContractRegistry
 from ..contracts.system.cas import ContentAddressableStorage
 from ..contracts.system.deployer import CommunityDeployer
@@ -43,6 +42,7 @@ from .config import SystemInvariants
 from .consensus import OverlayConsensus
 from .executor import ExecutionOutcome, TransactionExecutor
 from .faults import FaultPlan
+from .lanes import LaneScheduler
 from .ledger import LedgerError, TransactionLedger
 from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, ReceiptError
 from .recovery import MembershipManager, RecoveryCoordinator
@@ -91,6 +91,7 @@ class BlockumulusCell:
         snapshots_retained: int = 3,
         message_batching: bool = True,
         batch_quantum: float = 0.02,
+        execution_lanes: int = 1,
     ) -> None:
         self.env = env
         self.index = index
@@ -143,6 +144,17 @@ class BlockumulusCell:
         self.cpu = Resource(env, capacity=service_model.cpu_workers, name=f"{node_name}-cpu")
         self.invokers = Resource(
             env, capacity=service_model.max_parallel_invocations, name=f"{node_name}-invokers"
+        )
+        # Conflict-aware execution lanes (repro.core.lanes).  With lanes=1
+        # the legacy path is kept bit-for-bit: executions gate on the
+        # ``invokers`` pool exactly as before.  With lanes>1 the lane
+        # scheduler replaces that gate for the execution stage: at most
+        # ``execution_lanes`` transactions run concurrently, never two with
+        # conflicting access footprints.
+        self.lanes: Optional[LaneScheduler] = (
+            LaneScheduler(env, execution_lanes, self.contracts, name=f"{node_name}-lanes")
+            if execution_lanes > 1
+            else None
         )
 
         # Peer routing: consortium address -> network node name.
@@ -622,27 +634,28 @@ class BlockumulusCell:
     # Local execution (shared by service and forwarded paths)
     # ------------------------------------------------------------------
     def _execute_entry(self, entry) -> Generator[Event, Any, ExecutionOutcome]:
-        yield self.invokers.request()
-        try:
-            yield self.env.timeout(self.service_model.invoke_overhead.sample(self.rng))
-            yield from self.cpu.use(self.service_model.invoke_cpu)
-        finally:
-            self.invokers.release()
-        try:
-            outcome = self.executor.execute(entry)
-        except BContractError as exc:
-            # Malformed calls and unknown contracts revert rather than crash
-            # the cell; the client receives the reason in its TX_ERROR reply.
-            data = entry.envelope.data
-            outcome = ExecutionOutcome(
-                tx_id=entry.tx_id,
-                contract=str(data.get("contract", "")),
-                method=str(data.get("method", "")),
-                status="rejected",
-                result=None,
-                error=str(exc),
-                fingerprint=b"\x00" * 32,
-            )
+        if self.lanes is None:
+            # Legacy serial schedule: the execution stage gates on the
+            # invoker pool only (conflict-oblivious).
+            yield self.invokers.request()
+            try:
+                yield self.env.timeout(self.service_model.invoke_overhead.sample(self.rng))
+                yield from self.cpu.use(self.service_model.invoke_cpu)
+            finally:
+                self.invokers.release()
+            outcome = self.executor.execute_safely(entry)
+        else:
+            # Lane-parallel schedule: the transaction holds an execution
+            # lane for its whole invocation, and the conflict gate
+            # guarantees no conflicting transaction is in flight with it.
+            yield self.lanes.acquire(entry)
+            try:
+                lane = self.lanes.granted(entry)
+                yield self.env.timeout(self.service_model.invoke_overhead.sample(self.rng))
+                yield from self.cpu.use(self.service_model.invoke_cpu)
+                outcome = self.executor.execute_safely(entry, lane=lane)
+            finally:
+                self.lanes.release(entry)
         if self.fault.tamper_state and outcome.ok:
             # A compromised cell silently corrupts its contract data; its
             # fingerprints now diverge from the honest cells.
@@ -657,14 +670,18 @@ class BlockumulusCell:
                 result=outcome.result,
                 error=outcome.error,
                 fingerprint=contract.fingerprint(),
+                access=outcome.access,
             )
         if outcome.ok:
             self.ledger.mark_executed(
-                outcome.tx_id, outcome.contract, outcome.result, outcome.fingerprint
+                outcome.tx_id, outcome.contract, outcome.result, outcome.fingerprint,
+                access=outcome.access,
             )
             self.metrics.increment(f"{self.node_name}/transactions_executed")
         else:
-            self.ledger.mark_rejected(outcome.tx_id, outcome.contract, outcome.error or "")
+            self.ledger.mark_rejected(
+                outcome.tx_id, outcome.contract, outcome.error or "", access=outcome.access
+            )
             self.metrics.increment(f"{self.node_name}/transactions_rejected")
         return outcome
 
@@ -889,6 +906,7 @@ class BlockumulusCell:
             "cpu_utilization": self.cpu.utilization(),
             "subscriber_count": len(self.subscriptions.subscribers()),
             "batching": self.batcher.statistics() if self.batcher is not None else None,
+            "lanes": self.lanes.statistics() if self.lanes is not None else None,
             "recovering": self.recovering,
             "last_recovery": (
                 {

@@ -119,6 +119,12 @@ class DeploymentConfig:
     message_batching: bool = True
     #: Scheduling quantum (seconds) between batch flushes to one destination.
     batch_quantum: float = 0.02
+    #: Conflict-aware parallel execution lanes per cell.  ``1`` (default)
+    #: keeps today's serial schedule; ``N > 1`` lets up to N transactions
+    #: with non-conflicting access footprints execute concurrently, with
+    #: results committed in canonical ledger order so ledgers, receipts,
+    #: and fingerprints are identical to the serial run (``repro.core.lanes``).
+    execution_lanes: int = 1
 
     def __post_init__(self) -> None:
         if self.consortium_size < 1:
@@ -135,6 +141,8 @@ class DeploymentConfig:
             raise ConfigError("standby_cells cannot be negative")
         if self.probe_deadline <= 0:
             raise ConfigError("probe_deadline must be positive")
+        if self.execution_lanes < 1:
+            raise ConfigError("execution_lanes must be at least 1")
 
     def cell_name(self, index: int) -> str:
         """Canonical node name of cell ``index``."""

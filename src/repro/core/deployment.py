@@ -108,6 +108,7 @@ class BlockumulusDeployment:
                 snapshots_retained=self.config.snapshots_retained,
                 message_batching=self.config.message_batching,
                 batch_quantum=self.config.batch_quantum,
+                execution_lanes=self.config.execution_lanes,
             )
             self.cells.append(cell)
 

@@ -18,6 +18,7 @@ from typing import Any, Optional
 
 from ..contracts.context import BContractError, InvocationContext
 from ..contracts.registry import ContractRegistry
+from ..contracts.state_store import AccessSet
 from ..contracts.system.cas import ContentAddressableStorage
 from ..crypto.fingerprint import canonical_bytes
 from ..crypto.hashing import fast_hash
@@ -35,6 +36,10 @@ class ExecutionOutcome:
     result: Any
     error: Optional[str]
     fingerprint: bytes
+    #: Observed store access of the invocation (None when the call never
+    #: reached a contract).  Excluded from both fingerprints: access sets
+    #: are per-cell diagnostics, not part of the cross-cell agreement.
+    access: Optional[AccessSet] = None
 
     @property
     def ok(self) -> bool:
@@ -82,6 +87,8 @@ class TransactionExecutor:
     def __init__(self, cell_id: str, registry: ContractRegistry) -> None:
         self.cell_id = cell_id
         self.registry = registry
+        #: Keys read by the most recent :meth:`query` (view read tracking).
+        self.last_view_reads: frozenset[str] = frozenset()
 
     def _cas(self) -> Optional[ContentAddressableStorage]:
         name = ContentAddressableStorage.DEFAULT_NAME
@@ -106,12 +113,14 @@ class TransactionExecutor:
             raise BContractError("transaction arguments must be an object")
         return contract, method, args
 
-    def execute(self, entry: LedgerEntry) -> ExecutionOutcome:
+    def execute(self, entry: LedgerEntry, lane: Optional[int] = None) -> ExecutionOutcome:
         """Run the transaction in ``entry`` and return the outcome.
 
         Both success and contract-level rejection are normal outcomes (the
         rejection is reported back to the client and recorded in the
-        ledger); only malformed envelopes raise.
+        ledger); only malformed envelopes raise.  ``lane`` tags the
+        invocation context with the execution lane that ran it
+        (informational — never part of the deterministic inputs).
         """
         contract_name, method, args = self.parse_call(entry)
         contract = self.registry.get(contract_name)
@@ -124,6 +133,7 @@ class TransactionExecutor:
             cell_id=self.cell_id,
             cycle=entry.cycle,
             cas=self._cas(),
+            lane=lane,
             extra={"contingency": entry.contingency},
         )
         try:
@@ -139,9 +149,43 @@ class TransactionExecutor:
             result=result,
             error=error,
             fingerprint=contract.fingerprint(),
+            access=contract.last_access,
         )
 
+    def execute_safely(self, entry: LedgerEntry, lane: Optional[int] = None) -> ExecutionOutcome:
+        """Like :meth:`execute`, but malformed calls reject instead of raising.
+
+        Malformed payloads and unknown contracts revert rather than crash
+        the executing cell; the client receives the reason in its TX_ERROR
+        reply.  Shared by the cell's execution paths and the offline
+        :meth:`~repro.core.lanes.LaneSchedule.execute` drain.
+        """
+        try:
+            return self.execute(entry, lane=lane)
+        except BContractError as exc:
+            data = entry.envelope.data
+            return ExecutionOutcome(
+                tx_id=entry.tx_id,
+                contract=str(data.get("contract", "")),
+                method=str(data.get("method", "")),
+                status="rejected",
+                result=None,
+                error=str(exc),
+                fingerprint=b"\x00" * 32,
+            )
+
     def query(self, contract_name: str, view: str, args: dict[str, Any]) -> Any:
-        """Run a read-only view (service-cell only, no consensus round)."""
+        """Run a read-only view (service-cell only, no consensus round).
+
+        The view executes under the store's read-only guard: a buggy view
+        that attempts a write is rejected (it can never pollute the write
+        set or change the fingerprint), and the keys it read are exposed
+        through :attr:`last_view_reads`.
+        """
         contract = self.registry.get(contract_name)
-        return contract.query(view, args)
+        try:
+            return contract.query(view, args)
+        finally:
+            # Also updated when the view raises (including a rejected write
+            # attempt) — the guard records reads up to the failure point.
+            self.last_view_reads = contract.last_view_reads

@@ -1,0 +1,427 @@
+"""Conflict-aware parallel intra-cycle execution (the lane engine).
+
+The paper serializes every transaction of a report cycle through the
+mutex-protected storage of Section V-A.  Most transactions of a real
+workload touch disjoint contract state, so this module recovers the lost
+parallelism without giving up the determinism the cross-cell confirmation
+protocol depends on:
+
+* each transaction's **access footprint** — the contract-qualified keys it
+  reads, writes, or commutatively increments — is derived *before*
+  execution from the target bContract's declared
+  :meth:`~repro.contracts.interface.BContract.access_plan` (contracts
+  without a plan fall back to a globally exclusive footprint, which is
+  always safe);
+* footprints that conflict (write/any or delta/read overlap) are never in
+  flight at the same time, and conflicting transactions always start in
+  canonical ledger order;
+* non-conflicting transactions run concurrently on up to ``lanes``
+  execution lanes — as simulated concurrency inside a cell (through
+  :class:`~repro.sim.resources.ConflictGate`) and as real thread-pool
+  concurrency in the offline :meth:`LaneSchedule.execute` drain;
+* results are committed to the ledger in canonical sequence order, so
+  ledgers, receipts, and per-cycle execution fingerprints are bit-identical
+  to the serial schedule.
+
+Why this is deterministic: non-conflicting transactions *commute* — their
+write sets are disjoint from each other's read/write/delta sets, so each
+one reads exactly the values it would have read serially, and the store's
+XOR fingerprint is order-independent for disjoint final contents.  Pure
+increments of a shared key are the one sanctioned read-modify-write
+overlap: their sum is order-independent, and any method whose *result*
+exposes the running value must declare the key as a write instead.
+Conflicting transactions never overlap; the *offline*
+:class:`LaneSchedule` additionally runs them in strict canonical
+(sequence) order, making its replay exactly serial-equivalent.  The
+*online* in-cell scheduler orders conflicting grants canonically among
+queued waiters, but — like the legacy serial path, where execution order
+is arrival order — it cannot see a conflicting transaction that has not
+arrived yet.  A workload whose conflicting outcomes are order-sensitive
+(e.g. racing an account to insolvency) is therefore timing-dependent
+per cell under *every* schedule, serial included; the cross-cell
+fingerprint comparison is what catches any divergence, exactly as in the
+paper.  For workloads whose conflicting outcomes commute (what the
+access-plan discipline is designed to encourage), ledgers, receipts, and
+fingerprints are identical across all lane counts and the serial
+schedule — the differential suite asserts this configuration matrix.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+from ..contracts.registry import ContractRegistry
+from ..contracts.state_store import AccessSet, access_sets_conflict
+from ..sim.environment import Environment
+from ..sim.events import Event
+from ..sim.resources import ConflictGate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import ExecutionOutcome, TransactionExecutor
+    from .ledger import LedgerEntry, TransactionLedger
+
+
+class LaneError(Exception):
+    """Raised for invalid lane-engine operations."""
+
+
+#: A store key qualified by the contract that owns it.
+QualifiedKey = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class AccessFootprint:
+    """A transaction's contract-qualified access sets, known pre-execution.
+
+    ``exclusive`` footprints (unknown contracts, undeclared access plans,
+    malformed calls) conflict with everything, which degrades those
+    transactions to the serial schedule instead of risking a divergent
+    interleaving.
+    """
+
+    reads: frozenset[QualifiedKey] = frozenset()
+    writes: frozenset[QualifiedKey] = frozenset()
+    deltas: frozenset[QualifiedKey] = frozenset()
+    exclusive: bool = False
+
+    @classmethod
+    def exclusive_footprint(cls) -> "AccessFootprint":
+        """The footprint that serializes against every other transaction."""
+        return cls(exclusive=True)
+
+    @classmethod
+    def from_access_set(cls, contract: str, access: AccessSet) -> "AccessFootprint":
+        """Qualify a contract-local access set with the contract's name."""
+        return cls(
+            reads=frozenset((contract, key) for key in access.reads),
+            writes=frozenset((contract, key) for key in access.writes),
+            deltas=frozenset((contract, key) for key in access.deltas),
+        )
+
+    def conflicts_with(self, other: "AccessFootprint") -> bool:
+        """Whether the two transactions must not run concurrently."""
+        if self.exclusive or other.exclusive:
+            return True
+        return access_sets_conflict(
+            self.reads, self.writes, self.deltas,
+            other.reads, other.writes, other.deltas,
+        )
+
+
+def compatible(a: AccessFootprint, b: AccessFootprint) -> bool:
+    """Gate predicate: tokens may hold lanes together iff they don't conflict."""
+    return not a.conflicts_with(b)
+
+
+def footprint_for_entry(entry: "LedgerEntry", registry: ContractRegistry) -> AccessFootprint:
+    """Derive the pre-execution footprint of one admitted ledger entry.
+
+    Never raises: anything that stops a precise plan from being built
+    (malformed payload, unknown contract, a plan method that errors)
+    yields the exclusive footprint instead.
+    """
+    from .executor import TransactionExecutor
+
+    try:
+        contract_name, method, args = TransactionExecutor.parse_call(entry)
+        contract = registry.get(contract_name)
+        plan = contract.access_plan(
+            method, args, sender=entry.envelope.sender.hex(), tx_id=entry.tx_id
+        )
+    except Exception:  # noqa: BLE001 - exclusive is the safe fallback
+        return AccessFootprint.exclusive_footprint()
+    if plan is None:
+        return AccessFootprint.exclusive_footprint()
+    return AccessFootprint.from_access_set(contract_name, plan)
+
+
+# ----------------------------------------------------------------------
+# Deterministic wave partition (the planning half of the engine)
+# ----------------------------------------------------------------------
+def partition_footprints(
+    footprints: list[AccessFootprint], lanes: int
+) -> list[list[int]]:
+    """Partition transaction indices into parallel *waves*.
+
+    Transactions are considered in canonical (index) order.  Each one is
+    placed in the earliest wave that (a) is strictly later than every wave
+    holding a transaction it conflicts with — conflicting transactions
+    never share a wave and never lose their relative order — and (b) still
+    has a free lane (waves are at most ``lanes`` wide).  Capacity overflow
+    only ever pushes a transaction to a *later* wave, so rule (a) is
+    preserved.  The partition is a pure function of the footprints, hence
+    identical on every cell that holds the same ledger segment.
+
+    Classic list scheduling: instead of scanning all earlier transactions
+    (quadratic in segment length — ruinous for 20k-tx cycles), per-key
+    maps remember the last wave that read, wrote, or delta'd each key, so
+    planning costs O(transactions × keys-per-transaction).
+    """
+    if lanes < 1:
+        raise LaneError("at least one execution lane is required")
+    waves: list[list[int]] = []
+    last_read: dict[QualifiedKey, int] = {}
+    last_write: dict[QualifiedKey, int] = {}
+    last_delta: dict[QualifiedKey, int] = {}
+    last_exclusive = -1      # wave of the most recent exclusive transaction
+    last_any = -1            # latest wave assigned to any transaction so far
+    for index, footprint in enumerate(footprints):
+        earliest = last_exclusive + 1
+        if footprint.exclusive:
+            earliest = max(earliest, last_any + 1)
+        else:
+            for key in footprint.reads:
+                earliest = max(
+                    earliest, last_write.get(key, -1) + 1, last_delta.get(key, -1) + 1
+                )
+            for key in footprint.writes:
+                earliest = max(
+                    earliest,
+                    last_read.get(key, -1) + 1,
+                    last_write.get(key, -1) + 1,
+                    last_delta.get(key, -1) + 1,
+                )
+            for key in footprint.deltas:
+                earliest = max(
+                    earliest, last_read.get(key, -1) + 1, last_write.get(key, -1) + 1
+                )
+        wave = earliest
+        while wave < len(waves) and len(waves[wave]) >= lanes:
+            wave += 1
+        while wave >= len(waves):
+            waves.append([])
+        waves[wave].append(index)
+        last_any = max(last_any, wave)
+        if footprint.exclusive:
+            last_exclusive = max(last_exclusive, wave)
+        else:
+            for key in footprint.reads:
+                last_read[key] = max(last_read.get(key, -1), wave)
+            for key in footprint.writes:
+                last_write[key] = max(last_write.get(key, -1), wave)
+            for key in footprint.deltas:
+                last_delta[key] = max(last_delta.get(key, -1), wave)
+    return waves
+
+
+@dataclass
+class LaneSchedule:
+    """A planned parallel execution of one ledger segment.
+
+    ``waves`` holds ledger entries grouped into parallel waves; within a
+    wave entries are in canonical sequence order and mutually
+    non-conflicting.  :meth:`execute` drains the schedule (optionally on a
+    real thread pool) and commits results in canonical ledger order.
+    """
+
+    entries: list["LedgerEntry"]
+    footprints: list[AccessFootprint]
+    lanes: int
+    waves: list[list[int]] = field(default_factory=list)
+
+    @classmethod
+    def plan(
+        cls,
+        entries: Iterable["LedgerEntry"],
+        registry: ContractRegistry,
+        lanes: int,
+    ) -> "LaneSchedule":
+        """Build the deterministic wave partition for ``entries``."""
+        ordered = sorted(entries, key=lambda entry: entry.sequence)
+        footprints = [footprint_for_entry(entry, registry) for entry in ordered]
+        schedule = cls(entries=ordered, footprints=footprints, lanes=lanes)
+        schedule.waves = partition_footprints(footprints, lanes)
+        return schedule
+
+    @property
+    def wave_count(self) -> int:
+        """Number of sequential waves in the schedule."""
+        return len(self.waves)
+
+    @property
+    def max_wave_width(self) -> int:
+        """Widest wave (the achieved intra-cycle parallelism)."""
+        return max((len(wave) for wave in self.waves), default=0)
+
+    @property
+    def exclusive_count(self) -> int:
+        """Transactions that fell back to the exclusive footprint."""
+        return sum(1 for footprint in self.footprints if footprint.exclusive)
+
+    def conflict_pairs(self) -> int:
+        """Number of conflicting transaction pairs (diagnostic only, O(n²))."""
+        count = 0
+        for i in range(len(self.footprints)):
+            for j in range(i + 1, len(self.footprints)):
+                if self.footprints[i].conflicts_with(self.footprints[j]):
+                    count += 1
+        return count
+
+    def replay_order(self) -> list["LedgerEntry"]:
+        """Entries in wave-major order — a serializable schedule.
+
+        Replaying the entries serially in this order reproduces the serial
+        store fingerprint: conflicting entries keep canonical order across
+        waves, and entries reordered by capacity overflow are
+        non-conflicting, hence commute.
+        """
+        return [self.entries[index] for wave in self.waves for index in wave]
+
+    def execute(
+        self,
+        executor: "TransactionExecutor",
+        ledger: Optional["TransactionLedger"] = None,
+        threads: Optional[int] = None,
+    ) -> list["ExecutionOutcome"]:
+        """Drain the schedule and return outcomes in canonical order.
+
+        With ``threads`` set, each wave's entries are executed on a thread
+        pool, grouped by target contract — entries of the *same* contract
+        stay on one thread because the store journal is not reentrant, so
+        the thread pool parallelizes across contracts (and, under
+        CPython's GIL, mainly wins when contract execution blocks).  The
+        simulated lane mode inside :class:`~repro.core.cell.BlockumulusCell`
+        is what models intra-contract lane parallelism deterministically.
+
+        Ledger marks (when a ``ledger`` is supplied) are applied strictly
+        in canonical sequence order after all waves have drained — the
+        "commit in ledger order" half of the determinism argument.
+        """
+        outcomes: dict[int, "ExecutionOutcome"] = {}
+
+        def run_group(group: list["LedgerEntry"]) -> list[tuple[int, Any]]:
+            return [(entry.sequence, executor.execute_safely(entry)) for entry in group]
+
+        for wave in self.waves:
+            wave_entries = [self.entries[index] for index in wave]
+            groups: dict[str, list["LedgerEntry"]] = {}
+            for entry in wave_entries:
+                target = str(entry.envelope.data.get("contract", ""))
+                groups.setdefault(target, []).append(entry)
+            if threads and threads > 1 and len(groups) > 1:
+                with ThreadPoolExecutor(max_workers=threads) as pool:
+                    for result in pool.map(run_group, groups.values()):
+                        for sequence, outcome in result:
+                            outcomes[sequence] = outcome
+            else:
+                for group in groups.values():
+                    for sequence, outcome in run_group(group):
+                        outcomes[sequence] = outcome
+
+        ordered = [outcomes[entry.sequence] for entry in sorted(
+            self.entries, key=lambda entry: entry.sequence
+        )]
+        if ledger is not None:
+            for outcome in ordered:
+                if outcome.ok:
+                    ledger.mark_executed(
+                        outcome.tx_id,
+                        outcome.contract,
+                        outcome.result,
+                        outcome.fingerprint,
+                        access=outcome.access,
+                    )
+                else:
+                    ledger.mark_rejected(
+                        outcome.tx_id, outcome.contract, outcome.error or "",
+                        access=outcome.access,
+                    )
+        return ordered
+
+    def statistics(self) -> dict[str, Any]:
+        """Planning statistics for benchmarks and cell introspection."""
+        return {
+            "transactions": len(self.entries),
+            "lanes": self.lanes,
+            "waves": self.wave_count,
+            "max_wave_width": self.max_wave_width,
+            "exclusive_fallbacks": self.exclusive_count,
+        }
+
+
+# ----------------------------------------------------------------------
+# Simulated lane scheduler (the in-cell, online half of the engine)
+# ----------------------------------------------------------------------
+class LaneScheduler:
+    """Online conflict-aware lane admission for one simulated cell.
+
+    Transactions request a lane as they are ready to execute; the
+    underlying :class:`~repro.sim.resources.ConflictGate` grants at most
+    ``lanes`` slots, never lets two conflicting footprints hold slots
+    together, and biases conflicting grants toward canonical ledger order
+    (waiters are kept sorted by sequence).
+    """
+
+    def __init__(self, env: Environment, lanes: int, registry: ContractRegistry,
+                 name: str = "lanes") -> None:
+        if lanes < 1:
+            raise LaneError("at least one execution lane is required")
+        self.lanes = lanes
+        self.registry = registry
+        self._tokens: dict[int, tuple[int, AccessFootprint]] = {}
+        self._lane_of: dict[int, int] = {}
+        #: Lane indices not currently held (lowest index granted first).
+        self._free_lanes = list(range(lanes))
+        self.executions = 0
+        self.exclusive_fallbacks = 0
+        self.gate = ConflictGate(
+            env,
+            capacity=lanes,
+            compatible=lambda a, b: compatible(a[1], b[1]),
+            name=name,
+            order_key=lambda token: token[0],
+        )
+
+    def acquire(self, entry: "LedgerEntry") -> Event:
+        """Request a lane for ``entry``; the event fires on grant."""
+        footprint = footprint_for_entry(entry, self.registry)
+        if footprint.exclusive:
+            self.exclusive_fallbacks += 1
+        token = (entry.sequence, footprint)
+        if entry.sequence in self._tokens:
+            raise LaneError(f"entry {entry.sequence} already holds or awaits a lane")
+        self._tokens[entry.sequence] = token
+        return self.gate.request(token)
+
+    def granted(self, entry: "LedgerEntry") -> int:
+        """Record the grant (after the acquire event fired); returns the lane.
+
+        Lanes are allocated from the free set, so a lane index uniquely
+        identifies one of the concurrently running invocations.
+        """
+        if not self._free_lanes:
+            raise LaneError("lane granted with no free lane (release mismatch)")
+        lane = self._free_lanes.pop(0)
+        self._lane_of[entry.sequence] = lane
+        self.executions += 1
+        return lane
+
+    def lane_of(self, entry: "LedgerEntry") -> Optional[int]:
+        """The lane index granted to ``entry`` (informational)."""
+        return self._lane_of.get(entry.sequence)
+
+    def release(self, entry: "LedgerEntry") -> None:
+        """Give the lane back after execution (or on failure paths)."""
+        token = self._tokens.pop(entry.sequence, None)
+        if token is None:
+            return
+        lane = self._lane_of.pop(entry.sequence, None)
+        if lane is not None:
+            self._free_lanes.append(lane)
+            self._free_lanes.sort()
+        self.gate.release(token)
+
+    def statistics(self) -> dict[str, Any]:
+        """Operational lane/conflict counters for cell introspection."""
+        return {
+            "lanes": self.lanes,
+            "executions": self.executions,
+            "exclusive_fallbacks": self.exclusive_fallbacks,
+            "conflict_deferrals": self.gate.conflict_deferrals,
+            "capacity_deferrals": self.gate.capacity_deferrals,
+            "peak_parallel": self.gate.peak_in_use,
+            "peak_queue": self.gate.peak_queue_length,
+            "in_flight": self.gate.in_use,
+        }

@@ -15,6 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
+from ..contracts.state_store import AccessSet
+from ..crypto.fingerprint import canonical_bytes
+from ..crypto.hashing import fast_hash
 from ..messages.envelope import Envelope
 from ..sim.environment import Environment
 from ..sim.resources import Resource
@@ -41,6 +44,10 @@ class LedgerEntry:
     contract: Optional[str] = None
     #: True if this transaction arrived via the on-chain contingency channel.
     contingency: bool = False
+    #: Observed store access of the execution (per-cell diagnostics for the
+    #: lane engine; deliberately kept out of :meth:`summary` so the wire
+    #: format of audits and resync bundles is unchanged).
+    access: Optional[AccessSet] = None
 
     def summary(self) -> dict[str, Any]:
         """Compact dict used in audits, resync bundles, and logs."""
@@ -123,7 +130,12 @@ class TransactionLedger:
     # Execution bookkeeping
     # ------------------------------------------------------------------
     def mark_executed(
-        self, tx_id: str, contract: str, result: Any, fingerprint: bytes
+        self,
+        tx_id: str,
+        contract: str,
+        result: Any,
+        fingerprint: bytes,
+        access: Optional[AccessSet] = None,
     ) -> LedgerEntry:
         """Record a successful execution."""
         entry = self.get(tx_id)
@@ -131,14 +143,22 @@ class TransactionLedger:
         entry.contract = contract
         entry.result = result
         entry.fingerprint = fingerprint
+        entry.access = access
         return entry
 
-    def mark_rejected(self, tx_id: str, contract: Optional[str], error: str) -> LedgerEntry:
+    def mark_rejected(
+        self,
+        tx_id: str,
+        contract: Optional[str],
+        error: str,
+        access: Optional[AccessSet] = None,
+    ) -> LedgerEntry:
         """Record a failed/reverted execution."""
         entry = self.get(tx_id)
         entry.status = "rejected"
         entry.contract = contract
         entry.error = error
+        entry.access = access
         return entry
 
     # ------------------------------------------------------------------
@@ -147,6 +167,37 @@ class TransactionLedger:
     def entries_for_cycle(self, cycle: int) -> list[LedgerEntry]:
         """All entries admitted during ``cycle``, in order."""
         return [entry for entry in self._entries if entry.cycle == cycle]
+
+    def cycle_execution_fingerprint(self, cycle: int) -> str:
+        """One digest over everything execution decided for ``cycle``.
+
+        Covers every entry of the cycle — transaction id, status, target
+        contract, result, and error — *sorted by transaction id*, i.e. the
+        same schedule-independent material the per-transaction execution
+        fingerprints exchanged in confirmations cover.  Two cells (or two
+        configurations of the same cell — serial vs. lane-parallel,
+        batched vs. per-transaction) executed the cycle identically iff
+        these digests match and their end-of-cycle snapshot fingerprints
+        match.  Deliberately excluded: admission order and timestamps
+        (arrival races differ per cell) and the intermediate per-entry
+        store fingerprints (which depend on how non-conflicting
+        transactions happened to interleave, not on what they computed).
+        """
+        items = sorted(
+            (
+                {
+                    "tx_id": entry.tx_id,
+                    "status": entry.status,
+                    "contract": entry.contract,
+                    "result": entry.result,
+                    "error": entry.error,
+                }
+                for entry in self._entries
+                if entry.cycle == cycle
+            ),
+            key=lambda item: item["tx_id"],
+        )
+        return "0x" + fast_hash(canonical_bytes(items)).hex()
 
     def executed_for_cycle(self, cycle: int) -> list[LedgerEntry]:
         """Successfully executed entries of ``cycle`` (the replay set)."""

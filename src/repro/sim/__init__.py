@@ -39,7 +39,7 @@ from .network import (
     NodeConfig,
     TrafficCounter,
 )
-from .resources import Resource
+from .resources import ConflictGate, Resource
 from .rng import SeedSequence
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "AnyOf",
     "CellServiceModel",
     "ConditionError",
+    "ConflictGate",
     "ConstantLatency",
     "DEFAULT_DOWNLINK_BPS",
     "DEFAULT_UPLINK_BPS",

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import BlockumulusDeployment, DeploymentConfig
@@ -10,7 +12,13 @@ from repro.sim import ConstantLatency, Environment, SeedSequence, fast_test_serv
 
 
 def fast_config(**overrides) -> DeploymentConfig:
-    """A deployment configuration tuned for fast functional tests."""
+    """A deployment configuration tuned for fast functional tests.
+
+    ``REPRO_EXECUTION_LANES`` (used by the CI test matrix) switches every
+    test deployment that does not pin ``execution_lanes`` itself onto the
+    conflict-aware lane engine, so the whole functional suite doubles as a
+    differential test of serial vs. lane-parallel execution.
+    """
     defaults = dict(
         consortium_size=2,
         report_period=30.0,
@@ -21,6 +29,9 @@ def fast_config(**overrides) -> DeploymentConfig:
         seed=42,
         eth_block_interval=3.0,
     )
+    lanes_override = os.environ.get("REPRO_EXECUTION_LANES")
+    if lanes_override is not None:
+        defaults["execution_lanes"] = int(lanes_override)
     defaults.update(overrides)
     return DeploymentConfig(**defaults)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.contracts import BContractError, ContractRegistry, FastMoney
+from repro.contracts import BContractError, ContractRegistry, FastMoney, bcontract_view
 from repro.contracts.system.cas import ContentAddressableStorage
 from repro.core.executor import TransactionExecutor
 from repro.core.ledger import TransactionLedger
@@ -110,3 +110,99 @@ def test_context_uses_signed_timestamp(setup):
 def test_query_view(setup):
     _registry, _ledger, executor = setup
     assert executor.query("fastmoney", "balance_of", {"account": CLIENT.address.hex()}) == 100
+
+
+# ----------------------------------------------------------------------
+# View read-set tracking (execution lanes regression)
+# ----------------------------------------------------------------------
+class LeakyViews(FastMoney):
+    """A contract whose views misbehave, for the read-only guard tests."""
+
+    TYPE = "test/leaky"
+
+    @bcontract_view
+    def polluting_view(self) -> int:
+        # Regression target: before the read-only guard, this silently
+        # mutated contract state (and its fingerprint) from the read path.
+        self.store.put("polluted", True)
+        return 1
+
+    @bcontract_view
+    def deleting_view(self) -> int:
+        self.store.delete("supply")
+        return 1
+
+    @bcontract_view
+    def counting_view(self) -> int:
+        self.store.increment("stats/view_calls")
+        return 1
+
+
+@pytest.fixture
+def leaky():
+    registry = ContractRegistry()
+    contract = LeakyViews("leaky", params={"genesis_balances": {CLIENT.address.hex(): 9}})
+    registry.register(contract)
+    return contract, TransactionExecutor("cell-0", registry)
+
+
+def test_view_writes_are_rejected_and_do_not_pollute_state(leaky):
+    contract, executor = leaky
+    before = contract.fingerprint()
+    for view in ("polluting_view", "deleting_view", "counting_view"):
+        with pytest.raises(BContractError, match="read-only during a view"):
+            executor.query("leaky", view, {})
+        assert contract.fingerprint() == before
+        assert not contract.store.contains("polluted")
+        assert not contract.store.in_transaction
+        assert not contract.store.in_view
+
+
+def test_view_reads_are_tracked_and_writes_stay_empty(leaky):
+    contract, executor = leaky
+    assert executor.query("leaky", "balance_of", {"account": CLIENT.address.hex()}) == 9
+    assert executor.last_view_reads == {f"balance/{CLIENT.address.hex()}"}
+    assert contract.last_view_reads == executor.last_view_reads
+    # A failed view still closes the guard and reports the keys it read.
+    with pytest.raises(BContractError):
+        executor.query("leaky", "deleting_view", {})
+    assert not contract.store.in_view
+
+
+def test_invocation_access_sets_differentiate_reads_writes_deltas(setup):
+    registry, ledger, executor = setup
+    entry = admit(ledger, {"contract": "fastmoney", "method": "transfer",
+                           "args": {"to": "0x" + "aa" * 20, "amount": 5}})
+    outcome = executor.execute(entry)
+    access = outcome.access
+    assert access is not None
+    sender_key = f"balance/{CLIENT.address.hex()}"
+    assert sender_key in access.reads and sender_key in access.writes
+    # Recipient credit and the transfer counter are commutative deltas.
+    assert f"balance/0x{'aa' * 20}" in access.deltas
+    assert "stats/transfers" in access.deltas
+    assert "stats/transfers" not in access.writes
+    # The declared plan covers every observed mutation.
+    plan = registry.get("fastmoney").access_plan(
+        "transfer", {"to": "0x" + "aa" * 20, "amount": 5},
+        sender=CLIENT.address.hex(), tx_id=entry.tx_id,
+    )
+    assert plan is not None and plan.covers_mutations_of(access)
+
+
+def test_rejected_invocation_still_reports_access(setup):
+    _registry, ledger, executor = setup
+    entry = admit(ledger, {"contract": "fastmoney", "method": "transfer",
+                           "args": {"to": "0x" + "aa" * 20, "amount": 10_000}})
+    outcome = executor.execute(entry)
+    assert not outcome.ok
+    assert outcome.access is not None
+    assert f"balance/{CLIENT.address.hex()}" in outcome.access.reads
+
+
+def test_execute_safely_rejects_instead_of_raising(setup):
+    _registry, ledger, executor = setup
+    entry = admit(ledger, {"contract": "ghost", "method": "x", "args": {}})
+    outcome = executor.execute_safely(entry)
+    assert not outcome.ok and "ghost" in (outcome.error or "")
+    assert outcome.fingerprint == b"\x00" * 32

@@ -1,0 +1,325 @@
+"""The conflict-aware lane engine: footprints, partition, schedule, gate."""
+
+import pytest
+
+from repro.contracts import AccessSet, ContractRegistry, FastMoney
+from repro.contracts.community.ballot import Ballot
+from repro.contracts.system.cas import ContentAddressableStorage
+from repro.core.executor import TransactionExecutor
+from repro.core.lanes import (
+    AccessFootprint,
+    LaneError,
+    LaneSchedule,
+    footprint_for_entry,
+    partition_footprints,
+)
+from repro.core.ledger import TransactionLedger
+from repro.crypto.keys import PrivateKey
+from repro.messages import EcdsaSigner, Envelope, Opcode
+from repro.sim import ConflictGate, Environment
+
+CELL = PrivateKey.from_seed("lanes-cell").address
+ALICE = EcdsaSigner.from_seed("lanes-alice")
+BOB = EcdsaSigner.from_seed("lanes-bob")
+
+
+def build_registry(balance=1_000):
+    registry = ContractRegistry()
+    registry.register(ContentAddressableStorage(ContentAddressableStorage.DEFAULT_NAME))
+    registry.register(
+        FastMoney(
+            "fastmoney",
+            params={
+                "genesis_balances": {
+                    ALICE.address.hex(): balance,
+                    BOB.address.hex(): balance,
+                }
+            },
+        )
+    )
+    registry.register(Ballot(Ballot.DEFAULT_NAME))
+    return registry
+
+
+def admit(ledger, signer, data, nonce):
+    envelope = Envelope.create(
+        signer=signer, recipient=CELL, operation=Opcode.TX_SUBMIT,
+        data=data, timestamp=1.0, nonce=nonce,
+    )
+    return ledger.admit(envelope, cycle=0)
+
+
+def transfer(to, amount):
+    return {"contract": "fastmoney", "method": "transfer",
+            "args": {"to": to, "amount": amount}}
+
+
+@pytest.fixture
+def setup():
+    registry = build_registry()
+    ledger = TransactionLedger(Environment(), "cell-0")
+    executor = TransactionExecutor("cell-0", registry)
+    return registry, ledger, executor
+
+
+# ----------------------------------------------------------------------
+# Footprints
+# ----------------------------------------------------------------------
+def test_same_sender_transfers_conflict(setup):
+    registry, ledger, _ = setup
+    a = admit(ledger, ALICE, transfer("0x" + "aa" * 20, 1), "0x1")
+    b = admit(ledger, ALICE, transfer("0x" + "bb" * 20, 1), "0x2")
+    fa, fb = (footprint_for_entry(entry, registry) for entry in (a, b))
+    assert not fa.exclusive and not fb.exclusive
+    assert fa.conflicts_with(fb)
+
+
+def test_disjoint_transfers_do_not_conflict(setup):
+    registry, ledger, _ = setup
+    a = admit(ledger, ALICE, transfer("0x" + "aa" * 20, 1), "0x1")
+    b = admit(ledger, BOB, transfer("0x" + "bb" * 20, 1), "0x2")
+    fa, fb = (footprint_for_entry(entry, registry) for entry in (a, b))
+    assert not fa.conflicts_with(fb)
+    # The shared stats/transfers counter is a delta on both sides — the
+    # only sanctioned overlap.
+    shared = ("fastmoney", "stats/transfers")
+    assert shared in fa.deltas and shared in fb.deltas
+
+
+def test_writer_conflicts_with_delta_recipient(setup):
+    registry, ledger, _ = setup
+    hot = "0x" + "cc" * 20
+    # BOB pays the hot account (delta on its balance); a transfer *from*
+    # the hot account would write the same key.  Model it via ALICE paying
+    # hot too — delta/delta, no conflict — then check write-vs-delta using
+    # hand-built footprints.
+    a = admit(ledger, ALICE, transfer(hot, 1), "0x1")
+    b = admit(ledger, BOB, transfer(hot, 1), "0x2")
+    fa, fb = (footprint_for_entry(entry, registry) for entry in (a, b))
+    assert not fa.conflicts_with(fb)
+    writer = AccessFootprint(writes=frozenset({("fastmoney", f"balance/{hot}")}))
+    assert writer.conflicts_with(fa) and writer.conflicts_with(fb)
+
+
+def test_unplanned_contract_falls_back_to_exclusive(setup):
+    registry, ledger, _ = setup
+    entry = admit(
+        ledger, ALICE,
+        {"contract": Ballot.DEFAULT_NAME, "method": "vote",
+         "args": {"election_id": "e", "choice": "x"}},
+        "0x1",
+    )
+    footprint = footprint_for_entry(entry, registry)
+    assert footprint.exclusive
+    assert footprint.conflicts_with(AccessFootprint())
+
+
+def test_malformed_and_unknown_calls_are_exclusive(setup):
+    registry, ledger, _ = setup
+    missing = admit(ledger, ALICE, {"method": "x", "args": {}}, "0x1")
+    unknown = admit(ledger, ALICE, {"contract": "ghost", "method": "x", "args": {}}, "0x2")
+    assert footprint_for_entry(missing, registry).exclusive
+    assert footprint_for_entry(unknown, registry).exclusive
+
+
+def test_access_set_conflict_semantics():
+    read = AccessSet(reads=frozenset({"k"}))
+    write = AccessSet(writes=frozenset({"k"}))
+    delta = AccessSet(deltas=frozenset({"k"}))
+    assert not read.conflicts_with(read)
+    assert write.conflicts_with(read) and read.conflicts_with(write)
+    assert write.conflicts_with(write)
+    assert write.conflicts_with(delta) and delta.conflicts_with(write)
+    assert delta.conflicts_with(read) and read.conflicts_with(delta)
+    assert not delta.conflicts_with(delta)
+    assert AccessSet(writes=frozenset({"a"})).covers_mutations_of(delta) is False
+    assert AccessSet(writes=frozenset({"k"})).covers_mutations_of(delta)
+
+
+# ----------------------------------------------------------------------
+# Wave partition
+# ----------------------------------------------------------------------
+def test_partition_respects_lane_width():
+    free = [AccessFootprint(writes=frozenset({("c", str(i))})) for i in range(10)]
+    waves = partition_footprints(free, lanes=4)
+    assert all(len(wave) <= 4 for wave in waves)
+    assert sorted(index for wave in waves for index in wave) == list(range(10))
+
+
+def test_partition_orders_conflicting_entries_across_waves():
+    hot = AccessFootprint(
+        reads=frozenset({("c", "hot")}), writes=frozenset({("c", "hot")})
+    )
+    cold = AccessFootprint(writes=frozenset({("c", "cold")}))
+    waves = partition_footprints([hot, cold, hot, hot], lanes=8)
+    wave_of = {index: n for n, wave in enumerate(waves) for index in wave}
+    # The three hot transactions land in three distinct, increasing waves.
+    assert wave_of[0] < wave_of[2] < wave_of[3]
+    # The cold one shares the first wave with the first hot one.
+    assert wave_of[1] == wave_of[0]
+
+
+def test_partition_rejects_zero_lanes():
+    with pytest.raises(LaneError):
+        partition_footprints([], lanes=0)
+
+
+# ----------------------------------------------------------------------
+# Schedule execution (offline drain)
+# ----------------------------------------------------------------------
+def run_workload_entries(ledger):
+    hot = "0x" + "dd" * 20
+    entries = [
+        admit(ledger, ALICE, transfer("0x" + "aa" * 20, 5), "0xa1"),
+        admit(ledger, BOB, transfer("0x" + "bb" * 20, 7), "0xb1"),
+        admit(ledger, ALICE, transfer(hot, 3), "0xa2"),
+        admit(ledger, BOB, transfer(hot, 2), "0xb2"),
+        admit(ledger, ALICE, {"contract": "fastmoney", "method": "burn",
+                              "args": {"amount": 1}}, "0xa3"),
+        admit(ledger, BOB, {"contract": "system.cas", "method": "put",
+                            "args": {"content_hex": "0x" + b"blob".hex()}}, "0xb3"),
+    ]
+    return entries
+
+
+def serial_fingerprints(entries):
+    registry = build_registry()
+    executor = TransactionExecutor("cell-s", registry)
+    outcomes = [executor.execute_safely(entry) for entry in entries]
+    return {
+        name: registry.get(name).fingerprint_hex() for name in registry.names()
+    }, [(o.tx_id, o.status, o.execution_fingerprint_hex()) for o in outcomes]
+
+
+@pytest.mark.parametrize("threads", [None, 4])
+def test_schedule_execution_matches_serial(setup, threads):
+    _registry, ledger, _ = setup
+    entries = run_workload_entries(ledger)
+    expected_state, expected_outcomes = serial_fingerprints(entries)
+
+    registry = build_registry()
+    executor = TransactionExecutor("cell-p", registry)
+    schedule = LaneSchedule.plan(entries, registry, lanes=4)
+    assert schedule.wave_count >= 2          # same-sender chains force waves
+    assert schedule.max_wave_width > 1       # and some parallelism survives
+    outcomes = schedule.execute(executor, ledger=ledger, threads=threads)
+
+    got_state = {name: registry.get(name).fingerprint_hex() for name in registry.names()}
+    assert got_state == expected_state
+    assert [(o.tx_id, o.status, o.execution_fingerprint_hex()) for o in outcomes] \
+        == expected_outcomes
+    # Commit order: the ledger was marked in canonical sequence order.
+    for entry, outcome in zip(sorted(entries, key=lambda e: e.sequence), outcomes):
+        assert entry.tx_id == outcome.tx_id
+        assert entry.status == outcome.status
+
+
+def test_schedule_replay_order_reproduces_serial_state(setup):
+    _registry, ledger, _ = setup
+    entries = run_workload_entries(ledger)
+    expected_state, _ = serial_fingerprints(entries)
+    registry = build_registry()
+    schedule = LaneSchedule.plan(entries, registry, lanes=3)
+    executor = TransactionExecutor("cell-r", registry)
+    for entry in schedule.replay_order():
+        executor.execute_safely(entry)
+    got = {name: registry.get(name).fingerprint_hex() for name in registry.names()}
+    assert got == expected_state
+
+
+def test_schedule_statistics(setup):
+    registry, ledger, _ = setup
+    entries = run_workload_entries(ledger)
+    schedule = LaneSchedule.plan(entries, registry, lanes=4)
+    stats = schedule.statistics()
+    assert stats["transactions"] == len(entries)
+    assert stats["lanes"] == 4
+    assert stats["waves"] == schedule.wave_count
+    assert stats["exclusive_fallbacks"] == 0
+    assert schedule.conflict_pairs() >= 2
+
+
+# ----------------------------------------------------------------------
+# ConflictGate (the simulated-lane primitive)
+# ----------------------------------------------------------------------
+def test_conflict_gate_blocks_conflicting_tokens():
+    env = Environment()
+    gate = ConflictGate(env, capacity=4, compatible=lambda a, b: a[1] != b[1],
+                        order_key=lambda token: token[0])
+    log = []
+
+    def holder(token, hold):
+        yield gate.request(token)
+        log.append(("grant", token[0], env.now))
+        yield env.timeout(hold)
+        gate.release(token)
+
+    env.process(holder((0, "x"), 5.0))
+    env.process(holder((1, "x"), 1.0))   # conflicts with 0: waits for it
+    env.process(holder((2, "y"), 1.0))   # compatible: overtakes the waiter
+    env.run(until=20.0)
+    grants = {seq: at for _, seq, at in log}
+    assert grants[0] == 0.0 and grants[2] == 0.0
+    assert grants[1] == pytest.approx(5.0)
+    assert gate.conflict_deferrals > 0
+    assert gate.in_use == 0 and gate.queue_length == 0
+
+
+def test_conflict_gate_capacity_and_order():
+    env = Environment()
+    gate = ConflictGate(env, capacity=1, compatible=lambda a, b: True,
+                        order_key=lambda token: token)
+    order = []
+
+    def holder(token):
+        yield gate.request(token)
+        order.append(token)
+        yield env.timeout(1.0)
+        gate.release(token)
+
+    # Submitted out of order at t=0; the gate grants by order key.
+    for token in (3, 1, 2):
+        env.process(holder(token))
+    env.run(until=10.0)
+    assert order[0] == 3                 # first request grabs the free slot
+    assert order[1:] == [1, 2]           # waiters drain in key order
+    assert gate.capacity_deferrals > 0
+
+
+def test_conflict_gate_rejects_bad_release():
+    env = Environment()
+    gate = ConflictGate(env, capacity=1, compatible=lambda a, b: True)
+    from repro.sim import SimulationError
+
+    with pytest.raises(SimulationError):
+        gate.release("never-held")
+
+
+def test_lane_scheduler_lane_indices_are_unique_while_held(setup):
+    from repro.core.lanes import LaneScheduler
+
+    registry, ledger, _ = setup
+    env = Environment()
+    scheduler = LaneScheduler(env, lanes=3, registry=registry)
+    entries = [
+        admit(ledger, EcdsaSigner.from_seed(f"unique-{i}"), transfer("0x" + "ee" * 20, 1), f"0xe{i}")
+        for i in range(4)
+    ]
+    held = {}
+    first = entries[0]
+    grant = scheduler.acquire(first)
+    env.run(until=0.0)
+    assert grant.triggered
+    held[first.sequence] = scheduler.granted(first)
+    # Release and re-grant cycles must never hand out a lane index that is
+    # still held by a running invocation (the old round-robin counter did).
+    for entry in entries[1:]:
+        grant = scheduler.acquire(entry)
+        env.run(until=env.now)
+        assert grant.triggered
+        lane = scheduler.granted(entry)
+        assert lane not in held.values(), "lane index collided with a held lane"
+        scheduler.release(entry)
+    assert held[first.sequence] == 0
+    scheduler.release(first)
+    assert scheduler.statistics()["in_flight"] == 0

@@ -1,0 +1,187 @@
+"""Property-based tests for the lane partition (hypothesis).
+
+Transactions are modeled abstractly as small programs over a shared
+key-value store — reads, order-sensitive puts, and commutative increments.
+From each program we derive the access footprint the scheduler would see,
+partition the batch into lanes/waves, and check the scheduler's two core
+guarantees on random workloads:
+
+* soundness — no two conflicting transactions ever share a parallel wave,
+  conflicting transactions keep their canonical order across waves, and
+  waves never exceed the lane width;
+* determinism — replaying any lane schedule serially in commit
+  (wave-major) order reproduces the serial store fingerprint.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts.state_store import AccessSet, KeyValueStore
+from repro.core.lanes import AccessFootprint, partition_footprints
+
+keys = st.sampled_from([f"k{i}" for i in range(6)])
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("get"), keys),
+        st.tuples(st.just("put"), keys),
+        st.tuples(st.just("increment"), keys),
+    ),
+    min_size=1,
+    max_size=5,
+)
+programs = st.lists(ops, min_size=1, max_size=24)
+lane_counts = st.integers(min_value=1, max_value=8)
+
+
+def footprint(index, program):
+    """The pre-execution footprint of one abstract transaction."""
+    reads, writes, deltas = set(), set(), set()
+    for op, key in program:
+        if op == "get":
+            reads.add(("store", key))
+        elif op == "put":
+            writes.add(("store", key))
+        else:
+            deltas.add(("store", key))
+    return AccessFootprint(
+        reads=frozenset(reads), writes=frozenset(writes), deltas=frozenset(deltas)
+    )
+
+
+def run_program(store, index, program):
+    """Execute one abstract transaction; put values depend on the tx only."""
+    for position, (op, key) in enumerate(program):
+        if op == "get":
+            store.get(key)
+        elif op == "put":
+            # The written value is a pure function of the transaction, not
+            # of store state — like a contract writing computed results.
+            # Kept numeric so a later increment of the same key is valid.
+            store.put(key, (index + 1) * 1_000 + position)
+        else:
+            store.increment(key, index + 1)
+
+
+def naive_partition(footprints, lanes):
+    """Reference partition: quadratic scan of all conflicting predecessors."""
+    waves, wave_of = [], []
+    for index, fp in enumerate(footprints):
+        earliest = 0
+        for previous in range(index):
+            if footprints[previous].conflicts_with(fp):
+                earliest = max(earliest, wave_of[previous] + 1)
+        wave = earliest
+        while wave < len(waves) and len(waves[wave]) >= lanes:
+            wave += 1
+        while wave >= len(waves):
+            waves.append([])
+        waves[wave].append(index)
+        wave_of.append(wave)
+    return waves
+
+
+@settings(max_examples=150, deadline=None)
+@given(programs, lane_counts, st.booleans())
+def test_partition_matches_naive_reference(txs, lanes, with_exclusive):
+    """The per-key list scheduler equals the pairwise reference partition."""
+    footprints = [footprint(i, program) for i, program in enumerate(txs)]
+    if with_exclusive and footprints:
+        # Sprinkle exclusive fallbacks deterministically among the batch.
+        footprints = [
+            AccessFootprint.exclusive_footprint() if i % 3 == 2 else fp
+            for i, fp in enumerate(footprints)
+        ]
+    assert partition_footprints(footprints, lanes) == naive_partition(footprints, lanes)
+
+
+@settings(max_examples=150, deadline=None)
+@given(programs, lane_counts)
+def test_partition_is_sound(txs, lanes):
+    footprints = [footprint(i, program) for i, program in enumerate(txs)]
+    waves = partition_footprints(footprints, lanes)
+
+    # Every transaction is scheduled exactly once.
+    scheduled = [index for wave in waves for index in wave]
+    assert sorted(scheduled) == list(range(len(txs)))
+    # Wave width never exceeds the lane count.
+    assert all(len(wave) <= lanes for wave in waves)
+
+    wave_of = {index: n for n, wave in enumerate(waves) for index in wave}
+    for i in range(len(txs)):
+        for j in range(i + 1, len(txs)):
+            if footprints[i].conflicts_with(footprints[j]):
+                # Conflicting pairs never share a wave and never reorder.
+                assert wave_of[i] < wave_of[j]
+
+
+@settings(max_examples=150, deadline=None)
+@given(programs, lane_counts)
+def test_serial_replay_of_any_schedule_matches_serial_fingerprint(txs, lanes):
+    footprints = [footprint(i, program) for i, program in enumerate(txs)]
+    waves = partition_footprints(footprints, lanes)
+
+    serial = KeyValueStore()
+    for index, program in enumerate(txs):
+        run_program(serial, index, program)
+
+    replayed = KeyValueStore()
+    for wave in waves:
+        for index in wave:
+            run_program(replayed, index, txs[index])
+
+    assert replayed.fingerprint() == serial.fingerprint()
+    assert replayed.fingerprint() == replayed.recompute_fingerprint()
+
+
+@settings(max_examples=100, deadline=None)
+@given(programs)
+def test_single_lane_partition_is_the_serial_schedule(txs):
+    footprints = [footprint(i, program) for i, program in enumerate(txs)]
+    waves = partition_footprints(footprints, lanes=1)
+    assert all(len(wave) == 1 for wave in waves)
+    assert [wave[0] for wave in waves] == list(range(len(txs)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(programs)
+def test_exclusive_footprints_serialize_everything(txs):
+    footprints = [AccessFootprint.exclusive_footprint() for _ in txs]
+    waves = partition_footprints(footprints, lanes=8)
+    assert len(waves) == len(txs)
+    assert [wave[0] for wave in waves] == list(range(len(txs)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops, ops)
+def test_observed_access_sets_predict_commutativity(program_a, program_b):
+    """If the derived footprints don't conflict, execution order commutes."""
+    fa, fb = footprint(0, program_a), footprint(1, program_b)
+    if fa.conflicts_with(fb):
+        return
+    ab, ba = KeyValueStore(), KeyValueStore()
+    run_program(ab, 0, program_a)
+    run_program(ab, 1, program_b)
+    run_program(ba, 1, program_b)
+    run_program(ba, 0, program_a)
+    assert ab.fingerprint() == ba.fingerprint()
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops)
+def test_journal_observes_declared_access_classes(program):
+    """The mutation journal's observed sets mirror the abstract footprint."""
+    store = KeyValueStore()
+    store.begin()
+    run_program(store, 0, program)
+    observed = store.commit().access_set()
+    predicted = footprint(0, program)
+    predicted_local = AccessSet(
+        reads=frozenset(k for _, k in predicted.reads),
+        writes=frozenset(k for _, k in predicted.writes),
+        deltas=frozenset(k for _, k in predicted.deltas),
+    )
+    # Every observed mutation is covered by the prediction.
+    assert predicted_local.covers_mutations_of(observed)
+    # And reads were recorded (gets may overlap puts/increments, which
+    # record their own classes).
+    assert predicted_local.reads <= observed.reads | observed.writes | observed.deltas
