@@ -1,0 +1,306 @@
+"""Contract-state sharding: aggregate throughput vs. shard count.
+
+The same seeded burst runs across shard counts {1, 2, 4} and cross-shard
+rates {0, 0.05, 0.2} (plus a smaller contended sweep), all on cell groups
+of two cells with a *serial* execution stage — the regime where the
+unsharded overlay is execution-bound and sharding is the only horizontal
+lever.  Three properties are asserted:
+
+* **scaling** — at a zero cross-shard rate, four shards deliver at least
+  2x the aggregate throughput of the single-shard run;
+* **determinism** — repeating a multi-shard configuration reproduces the
+  per-shard ledgers, receipts, and execution fingerprints exactly (one
+  digest covers them all), and the deployment-level shard digest chain
+  verifies;
+* **compatibility** — the ``shard_count=1`` run is bit-for-bit the
+  pre-shard serial pipeline (same digest as a plain
+  ``BlockumulusDeployment`` driving ``run_burst_transfers``).
+
+Results are written as rendered text (``benchmarks/output/sharding.txt``)
+and as the machine-readable ``BENCH_sharding.json`` baseline.
+"""
+
+import time
+
+from repro.audit import ShardedAuditor
+from repro.client import (
+    run_burst_transfers,
+    run_sharded_burst_transfers,
+    run_sharded_contended_transfers,
+)
+from repro.core import BlockumulusDeployment, DeploymentConfig, ShardedDeployment
+from repro.crypto.fingerprint import snapshot_fingerprint
+from repro.crypto.hashing import fast_hash
+from repro.encoding import canonical_json
+from repro.sim import CellServiceModel, ConstantLatency
+
+from _harness import bench_scale, write_bench_json, write_output
+
+CELLS_PER_GROUP = 2
+SHARD_COUNTS = (1, 2, 4)
+CROSS_RATES = (0.0, 0.05, 0.2)
+CONTENDED_SHARDS = (1, 4)
+CONTENDED_CROSS_RATES = (0.0, 0.2)
+CONTENDED_CONFLICT = 0.3
+#: Transactions per run (scaled like the paper bursts).
+BURST = max(160, int(1_600 * bench_scale()))
+SEED = 11_000
+
+
+def serial_execution_service_model() -> CellServiceModel:
+    """Azure-B1ms-like profile with a strictly serial execution stage.
+
+    The mutex-protected executor of Section V-A makes bContract
+    invocation the bottleneck, so total work — not network fan-out — is
+    what limits throughput, and splitting the namespace across groups is
+    the only way to add capacity.  Constant overheads keep every
+    configuration's service-time draws identical.
+    """
+    return CellServiceModel(
+        invoke_overhead=ConstantLatency(0.05),
+        auth_overhead=ConstantLatency(0.002),
+        aggregate_overhead_per_cell=0.001,
+        invoke_cpu=0.0005,
+        forward_cpu_per_cell=0.0002,
+        cpu_workers=8,
+        max_parallel_invocations=1,
+    )
+
+
+def bench_config(shards: int) -> DeploymentConfig:
+    return DeploymentConfig(
+        consortium_size=CELLS_PER_GROUP,
+        signature_scheme="sim",
+        report_period=3_600.0,
+        forwarding_deadline=900.0,
+        seed=SEED,
+        shard_count=shards,
+        service_model=serial_execution_service_model(),
+        client_cell_latency=ConstantLatency(0.01),
+        cell_cell_latency=ConstantLatency(0.005),
+    )
+
+
+def all_cells(deployment) -> list:
+    if isinstance(deployment, ShardedDeployment):
+        return [cell for group in deployment.groups for cell in group.cells]
+    return list(deployment.cells)
+
+
+def equivalence_digest(deployment, report) -> str:
+    """One hash over everything that must be identical across repeats."""
+    cells = all_cells(deployment)
+    material = {
+        "ledgers": {
+            cell.node_name: sorted(
+                (
+                    entry.tx_id,
+                    entry.status,
+                    str(entry.contract),
+                    canonical_json.dumps(entry.result),
+                    str(entry.error),
+                )
+                for entry in cell.ledger
+            )
+            for cell in cells
+        },
+        "cycle_fingerprints": {
+            cell.node_name: cell.ledger.cycle_execution_fingerprint(0) for cell in cells
+        },
+        "receipts": sorted(
+            (
+                result.receipt.tx_id,
+                result.receipt.contract,
+                result.receipt.fingerprint_hex,
+                canonical_json.dumps(result.receipt.result),
+            )
+            for result in report.successes
+        ),
+        "cross": sorted(
+            (result.xtx, result.decision, result.ok)
+            for result in getattr(report, "cross_results", [])
+        ),
+        "state": {
+            cell.node_name: "0x" + snapshot_fingerprint(cell.contracts.fingerprints()).hex()
+            for cell in cells
+        },
+    }
+    return "0x" + fast_hash(canonical_json.dump_bytes(material)).hex()
+
+
+def run_burst(shards: int, cross_rate: float):
+    deployment = ShardedDeployment(bench_config(shards))
+    started = time.perf_counter()
+    report = run_sharded_burst_transfers(
+        deployment, count=BURST, cross_shard_rate=cross_rate
+    )
+    wall_clock = time.perf_counter() - started
+    return deployment, report, wall_clock
+
+
+def run_contended(shards: int, cross_rate: float):
+    deployment = ShardedDeployment(bench_config(shards))
+    report = run_sharded_contended_transfers(
+        deployment, count=BURST, conflict_rate=CONTENDED_CONFLICT,
+        cross_shard_rate=cross_rate,
+    )
+    return deployment, report
+
+
+def run_plain_baseline():
+    """The pre-shard pipeline: a plain deployment driving the plain burst."""
+    deployment = BlockumulusDeployment(bench_config(1))
+    report = run_burst_transfers(deployment, count=BURST)
+    return deployment, report
+
+
+def config_metrics(deployment, report, wall_clock=None):
+    throughput = report.throughput()
+    metrics = {
+        "transactions": len(report.results) + len(getattr(report, "cross_results", [])),
+        "cross_shard_transactions": len(getattr(report, "cross_results", [])),
+        "failures": report.failure_count,
+        "sim_makespan_s": round(throughput.makespan, 3),
+        "throughput_tps": round(throughput.throughput, 1),
+        "latency_p50_s": round(report.latencies().p50(), 4),
+        "latency_p99_s": round(report.latencies().p99(), 4),
+    }
+    if wall_clock is not None:
+        metrics["wall_clock_s"] = round(wall_clock, 3)
+    cross_successes = getattr(report, "cross_successes", [])
+    if cross_successes:
+        metrics["cross_latency_p50_s"] = round(report.cross_latencies().p50(), 4)
+    return metrics
+
+
+def test_sharding_throughput(benchmark):
+    def run_sweep():
+        return {
+            (shards, cross): run_burst(shards, cross)
+            for shards in SHARD_COUNTS
+            for cross in CROSS_RATES
+            if not (cross > 0.0 and shards == 1)
+        }
+
+    runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    sweep = []
+    throughputs: dict[float, dict[int, float]] = {}
+    for (shards, cross), (deployment, report, wall_clock) in runs.items():
+        metrics = config_metrics(deployment, report, wall_clock)
+        digest = equivalence_digest(deployment, report)
+        throughputs.setdefault(cross, {})[shards] = metrics["throughput_tps"]
+        sweep.append(
+            {"shards": shards, "cross_shard_rate": cross, "digest": digest, **metrics}
+        )
+
+    # Determinism: repeating the heaviest configuration reproduces every
+    # per-shard artifact, and the shard digest chain verifies.
+    repeat_deployment, repeat_report, _ = run_burst(4, 0.05)
+    repeat_identical = equivalence_digest(repeat_deployment, repeat_report) == next(
+        row["digest"] for row in sweep
+        if row["shards"] == 4 and row["cross_shard_rate"] == 0.05
+    )
+    repeat_deployment.run_cycles(1)
+    digest_report = ShardedAuditor(repeat_deployment).verify_shard_digest(0)
+
+    # Compatibility: shards=1 is the pre-shard serial pipeline bit-for-bit.
+    plain_deployment, plain_report = run_plain_baseline()
+    serial_digest = equivalence_digest(plain_deployment, plain_report)
+    sharded_serial_digest = next(
+        row["digest"] for row in sweep
+        if row["shards"] == 1 and row["cross_shard_rate"] == 0.0
+    )
+    serial_equivalent = serial_digest == sharded_serial_digest
+
+    # The contended workload sweeps a smaller matrix.
+    contended = []
+    for shards in CONTENDED_SHARDS:
+        for cross in CONTENDED_CROSS_RATES:
+            if cross > 0.0 and shards == 1:
+                continue
+            deployment, report = run_contended(shards, cross)
+            contended.append(
+                {
+                    "shards": shards,
+                    "cross_shard_rate": cross,
+                    "conflict_rate": CONTENDED_CONFLICT,
+                    "digest": equivalence_digest(deployment, report),
+                    **config_metrics(deployment, report),
+                }
+            )
+
+    speedup = {
+        str(cross): {
+            str(shards): round(by_shards[shards] / throughputs[cross][1], 2)
+            for shards in by_shards
+            if 1 in throughputs[cross] and shards != 1
+        }
+        for cross, by_shards in throughputs.items()
+        if 1 in throughputs[cross]
+    }
+    zero_cross_speedup_4_shards = speedup["0.0"]["4"]
+
+    payload = {
+        "benchmark": "sharding",
+        "scale": bench_scale(),
+        "cells_per_group": CELLS_PER_GROUP,
+        "burst": BURST,
+        "shard_counts": list(SHARD_COUNTS),
+        "cross_shard_rates": list(CROSS_RATES),
+        "sweep": sweep,
+        "contended_sweep": contended,
+        "aggregate_speedup_vs_one_shard": speedup,
+        "zero_cross_speedup_4_shards": zero_cross_speedup_4_shards,
+        "repeat_run_identical": repeat_identical,
+        "shard_digest_verified": digest_report.passed,
+        "serial_pipeline_equivalent": serial_equivalent,
+    }
+    write_bench_json("sharding", payload)
+
+    text = (
+        f"Contract-state sharding — {BURST}-tx burst, {CELLS_PER_GROUP} cells/group "
+        f"(scale={bench_scale():.2f}, serial execution stage)\n\n"
+        f"{'shards':>7}{'cross':>7}{'makespan_s':>12}{'tps':>9}{'speedup':>9}"
+        f"{'xtx':>6}{'fail':>6}\n" + "-" * 56 + "\n"
+    )
+    unsharded_tps = throughputs[0.0][1]
+    for row in sweep:
+        ratio = row["throughput_tps"] / unsharded_tps
+        text += (
+            f"{row['shards']:>7}{row['cross_shard_rate']:>7.2f}"
+            f"{row['sim_makespan_s']:>12,.2f}{row['throughput_tps']:>9,.1f}"
+            f"{ratio:>8.2f}x{row['cross_shard_transactions']:>6}"
+            f"{row['failures']:>6}\n"
+        )
+    text += "\ncontended sweep (conflict=0.30):\n"
+    for row in contended:
+        text += (
+            f"{row['shards']:>7}{row['cross_shard_rate']:>7.2f}"
+            f"{row['sim_makespan_s']:>12,.2f}{row['throughput_tps']:>9,.1f}"
+            f"{'':>9}{row['cross_shard_transactions']:>6}{row['failures']:>6}\n"
+        )
+    text += (
+        f"\n4-shard aggregate speedup at zero cross-shard rate: "
+        f"{zero_cross_speedup_4_shards:.2f}x\n"
+        f"repeat-run artifacts identical: {repeat_identical}; "
+        f"shard digest verified: {digest_report.passed}; "
+        f"shards=1 equals the pre-shard pipeline: {serial_equivalent}"
+    )
+    write_output("sharding", text)
+
+    # No transaction fails in any configuration.
+    assert all(row["failures"] == 0 for row in sweep + contended)
+    # The cross-shard dial actually bites where it is non-zero.
+    assert all(
+        row["cross_shard_transactions"] > 0
+        for row in sweep
+        if row["cross_shard_rate"] > 0.0
+    )
+    # Headline: >= 2x aggregate throughput at 4 shards, zero cross rate.
+    assert zero_cross_speedup_4_shards >= 2.0, zero_cross_speedup_4_shards
+    # Determinism and global consistency.
+    assert repeat_identical
+    assert digest_report.passed, digest_report.findings
+    # shards=1 is bit-for-bit the pre-shard serial pipeline.
+    assert serial_equivalent

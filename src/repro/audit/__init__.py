@@ -1,5 +1,5 @@
 """Independent auditing of Blockumulus deployments."""
 
-from .auditor import AuditError, AuditFinding, AuditReport, Auditor
+from .auditor import AuditError, AuditFinding, AuditReport, Auditor, ShardedAuditor
 
-__all__ = ["AuditError", "AuditFinding", "AuditReport", "Auditor"]
+__all__ = ["AuditError", "AuditFinding", "AuditReport", "Auditor", "ShardedAuditor"]

@@ -19,7 +19,7 @@ cell cannot show the auditor anything it did not sign or anchor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from ..contracts.community import Ballot, DividendPool, FastMoney
 from ..contracts.interface import BContract
@@ -35,6 +35,9 @@ from ..messages.envelope import Envelope, NonceFactory
 from ..messages.opcodes import Opcode
 from ..messages.signer import Signer
 from ..sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.sharding import ShardedDeployment
 
 
 class AuditError(Exception):
@@ -61,6 +64,8 @@ class AuditReport:
     passed: bool
     findings: list[AuditFinding] = field(default_factory=list)
     checked_transactions: int = 0
+    #: Audit-specific payload (e.g. the recomputed shard digest).
+    details: Optional[str] = None
 
     def add(self, kind: str, details: str) -> None:
         """Record a finding and mark the audit as failed."""
@@ -377,6 +382,127 @@ class Auditor:
             self.run_audit(cell_index, cycle)
             for cell_index in range(self.deployment.consortium_size)
         ]
+
+
+class ShardedAuditor:
+    """Global-consistency auditor for a sharded deployment.
+
+    A sharded deployment has no single ledger to audit: each cell group
+    keeps its own.  This auditor therefore composes two layers:
+
+    * **per-group audits** — one ordinary :class:`Auditor` per group runs
+      the paper's snapshot-succession and data-integrity audits against
+      that group's cells (everything over the signed message interface,
+      as usual);
+    * **the shard digest** — every group's cells must agree on one
+      execution fingerprint per report cycle; the auditor collects those
+      per-group fingerprint histories, requires within-group unanimity,
+      and recomputes the deployment-level hash chain with
+      :func:`~repro.core.sharding.chain_shard_digest`.  Because the
+      chain is a pure function of the per-group fingerprints, any
+      divergence in any group's history — a dropped transaction, a
+      different outcome, a reordered cycle — changes the digest;
+      comparing the recomputation against a digest recorded earlier (or
+      exchanged out of band) therefore detects tampering since that
+      point.
+    """
+
+    def __init__(self, deployment: "ShardedDeployment") -> None:
+        self.deployment = deployment
+        self.group_auditors = [
+            Auditor(group.deployment, node_name=f"sharded-auditor-g{group.index}")
+            for group in deployment.groups
+        ]
+
+    def collect_group_fingerprints(self, through_cycle: int) -> list[list[str]]:
+        """Per-cycle fingerprint lists ``[cycle][group]``, unanimity-checked.
+
+        Raises :class:`AuditError` when the live cells of any group
+        disagree among themselves — that is an intra-group consistency
+        failure the group's own confirmation protocol should have caught,
+        and chaining a digest over it would be meaningless.
+        """
+        per_group: list[list[str]] = []
+        for group in self.deployment.groups:
+            histories = {
+                cell.node_name: cell.ledger.execution_fingerprints_through(through_cycle)
+                for cell in group.cells
+                if not cell.fault.crashed
+            }
+            if len(set(map(tuple, histories.values()))) != 1:
+                raise AuditError(
+                    f"cells of group {group.index} disagree on their execution history"
+                )
+            per_group.append(next(iter(histories.values())))
+        return [
+            [per_group[group][cycle] for group in range(len(per_group))]
+            for cycle in range(through_cycle + 1)
+        ]
+
+    def verify_shard_digest(
+        self, through_cycle: int, published: Optional[str] = None
+    ) -> AuditReport:
+        """Recompute the deployment digest from the per-group histories.
+
+        Without ``published``, the audit establishes that a digest *can*
+        be computed: every group's live cells agree on their whole
+        execution-fingerprint history and the chain closes (this is the
+        within-group consistency half).  Pass ``published`` — a digest
+        recorded earlier, exchanged out of band, or anchored by the
+        operator — to additionally verify the deployment's current state
+        against that commitment: any dropped transaction, divergent
+        outcome, or reordered cycle in any group since then changes the
+        recomputation and is reported as a ``shard_digest_mismatch``.
+        The recomputed digest is exposed as ``report.details``.
+        """
+        from ..core.sharding import ShardingError, chain_shard_digest
+
+        report = AuditReport(
+            auditor="sharded-auditor",
+            cell=f"{self.deployment.shard_count} groups",
+            cycle=through_cycle,
+            passed=True,
+        )
+        try:
+            fingerprints = self.collect_group_fingerprints(through_cycle)
+            recomputed = chain_shard_digest(
+                self.deployment.config.deployment_id,
+                self.deployment.shard_count,
+                fingerprints,
+            )
+        except (AuditError, ShardingError) as exc:
+            report.add("shard_digest_unverifiable", str(exc))
+            return report
+        report.checked_transactions = sum(
+            len(group.deployment.cells[0].ledger) for group in self.deployment.groups
+        )
+        report.details = recomputed
+        if published is not None and recomputed != published:
+            report.add(
+                "shard_digest_mismatch",
+                f"recomputed {recomputed[:18]}... differs from published {published[:18]}...",
+            )
+        return report
+
+    def run_sharded_audit(
+        self, cycle: int, published_digest: Optional[str] = None
+    ) -> dict[str, Any]:
+        """Audit every group for ``cycle`` and verify the shard digest.
+
+        Returns ``{"passed": bool, "digest": AuditReport, "groups":
+        {group index: [AuditReport per cell]}}`` — the digest ties the
+        per-group audits into one global-consistency verdict (compared
+        against ``published_digest`` when one is supplied).
+        """
+        group_reports = {
+            auditor.deployment.config.node_namespace or str(index): auditor.cross_audit(cycle)
+            for index, auditor in enumerate(self.group_auditors)
+        }
+        digest_report = self.verify_shard_digest(cycle, published=published_digest)
+        passed = digest_report.passed and all(
+            report.passed for reports in group_reports.values() for report in reports
+        )
+        return {"passed": passed, "digest": digest_report, "groups": group_reports}
 
 
 def _rebuild_contract(name: str, state: dict[str, Any]) -> Optional[BContract]:

@@ -2,16 +2,27 @@
 
 from .apps import BallotClient, CasClient, FastMoneyClient, deploy_contract_source
 from .client import BlockumulusClient, ClientError, TransactionResult
+from .sharded import (
+    CrossShardResult,
+    ParticipantPlan,
+    ShardRoutingError,
+    ShardedClient,
+    ShardedFastMoneyClient,
+)
 from .workload import (
     CONTENDED_CONTRACT,
     DEFAULT_CLIENT_POOLS,
+    ShardedWorkloadReport,
     WorkloadError,
     WorkloadReport,
     build_client_pools,
+    build_sharded_client_pools,
     run_burst_cas_uploads,
     run_burst_transfers,
     run_contended_transfers,
     run_sequential_transfers,
+    run_sharded_burst_transfers,
+    run_sharded_contended_transfers,
 )
 
 __all__ = [
@@ -20,15 +31,24 @@ __all__ = [
     "BlockumulusClient",
     "CasClient",
     "ClientError",
+    "CrossShardResult",
     "DEFAULT_CLIENT_POOLS",
     "FastMoneyClient",
+    "ParticipantPlan",
+    "ShardRoutingError",
+    "ShardedClient",
+    "ShardedFastMoneyClient",
+    "ShardedWorkloadReport",
     "TransactionResult",
     "WorkloadError",
     "WorkloadReport",
     "build_client_pools",
+    "build_sharded_client_pools",
     "deploy_contract_source",
     "run_burst_cas_uploads",
     "run_burst_transfers",
     "run_contended_transfers",
     "run_sequential_transfers",
+    "run_sharded_burst_transfers",
+    "run_sharded_contended_transfers",
 ]

@@ -45,7 +45,19 @@ class TransactionResult:
 
 
 class BlockumulusClient:
-    """A client machine attached to the simulated network."""
+    """A client machine attached to the simulated network.
+
+    One instance models one client machine bound to one *service cell*:
+    construction registers a network node, links it to the cell, and
+    (unless a ``signer`` is shared in) mints a fresh deterministic
+    identity.  All request APIs are asynchronous in simulation time —
+    they return a :class:`~repro.sim.events.Event` that fires with the
+    typed result (:class:`TransactionResult` for :meth:`submit`, the raw
+    view value for :meth:`query`, the reply envelope for
+    :meth:`request`); drive the environment to make progress.  Replies
+    are matched to requests by nonce, so any number of requests may be
+    in flight concurrently.
+    """
 
     _counter = 0
 
@@ -82,6 +94,12 @@ class BlockumulusClient:
     # Message plumbing
     # ------------------------------------------------------------------
     def _on_message(self, src_node: str, payload: Any, size: int) -> None:
+        """Network handler: route a reply envelope to its waiting request.
+
+        Replies carry the originating request's nonce in ``reply_to``;
+        unsolicited or duplicate messages are dropped silently (a client
+        never serves requests).
+        """
         if not isinstance(payload, Envelope):
             return
         reply_to = payload.payload.reply_to
@@ -121,6 +139,24 @@ class BlockumulusClient:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def request(
+        self,
+        operation: Opcode,
+        data: dict[str, Any],
+        signer: Optional[Signer] = None,
+    ) -> tuple[Envelope, Event]:
+        """Send one signed request to the service cell; returns (request, waiter).
+
+        The waiter event fires with the reply :class:`Envelope` (or fails
+        with :class:`ClientError` when the service cell is unreachable).
+        This is the raw building block under :meth:`submit` and
+        :meth:`query`; protocol layers that add their own reply handling —
+        e.g. the cross-shard coordinator in
+        :class:`~repro.client.sharded.ShardedClient`, which drives
+        ``XSHARD_*`` phases against several groups — use it directly.
+        """
+        return self._send_request(operation, data, signer=signer)
+
     def subscribe(self) -> Event:
         """Open an access subscription with the service cell."""
         _request, waiter = self._send_request(Opcode.SUBSCRIBE, {"plan": "standard"})

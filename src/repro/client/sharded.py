@@ -1,0 +1,559 @@
+"""Client-side shard routing and the cross-shard 2PC coordinator.
+
+A :class:`ShardedClient` fronts a whole
+:class:`~repro.core.sharding.ShardedDeployment`: it holds one ordinary
+:class:`~repro.client.client.BlockumulusClient` per cell group (all
+sharing one identity) and routes every call to the group that owns the
+target contract — or, for the namespace-sharded CAS, the blob digest —
+through the deployment's :class:`~repro.core.sharding.ShardMap`.  Routing
+is total and explicit: a contract no group owns raises
+:class:`ShardRoutingError` instead of silently hitting the wrong group.
+
+For the rare transaction whose access plan spans groups the client is the
+two-phase-commit *coordinator* (see :mod:`repro.messages.xshard`):
+
+1. **span detection** — each sub-call's pre-execution
+   :class:`~repro.core.lanes.AccessFootprint` (derived from the target
+   contract's declared access plan) is mapped through the shard map; one
+   group means no 2PC is needed.
+2. **prepare** — the client signs each group's inner *hold* transaction
+   plus an ``XSHARD_PREPARE`` around it and collects the gateways'
+   signed votes against the forwarding deadline.
+3. **decide** — all-yes assembles the votes into a commit certificate and
+   sends ``XSHARD_COMMIT`` everywhere; anything else sends
+   ``XSHARD_ABORT`` to the groups that prepared, rolling their holds
+   back.  Gateways re-verify the certificate against the shard
+   directory, so a faulty coordinator cannot commit one side only.
+
+The coordinator runs as a simulation process; :meth:`ShardedClient.submit_cross`
+returns the process, whose value is a :class:`CrossShardResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..contracts.community.fastmoney import FastMoney
+from ..core.lanes import AccessFootprint
+from ..core.sharding import (
+    GATEWAY_CELL_INDEX,
+    NAMESPACE_SHARDED_CONTRACTS,
+    ShardedDeployment,
+    ShardingError,
+    _stable_shard,
+)
+from ..crypto.hashing import fast_hash
+from ..crypto.keys import Address
+from ..messages.envelope import Envelope
+from ..messages.opcodes import Opcode
+from ..messages.signer import Signer
+from ..messages.xshard import (
+    CrossShardDecision,
+    CrossShardError,
+    CrossShardPrepare,
+    CrossShardVote,
+)
+from ..sim.events import Event
+from .client import BlockumulusClient, ClientError
+
+
+class ShardRoutingError(ClientError):
+    """Raised when a call cannot be routed to exactly one owning group."""
+
+
+#: One invocation: (contract, method, args).
+Call = tuple[str, str, dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class ParticipantPlan:
+    """One group's share of a cross-shard transaction.
+
+    ``prepare`` is the hold, ``commit`` finalizes it, ``abort`` rolls it
+    back — each an ordinary method call on a contract the group owns
+    (e.g. the FastMoney escrow methods).
+    """
+
+    group: int
+    prepare: Call
+    commit: Call
+    abort: Call
+
+
+@dataclass
+class PhaseOutcome:
+    """What one gateway answered for one phase."""
+
+    ok: bool
+    vote: Optional[CrossShardVote] = None
+    receipt: Optional[dict[str, Any]] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class CrossShardResult:
+    """What the coordinator learned about one cross-shard transaction."""
+
+    ok: bool
+    xtx: str
+    decision: str                      # "commit" | "abort"
+    submitted_at: float
+    completed_at: float
+    prepare: dict[int, PhaseOutcome] = field(default_factory=dict)
+    acks: dict[int, PhaseOutcome] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        """Client-observed end-to-end delay (seconds of simulated time)."""
+        return self.completed_at - self.submitted_at
+
+
+class ShardedClient:
+    """A client machine spanning every cell group of a sharded deployment."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        deployment: ShardedDeployment,
+        signer: Optional[Signer] = None,
+        service_cell_index: int = 0,
+        node_basename: Optional[str] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.env = deployment.env
+        primary = deployment.group(0).deployment
+        # The default identity seed must be deterministic (a process-wide
+        # counter, like BlockumulusClient's), never an object id — seeded
+        # runs must mint identical client addresses run over run.
+        type(self)._counter += 1
+        self.signer = signer or primary.make_client_signer(
+            f"sharded-client/{node_basename or type(self)._counter}"
+        )
+        #: One per-group client, all speaking with this client's identity.
+        self.clients: list[BlockumulusClient] = [
+            BlockumulusClient(
+                group.deployment,
+                signer=self.signer,
+                service_cell_index=service_cell_index,
+                node_name=(
+                    f"{node_basename}@g{group.index}" if node_basename is not None else None
+                ),
+            )
+            for group in deployment.groups
+        ]
+        self._node_basename = node_basename
+        self._service_cell_index = service_cell_index
+        #: Lazily created per-group clients bound to each group's
+        #: designated gateway cell — XSHARD phases must go there, while
+        #: ordinary submits/queries may use any service cell.
+        self._gateway_clients: list[Optional[BlockumulusClient]] = [None] * len(
+            deployment.groups
+        )
+        self._xtx_counter = 0
+
+    @property
+    def address(self) -> Address:
+        """The client's Blockumulus address (one identity on every group)."""
+        return self.signer.address
+
+    def client_for(self, group: int) -> BlockumulusClient:
+        """The per-group client attached to cell group ``group``."""
+        try:
+            return self.clients[group]
+        except IndexError:
+            raise ShardRoutingError(f"no cell group with index {group}") from None
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, contract: str, method: str, args: dict[str, Any]) -> int:
+        """Owning group of one call; unknown contracts raise cleanly."""
+        if (
+            contract not in NAMESPACE_SHARDED_CONTRACTS
+            and contract not in self.deployment.contract_locations
+        ):
+            raise ShardRoutingError(
+                f"no contract named {contract!r} is deployed in any cell group"
+            )
+        try:
+            return self.deployment.shard_map.route_call(contract, method, args)
+        except ShardingError as exc:
+            raise ShardRoutingError(str(exc)) from exc
+
+    def submit(
+        self,
+        contract: str,
+        method: str,
+        args: dict[str, Any],
+        signer: Optional[Signer] = None,
+    ) -> Event:
+        """Submit a single-group transaction to the owning group."""
+        group = self.route(contract, method, args)
+        return self.clients[group].submit(contract, method, args, signer=signer)
+
+    def query(self, contract: str, view: str, args: dict[str, Any] | None = None) -> Event:
+        """Read-only query served by the owning group's service cell."""
+        group = self.route(contract, view, args or {})
+        return self.clients[group].query(contract, view, args)
+
+    # ------------------------------------------------------------------
+    # Span detection (reusing the lane engine's access footprints)
+    # ------------------------------------------------------------------
+    def plan_groups(self, calls: list[Call], sender: Optional[Address] = None) -> frozenset[int]:
+        """Groups the calls touch, per their pre-execution access plans.
+
+        Each call's target contract (on its owning group) is asked for
+        its declared access plan; the resulting
+        :class:`~repro.core.lanes.AccessFootprint` qualified keys map
+        back through the shard map.  A contract without a plan
+        contributes its owning group alone — exactly the exclusive
+        fallback the lane engine uses, and always a superset-safe answer
+        here because one contract's keys live on one group.
+        """
+        sender_hex = (sender or self.signer.address).hex()
+        groups: set[int] = set()
+        for contract_name, method, args in calls:
+            home = self.route(contract_name, method, args)
+            groups.add(home)
+            registry = self.deployment.group(home).cells[0].contracts
+            if not registry.contains(contract_name):
+                continue
+            plan = None
+            try:
+                plan = registry.get(contract_name).access_plan(
+                    method, args, sender=sender_hex, tx_id=f"plan/{method}"
+                )
+            except Exception:  # noqa: BLE001 - planless calls route by contract
+                plan = None
+            if plan is None:
+                continue
+            footprint = AccessFootprint.from_access_set(contract_name, plan)
+            spanned = self.deployment.shard_map.groups_for_footprint(footprint)
+            if spanned is not None:
+                groups.update(spanned)
+        return frozenset(groups)
+
+    # ------------------------------------------------------------------
+    # The two-phase cross-shard commit
+    # ------------------------------------------------------------------
+    def next_xtx(self) -> str:
+        """A fresh deployment-unique cross-shard transaction id."""
+        self._xtx_counter += 1
+        digest = fast_hash(
+            b"xtx/" + self.signer.address.value + self._xtx_counter.to_bytes(8, "big")
+        )
+        return "0x" + digest[:16].hex()
+
+    def submit_cross(
+        self,
+        plans: list[ParticipantPlan],
+        signer: Optional[Signer] = None,
+        xtx: Optional[str] = None,
+    ) -> Event:
+        """Run a cross-shard transaction; the process value is a CrossShardResult."""
+        if len({plan.group for plan in plans}) != len(plans) or len(plans) < 2:
+            raise ShardRoutingError(
+                "a cross-shard transaction needs one plan per group, for at least two groups"
+            )
+        return self.env.process(
+            self._coordinate(plans, signer or self.signer, xtx or self.next_xtx())
+        )
+
+    def _gateway_client(self, group: int) -> BlockumulusClient:
+        """The client bound to ``group``'s designated gateway cell."""
+        if self._service_cell_index == GATEWAY_CELL_INDEX:
+            # The regular per-group client already talks to the gateway.
+            return self.clients[group]
+        client = self._gateway_clients[group]
+        if client is None:
+            client = BlockumulusClient(
+                self.deployment.group(group).deployment,
+                signer=self.signer,
+                service_cell_index=GATEWAY_CELL_INDEX,
+                node_name=(
+                    f"{self._node_basename}@g{group}/gw"
+                    if self._node_basename is not None
+                    else None
+                ),
+            )
+            self._gateway_clients[group] = client
+        return client
+
+    def _sign_call(self, signer: Signer, group: int, call: Call) -> Envelope:
+        """Sign one inner transaction addressed to a group's gateway cell."""
+        contract, method, args = call
+        client = self._gateway_client(group)
+        return Envelope.create(
+            signer=signer,
+            recipient=client.service_cell.address,
+            operation=Opcode.TX_SUBMIT,
+            data={"contract": contract, "method": method, "args": args},
+            timestamp=self.env.now,
+            nonce=client.nonces.next(),
+        )
+
+    def _safe_reply(self, waiter: Event) -> Event:
+        """Wrap a reply waiter so it always succeeds (with None on failure)."""
+        safe = self.env.event()
+
+        def _resolve(event: Event) -> None:
+            if not event._ok:
+                event.defused = True
+                safe.succeed(None)
+            else:
+                safe.succeed(event.value)
+
+        waiter.add_callback(_resolve)
+        return safe
+
+    def _send_phase(
+        self, signer: Signer, plan: ParticipantPlan, data: dict[str, Any], opcode: Opcode
+    ) -> Event:
+        """Send one phase envelope to a group's gateway; returns the safe waiter."""
+        _request, waiter = self._gateway_client(plan.group).request(
+            opcode, data, signer=signer
+        )
+        return self._safe_reply(waiter)
+
+    def _parse_vote(
+        self,
+        reply: Optional[Envelope],
+        xtx: str,
+        group: int,
+        participants: tuple[int, ...],
+        phase: str,
+    ) -> PhaseOutcome:
+        """Turn one gateway reply (or its absence) into a PhaseOutcome."""
+        if reply is None:
+            return PhaseOutcome(ok=False, error="gateway unreachable or timed out")
+        if reply.operation != Opcode.XSHARD_VOTE:
+            return PhaseOutcome(
+                ok=False, error=str(reply.data.get("error", f"unexpected {reply.operation}"))
+            )
+        try:
+            vote = CrossShardVote.from_data(reply.data)
+        except CrossShardError as exc:
+            return PhaseOutcome(ok=False, error=str(exc))
+        if (
+            vote.xtx != xtx
+            or vote.group != group
+            or vote.participants != participants
+            or vote.phase != phase
+            or not vote.verify()
+            or vote.voter != reply.sender
+        ):
+            return PhaseOutcome(ok=False, error="gateway vote failed verification")
+        return PhaseOutcome(
+            ok=vote.ok,
+            vote=vote,
+            receipt=reply.data.get("receipt"),
+            error=reply.data.get("error"),
+        )
+
+    def _coordinate(
+        self, plans: list[ParticipantPlan], signer: Signer, xtx: str
+    ) -> Generator[Event, Any, CrossShardResult]:
+        submitted_at = self.env.now
+        participants = tuple(sorted(plan.group for plan in plans))
+        deadline = self.deployment.config.forwarding_deadline
+
+        # Phase 1: prepare everywhere, in parallel.
+        prepare_waiters: dict[int, Event] = {}
+        for plan in plans:
+            inner = self._sign_call(signer, plan.group, plan.prepare)
+            body = CrossShardPrepare(
+                xtx=xtx, group=plan.group, participants=participants,
+                transaction=inner.to_wire(),
+            )
+            prepare_waiters[plan.group] = self._send_phase(
+                signer, plan, body.to_data(), Opcode.XSHARD_PREPARE
+            )
+        yield self.env.any_of(
+            [self.env.all_of(list(prepare_waiters.values())), self.env.timeout(deadline)]
+        )
+        prepare: dict[int, PhaseOutcome] = {
+            plan.group: self._parse_vote(
+                prepare_waiters[plan.group].value
+                if prepare_waiters[plan.group].triggered
+                else None,
+                xtx, plan.group, participants, "prepare",
+            )
+            for plan in plans
+        }
+
+        committing = all(outcome.ok for outcome in prepare.values())
+        decision = "commit" if committing else "abort"
+        # The decision certificate: all yes votes for a commit, and the
+        # genuine no votes as evidence for an abort (gateways require
+        # proof that the commit certificate can never be assembled).
+        certificate = tuple(
+            outcome.vote for outcome in prepare.values() if outcome.vote is not None
+        )
+        have_no_vote = any(
+            outcome.vote is not None and not outcome.vote.ok
+            for outcome in prepare.values()
+        )
+
+        # Phase 2: commit everywhere, or roll back the groups that held.
+        ack_waiters: dict[int, Event] = {}
+        if committing or have_no_vote:
+            for plan in plans:
+                if not committing:
+                    outcome = prepare[plan.group]
+                    if outcome.vote is not None and not outcome.vote.ok:
+                        # An explicit no-vote means the hold itself failed
+                        # and was rolled back by the contract — nothing to
+                        # abort.  A *lost* vote is different: the hold may
+                        # have been taken, so the abort (carrying the
+                        # no-vote evidence) is still sent; a gateway that
+                        # never prepared simply refuses it.
+                        continue
+                call = plan.commit if committing else plan.abort
+                inner = self._sign_call(signer, plan.group, call)
+                body = CrossShardDecision(
+                    xtx=xtx, decision=decision, group=plan.group,
+                    participants=participants, transaction=inner.to_wire(),
+                    votes=certificate,
+                )
+                ack_waiters[plan.group] = self._send_phase(
+                    signer, plan, body.to_data(),
+                    Opcode.XSHARD_COMMIT if committing else Opcode.XSHARD_ABORT,
+                )
+        if ack_waiters:
+            yield self.env.any_of(
+                [self.env.all_of(list(ack_waiters.values())), self.env.timeout(deadline)]
+            )
+        acks = {
+            group: self._parse_vote(
+                waiter.value if waiter.triggered else None, xtx, group, participants, decision
+            )
+            for group, waiter in ack_waiters.items()
+        }
+
+        ok = committing and all(outcome.ok for outcome in acks.values())
+        error: Optional[str] = None
+        if not committing:
+            failed = [
+                outcome.error for outcome in prepare.values()
+                if not outcome.ok and outcome.error is not None
+            ]
+            if not have_no_vote:
+                error = (
+                    "prepare votes were lost before any decision was provable; "
+                    "holds remain escrowed until the decision is re-driven"
+                )
+            else:
+                error = failed[0] if failed else "prepare phase failed"
+        elif not ok:
+            failed = [outcome.error for outcome in acks.values() if not outcome.ok]
+            error = failed[0] if failed else "commit phase failed"
+        return CrossShardResult(
+            ok=ok,
+            xtx=xtx,
+            decision=decision,
+            submitted_at=submitted_at,
+            completed_at=self.env.now,
+            prepare=prepare,
+            acks=acks,
+            error=error,
+        )
+
+
+class ShardedFastMoneyClient:
+    """FastMoney over a sharded deployment: per-group instances + 2PC transfers.
+
+    The application deploys one FastMoney instance per group (named
+    :meth:`instance_name`); accounts are assigned to groups by a stable
+    hash, and a transfer whose sender and recipient live on different
+    groups runs as a cross-shard escrow transfer (reserve/expect →
+    settle/credit).  With one shard the instance name collapses to the
+    base name and every transfer is a plain single-group transfer —
+    which is what keeps ``shard_count=1`` identical to the unsharded
+    pipeline.
+    """
+
+    def __init__(self, client: ShardedClient, base_name: str = FastMoney.DEFAULT_NAME) -> None:
+        self.client = client
+        self.base_name = base_name
+        self.shard_count = client.deployment.shard_count
+
+    @staticmethod
+    def instance_name(base_name: str, group: int, shard_count: int) -> str:
+        """Deployment name of the per-group instance (base name unsharded)."""
+        return base_name if shard_count == 1 else f"{base_name}@s{group}"
+
+    def instance(self, group: int) -> str:
+        """This app's instance name on cell group ``group``."""
+        return self.instance_name(self.base_name, group, self.shard_count)
+
+    def shard_of_account(self, account: Address | str) -> int:
+        """Home group of an account (stable hash of its address)."""
+        account_hex = account.hex() if isinstance(account, Address) else account
+        return _stable_shard(
+            f"account/{self.base_name}/{account_hex.lower()}", self.shard_count
+        )
+
+    def transfer(
+        self, to: Address | str, amount: int, signer: Optional[Signer] = None
+    ) -> Event:
+        """Transfer with automatic routing: plain in-group, 2PC across groups.
+
+        The event value is a
+        :class:`~repro.client.client.TransactionResult` for an in-group
+        transfer and a :class:`CrossShardResult` for a cross-group one.
+        """
+        signer = signer or self.client.signer
+        recipient = to.hex() if isinstance(to, Address) else to
+        source = self.shard_of_account(signer.address)
+        target = self.shard_of_account(recipient)
+        if source == target:
+            return self.client.clients[source].submit(
+                self.instance(source), "transfer",
+                {"to": recipient, "amount": amount}, signer=signer,
+            )
+        return self.transfer_cross(source, target, recipient, amount, signer=signer)
+
+    def transfer_cross(
+        self,
+        source_group: int,
+        target_group: int,
+        to: Address | str,
+        amount: int,
+        signer: Optional[Signer] = None,
+    ) -> Event:
+        """Two-phase escrow transfer between explicit group instances."""
+        if source_group == target_group:
+            raise ShardRoutingError("a cross-shard transfer needs two distinct groups")
+        signer = signer or self.client.signer
+        recipient = to.hex() if isinstance(to, Address) else to
+        xtx = self.client.next_xtx()
+        source, target = self.instance(source_group), self.instance(target_group)
+        plans = [
+            ParticipantPlan(
+                group=source_group,
+                prepare=(source, "xshard_reserve", {"xtx": xtx, "amount": amount}),
+                commit=(source, "xshard_settle", {"xtx": xtx}),
+                abort=(source, "xshard_refund", {"xtx": xtx}),
+            ),
+            ParticipantPlan(
+                group=target_group,
+                prepare=(target, "xshard_expect",
+                         {"xtx": xtx, "to": recipient, "amount": amount}),
+                commit=(target, "xshard_credit", {"xtx": xtx}),
+                abort=(target, "xshard_cancel", {"xtx": xtx}),
+            ),
+        ]
+        # Pre-execution span check: the declared access plans of the two
+        # holds must really land on the two intended groups.
+        spanned = self.client.plan_groups(
+            [plans[0].prepare, plans[1].prepare], sender=signer.address
+        )
+        if not {source_group, target_group} <= spanned:
+            raise ShardRoutingError(
+                f"access plans span groups {sorted(spanned)}, "
+                f"expected {sorted({source_group, target_group})}"
+            )
+        return self.client.submit_cross(plans, signer=signer, xtx=xtx)

@@ -26,11 +26,13 @@ from typing import Any, Generator, Optional
 
 from ..contracts.community import FastMoney
 from ..core.deployment import BlockumulusDeployment
+from ..core.sharding import ShardedDeployment
 from ..crypto.keys import Address
 from ..sim.events import Event
 from ..sim.metrics import SampleSeries, ThroughputResult
 from .apps import CasClient, FastMoneyClient
 from .client import BlockumulusClient, TransactionResult
+from .sharded import CrossShardResult, ShardedClient, ShardedFastMoneyClient
 
 #: Number of client-pool machines in the paper's harness.
 DEFAULT_CLIENT_POOLS = 8
@@ -38,6 +40,36 @@ DEFAULT_CLIENT_POOLS = 8
 
 class WorkloadError(Exception):
     """Raised when a workload cannot complete."""
+
+
+def _validate_count(count: int, what: str = "count") -> int:
+    """Reject zero/negative/non-integer transaction counts up front.
+
+    A bad count used to silently produce an empty burst whose report then
+    failed much later (or not at all); workloads now fail fast with a
+    clear message instead.
+    """
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise WorkloadError(f"{what} must be a positive integer, got {count!r}")
+    return count
+
+
+def _validate_amount(amount: int) -> int:
+    """Reject non-positive transfer amounts before signing anything."""
+    if not isinstance(amount, int) or isinstance(amount, bool) or amount < 1:
+        raise WorkloadError(f"amount must be a positive integer, got {amount!r}")
+    return amount
+
+
+def _validate_rate(rate: float, what: str) -> float:
+    """A probability dial must lie in [0, 1]."""
+    try:
+        value = float(rate)
+    except (TypeError, ValueError):
+        raise WorkloadError(f"{what} must be a number between 0 and 1, got {rate!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise WorkloadError(f"{what} must be between 0 and 1, got {rate!r}")
+    return value
 
 
 @dataclass
@@ -178,6 +210,8 @@ def run_sequential_transfers(
     per_transaction_timeout: float = 120.0,
 ) -> WorkloadReport:
     """Execute ``count`` consecutive FastMoney transfers and measure latency."""
+    _validate_count(count)
+    _validate_amount(amount)
     clients = build_client_pools(deployment, pools)
     _fund_pools(deployment, clients, amount * count * 2)
     report = WorkloadReport(
@@ -221,6 +255,9 @@ def run_burst_cas_uploads(
     horizon: float = 3_600.0,
 ) -> WorkloadReport:
     """Submit ``count`` CAS uploads at the same instant and measure latency."""
+    _validate_count(count)
+    if blob_bytes < 1:
+        raise WorkloadError(f"blob_bytes must be positive, got {blob_bytes!r}")
     clients = build_client_pools(deployment, pools)
     report = WorkloadReport(
         label=label or f"fig9/{deployment.consortium_size}cells/{count}tx",
@@ -258,6 +295,8 @@ def run_burst_transfers(
     sign transactions with identical timestamps and therefore identical
     transaction ids.
     """
+    _validate_count(count)
+    _validate_amount(amount)
     clients = build_client_pools(deployment, pools)
     _fund_pools(deployment, clients, amount * count * 2)
     if submit_at is not None:
@@ -318,8 +357,9 @@ def run_contended_transfers(
     payloads (identical transaction ids), which is what lets the benchmark
     assert ledger/receipt/fingerprint equality across lane counts.
     """
-    if not 0.0 <= conflict_rate <= 1.0:
-        raise WorkloadError("conflict_rate must be between 0 and 1")
+    _validate_count(count)
+    _validate_amount(amount)
+    conflict_rate = _validate_rate(conflict_rate, "conflict_rate")
     if hot_accounts < 1:
         raise WorkloadError("at least one hot account is required")
     clients = build_client_pools(deployment, pools)
@@ -363,4 +403,367 @@ def run_contended_transfers(
             )
         )
     report.results = _collect(deployment, events, horizon)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Sharded workloads (contract-state sharding across cell groups)
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedWorkloadReport(WorkloadReport):
+    """A workload report whose burst may include cross-shard transactions.
+
+    In-group transactions land in ``results`` exactly as in the unsharded
+    reports; cross-shard two-phase transfers land in ``cross_results``.
+    Throughput covers both kinds.  With one shard there are no
+    cross-shard transactions and this degenerates to a plain
+    :class:`WorkloadReport`.
+    """
+
+    cross_results: list[CrossShardResult] = field(default_factory=list)
+
+    @property
+    def cross_successes(self) -> list[CrossShardResult]:
+        """Cross-shard transactions that committed on every participant."""
+        return [result for result in self.cross_results if result.ok]
+
+    @property
+    def cross_failures(self) -> list[CrossShardResult]:
+        """Cross-shard transactions that aborted or failed to commit."""
+        return [result for result in self.cross_results if not result.ok]
+
+    @property
+    def failure_count(self) -> int:
+        """Failed transactions, in-group and cross-shard combined."""
+        return len(self.failures) + len(self.cross_failures)
+
+    def cross_latencies(self) -> SampleSeries:
+        """End-to-end latency series over committed cross-shard transfers."""
+        series = SampleSeries(f"{self.label}/cross")
+        series.extend(result.latency for result in self.cross_successes)
+        return series
+
+    def throughput(self) -> ThroughputResult:
+        """Aggregate throughput over all successful transactions."""
+        completed = [
+            (result.submitted_at, result.completed_at) for result in self.successes
+        ] + [
+            (result.submitted_at, result.completed_at) for result in self.cross_successes
+        ]
+        if not completed:
+            raise WorkloadError(f"workload {self.label!r} produced no successful transactions")
+        return ThroughputResult(
+            operations=len(completed),
+            first_start=min(start for start, _end in completed),
+            last_end=max(end for _start, end in completed),
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """Headline numbers including the cross-shard share.
+
+        Built without assuming any in-group successes exist — a workload
+        run entirely at ``cross_shard_rate=1.0`` has an empty in-group
+        latency series, and its percentiles are reported as ``None``
+        rather than raising.
+        """
+        latencies = self.latencies() if self.successes else None
+        throughput = self.throughput()
+        summary = {
+            "label": self.label,
+            "cells": self.consortium_size,
+            "transactions": len(self.results) + len(self.cross_results),
+            "failures": self.failure_count,
+            "latency_p50": latencies.p50() if latencies is not None else None,
+            "latency_p90": latencies.p90() if latencies is not None else None,
+            "latency_p99": latencies.p99() if latencies is not None else None,
+            "latency_max": latencies.max() if latencies is not None else None,
+            "makespan": throughput.makespan,
+            "throughput_tps": throughput.throughput,
+            "cross_shard_transactions": len(self.cross_results),
+            "cross_shard_failures": len(self.cross_failures),
+        }
+        if self.cross_successes:
+            summary["cross_latency_p50"] = self.cross_latencies().p50()
+        return summary
+
+
+def build_sharded_client_pools(
+    deployment: ShardedDeployment,
+    pools: int = DEFAULT_CLIENT_POOLS,
+) -> list[ShardedClient]:
+    """Create client-pool machines spanning every cell group.
+
+    Pool ``i`` reuses the unsharded pools' identity seed (``pool/<i>``)
+    and cell assignment (``i mod consortium_size``), so with one shard
+    the pools are indistinguishable from :func:`build_client_pools` —
+    the anchor of the shards=1 equivalence guarantee.
+    """
+    if pools < 1:
+        raise WorkloadError("at least one client pool is required")
+    primary = deployment.group(0).deployment
+    clients = [
+        ShardedClient(
+            deployment,
+            signer=primary.make_client_signer(f"pool/{index}"),
+            service_cell_index=index % primary.consortium_size,
+            node_basename=f"client-pool-{index}",
+        )
+        for index in range(pools)
+    ]
+    if deployment.config.enforce_subscriptions:
+        waiters = [
+            inner.subscribe() for client in clients for inner in client.clients
+        ]
+        deployment.env.run(deployment.env.all_of(waiters))
+    return clients
+
+
+def _sharded_instances(deployment: ShardedDeployment, base_name: str) -> list[str]:
+    """Per-group instance names of one sharded application contract."""
+    return [
+        ShardedFastMoneyClient.instance_name(base_name, group, deployment.shard_count)
+        for group in range(deployment.shard_count)
+    ]
+
+
+def _collect_sharded(
+    deployment: ShardedDeployment,
+    events: list[tuple[Event, bool]],
+    horizon: float,
+) -> tuple[list[TransactionResult], list[CrossShardResult]]:
+    """Run until all events fire, splitting plain and cross-shard results.
+
+    Each event is tagged with whether it is a cross-shard coordination
+    (so a timed-out cross-shard transaction is still accounted as one,
+    not mislabelled as an in-group failure).
+    """
+    env = deployment.env
+    done = env.all_of([event for event, _is_cross in events])
+    env.run(env.any_of([done, env.timeout(horizon)]))
+    results: list[TransactionResult] = []
+    cross: list[CrossShardResult] = []
+    for event, is_cross in events:
+        if event.processed or event.triggered:
+            value = event.value
+            if isinstance(value, CrossShardResult):
+                cross.append(value)
+            else:
+                results.append(value)
+        elif is_cross:
+            cross.append(
+                CrossShardResult(
+                    ok=False,
+                    xtx="",
+                    decision="abort",
+                    submitted_at=env.now - horizon,
+                    completed_at=env.now,
+                    error="workload horizon exceeded before the cross-shard commit completed",
+                )
+            )
+        else:
+            results.append(
+                TransactionResult(
+                    ok=False,
+                    submitted_at=env.now - horizon,
+                    completed_at=env.now,
+                    error="workload horizon exceeded before a reply arrived",
+                )
+            )
+    return results, cross
+
+
+def _validate_cross_rate(deployment: ShardedDeployment, cross_shard_rate: float) -> float:
+    cross_shard_rate = _validate_rate(cross_shard_rate, "cross_shard_rate")
+    if cross_shard_rate > 0.0 and deployment.shard_count < 2:
+        raise WorkloadError("cross_shard_rate requires at least two shards")
+    return cross_shard_rate
+
+
+def run_sharded_burst_transfers(
+    deployment: ShardedDeployment,
+    count: int = 5_000,
+    cross_shard_rate: float = 0.0,
+    pools: int = DEFAULT_CLIENT_POOLS,
+    amount: int = 1,
+    label: Optional[str] = None,
+    horizon: float = 3_600.0,
+    submit_at: Optional[float] = None,
+) -> ShardedWorkloadReport:
+    """The Fig. 10 burst, spread across cell groups.
+
+    Transaction ``i`` lives on its *home group* ``i mod N`` and is a
+    plain transfer on that group's FastMoney instance; with probability
+    ``cross_shard_rate`` it instead runs as a two-phase escrow transfer
+    to a different group.  With ``shard_count == 1`` every choice
+    collapses to exactly :func:`run_burst_transfers` — same pool
+    identities, same funding phase, same recipients, no RNG draws — so
+    the two produce identical ledgers, receipts, and fingerprints.
+    """
+    _validate_count(count)
+    _validate_amount(amount)
+    cross_shard_rate = _validate_cross_rate(deployment, cross_shard_rate)
+    shards = deployment.shard_count
+    instances = _sharded_instances(deployment, FastMoney.DEFAULT_NAME)
+    if shards > 1:
+        # One FastMoney instance per group (the unsharded deployment
+        # already carries the base instance).
+        for group, name in enumerate(instances):
+            deployment.deploy_contract_instances([FastMoney(name)], group=group)
+    pool_clients = build_sharded_client_pools(deployment, pools)
+
+    # Funding phase (not measured): every pool faucets on every group's
+    # instance, so any pool can send from any home group.
+    funding = [
+        (
+            FastMoneyClient(pool.client_for(group), contract_name=instances[group]).faucet(
+                amount * count * 2
+            ),
+            False,
+        )
+        for pool in pool_clients
+        for group in range(shards)
+    ]
+    funded, _ = _collect_sharded(deployment, funding, horizon)
+    failed = [result for result in funded if not result.ok]
+    if failed:
+        raise WorkloadError(f"pool funding failed: {failed[0].error}")
+
+    if submit_at is not None:
+        if submit_at < deployment.env.now:
+            raise WorkloadError(
+                f"cannot submit at {submit_at}: funding finished at {deployment.env.now}"
+            )
+        deployment.run(until=submit_at)
+
+    report = ShardedWorkloadReport(
+        label=label
+        or f"sharding/{shards}shards/{count}tx/cross{cross_shard_rate:.2f}",
+        consortium_size=deployment.config.consortium_size,
+    )
+    rng = deployment.seeds.stream("workload-xshard") if cross_shard_rate > 0.0 else None
+    events: list[tuple[Event, bool]] = []
+    for index in range(count):
+        home = index % shards
+        pool = pool_clients[(index // shards) % len(pool_clients)]
+        recipient = _fresh_recipient(index)
+        if rng is not None and rng.random() < cross_shard_rate:
+            target = (home + 1 + rng.randrange(shards - 1)) % shards
+            app = ShardedFastMoneyClient(pool, base_name=FastMoney.DEFAULT_NAME)
+            events.append(
+                (app.transfer_cross(home, target, recipient, amount, signer=pool.signer), True)
+            )
+        else:
+            events.append(
+                (
+                    FastMoneyClient(
+                        pool.client_for(home), contract_name=instances[home]
+                    ).transfer(recipient, amount),
+                    False,
+                )
+            )
+    report.results, report.cross_results = _collect_sharded(deployment, events, horizon)
+    return report
+
+
+def run_sharded_contended_transfers(
+    deployment: ShardedDeployment,
+    count: int = 200,
+    conflict_rate: float = 0.0,
+    cross_shard_rate: float = 0.0,
+    hot_accounts: int = 4,
+    pools: int = DEFAULT_CLIENT_POOLS,
+    amount: int = 1,
+    label: Optional[str] = None,
+    horizon: float = 3_600.0,
+    submit_at: Optional[float] = None,
+) -> ShardedWorkloadReport:
+    """The tunable-contention workload, spread across cell groups.
+
+    Within each group the contention dial works exactly as in
+    :func:`run_contended_transfers` (hot senders force serialization);
+    across groups the ``cross_shard_rate`` dial turns cold transfers into
+    two-phase escrow transfers to another group.  The contention RNG
+    stream is drawn identically to the unsharded workload and the
+    cross-shard decision uses a separate stream, so with one shard and a
+    zero cross rate this is the unsharded workload, artifact-for-artifact
+    (the sharding differential suite asserts it).
+    """
+    _validate_count(count)
+    _validate_amount(amount)
+    conflict_rate = _validate_rate(conflict_rate, "conflict_rate")
+    cross_shard_rate = _validate_cross_rate(deployment, cross_shard_rate)
+    if hot_accounts < 1:
+        raise WorkloadError("at least one hot account is required")
+    shards = deployment.shard_count
+    instances = _sharded_instances(deployment, CONTENDED_CONTRACT)
+    primary = deployment.group(0).deployment
+
+    cold_signers = [
+        primary.make_client_signer(f"contention-account/{index}") for index in range(count)
+    ]
+    hot_signers = [
+        primary.make_client_signer(f"contention-hot/{index}") for index in range(hot_accounts)
+    ]
+    # Genesis funding per instance: cold account i lives on its home
+    # group's instance; hot accounts are funded everywhere so intra-group
+    # conflicts exist on every shard.
+    for group, name in enumerate(instances):
+        genesis = {
+            signer.address.hex(): amount
+            for index, signer in enumerate(cold_signers)
+            if index % shards == group
+        }
+        for signer in hot_signers:
+            genesis[signer.address.hex()] = amount * count  # never runs dry
+        prototype = FastMoney(
+            name, params={"genesis_balances": genesis, "allow_faucet": False}
+        )
+        deployment.deploy_contract_instances([prototype], group=group)
+
+    pool_clients = build_sharded_client_pools(deployment, pools)
+    contention_rng = deployment.seeds.stream("workload-contention")
+    cross_rng = (
+        deployment.seeds.stream("workload-xshard") if cross_shard_rate > 0.0 else None
+    )
+    if submit_at is not None:
+        if submit_at < deployment.env.now:
+            raise WorkloadError(f"cannot submit at {submit_at}: now is {deployment.env.now}")
+        deployment.run(until=submit_at)
+
+    report = ShardedWorkloadReport(
+        label=label
+        or (
+            f"sharding/{shards}shards/{count}tx/"
+            f"conflict{conflict_rate:.2f}/cross{cross_shard_rate:.2f}"
+        ),
+        consortium_size=deployment.config.consortium_size,
+    )
+    events: list[tuple[Event, bool]] = []
+    for index in range(count):
+        home = index % shards
+        pool = pool_clients[(index // shards) % len(pool_clients)]
+        recipient = _fresh_recipient(index)
+        if contention_rng.random() < conflict_rate:
+            signer: Any = hot_signers[contention_rng.randrange(hot_accounts)]
+            hot = True
+        else:
+            signer = cold_signers[index]
+            hot = False
+        # Hot senders stay in-group: contention is an intra-group effect.
+        if not hot and cross_rng is not None and cross_rng.random() < cross_shard_rate:
+            target = (home + 1 + cross_rng.randrange(shards - 1)) % shards
+            app = ShardedFastMoneyClient(pool, base_name=CONTENDED_CONTRACT)
+            events.append(
+                (app.transfer_cross(home, target, recipient, amount, signer=signer), True)
+            )
+        else:
+            events.append(
+                (
+                    FastMoneyClient(
+                        pool.client_for(home), contract_name=instances[home]
+                    ).transfer(recipient, amount, signer=signer),
+                    False,
+                )
+            )
+    report.results, report.cross_results = _collect_sharded(deployment, events, horizon)
     return report

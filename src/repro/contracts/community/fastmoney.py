@@ -118,6 +118,137 @@ class FastMoney(BContract):
         return {"account": sender, "balance": balance - amount}
 
     # ------------------------------------------------------------------
+    # Cross-shard escrow methods (contract-state sharding, 2PC)
+    # ------------------------------------------------------------------
+    # A cross-shard transfer moves value between two FastMoney instances
+    # living on different cell groups.  The source instance *reserves*
+    # the amount (debit into an escrow keyed by the cross-shard tx id),
+    # the target instance records the *expected* credit; on commit the
+    # source *settles* (the value leaves its supply) and the target
+    # *credits* (the value enters its supply); on abort the source
+    # *refunds* and the target *cancels*.  Every step is an ordinary
+    # replicated transaction within its group, and the escrow's status
+    # machine makes each transition once-only, so a coordinator (or a
+    # retry) can never double-spend or double-credit.
+
+    @staticmethod
+    def _escrow_key(xtx: str) -> str:
+        return f"xshard/{xtx}"
+
+    def _escrow(self, xtx: str, expect_status: str, direction: str) -> dict[str, Any]:
+        record = self.store.get(self._escrow_key(self._validate_xtx(xtx)))
+        if record is None:
+            raise BContractError(f"FastMoney: unknown cross-shard transaction {xtx}")
+        if record.get("direction") != direction or record.get("status") != expect_status:
+            raise BContractError(
+                f"FastMoney: cross-shard transaction {xtx} is "
+                f"{record.get('direction')}/{record.get('status')}, "
+                f"not {direction}/{expect_status}"
+            )
+        return record
+
+    @staticmethod
+    def _validate_xtx(xtx: Any) -> str:
+        if not isinstance(xtx, str) or not xtx:
+            raise BContractError("FastMoney: cross-shard id must be a non-empty string")
+        return xtx
+
+    @bcontract_method
+    def xshard_reserve(self, ctx: InvocationContext, xtx: str, amount: int) -> dict[str, Any]:
+        """Phase-1 hold on the source instance: debit the sender into escrow.
+
+        Fails — making the whole cross-shard transaction vote *no* — when
+        the sender cannot cover ``amount`` or the id was already used.
+        """
+        xtx = self._validate_xtx(xtx)
+        amount = _validate_amount(amount)
+        sender = ctx.sender.hex()
+        if self.store.contains(self._escrow_key(xtx)):
+            raise BContractError(f"FastMoney: cross-shard id {xtx} already used")
+        balance = self.store.get(self._balance_key(sender), 0)
+        if balance < amount:
+            raise BContractError(
+                f"FastMoney: insufficient funds for cross-shard hold ({balance} < {amount})"
+            )
+        self.store.put(self._balance_key(sender), balance - amount)
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "out", "from": sender, "amount": amount, "status": "held"},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "held"}
+
+    @bcontract_method
+    def xshard_settle(self, ctx: InvocationContext, xtx: str) -> dict[str, Any]:
+        """Phase-2 commit on the source instance: the held value leaves.
+
+        The escrow must be held by the calling sender; its amount is
+        removed from this instance's supply (it materializes on the target
+        instance through :meth:`xshard_credit`).
+        """
+        record = self._escrow(xtx, "held", "out")
+        if record.get("from") != ctx.sender.hex():
+            raise BContractError("FastMoney: only the holder can settle a cross-shard hold")
+        amount = int(record["amount"])
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "out", "from": record["from"], "amount": amount, "status": "settled"},
+        )
+        self.store.increment("supply", -amount)
+        return {"xtx": xtx, "amount": amount, "status": "settled"}
+
+    @bcontract_method
+    def xshard_refund(self, ctx: InvocationContext, xtx: str) -> dict[str, Any]:
+        """Phase-2 abort on the source instance: the hold flows back."""
+        record = self._escrow(xtx, "held", "out")
+        if record.get("from") != ctx.sender.hex():
+            raise BContractError("FastMoney: only the holder can refund a cross-shard hold")
+        amount = int(record["amount"])
+        self.store.increment(self._balance_key(record["from"]), amount)
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "out", "from": record["from"], "amount": amount, "status": "refunded"},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "refunded"}
+
+    @bcontract_method
+    def xshard_expect(self, ctx: InvocationContext, xtx: str, to: str, amount: int) -> dict[str, Any]:
+        """Phase-1 on the target instance: record the pending credit."""
+        xtx = self._validate_xtx(xtx)
+        amount = _validate_amount(amount)
+        recipient = _normalize_address(to)
+        if self.store.contains(self._escrow_key(xtx)):
+            raise BContractError(f"FastMoney: cross-shard id {xtx} already used")
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "in", "to": recipient, "amount": amount, "status": "expected"},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "expected"}
+
+    @bcontract_method
+    def xshard_credit(self, ctx: InvocationContext, xtx: str) -> dict[str, Any]:
+        """Phase-2 commit on the target instance: credit the recipient."""
+        record = self._escrow(xtx, "expected", "in")
+        amount = int(record["amount"])
+        self.store.increment(self._balance_key(record["to"]), amount)
+        self.store.increment("supply", amount)
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "in", "to": record["to"], "amount": amount, "status": "credited"},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "credited"}
+
+    @bcontract_method
+    def xshard_cancel(self, ctx: InvocationContext, xtx: str) -> dict[str, Any]:
+        """Phase-2 abort on the target instance: drop the pending credit."""
+        record = self._escrow(xtx, "expected", "in")
+        amount = int(record["amount"])
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "in", "to": record["to"], "amount": amount, "status": "cancelled"},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "cancelled"}
+
+    # ------------------------------------------------------------------
     # Access planning (conflict-aware execution lanes)
     # ------------------------------------------------------------------
     def access_plan(
@@ -155,6 +286,38 @@ class FastMoney(BContract):
                     writes=frozenset({sender_key}),
                     deltas=frozenset({"supply"}),
                 )
+            if method in ("xshard_reserve", "xshard_settle", "xshard_refund",
+                          "xshard_expect", "xshard_cancel"):
+                escrow = self._escrow_key(self._validate_xtx(args["xtx"]))
+                sender_key = self._balance_key(sender)
+                if method == "xshard_reserve":
+                    return AccessSet(
+                        reads=frozenset({escrow, sender_key}),
+                        writes=frozenset({escrow, sender_key}),
+                    )
+                if method == "xshard_settle":
+                    return AccessSet(
+                        reads=frozenset({escrow}),
+                        writes=frozenset({escrow}),
+                        deltas=frozenset({"supply"}),
+                    )
+                if method == "xshard_refund":
+                    return AccessSet(
+                        reads=frozenset({escrow}),
+                        writes=frozenset({escrow}),
+                        deltas=frozenset({sender_key}),
+                    )
+                if method == "xshard_expect":
+                    return AccessSet(
+                        reads=frozenset({escrow}),
+                        writes=frozenset({escrow}),
+                    )
+                # xshard_cancel
+                return AccessSet(reads=frozenset({escrow}), writes=frozenset({escrow}))
+            # xshard_credit's recipient balance key is only recorded in the
+            # escrow (not in the call), so its plan cannot be derived
+            # pre-execution: returning None degrades it to the exclusive
+            # footprint — always safe, and cross-shard commits are rare.
         except Exception:  # noqa: BLE001 - a malformed call plans as exclusive
             return None
         return None
@@ -176,6 +339,11 @@ class FastMoney(BContract):
     def transfer_count(self) -> int:
         """Number of successful transfers processed."""
         return self.store.get("stats/transfers", 0)
+
+    @bcontract_view
+    def xshard_status(self, xtx: str) -> Optional[dict[str, Any]]:
+        """Escrow record of a cross-shard transaction (None if unknown)."""
+        return self.store.get(self._escrow_key(xtx))
 
 
 def _validate_amount(amount: Any) -> int:

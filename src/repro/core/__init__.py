@@ -17,6 +17,13 @@ from .lanes import (
 )
 from .ledger import LedgerEntry, LedgerError, TransactionLedger
 from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, ReceiptError
+from .sharding import (
+    CellGroup,
+    ShardMap,
+    ShardedDeployment,
+    ShardingError,
+    chain_shard_digest,
+)
 from .recovery import (
     MembershipManager,
     RecoveryCoordinator,
@@ -32,6 +39,7 @@ __all__ = [
     "BatchDispatcher",
     "BlockumulusCell",
     "BlockumulusDeployment",
+    "CellGroup",
     "CellStanding",
     "Confirmation",
     "ConfirmationBatch",
@@ -54,6 +62,9 @@ __all__ = [
     "RecoveryCoordinator",
     "RecoveryError",
     "RecoveryResult",
+    "ShardMap",
+    "ShardedDeployment",
+    "ShardingError",
     "SnapshotEngine",
     "SnapshotError",
     "Subscription",
@@ -64,6 +75,7 @@ __all__ = [
     "TransactionLedger",
     "censor_method",
     "censor_sender",
+    "chain_shard_digest",
     "footprint_for_entry",
     "partition_footprints",
 ]

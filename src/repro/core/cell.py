@@ -31,6 +31,12 @@ from ..messages.envelope import Envelope, NonceFactory
 from ..messages.membership import MembershipError, SyncRequest, SyncState
 from ..messages.opcodes import Opcode
 from ..messages.signer import Signer
+from ..messages.xshard import (
+    CrossShardDecision,
+    CrossShardError,
+    CrossShardPrepare,
+    CrossShardVote,
+)
 from ..sim.environment import Environment
 from ..sim.events import Event
 from ..sim.latency import CellServiceModel
@@ -48,6 +54,51 @@ from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, Receip
 from .recovery import MembershipManager, RecoveryCoordinator
 from .snapshot import SnapshotEngine
 from .subscription import PricingPolicy, SubscriptionManager, SubscriptionError
+
+
+class _ServiceResult:
+    """What the shared service pipeline learned about one transaction.
+
+    Produced by :meth:`BlockumulusCell._service_pipeline` for both the
+    client-facing ``TX_SUBMIT`` path and the cross-shard gateway path,
+    which differ only in how they report this result back.
+    """
+
+    def __init__(
+        self,
+        *,
+        entry=None,
+        outcome: Optional[ExecutionOutcome] = None,
+        cycle: int = 0,
+        receipt: Optional[AggregatedReceipt] = None,
+        missing: Optional[list[Address]] = None,
+        mismatched: Optional[list[Address]] = None,
+        rejected: Optional[list["Confirmation"]] = None,
+        admit_error: Optional[str] = None,
+        aborted: bool = False,
+    ) -> None:
+        self.entry = entry
+        self.outcome = outcome
+        self.cycle = cycle
+        self.receipt = receipt
+        self.missing = missing or []
+        self.mismatched = mismatched or []
+        self.rejected = rejected or []
+        self.admit_error = admit_error
+        self.aborted = aborted
+
+    @property
+    def confirmed(self) -> bool:
+        """True when the transaction earned a full aggregated receipt."""
+        return self.receipt is not None
+
+    def failure_reason(self) -> str:
+        """Human-readable reason the transaction reverted."""
+        if self.admit_error is not None:
+            return self.admit_error
+        return BlockumulusCell._failure_reason(
+            self.outcome, self.missing, self.mismatched, self.rejected
+        )
 
 
 class _PendingTransaction:
@@ -163,6 +214,21 @@ class BlockumulusCell:
         self._client_nodes: dict[Address, str] = {}
         self._pending: dict[str, _PendingTransaction] = {}
 
+        # Contract-state sharding (repro.core.sharding).  In a sharded
+        # deployment exactly one cell per group is the cross-shard
+        # *gateway*: the directory maps group index -> gateway addresses
+        # (used to verify decision certificates), and the gateway's
+        # per-xtx state machine rejects out-of-order or contradictory
+        # phases.  Non-gateway cells refuse XSHARD traffic outright —
+        # were siblings allowed to serve it, a duplicate prepare to a
+        # sibling would yield a signed no-vote (the group-wide escrow
+        # rejects the replay) while the hold stands, manufacturing abort
+        # evidence against a commit-eligible transaction.
+        self.shard_group: Optional[int] = None
+        self.is_xshard_gateway: bool = False
+        self._shard_directory: Optional[dict[int, frozenset[Address]]] = None
+        self._xshard_state: dict[str, str] = {}
+
         # While a resync is in flight the cell must not take snapshots: it
         # would anchor fingerprints of half-restored state.
         self.recovering = False
@@ -212,6 +278,25 @@ class BlockumulusCell:
         """Deploy a pre-built bContract instance (deployment orchestration)."""
         self.contracts.register(contract)
 
+    def install_shard_directory(
+        self, group: int, directory: dict[int, frozenset[Address]], gateway: bool = False
+    ) -> None:
+        """Install this cell's sharding identity.
+
+        ``group`` is the cell group this cell belongs to; ``directory``
+        lists every group's designated *gateway* addresses, which is what
+        lets a gateway verify that a decision certificate's prepare votes
+        really come from the other groups' gateways.  Only the cell
+        installed with ``gateway=True`` serves ``XSHARD_*`` traffic: the
+        2PC state machine must have one authoritative owner per group.
+        Installed by :class:`~repro.core.sharding.ShardedDeployment`;
+        unsharded deployments never call this and reject all ``XSHARD_*``
+        traffic.
+        """
+        self.shard_group = group
+        self.is_xshard_gateway = gateway
+        self._shard_directory = {g: frozenset(addresses) for g, addresses in directory.items()}
+
     def start(self) -> None:
         """Start the cell's background processes (report cycle lifecycle)."""
         self.env.process(self._lifecycle())
@@ -245,6 +330,10 @@ class BlockumulusCell:
         elif operation == Opcode.QUERY_STATE:
             self._client_nodes[envelope.sender] = src_node
             self.env.process(self._serve_query(src_node, envelope))
+        elif operation in (Opcode.XSHARD_PREPARE, Opcode.XSHARD_COMMIT, Opcode.XSHARD_ABORT):
+            self._client_nodes[envelope.sender] = src_node
+            self.subscriptions.record_traffic(envelope.sender, size)
+            self.env.process(self._serve_xshard(src_node, envelope))
         elif operation == Opcode.SNAPSHOT_REQUEST:
             self.env.process(self._serve_snapshot_request(src_node, envelope))
         elif operation == Opcode.LEDGER_REQUEST:
@@ -312,6 +401,52 @@ class BlockumulusCell:
             self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
             return
 
+        result = yield from self._service_pipeline(envelope)
+        if result.aborted:
+            # The cell crashed mid-service; it stays silent.
+            return
+        if result.admit_error is not None:
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": result.admit_error})
+            return
+
+        self.subscriptions.record_transaction(envelope.sender)
+
+        if result.confirmed:
+            self.metrics.increment(f"{self.node_name}/transactions_confirmed")
+            self.metrics.record_latency(f"{self.node_name}/service_latency", started, self.env.now)
+            self._reply(
+                src_node, envelope, Opcode.TX_RECEIPT, {"receipt": result.receipt.to_wire()}
+            )
+            return
+
+        # Failure path: the transaction reverts from the client's viewpoint.
+        if result.mismatched:
+            self.metrics.increment(f"{self.node_name}/fingerprint_mismatches")
+        self.metrics.increment(f"{self.node_name}/transactions_failed")
+        self._reply(
+            src_node,
+            envelope,
+            Opcode.TX_ERROR,
+            {
+                "error": result.failure_reason(),
+                "tx_id": result.entry.tx_id,
+                "missing_cells": [address.hex() for address in result.missing],
+                "mismatched_cells": [address.hex() for address in result.mismatched],
+            },
+        )
+
+    def _service_pipeline(self, envelope: Envelope) -> Generator[Event, Any, _ServiceResult]:
+        """Admit, replicate, and aggregate one transaction (Fig. 7 steps 2-4).
+
+        The shared core of transaction servicing: admission under the
+        ledger mutex, forwarding to every active peer, local execution,
+        confirmation collection against the forwarding deadline, and
+        fingerprint aggregation into a multi-signature receipt.  Used by
+        the client-facing ``TX_SUBMIT`` path and by the cross-shard
+        gateway (which services the inner prepare/commit/abort
+        transactions of a two-phase cross-shard commit); only the reply
+        that reports the returned :class:`_ServiceResult` differs.
+        """
         # Admission: the ordering point, under the ledger mutex.
         yield self.ledger.mutex.request()
         try:
@@ -321,8 +456,7 @@ class BlockumulusCell:
             try:
                 entry = self.ledger.admit(envelope, cycle)
             except LedgerError as exc:
-                self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
-                return
+                return _ServiceResult(admit_error=str(exc), cycle=cycle)
         finally:
             self.ledger.mutex.release()
 
@@ -333,7 +467,7 @@ class BlockumulusCell:
         for peer_address, peer_node in active_peers.items():
             yield from self.cpu.use(self.service_model.forward_cpu_per_cell)
             if self.fault.crashed:
-                return
+                return _ServiceResult(entry=entry, cycle=cycle, aborted=True)
             if self.batcher is not None:
                 # Batched pipeline: the client envelope joins this peer's next
                 # batch flush instead of costing a dedicated network message.
@@ -386,8 +520,7 @@ class BlockumulusCell:
                     address, cycle, reason="forwarding deadline missed"
                 )
 
-        self.subscriptions.record_transaction(envelope.sender)
-
+        receipt: Optional[AggregatedReceipt] = None
         if outcome.ok and not missing and not mismatched and not rejected:
             own_confirmation = Confirmation.create(
                 self.signer,
@@ -409,26 +542,14 @@ class BlockumulusCell:
                 completed_at=self.env.now,
                 confirmations=[own_confirmation] + list(pending.confirmations.values()),
             )
-            self.metrics.increment(f"{self.node_name}/transactions_confirmed")
-            self.metrics.record_latency(f"{self.node_name}/service_latency", started, self.env.now)
-            self._reply(src_node, envelope, Opcode.TX_RECEIPT, {"receipt": receipt.to_wire()})
-            return
-
-        # Failure path: the transaction reverts from the client's viewpoint.
-        if mismatched:
-            self.metrics.increment(f"{self.node_name}/fingerprint_mismatches")
-        error = self._failure_reason(outcome, missing, mismatched, rejected)
-        self.metrics.increment(f"{self.node_name}/transactions_failed")
-        self._reply(
-            src_node,
-            envelope,
-            Opcode.TX_ERROR,
-            {
-                "error": error,
-                "tx_id": entry.tx_id,
-                "missing_cells": [address.hex() for address in missing],
-                "mismatched_cells": [address.hex() for address in mismatched],
-            },
+        return _ServiceResult(
+            entry=entry,
+            outcome=outcome,
+            cycle=cycle,
+            receipt=receipt,
+            missing=missing,
+            mismatched=mismatched,
+            rejected=rejected,
         )
 
     @staticmethod
@@ -720,6 +841,182 @@ class BlockumulusCell:
             self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
 
     # ------------------------------------------------------------------
+    # Cross-shard gateway (contract-state sharding, two-phase commit)
+    # ------------------------------------------------------------------
+    def _serve_xshard(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
+        """Serve one phase of a cross-shard transaction for this group.
+
+        The coordinator's outer envelope carries this group's inner
+        client-signed transaction (hold, settle/credit, or refund/cancel).
+        The gateway enforces the 2PC state machine — no commit without a
+        verified certificate of every participant's prepare vote, no
+        decision reversal — and services the inner transaction through
+        the exact pipeline directly submitted transactions use, so the
+        group's ledgers, receipts, and fingerprints treat cross-shard
+        traffic like any other traffic.  The reply is the gateway's
+        signed :class:`CrossShardVote` for the phase.
+        """
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not envelope.verify() or envelope.recipient != self.address:
+            self.metrics.increment(f"{self.node_name}/auth_failures")
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": "authentication failed"})
+            return
+        if self.shard_group is None or self._shard_directory is None:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": "this deployment is not sharded"},
+            )
+            return
+        if not self.is_xshard_gateway:
+            # One authoritative 2PC state machine per group: a sibling
+            # cell serving the same xtx could be tricked into signing a
+            # verdict that contradicts the gateway's.
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": f"{self.node_name} is not the cross-shard gateway of its group"},
+            )
+            return
+        try:
+            # Cross-shard phases are client traffic: the same access
+            # subscription that gates TX_SUBMIT gates them.
+            self.subscriptions.check_access(envelope.sender)
+        except SubscriptionError as exc:
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+            return
+
+        phase = {
+            Opcode.XSHARD_PREPARE: "prepare",
+            Opcode.XSHARD_COMMIT: "commit",
+            Opcode.XSHARD_ABORT: "abort",
+        }[envelope.operation]
+        try:
+            if phase == "prepare":
+                body: Any = CrossShardPrepare.from_data(envelope.data)
+            else:
+                body = CrossShardDecision.from_data(envelope.data)
+                if (phase == "commit") != (body.decision == "commit"):
+                    raise CrossShardError("decision does not match the envelope opcode")
+        except CrossShardError as exc:
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+            return
+        if body.group != self.shard_group:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": f"cell group {self.shard_group} is not group {body.group}"},
+            )
+            return
+
+        refusal = self._xshard_refusal(phase, body)
+        if refusal is not None:
+            # Protocol refusals are plain errors, never signed votes: a
+            # signed no-vote is abort *evidence*, and a coordinator must
+            # not be able to manufacture one by, say, sending a duplicate
+            # prepare to a group that actually holds funds.
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR, {"error": refusal, "xtx": body.xtx}
+            )
+            return
+
+        try:
+            inner = Envelope.from_wire(body.transaction)
+        except Exception:  # noqa: BLE001 - malformed inner envelopes vote no
+            inner = None
+        if inner is None or (
+            not inner.verify()
+            or inner.sender != envelope.sender
+            or inner.operation != Opcode.TX_SUBMIT
+            or inner.recipient != self.address
+        ):
+            # The inner transaction must be an ordinary TX_SUBMIT, signed
+            # by the same client that coordinates the cross-shard
+            # transaction (a coordinator can only move funds it could
+            # have moved with direct submissions), and addressed to
+            # *this* cell — otherwise one signed envelope could be
+            # replayed onto several groups, breaking the namespace
+            # partition the routing layer guarantees.  A failed prepare
+            # poisons the xtx state so a later well-formed prepare cannot
+            # coexist with this signed no-vote (which is abort evidence).
+            if phase == "prepare":
+                self._xshard_state[body.xtx] = "prepare-failed"
+            self._xshard_vote(
+                src_node, envelope, body.xtx, body.participants, phase, ok=False,
+                error="inner transaction invalid for this gateway",
+            )
+            return
+        if self.fault.is_censored(inner):
+            # A censoring cell drops cross-shard traffic exactly as it
+            # drops direct submissions (Section V-B).
+            self.metrics.increment(f"{self.node_name}/censored")
+            return
+
+        result = yield from self._service_pipeline(inner)
+        if result.aborted:
+            return
+        ok = result.confirmed
+        if result.admit_error is None:
+            # Bill the inner transaction exactly like a direct TX_SUBMIT
+            # (which records serviced transactions whether or not the
+            # confirmation round succeeded).
+            self.subscriptions.record_transaction(envelope.sender)
+        if phase == "prepare":
+            self._xshard_state[body.xtx] = "prepared" if ok else "prepare-failed"
+        elif ok:
+            self._xshard_state[body.xtx] = "committed" if phase == "commit" else "aborted"
+        self.metrics.increment(f"{self.node_name}/xshard_{phase}_{'ok' if ok else 'failed'}")
+        self._xshard_vote(
+            src_node, envelope, body.xtx, body.participants, phase, ok=ok,
+            receipt=result.receipt.to_wire() if result.receipt is not None else None,
+            error=None if ok else result.failure_reason(),
+        )
+
+    def _xshard_refusal(self, phase: str, body: Any) -> Optional[str]:
+        """Why this phase must be refused outright (None to proceed).
+
+        Encodes the per-xtx 2PC state machine: one prepare, then exactly
+        one of commit/abort, and a commit only with a verified
+        certificate.  The contract-level escrow status machine enforces
+        the same transitions group-wide; this check merely refuses bad
+        decisions before they waste a full confirmation round.
+        """
+        state = self._xshard_state.get(body.xtx)
+        if phase == "prepare":
+            if state is not None:
+                return f"cross-shard transaction {body.xtx} was already prepared"
+            return None
+        if state is None or state == "prepare-failed":
+            return f"no prepared cross-shard transaction {body.xtx}"
+        if state in ("committed", "aborted"):
+            return f"cross-shard transaction {body.xtx} was already {state}"
+        # Both decisions need evidence: commit a full yes-certificate,
+        # abort at least one genuine no-vote (mutually exclusive).
+        assert self._shard_directory is not None
+        certificate_error = body.certificate_error(self._shard_directory)
+        if certificate_error is not None:
+            return certificate_error
+        return None
+
+    def _xshard_vote(
+        self,
+        src_node: str,
+        request: Envelope,
+        xtx: str,
+        participants: tuple[int, ...],
+        phase: str,
+        *,
+        ok: bool,
+        receipt: Optional[dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Sign and send this gateway's vote / acknowledgement for a phase."""
+        assert self.shard_group is not None
+        vote = CrossShardVote.create(
+            self.signer, xtx, self.shard_group, participants, phase, ok
+        )
+        self._reply(
+            src_node, request, Opcode.XSHARD_VOTE, vote.to_data(receipt=receipt, error=error)
+        )
+
+    # ------------------------------------------------------------------
     # Auditor interface
     # ------------------------------------------------------------------
     def _serve_snapshot_request(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
@@ -907,6 +1204,8 @@ class BlockumulusCell:
             "subscriber_count": len(self.subscriptions.subscribers()),
             "batching": self.batcher.statistics() if self.batcher is not None else None,
             "lanes": self.lanes.statistics() if self.lanes is not None else None,
+            "shard_group": self.shard_group,
+            "xshard_transactions": len(self._xshard_state),
             "recovering": self.recovering,
             "last_recovery": (
                 {

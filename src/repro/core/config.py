@@ -125,6 +125,20 @@ class DeploymentConfig:
     #: results committed in canonical ledger order so ledgers, receipts,
     #: and fingerprints are identical to the serial run (``repro.core.lanes``).
     execution_lanes: int = 1
+    #: Number of independent cell groups (shards) the contract-state
+    #: namespace is partitioned across (``repro.core.sharding``).  ``1``
+    #: (default) is today's unsharded pipeline, bit-for-bit; ``N > 1``
+    #: makes :class:`~repro.core.sharding.ShardedDeployment` build N
+    #: consortium groups of ``consortium_size`` cells each, sharing one
+    #: simulation environment, network fabric, and anchor chain.  A plain
+    #: :class:`~repro.core.deployment.BlockumulusDeployment` ignores the
+    #: knob (it always builds exactly one group).
+    shard_count: int = 1
+    #: Prefix for this deployment's network node names (e.g. ``"g1/"``).
+    #: A sharded deployment gives each cell group its own namespace so the
+    #: groups can share one network fabric without name collisions; the
+    #: empty default keeps the historical ``cell-<i>`` names.
+    node_namespace: str = ""
 
     def __post_init__(self) -> None:
         if self.consortium_size < 1:
@@ -143,10 +157,12 @@ class DeploymentConfig:
             raise ConfigError("probe_deadline must be positive")
         if self.execution_lanes < 1:
             raise ConfigError("execution_lanes must be at least 1")
+        if self.shard_count < 1:
+            raise ConfigError("shard_count must be at least 1")
 
     def cell_name(self, index: int) -> str:
-        """Canonical node name of cell ``index``."""
-        return f"cell-{index}"
+        """Canonical node name of cell ``index`` (namespaced per group)."""
+        return f"{self.node_namespace}cell-{index}"
 
     def make_invariants(self, cell_addresses: list[Address], t0: float) -> SystemInvariants:
         """Freeze the system invariants once cell identities are known."""

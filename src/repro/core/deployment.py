@@ -5,6 +5,16 @@ needs — the simulation environment, the network fabric, the simulated
 Ethereum node with the :class:`SnapshotRegistry` anchor contract, M cells
 with their system bContracts and the default community bContracts, and the
 metrics registry — mirroring the paper's test setup of Section VI-B.
+
+A deployment normally owns all of that infrastructure.  It can also be
+built *inside* shared infrastructure by passing pre-existing ``env`` /
+``network`` / ``metrics`` / ``eth_node`` objects: this is how
+:class:`~repro.core.sharding.ShardedDeployment` places several independent
+cell groups (one deployment each, namespaced through
+:attr:`DeploymentConfig.node_namespace`) on one simulation clock, one
+network fabric, and one anchor chain, so cross-group protocols and global
+throughput measurements are meaningful.  When nothing is passed, behaviour
+is exactly the historical single-group deployment.
 """
 
 from __future__ import annotations
@@ -32,25 +42,54 @@ CELL_ETH_FUNDING_WEI = 1_000 * 10 ** 18
 
 
 class BlockumulusDeployment:
-    """A fully wired Blockumulus system inside one simulation environment."""
+    """A fully wired Blockumulus system inside one simulation environment.
 
-    def __init__(self, config: Optional[DeploymentConfig] = None) -> None:
+    Construction is eager and synchronous: when ``__init__`` returns, the
+    cells exist, are registered on the network, hold their system and
+    (optionally) default community bContracts, and the non-standby cells'
+    report-cycle lifecycles are started.  Nothing has *executed* yet —
+    drive the simulation with :meth:`run` / :meth:`run_cycles`.
+
+    Parameters
+    ----------
+    config:
+        Operational knobs (consortium size, latency and service models,
+        batching/lanes, standby provisioning, …).  Defaults to
+        ``DeploymentConfig()``.
+    env, network, metrics, eth_node:
+        Optional shared infrastructure.  Any of them may be passed
+        individually; whatever is omitted is created privately, exactly
+        as before these parameters existed.  Callers that share a network
+        across deployments must give each deployment a distinct
+        ``config.node_namespace`` so cell node names cannot collide, and
+        a distinct ``config.deployment_id`` so cell identities and the
+        anchor-registry address differ.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DeploymentConfig] = None,
+        *,
+        env: Optional[Environment] = None,
+        network: Optional[Network] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        eth_node: Optional[EthereumNode] = None,
+    ) -> None:
         self.config = config or DeploymentConfig()
         self.seeds = SeedSequence(self.config.seed)
-        self.env = Environment()
-        self.metrics = MetricsRegistry()
-        self.network = Network(
-            self.env,
-            self.seeds.stream("network"),
-            default_latency=self.config.client_cell_latency,
+        self.env = env if env is not None else Environment()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.network = network if network is not None else self.build_network(
+            self.env, self.seeds, self.config
         )
 
         # --- Simulated public Ethereum chain with the anchor contract -----
-        chain_config = ChainConfig(
-            target_block_interval=self.config.eth_block_interval,
-            fee_schedule=FeeSchedule(),
+        # A shared chain hosts one SnapshotRegistry per deployment: the
+        # registry address is derived from the deployment id, so groups of
+        # a sharded deployment anchor into disjoint contracts.
+        self.eth_node = eth_node if eth_node is not None else self.build_eth_node(
+            self.env, self.seeds, self.config
         )
-        self.eth_node = EthereumNode(self.env, self.seeds.stream("ethereum"), config=chain_config)
         self.eth = Web3Provider(self.eth_node)
 
         # --- Cell identities ----------------------------------------------
@@ -147,6 +186,29 @@ class BlockumulusDeployment:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def build_network(env: Environment, seeds: SeedSequence, config: DeploymentConfig) -> Network:
+        """The canonical network fabric for one configuration.
+
+        Shared single point of truth between a private deployment and a
+        :class:`~repro.core.sharding.ShardedDeployment` building the
+        fabric its groups will share — the wiring cannot drift apart.
+        """
+        return Network(
+            env, seeds.stream("network"), default_latency=config.client_cell_latency
+        )
+
+    @staticmethod
+    def build_eth_node(
+        env: Environment, seeds: SeedSequence, config: DeploymentConfig
+    ) -> EthereumNode:
+        """The canonical simulated Ethereum node for one configuration."""
+        chain_config = ChainConfig(
+            target_block_interval=config.eth_block_interval,
+            fee_schedule=FeeSchedule(),
+        )
+        return EthereumNode(env, seeds.stream("ethereum"), config=chain_config)
+
     def _make_signer(self, seed: str) -> Signer:
         if self.config.signature_scheme == "sim":
             return SimulatedSigner(seed)

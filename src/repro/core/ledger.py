@@ -199,6 +199,18 @@ class TransactionLedger:
         )
         return "0x" + fast_hash(canonical_bytes(items)).hex()
 
+    def execution_fingerprints_through(self, last_cycle: int) -> list[str]:
+        """Per-cycle execution fingerprints for cycles ``0..last_cycle``.
+
+        The ordered list a sharded deployment chains into its
+        deployment-level *shard digest* (:mod:`repro.core.sharding`):
+        one schedule-independent digest per report cycle, covering every
+        transaction outcome of the cycle.
+        """
+        if last_cycle < 0:
+            raise LedgerError("fingerprints need at least cycle 0")
+        return [self.cycle_execution_fingerprint(cycle) for cycle in range(last_cycle + 1)]
+
     def executed_for_cycle(self, cycle: int) -> list[LedgerEntry]:
         """Successfully executed entries of ``cycle`` (the replay set)."""
         return [

@@ -1,0 +1,442 @@
+"""Contract-state sharding across independent cell groups.
+
+The paper's overlay executes every transaction on every cell, so adding
+cells buys fault tolerance but not throughput.  This module adds the
+missing horizontal dimension: a deployment-level **shard map** partitions
+the contract namespace (and the CAS key namespace) across N independent
+*cell groups*, each a full Blockumulus consortium of
+``consortium_size`` cells with its own ledger, snapshots, recovery and
+membership machinery — all sharing one simulation clock, one network
+fabric, and one anchor chain.  Aggregate throughput then grows with the
+group count, because each group only executes the transactions routed to
+the contracts it owns.
+
+Three pieces cooperate (see ``docs/SCALING.md`` for the full model):
+
+* :class:`ShardMap` — the pure routing function: contract name -> owning
+  group (stable hash, overridable by explicit pins), CAS blob digest ->
+  owning group, and span detection over
+  :class:`~repro.core.lanes.AccessFootprint` qualified keys.
+* :class:`ShardedDeployment` — builds the groups (``shard_count == 1``
+  constructs exactly one plain :class:`BlockumulusDeployment` from the
+  untouched config, so the unsharded pipeline is preserved bit-for-bit),
+  deploys each community contract on its owning group, and installs the
+  cross-shard *shard directory* on every cell.
+* the **shard digest** — per cycle, every group's cells agree on one
+  per-group execution fingerprint
+  (:meth:`~repro.core.ledger.TransactionLedger.cycle_execution_fingerprint`);
+  the deployment-level digest chains those per-group fingerprints
+  cycle by cycle, so an auditor holding only the per-group fingerprints
+  can verify global consistency incrementally
+  (:func:`chain_shard_digest`, consumed by
+  :class:`~repro.audit.auditor.ShardedAuditor`).
+
+Cross-shard transactions (the rare access plan spanning groups) run as a
+client-coordinated two-phase commit over the groups' gateway cells —
+see :mod:`repro.messages.xshard` and
+:class:`~repro.client.sharded.ShardedClient`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Optional
+
+from ..contracts.system.cas import ContentAddressableStorage
+from ..contracts.system.deployer import CommunityDeployer
+from ..crypto.fingerprint import canonical_bytes
+from ..crypto.hashing import fast_hash
+from ..sim.environment import Environment
+from ..sim.metrics import MetricsRegistry
+from ..sim.rng import SeedSequence
+from .config import DeploymentConfig
+from .deployment import BlockumulusDeployment
+from .lanes import AccessFootprint
+
+
+class ShardingError(Exception):
+    """Raised for invalid shard routing or sharded-deployment operations."""
+
+
+#: Contracts that exist in every group rather than being owned by one.
+#: The CAS partitions its *key namespace* by blob digest instead; the
+#: deployer runs on whichever group will own the contract being deployed.
+NAMESPACE_SHARDED_CONTRACTS = frozenset(
+    {ContentAddressableStorage.DEFAULT_NAME, CommunityDeployer.DEFAULT_NAME}
+)
+
+#: Index of each group's designated cross-shard gateway cell.  Exactly
+#: one cell per group owns the 2PC state machine (and signs votes); its
+#: siblings refuse XSHARD traffic, so contradictory per-cell verdicts for
+#: one cross-shard transaction cannot exist.  Gateway failover on crash
+#: is future work (see docs/SCALING.md limitations).
+GATEWAY_CELL_INDEX = 0
+
+
+def _stable_shard(token: str, shard_count: int) -> int:
+    """Deterministic hash bucket of ``token`` (stable across runs/processes)."""
+    digest = fast_hash(f"shard/{token}".encode())
+    return int.from_bytes(digest[:8], "big") % shard_count
+
+
+@dataclass
+class ShardMap:
+    """The deployment-level assignment of namespaces to cell groups.
+
+    Routing is a pure function of this object, so every client and every
+    cell holding the same map routes identically.  Contracts are assigned
+    by a stable hash of their name unless explicitly *pinned* (which is
+    how per-shard instances of one application, e.g. ``fastmoney@s2``,
+    land on their intended groups); CAS blobs are assigned by a stable
+    hash of their content digest.
+    """
+
+    shard_count: int
+    pins: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.shard_count < 1:
+            raise ShardingError("a shard map needs at least one group")
+        for name, group in self.pins.items():
+            self._check_group(group, name)
+
+    def _check_group(self, group: int, what: str) -> None:
+        if not 0 <= group < self.shard_count:
+            raise ShardingError(
+                f"group {group} for {what!r} is out of range [0, {self.shard_count})"
+            )
+
+    def pin(self, contract: str, group: int) -> None:
+        """Explicitly assign ``contract`` to ``group`` (overrides the hash)."""
+        if not contract:
+            raise ShardingError("cannot pin an unnamed contract")
+        self._check_group(group, contract)
+        self.pins[contract] = group
+
+    def shard_of_contract(self, contract: str) -> int:
+        """Owning group of a contract name (pin first, stable hash second)."""
+        if not isinstance(contract, str) or not contract:
+            raise ShardingError("contract name must be a non-empty string")
+        pinned = self.pins.get(contract)
+        if pinned is not None:
+            return pinned
+        return _stable_shard(f"contract/{contract}", self.shard_count)
+
+    def shard_of_cas_key(self, digest: str) -> int:
+        """Owning group of a CAS blob digest (the CAS namespace partition)."""
+        if not isinstance(digest, str) or not digest:
+            raise ShardingError("CAS digest must be a non-empty string")
+        return _stable_shard(f"cas/{digest.lower()}", self.shard_count)
+
+    def route_call(self, contract: str, method: str, args: dict[str, Any]) -> int:
+        """Owning group of one ``(contract, method, args)`` invocation.
+
+        Most calls route by contract name.  The two namespace-sharded
+        system contracts route by the namespace entry they touch: CAS
+        calls by blob digest (computed client-side for ``put``), deployer
+        calls by the *name of the contract being deployed* — so a freshly
+        deployed community contract is registered on the group that will
+        own its traffic.
+        """
+        if contract == ContentAddressableStorage.DEFAULT_NAME:
+            if method == "put":
+                content_hex = str(args.get("content_hex", ""))
+                text = content_hex[2:] if content_hex.startswith("0x") else content_hex
+                try:
+                    content = bytes.fromhex(text)
+                except ValueError as exc:
+                    raise ShardingError("cannot route a CAS put of non-hex content") from exc
+                return self.shard_of_cas_key(ContentAddressableStorage.content_hash(content))
+            digest = args.get("digest")
+            if isinstance(digest, str) and digest:
+                return self.shard_of_cas_key(digest)
+            raise ShardingError(f"cannot route CAS method {method!r} without a digest")
+        if contract == CommunityDeployer.DEFAULT_NAME:
+            target = args.get("name")
+            if isinstance(target, str) and target:
+                return self.shard_of_contract(target)
+            raise ShardingError("cannot route a deployment without a contract name")
+        return self.shard_of_contract(contract)
+
+    def groups_for_footprint(self, footprint: AccessFootprint) -> Optional[frozenset[int]]:
+        """Groups an access footprint touches (None when undecidable).
+
+        This is the pre-execution span check of the cross-shard protocol:
+        every contract-qualified key of the footprint maps to its
+        contract's owning group.  An *exclusive* footprint carries no key
+        information, so span detection is undecidable (``None``) and the
+        caller must fall back to routing by contract name alone.
+        """
+        if footprint.exclusive:
+            return None
+        contracts = {
+            contract
+            for keys in (footprint.reads, footprint.writes, footprint.deltas)
+            for contract, _key in keys
+        }
+        return frozenset(self.shard_of_contract(contract) for contract in contracts)
+
+    def to_data(self) -> dict[str, Any]:
+        """JSON-serializable form (documentation and audit reports)."""
+        return {"shard_count": self.shard_count, "pins": dict(sorted(self.pins.items()))}
+
+
+@dataclass
+class CellGroup:
+    """One shard: a full Blockumulus consortium owning part of the namespace."""
+
+    index: int
+    deployment: BlockumulusDeployment
+
+    @property
+    def cells(self):
+        """The group's consortium cells."""
+        return self.deployment.cells
+
+    @property
+    def gateway(self):
+        """The group's designated cross-shard gateway cell."""
+        return self.deployment.cells[GATEWAY_CELL_INDEX]
+
+    def live_cells(self):
+        """Cells currently running (not crashed)."""
+        return [cell for cell in self.deployment.cells if not cell.fault.crashed]
+
+    def cycle_execution_fingerprint(self, cycle: int) -> str:
+        """The group's agreed per-cycle execution fingerprint.
+
+        Every live cell of the group must report the same
+        :meth:`~repro.core.ledger.TransactionLedger.cycle_execution_fingerprint`;
+        divergence means the group itself is inconsistent, which the
+        within-group confirmation protocol should have caught — so it is
+        surfaced as an error rather than papered over.
+        """
+        fingerprints = {
+            cell.ledger.cycle_execution_fingerprint(cycle) for cell in self.live_cells()
+        }
+        if len(fingerprints) != 1:
+            raise ShardingError(
+                f"group {self.index} cells disagree on cycle {cycle}: "
+                f"{sorted(fingerprints)}"
+            )
+        return fingerprints.pop()
+
+
+def chain_shard_digest(
+    deployment_id: str,
+    shard_count: int,
+    per_cycle_fingerprints: Iterable[Iterable[str]],
+) -> str:
+    """Chain per-group execution fingerprints into one deployment digest.
+
+    ``per_cycle_fingerprints`` yields, for each report cycle starting at
+    cycle 0, the ordered list of per-group fingerprints
+    ``[group 0, group 1, …]``.  The digest is a hash chain
+
+    ``d_{-1} = H(genesis material)``;
+    ``d_c = H({prev: d_{c-1}, cycle: c, groups: [fp_0 … fp_{N-1}]})``
+
+    so it commits to every group's whole execution history in order.  It
+    is a pure function of the fingerprints — an auditor who has verified
+    each group's fingerprints independently can recompute it without any
+    further cell interaction (:class:`~repro.audit.auditor.ShardedAuditor`
+    does exactly that).
+    """
+    digest = "0x" + fast_hash(
+        canonical_bytes(
+            {"kind": "shard-digest", "deployment": deployment_id, "shards": shard_count}
+        )
+    ).hex()
+    for cycle, fingerprints in enumerate(per_cycle_fingerprints):
+        groups = list(fingerprints)
+        if len(groups) != shard_count:
+            raise ShardingError(
+                f"cycle {cycle} carries {len(groups)} group fingerprints, "
+                f"expected {shard_count}"
+            )
+        digest = "0x" + fast_hash(
+            canonical_bytes({"prev": digest, "cycle": cycle, "groups": groups})
+        ).hex()
+    return digest
+
+
+class ShardedDeployment:
+    """N independent cell groups sharing one simulation, network, and chain.
+
+    With ``config.shard_count == 1`` this constructs exactly one
+    :class:`BlockumulusDeployment` from the **untouched** config — same
+    deployment id, node names, seeds, and RNG draws — so the unsharded
+    pipeline is preserved bit-for-bit and every existing experiment can
+    be re-run through the sharded front door.
+
+    With ``shard_count > 1`` each group ``g`` gets a derived config
+    (``deployment_id`` suffixed ``/g<g>``, node namespace ``g<g>/``,
+    seed offset by ``g``) and is built inside the shared environment /
+    network / metrics / anchor chain.  The default community contracts
+    are then deployed once each, on their hash-assigned owning groups,
+    and every cell receives the shard directory that enables its
+    cross-shard gateway role.
+    """
+
+    def __init__(self, config: Optional[DeploymentConfig] = None) -> None:
+        self.config = config or DeploymentConfig()
+        self.shard_map = ShardMap(self.config.shard_count)
+        self.seeds = SeedSequence(self.config.seed)
+        #: Community contracts deployed through this front door: name -> group.
+        self.contract_locations: dict[str, int] = {}
+
+        if self.config.shard_count == 1:
+            primary = BlockumulusDeployment(self.config)
+            self.groups: list[CellGroup] = [CellGroup(0, primary)]
+            self.env = primary.env
+            self.network = primary.network
+            self.metrics = primary.metrics
+            self.eth_node = primary.eth_node
+            if self.config.deploy_default_contracts:
+                for prototype in BlockumulusDeployment._default_contracts():
+                    self.contract_locations[prototype.name] = 0
+                    self.shard_map.pin(prototype.name, 0)
+        else:
+            self.env = Environment()
+            self.metrics = MetricsRegistry()
+            self.network = BlockumulusDeployment.build_network(
+                self.env, self.seeds, self.config
+            )
+            self.eth_node = BlockumulusDeployment.build_eth_node(
+                self.env, self.seeds, self.config
+            )
+            self.groups = []
+            for index in range(self.config.shard_count):
+                group_config = replace(
+                    self.config,
+                    deployment_id=f"{self.config.deployment_id}/g{index}",
+                    node_namespace=f"g{index}/",
+                    seed=self.config.seed + index,
+                    deploy_default_contracts=False,
+                )
+                deployment = BlockumulusDeployment(
+                    group_config,
+                    env=self.env,
+                    network=self.network,
+                    metrics=self.metrics,
+                    eth_node=self.eth_node,
+                )
+                self.groups.append(CellGroup(index, deployment))
+            if self.config.deploy_default_contracts:
+                self.deploy_contract_instances(BlockumulusDeployment._default_contracts())
+
+        # The shard directory lists only each group's designated gateway:
+        # decision certificates must carry votes from *the* gateway, and
+        # sibling cells refuse XSHARD traffic altogether.
+        directory = {
+            group.index: frozenset({group.gateway.address}) for group in self.groups
+        }
+        for group in self.groups:
+            for cell in group.cells:
+                cell.install_shard_directory(
+                    group.index, directory, gateway=(cell is group.gateway)
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of cell groups N."""
+        return len(self.groups)
+
+    def group(self, index: int) -> CellGroup:
+        """Cell group by index."""
+        try:
+            return self.groups[index]
+        except IndexError:
+            raise ShardingError(f"no cell group with index {index}") from None
+
+    def group_of_contract(self, contract: str) -> CellGroup:
+        """The group that owns ``contract``; unknown contracts are an error.
+
+        Namespace-sharded system contracts (CAS, deployer) exist on every
+        group and route per call, not per contract — asking for a single
+        owning group for them is also an error (use
+        :meth:`ShardMap.route_call`).
+        """
+        if contract in NAMESPACE_SHARDED_CONTRACTS:
+            raise ShardingError(
+                f"{contract!r} is namespace-sharded; route individual calls instead"
+            )
+        group = self.contract_locations.get(contract)
+        if group is None:
+            raise ShardingError(f"no contract named {contract!r} is deployed in any group")
+        return self.groups[group]
+
+    # ------------------------------------------------------------------
+    # Contract deployment
+    # ------------------------------------------------------------------
+    def deploy_contract_instances(
+        self, prototype_list: list[Any], group: Optional[int] = None
+    ) -> dict[str, int]:
+        """Deploy each prototype on its owning group (all of that group's cells).
+
+        ``group`` pins every prototype to an explicit group instead of the
+        shard map's hash assignment — how per-shard application instances
+        (e.g. one FastMoney per group) are placed.  Returns the name ->
+        group placement that was applied.
+        """
+        placements: dict[str, int] = {}
+        for prototype in prototype_list:
+            target = group if group is not None else self.shard_map.shard_of_contract(
+                prototype.name
+            )
+            self.shard_map.pin(prototype.name, target)
+            self.groups[target].deployment.deploy_community_contract_instances([prototype])
+            self.contract_locations[prototype.name] = target
+            placements[prototype.name] = target
+        return placements
+
+    # ------------------------------------------------------------------
+    # Simulation driving
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the shared simulation clock (all groups together)."""
+        self.env.run(until=until)
+
+    def run_cycles(self, cycles: int) -> None:
+        """Run all groups for an integer number of report cycles."""
+        target = self.env.now + cycles * self.config.report_period + 1.0
+        self.env.run(until=target)
+
+    # ------------------------------------------------------------------
+    # Global consistency (the shard digest)
+    # ------------------------------------------------------------------
+    def group_cycle_fingerprints(self, cycle: int) -> list[str]:
+        """Per-group agreed execution fingerprints for one cycle, in order."""
+        return [group.cycle_execution_fingerprint(cycle) for group in self.groups]
+
+    def shard_digest(self, through_cycle: int) -> str:
+        """The chained deployment digest over cycles ``0..through_cycle``.
+
+        This is the global-consistency commitment: it covers every
+        group's per-cycle execution fingerprints in group order, chained
+        cycle by cycle (:func:`chain_shard_digest`).
+        """
+        if through_cycle < 0:
+            raise ShardingError("the shard digest needs at least cycle 0")
+        return chain_shard_digest(
+            self.config.deployment_id,
+            self.shard_count,
+            (self.group_cycle_fingerprints(cycle) for cycle in range(through_cycle + 1)),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, Any]:
+        """Aggregated deployment statistics, per group plus global totals."""
+        return {
+            "shard_count": self.shard_count,
+            "shard_map": self.shard_map.to_data(),
+            "contract_locations": dict(sorted(self.contract_locations.items())),
+            "network_bytes": self.network.total_bytes(),
+            "network_messages": self.network.total_messages(),
+            "groups": [group.deployment.statistics() for group in self.groups],
+        }

@@ -15,12 +15,22 @@ from .membership import (
 from .opcodes import AUDITOR_OPCODES, CELL_OPCODES, CLIENT_OPCODES, Opcode
 from .payload import Payload, PayloadError
 from .signer import EcdsaSigner, SimulatedSigner, Signer, verify_signature
+from .xshard import (
+    CrossShardDecision,
+    CrossShardError,
+    CrossShardPrepare,
+    CrossShardVote,
+)
 
 __all__ = [
     "AUDITOR_OPCODES",
     "BatchError",
     "CELL_OPCODES",
     "CLIENT_OPCODES",
+    "CrossShardDecision",
+    "CrossShardError",
+    "CrossShardPrepare",
+    "CrossShardVote",
     "EcdsaSigner",
     "Envelope",
     "EnvelopeError",

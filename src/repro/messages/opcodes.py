@@ -38,6 +38,16 @@ class Opcode(str, Enum):
     CELL_SYNC = "cell_sync"                 # state resync request after exclusion
     CELL_SYNC_STATE = "cell_sync_state"     # snapshot + ledger tail for a resync
 
+    # Cross-shard two-phase commit (contract-state sharding).  The
+    # coordinator (the client, or a tool acting for it) drives gateway
+    # cells of the participant groups; every inner state change is an
+    # ordinary client-signed transaction serviced through the group's
+    # normal admit/forward/confirm pipeline.
+    XSHARD_PREPARE = "xshard_prepare"       # run a participant's prepare transaction
+    XSHARD_COMMIT = "xshard_commit"         # commit decision + signed vote certificate
+    XSHARD_ABORT = "xshard_abort"           # abort decision (roll back prepared holds)
+    XSHARD_VOTE = "xshard_vote"             # gateway's signed vote / phase acknowledgement
+
     # Service cell -> client.
     TX_RECEIPT = "tx_receipt"               # aggregated multi-signature receipt
     TX_ERROR = "tx_error"                   # transaction reverted / deadline missed
@@ -60,7 +70,16 @@ class Opcode(str, Enum):
 
 #: Opcodes a client is allowed to originate.
 CLIENT_OPCODES = frozenset(
-    {Opcode.TX_SUBMIT, Opcode.SUBSCRIBE, Opcode.DEPLOY_CONTRACT, Opcode.QUERY_STATE, Opcode.PING}
+    {
+        Opcode.TX_SUBMIT,
+        Opcode.SUBSCRIBE,
+        Opcode.DEPLOY_CONTRACT,
+        Opcode.QUERY_STATE,
+        Opcode.XSHARD_PREPARE,
+        Opcode.XSHARD_COMMIT,
+        Opcode.XSHARD_ABORT,
+        Opcode.PING,
+    }
 )
 
 #: Opcodes only another consortium cell may originate.

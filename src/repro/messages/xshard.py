@@ -1,0 +1,331 @@
+"""Cross-shard two-phase-commit message bodies (contract-state sharding).
+
+A sharded deployment (:mod:`repro.core.sharding`) partitions the contract
+namespace across independent cell groups.  The rare transaction whose
+access plan spans groups runs as a two-phase commit driven by its
+coordinator (the submitting client) against one *gateway* cell per
+participant group:
+
+* ``XSHARD_PREPARE`` carries a :class:`CrossShardPrepare`: the cross-shard
+  transaction id, the participant set, and this group's *prepare
+  transaction* — an ordinary client-signed ``TX_SUBMIT`` envelope (e.g. a
+  FastMoney escrow hold) that the gateway services through the group's
+  normal admit/forward/confirm pipeline.
+* the gateway answers with a signed :class:`CrossShardVote` — ``ok`` iff
+  the prepare transaction received a full aggregated receipt.  Votes are
+  individually signed statements, like transaction confirmations and
+  membership votes, so they are third-party-verifiable evidence.
+* ``XSHARD_COMMIT`` carries a :class:`CrossShardDecision` whose
+  *certificate* is the complete set of ``ok`` prepare votes; an
+  ``XSHARD_ABORT`` decision instead carries at least one verified *no*
+  prepare vote as evidence that the commit certificate can never be
+  assembled.  A gateway re-verifies the certificate against the
+  deployment's shard directory (which cells belong to which group)
+  before admitting either decision, and protocol refusals are plain
+  errors — never signed votes — so a coordinator cannot launder a
+  refusal into abort evidence.  Together the two certificate rules make
+  the decisions mutually exclusive: with every participant voting yes
+  only commit is provable, with any genuine no vote only abort is, so a
+  faulty coordinator cannot commit one side of a transfer while
+  aborting the other.  (A coordinator whose yes votes were *lost* can
+  prove neither decision; the holds stay escrowed — frozen, never
+  duplicated — until it re-drives a decision with fresh evidence.)
+
+The envelope *around* these bodies is signed by the coordinator; the inner
+transactions are signed by the paying client, so gateways never need to
+trust the coordinator with anyone's funds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..crypto.keys import Address
+from ..encoding import canonical_json
+from .signer import Signer, verify_signature
+
+
+class CrossShardError(ValueError):
+    """Raised for malformed cross-shard protocol message bodies."""
+
+
+#: Valid protocol phases a vote can acknowledge.
+PHASES = ("prepare", "commit", "abort")
+
+
+def _address(raw: Any, what: str) -> Address:
+    """Parse a hex address field, mapping failures to CrossShardError."""
+    try:
+        return Address.from_hex(raw)
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise CrossShardError(f"malformed {what} address: {raw!r}") from exc
+
+
+@dataclass(frozen=True)
+class CrossShardPrepare:
+    """Phase-1 request to one participant group's gateway cell.
+
+    ``transaction`` is the wire form of the inner client-signed
+    ``TX_SUBMIT`` envelope implementing this group's share of the
+    cross-shard transaction (the *hold*); the gateway services it exactly
+    like a directly submitted transaction.
+    """
+
+    xtx: str
+    group: int
+    participants: tuple[int, ...]
+    transaction: dict[str, Any]
+
+    def __post_init__(self) -> None:
+        if not self.xtx:
+            raise CrossShardError("a cross-shard transaction needs an id")
+        if len(self.participants) < 2:
+            raise CrossShardError("a cross-shard transaction spans at least two groups")
+        if self.group not in self.participants:
+            raise CrossShardError("the addressed group must be a participant")
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of an ``XSHARD_PREPARE`` envelope."""
+        return {
+            "xtx": self.xtx,
+            "group": self.group,
+            "participants": list(self.participants),
+            "transaction": self.transaction,
+        }
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "CrossShardPrepare":
+        """Rebuild a prepare request from an envelope's data field."""
+        try:
+            transaction = raw["transaction"]
+            if not isinstance(transaction, dict):
+                raise TypeError("transaction must be an envelope object")
+            return cls(
+                xtx=str(raw["xtx"]),
+                group=int(raw["group"]),
+                participants=tuple(int(g) for g in raw["participants"]),
+                transaction=transaction,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CrossShardError(f"malformed cross-shard prepare: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CrossShardVote:
+    """A gateway cell's signed verdict on one phase of a cross-shard tx.
+
+    For the prepare phase, ``ok=True`` means this group executed and
+    fully confirmed the hold; the signed vote is what the coordinator
+    assembles into the commit (or abort) certificate.  The *participant
+    set* is part of the signed body, so a vote gathered for one
+    transaction shape cannot be replayed into a decision over a
+    different set of groups.  Commit/abort phases reuse the same shape
+    as acknowledgements.
+    """
+
+    voter: Address
+    xtx: str
+    group: int
+    participants: tuple[int, ...]
+    phase: str
+    ok: bool
+    signature: bytes
+    scheme: str = "ecdsa"
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise CrossShardError(f"unknown cross-shard phase {self.phase!r}")
+
+    @staticmethod
+    def signing_body(
+        voter: Address, xtx: str, group: int, participants: tuple[int, ...],
+        phase: str, ok: bool,
+    ) -> bytes:
+        """Canonical bytes a gateway signs for a cross-shard vote."""
+        return canonical_json.dump_bytes(
+            {
+                "kind": "xshard_vote",
+                "voter": voter.hex(),
+                "xtx": xtx,
+                "group": group,
+                "participants": list(participants),
+                "phase": phase,
+                "ok": ok,
+            }
+        )
+
+    @classmethod
+    def create(
+        cls, signer: Signer, xtx: str, group: int, participants: tuple[int, ...],
+        phase: str, ok: bool,
+    ) -> "CrossShardVote":
+        """Build and sign a vote on behalf of ``signer``."""
+        body = cls.signing_body(signer.address, xtx, group, participants, phase, ok)
+        return cls(
+            voter=signer.address,
+            xtx=xtx,
+            group=group,
+            participants=tuple(participants),
+            phase=phase,
+            ok=ok,
+            signature=signer.sign(body),
+            scheme=signer.scheme,
+        )
+
+    def verify(self) -> bool:
+        """Check the voter's signature over the vote body."""
+        body = self.signing_body(
+            self.voter, self.xtx, self.group, self.participants, self.phase, self.ok
+        )
+        return verify_signature(self.scheme, self.voter, body, self.signature)
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-serializable form (embedded in votes and certificates)."""
+        return {
+            "voter": self.voter.hex(),
+            "xtx": self.xtx,
+            "group": self.group,
+            "participants": list(self.participants),
+            "phase": self.phase,
+            "ok": self.ok,
+            "signature": "0x" + self.signature.hex(),
+            "scheme": self.scheme,
+        }
+
+    @classmethod
+    def from_wire(cls, raw: dict[str, Any]) -> "CrossShardVote":
+        """Parse a vote from its wire form."""
+        try:
+            return cls(
+                voter=_address(raw["voter"], "voter"),
+                xtx=str(raw["xtx"]),
+                group=int(raw["group"]),
+                participants=tuple(int(g) for g in raw["participants"]),
+                phase=str(raw["phase"]),
+                ok=bool(raw["ok"]),
+                signature=bytes.fromhex(raw["signature"][2:]),
+                scheme=raw.get("scheme", "ecdsa"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CrossShardError(f"malformed cross-shard vote: {exc}") from exc
+
+    def to_data(self, receipt: Optional[dict[str, Any]] = None,
+                error: Optional[str] = None) -> dict[str, Any]:
+        """The data field D of an ``XSHARD_VOTE`` reply envelope."""
+        data: dict[str, Any] = {"vote": self.to_wire()}
+        if receipt is not None:
+            data["receipt"] = receipt
+        if error is not None:
+            data["error"] = error
+        return data
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "CrossShardVote":
+        """Rebuild a vote from an envelope's data field."""
+        vote = raw.get("vote")
+        if not isinstance(vote, dict):
+            raise CrossShardError("cross-shard vote envelope carries no vote object")
+        return cls.from_wire(vote)
+
+
+@dataclass(frozen=True)
+class CrossShardDecision:
+    """Phase-2 decision (commit or abort) sent to one participant gateway.
+
+    ``transaction`` is this group's inner client-signed settle/credit (on
+    commit) or refund/cancel (on abort) envelope; ``votes`` is the
+    prepare certificate, re-verified by every receiver against the shard
+    directory.  On commit it must contain an ``ok`` vote from a gateway
+    cell of *every* participant group; on abort it must contain at least
+    one genuine *no* vote — proof that the commit certificate can never
+    exist, which is what makes the two decisions mutually exclusive.
+    """
+
+    xtx: str
+    decision: str
+    group: int
+    participants: tuple[int, ...]
+    transaction: dict[str, Any]
+    votes: tuple[CrossShardVote, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.decision not in ("commit", "abort"):
+            raise CrossShardError(f"unknown cross-shard decision {self.decision!r}")
+        if self.group not in self.participants:
+            raise CrossShardError("the addressed group must be a participant")
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of an ``XSHARD_COMMIT``/``XSHARD_ABORT`` envelope."""
+        return {
+            "xtx": self.xtx,
+            "decision": self.decision,
+            "group": self.group,
+            "participants": list(self.participants),
+            "transaction": self.transaction,
+            "votes": [vote.to_wire() for vote in self.votes],
+        }
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "CrossShardDecision":
+        """Rebuild a decision from an envelope's data field."""
+        try:
+            transaction = raw["transaction"]
+            if not isinstance(transaction, dict):
+                raise TypeError("transaction must be an envelope object")
+            return cls(
+                xtx=str(raw["xtx"]),
+                decision=str(raw["decision"]),
+                group=int(raw["group"]),
+                participants=tuple(int(g) for g in raw["participants"]),
+                transaction=transaction,
+                votes=tuple(
+                    CrossShardVote.from_wire(vote) for vote in raw.get("votes", [])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CrossShardError(f"malformed cross-shard decision: {exc}") from exc
+
+    def certificate_error(
+        self, directory: Mapping[int, frozenset[Address]]
+    ) -> Optional[str]:
+        """Why the decision's certificate is invalid (None when it verifies).
+
+        A valid **commit** certificate carries, for every participant
+        group, an ``ok`` prepare vote whose signature verifies and whose
+        voter is a known cell of that group per the deployment's shard
+        ``directory``.  A valid **abort** certificate carries at least
+        one such-verified *no* prepare vote from any participant group.
+        Since gateways sign a prepare vote only after actually servicing
+        the hold (refusals are unsigned errors), the two certificates
+        are mutually exclusive for one cross-shard transaction.
+        """
+        vouched_yes: set[int] = set()
+        has_no_vote = False
+        for vote in self.votes:
+            if vote.xtx != self.xtx or vote.phase != "prepare":
+                continue
+            if vote.group not in self.participants:
+                continue
+            if vote.participants != self.participants:
+                return (
+                    f"vote for group {vote.group} was cast for participant set "
+                    f"{list(vote.participants)}, not {list(self.participants)}"
+                )
+            members = directory.get(vote.group)
+            if members is None or vote.voter not in members:
+                return f"vote for group {vote.group} is not from a known gateway cell"
+            if not vote.verify():
+                return f"vote for group {vote.group} carries an invalid signature"
+            if vote.ok:
+                vouched_yes.add(vote.group)
+            else:
+                has_no_vote = True
+        if self.decision == "commit":
+            missing = [group for group in self.participants if group not in vouched_yes]
+            if missing:
+                return f"commit certificate is missing prepare votes for groups {missing}"
+            return None
+        if not has_no_vote:
+            return "abort certificate carries no verified no-vote"
+        return None

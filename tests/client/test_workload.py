@@ -7,9 +7,12 @@ from repro.client.workload import (
     build_client_pools,
     run_burst_cas_uploads,
     run_burst_transfers,
+    run_contended_transfers,
     run_sequential_transfers,
+    run_sharded_burst_transfers,
+    run_sharded_contended_transfers,
 )
-from tests.conftest import make_deployment
+from tests.conftest import make_deployment, make_sharded_deployment
 
 
 def test_build_client_pools_round_robin(four_cell_deployment):
@@ -62,3 +65,57 @@ def test_empty_workload_report_raises():
     report.results = [r for r in report.results if not r.ok]
     with pytest.raises(WorkloadError):
         report.throughput()
+
+
+def test_bad_counts_fail_fast_instead_of_producing_empty_bursts():
+    deployment = make_deployment()
+    for bad_count in (0, -3, 1.5, True, "12"):
+        with pytest.raises(WorkloadError, match="positive integer"):
+            run_burst_transfers(deployment, count=bad_count)
+        with pytest.raises(WorkloadError, match="positive integer"):
+            run_sequential_transfers(deployment, count=bad_count)
+        with pytest.raises(WorkloadError, match="positive integer"):
+            run_burst_cas_uploads(deployment, count=bad_count)
+        with pytest.raises(WorkloadError, match="positive integer"):
+            run_contended_transfers(deployment, count=bad_count)
+    # Validation fires before any client pool or contract is created.
+    assert deployment.network.total_messages() == 0
+
+
+def test_bad_amounts_and_rates_fail_fast():
+    deployment = make_deployment()
+    with pytest.raises(WorkloadError, match="amount"):
+        run_burst_transfers(deployment, count=5, amount=0)
+    with pytest.raises(WorkloadError, match="conflict_rate"):
+        run_contended_transfers(deployment, count=5, conflict_rate=1.5)
+    with pytest.raises(WorkloadError, match="conflict_rate"):
+        run_contended_transfers(deployment, count=5, conflict_rate="half")
+    with pytest.raises(WorkloadError, match="hot account"):
+        run_contended_transfers(deployment, count=5, hot_accounts=0)
+    with pytest.raises(WorkloadError, match="blob_bytes"):
+        run_burst_cas_uploads(deployment, count=5, blob_bytes=0)
+
+
+def test_all_cross_shard_workload_summarizes_cleanly():
+    deployment = make_sharded_deployment(2)
+    report = run_sharded_burst_transfers(
+        deployment, count=4, cross_shard_rate=1.0, pools=2
+    )
+    assert len(report.cross_results) == 4 and not report.results
+    assert report.failure_count == 0
+    summary = report.summary()
+    assert summary["transactions"] == 4
+    assert summary["cross_shard_transactions"] == 4
+    assert summary["latency_p50"] is None
+    assert summary["throughput_tps"] > 0
+    assert summary["cross_latency_p50"] > 0
+
+
+def test_sharded_workload_validation():
+    deployment = make_sharded_deployment(1)
+    with pytest.raises(WorkloadError, match="positive integer"):
+        run_sharded_burst_transfers(deployment, count=0)
+    with pytest.raises(WorkloadError, match="at least two shards"):
+        run_sharded_burst_transfers(deployment, count=5, cross_shard_rate=0.1)
+    with pytest.raises(WorkloadError, match="cross_shard_rate"):
+        run_sharded_contended_transfers(deployment, count=5, cross_shard_rate=2.0)

@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.core import BlockumulusDeployment, DeploymentConfig
+from repro.core import BlockumulusDeployment, DeploymentConfig, ShardedDeployment
 from repro.crypto import PrivateKey
 from repro.sim import ConstantLatency, Environment, SeedSequence, fast_test_service_model
 
@@ -39,6 +39,11 @@ def fast_config(**overrides) -> DeploymentConfig:
 def make_deployment(**overrides) -> BlockumulusDeployment:
     """Build a fast-test deployment."""
     return BlockumulusDeployment(fast_config(**overrides))
+
+
+def make_sharded_deployment(shards: int, **overrides) -> ShardedDeployment:
+    """Build a fast-test sharded deployment with ``shards`` cell groups."""
+    return ShardedDeployment(fast_config(shard_count=shards, **overrides))
 
 
 @pytest.fixture

@@ -33,6 +33,40 @@ def test_checker_flags_broken_links_and_anchors(tmp_path):
     assert "escapes the repository" in result.stderr
 
 
+def test_checker_flags_rotted_module_and_file_references(tmp_path):
+    bad = tmp_path / "rot.md"
+    bad.write_text(
+        "# Title\n"
+        "The `repro.core.telepathy` module does not exist.\n"
+        "Neither does `core/telepathy.py` nor `benchmarks/test_nothing.py`.\n"
+        "And `imaginary-dir/` is not a directory.\n"
+    )
+    result = subprocess.run(
+        [sys.executable, str(CHECKER), str(bad)], capture_output=True, text=True
+    )
+    assert result.returncode == 1
+    assert "broken module reference" in result.stderr
+    assert "telepathy" in result.stderr
+    assert "broken file reference" in result.stderr
+    assert "test_nothing.py" in result.stderr
+    assert "broken directory reference" in result.stderr
+
+
+def test_checker_accepts_real_module_and_file_references(tmp_path):
+    good = tmp_path / "fresh.md"
+    good.write_text(
+        "# Title\n"
+        "`repro.core.sharding` routes; `repro.core.sharding.ShardMap` maps;\n"
+        "`repro.client` is a package and `repro.core.faults.FaultPlan` an attribute.\n"
+        "`core/lanes.py` and `benchmarks/test_sharding.py` exist,\n"
+        "`check_links.py` is found by bare name, and `docs/` is a directory.\n"
+    )
+    result = subprocess.run(
+        [sys.executable, str(CHECKER), str(good)], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+
+
 def test_checker_accepts_valid_anchors(tmp_path):
     good = tmp_path / "good.md"
     other = tmp_path / "other.md"

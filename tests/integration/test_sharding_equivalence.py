@@ -1,0 +1,146 @@
+"""Differential harness: sharding must never change what gets computed.
+
+Two guarantees are asserted:
+
+* **shards = 1 is the pre-shard pipeline, artifact for artifact** — the
+  sharded workload generators driven through a one-group
+  ``ShardedDeployment`` produce exactly the ledgers, receipts, per-cycle
+  execution fingerprints, and contract state of the plain
+  ``BlockumulusDeployment`` running the plain workload generators.
+* **repeat determinism** — running the same multi-shard configuration
+  (including cross-shard two-phase transfers) twice yields identical
+  per-shard ledgers, receipts, fingerprints, and the same deployment
+  shard digest.
+"""
+
+from repro.client import (
+    run_burst_transfers,
+    run_contended_transfers,
+    run_sharded_burst_transfers,
+    run_sharded_contended_transfers,
+)
+from repro.crypto.fingerprint import snapshot_fingerprint
+from repro.encoding import canonical_json
+from tests.conftest import make_deployment, make_sharded_deployment
+
+COUNT = 16
+CONFLICT_RATE = 0.5
+HOT_ACCOUNTS = 2
+POOLS = 4
+
+
+def cells_of(deployment):
+    if hasattr(deployment, "cells"):
+        return list(deployment.cells)
+    return [cell for group in deployment.groups for cell in group.cells]
+
+
+def artifacts(deployment, report):
+    """Timing-free observable artifacts of one run."""
+    cells = cells_of(deployment)
+    return {
+        "ledgers": {
+            cell.node_name: sorted(
+                (
+                    entry.tx_id,
+                    entry.status,
+                    str(entry.contract),
+                    canonical_json.dumps(entry.result),
+                    str(entry.error),
+                )
+                for entry in cell.ledger
+            )
+            for cell in cells
+        },
+        "receipts": sorted(
+            (
+                result.receipt.tx_id,
+                result.receipt.contract,
+                result.receipt.fingerprint_hex,
+                canonical_json.dumps(result.receipt.result),
+            )
+            for result in report.successes
+        ),
+        "cycle_fingerprints": {
+            cell.node_name: cell.ledger.cycle_execution_fingerprint(0) for cell in cells
+        },
+        "state_fingerprints": {
+            cell.node_name: "0x" + snapshot_fingerprint(cell.contracts.fingerprints()).hex()
+            for cell in cells
+        },
+    }
+
+
+def test_one_shard_burst_equals_the_plain_pipeline():
+    plain = make_deployment()
+    plain_report = run_burst_transfers(plain, count=COUNT, pools=POOLS)
+    sharded = make_sharded_deployment(1)
+    sharded_report = run_sharded_burst_transfers(sharded, count=COUNT, pools=POOLS)
+    assert sharded_report.cross_results == []
+    expected = artifacts(plain, plain_report)
+    got = artifacts(sharded, sharded_report)
+    for name, value in expected.items():
+        assert got[name] == value, f"{name} diverged between plain and shards=1"
+
+
+def test_one_shard_contended_equals_the_plain_pipeline():
+    plain = make_deployment()
+    plain_report = run_contended_transfers(
+        plain, count=COUNT, conflict_rate=CONFLICT_RATE,
+        hot_accounts=HOT_ACCOUNTS, pools=POOLS, submit_at=5.0,
+    )
+    sharded = make_sharded_deployment(1)
+    sharded_report = run_sharded_contended_transfers(
+        sharded, count=COUNT, conflict_rate=CONFLICT_RATE,
+        hot_accounts=HOT_ACCOUNTS, pools=POOLS, submit_at=5.0,
+    )
+    assert sharded_report.cross_results == []
+    expected = artifacts(plain, plain_report)
+    got = artifacts(sharded, sharded_report)
+    for name, value in expected.items():
+        assert got[name] == value, f"{name} diverged between plain and shards=1"
+
+
+def run_multi_shard():
+    deployment = make_sharded_deployment(2)
+    report = run_sharded_burst_transfers(
+        deployment, count=COUNT, cross_shard_rate=0.25, pools=POOLS
+    )
+    deployment.run_cycles(1)
+    return deployment, report
+
+
+def test_repeated_multi_shard_runs_are_identical():
+    first_deployment, first_report = run_multi_shard()
+    second_deployment, second_report = run_multi_shard()
+    assert first_report.failure_count == 0
+    assert len(first_report.cross_results) > 0, "the cross dial must bite"
+    assert artifacts(first_deployment, first_report) == artifacts(
+        second_deployment, second_report
+    )
+    assert [r.xtx for r in first_report.cross_results] == [
+        r.xtx for r in second_report.cross_results
+    ]
+    assert first_deployment.shard_digest(0) == second_deployment.shard_digest(0)
+
+
+def test_groups_agree_internally_under_cross_shard_traffic():
+    deployment, report = run_multi_shard()
+    assert report.failure_count == 0
+    for group in deployment.groups:
+        # Admission *order* differs per cell (as in the unsharded overlay:
+        # each peer admits on forward arrival); agreement is on content —
+        # the sorted entry digests and the order-independent per-cycle
+        # execution fingerprint every cell of the group must share.
+        contents = {
+            tuple(sorted(
+                (entry.tx_id, entry.status, str(entry.contract), str(entry.error))
+                for entry in cell.ledger
+            ))
+            for cell in group.cells
+        }
+        assert len(contents) == 1, f"group {group.index} cells disagree"
+        fingerprints = {
+            cell.ledger.cycle_execution_fingerprint(0) for cell in group.cells
+        }
+        assert len(fingerprints) == 1

@@ -1,16 +1,25 @@
 #!/usr/bin/env python3
-"""Fail on broken intra-repository links in the project's Markdown files.
+"""Fail on broken intra-repository references in the project's Markdown files.
 
 Scans ``README.md`` and ``docs/*.md`` (or any files passed as arguments)
-for Markdown links ``[text](target)`` and checks that every *relative*
-target resolves to an existing file or directory inside the repository.
-Anchored links (``file.md#heading``) additionally require the anchor to
-match a heading in the target file, using GitHub's slug rules.  External
-links (``http(s)://``, ``mailto:``) are ignored — CI must not depend on
-the network.
+for three kinds of rot:
 
-Exit status: 0 when every link resolves, 1 otherwise (one line per broken
-link).  Used by the ``docs`` CI job and
+* **Markdown links** ``[text](target)`` — every *relative* target must
+  resolve to an existing file or directory inside the repository, and
+  anchored links (``file.md#heading``) must match a heading in the
+  target file (GitHub slug rules).  External links (``http(s)://``,
+  ``mailto:``) are ignored — CI must not depend on the network.
+* **Module references** — backtick-quoted dotted paths like
+  ```repro.core.sharding``` must resolve under ``src/``: each component
+  must be a package directory or module file (a trailing CamelCase or
+  post-module component is accepted as an attribute/class reference).
+* **File references** — backtick-quoted paths like ```core/lanes.py```
+  or ```benchmarks/test_recovery.py``` must name a real file (resolved
+  against the repository root, ``src/repro/``, or — for bare filenames —
+  anywhere in the tree); ```dir/``` tokens must name a real directory.
+
+Exit status: 0 when everything resolves, 1 otherwise (one line per broken
+reference).  Used by the ``docs`` CI job and
 ``tests/docs/test_doc_links.py``.
 """
 
@@ -18,6 +27,7 @@ from __future__ import annotations
 
 import re
 import sys
+from functools import lru_cache
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -27,6 +37,17 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 LINK_PATTERN = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Backtick-quoted dotted module paths rooted at the top-level package.
+MODULE_PATTERN = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+#: Backtick-quoted file paths/names with a recognized suffix.
+FILE_PATTERN = re.compile(
+    r"`([A-Za-z0-9_][A-Za-z0-9_./-]*\.(?:py|md|json|txt|ya?ml|toml|cfg|ini))`"
+)
+#: Backtick-quoted directory paths (trailing slash).
+DIR_PATTERN = re.compile(r"`([A-Za-z0-9_][A-Za-z0-9_./-]*/)`")
+
+SRC_ROOT = REPO_ROOT / "src"
 
 
 def github_slug(heading: str) -> str:
@@ -45,10 +66,82 @@ def heading_slugs(path: Path) -> set[str]:
     return slugs
 
 
+def module_reference_error(dotted: str) -> str | None:
+    """Why a ``repro.*`` dotted reference does not resolve (None when it does).
+
+    Components are resolved left to right under ``src/``: a component may
+    be a package directory or a module file.  Once a module file is
+    reached, one trailing component is accepted as an attribute; a
+    CamelCase trailing component is accepted as a class reference.  A
+    lowercase component that is neither a package nor a module is rot.
+    """
+    components = dotted.split(".")
+    position = SRC_ROOT
+    for index, component in enumerate(components):
+        if (position / component).is_dir():
+            position = position / component
+            continue
+        if (position / f"{component}.py").is_file():
+            # Anything after a module is an attribute/class reference
+            # (``module.Class``, ``module.Class.method``) — not
+            # statically verifiable, hence accepted, however deep.
+            return None
+        if component[:1].isupper() and index == len(components) - 1:
+            return None  # a class referenced on a package, e.g. repro.core.FaultPlan
+        if index == len(components) - 1:
+            # A lowercase final component on a package may be a re-export
+            # (e.g. ``repro.core.chain_shard_digest``): accept it when
+            # the name appears in the package's __init__.py.
+            init = position / "__init__.py"
+            if init.is_file() and re.search(
+                rf"\b{re.escape(component)}\b", init.read_text(encoding="utf-8")
+            ):
+                return None
+        return f"{dotted!r}: no module or package {component!r} under {position.relative_to(REPO_ROOT)}"
+    return None
+
+
+@lru_cache(maxsize=1)
+def _tree_filenames() -> dict[str, int]:
+    """Every committed-tree filename -> occurrence count (for bare names)."""
+    names: dict[str, int] = {}
+    skip_parts = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+    for entry in REPO_ROOT.rglob("*"):
+        if entry.is_file() and not skip_parts.intersection(entry.parts):
+            names[entry.name] = names.get(entry.name, 0) + 1
+    return names
+
+
+def file_reference_error(token: str) -> str | None:
+    """Why a quoted file path does not resolve (None when it does)."""
+    if (REPO_ROOT / token).is_file() or (SRC_ROOT / "repro" / token).is_file():
+        return None
+    if "/" not in token and token in _tree_filenames():
+        return None
+    return f"{token!r}: no such file (tried repo root, src/repro/, and bare-name search)"
+
+
+def dir_reference_error(token: str) -> str | None:
+    """Why a quoted directory path does not resolve (None when it does)."""
+    stripped = token.rstrip("/")
+    if (REPO_ROOT / stripped).is_dir() or (SRC_ROOT / "repro" / stripped).is_dir():
+        return None
+    return f"{token!r}: no such directory (tried repo root and src/repro/)"
+
+
 def check_file(path: Path) -> list[str]:
     """Broken-link descriptions for one Markdown file."""
     problems: list[str] = []
     text = path.read_text(encoding="utf-8")
+    for pattern, checker, label in (
+        (MODULE_PATTERN, module_reference_error, "module reference"),
+        (FILE_PATTERN, file_reference_error, "file reference"),
+        (DIR_PATTERN, dir_reference_error, "directory reference"),
+    ):
+        for match in pattern.finditer(text):
+            error = checker(match.group(1))
+            if error is not None:
+                problems.append(f"{path}: broken {label} {error}")
     for match in LINK_PATTERN.finditer(text):
         target = match.group(1)
         if target.startswith(EXTERNAL_PREFIXES):
