@@ -12,3 +12,19 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    """Repo-wide pytest options.
+
+    ``--chaos-budget`` scales the chaos corpus (tests/chaos): by default
+    the pinned corpus runs in full; nightly jobs pass a larger budget to
+    extend the seed range, and a smaller one gives a quick smoke slice.
+    """
+    parser.addoption(
+        "--chaos-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of seeded chaos scenarios to run (default: the pinned corpus)",
+    )

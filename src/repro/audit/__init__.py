@@ -1,5 +1,23 @@
 """Independent auditing of Blockumulus deployments."""
 
 from .auditor import AuditError, AuditFinding, AuditReport, Auditor, ShardedAuditor
+from .oracles import (
+    OracleResult,
+    fastmoney_instances,
+    harvest_escrows,
+    run_audit_oracle,
+    run_conservation_oracle,
+)
 
-__all__ = ["AuditError", "AuditFinding", "AuditReport", "Auditor", "ShardedAuditor"]
+__all__ = [
+    "AuditError",
+    "AuditFinding",
+    "AuditReport",
+    "Auditor",
+    "OracleResult",
+    "ShardedAuditor",
+    "fastmoney_instances",
+    "harvest_escrows",
+    "run_audit_oracle",
+    "run_conservation_oracle",
+]

@@ -86,6 +86,21 @@ def _default_contract_factories() -> dict[str, Any]:
     }
 
 
+#: Contract classes an auditor can instantiate from a snapshot's
+#: ``contract_types`` tag — the general path, covering per-shard and
+#: renamed instances the name-based factories above cannot know about.
+_TYPE_FACTORIES: dict[str, Any] = {
+    cls.TYPE: cls
+    for cls in (
+        ContentAddressableStorage,
+        CommunityDeployer,
+        FastMoney,
+        Ballot,
+        DividendPool,
+    )
+}
+
+
 class Auditor:
     """A voluntary auditor attached to the simulated network."""
 
@@ -218,11 +233,12 @@ class Auditor:
                 "combined fingerprint does not match the per-contract fingerprints",
             )
         state_export = snapshot.get("state_export", {})
+        types = snapshot.get("contract_types", {})
         for name, digest in parts.items():
             if name not in state_export:
                 report.add("missing_state", f"snapshot omits state for contract {name!r}")
                 continue
-            rebuilt = _rebuild_contract(name, state_export[name])
+            rebuilt = _rebuild_contract(name, state_export[name], types.get(name))
             if rebuilt is None:
                 continue
             if rebuilt.fingerprint() != digest:
@@ -240,8 +256,9 @@ class Auditor:
         entries: list[dict[str, Any]],
     ) -> None:
         registry = ContractRegistry()
+        previous_types = previous.get("contract_types", {})
         for name, state in previous.get("state_export", {}).items():
-            contract = _rebuild_contract(name, state)
+            contract = _rebuild_contract(name, state, previous_types.get(name))
             if contract is not None:
                 registry.register(contract)
         if not len(registry):
@@ -430,6 +447,20 @@ class ShardedAuditor:
                 if not cell.fault.crashed
             }
             if len(set(map(tuple, histories.values()))) != 1:
+                # Localize the tamper: name the offending group and the
+                # first cycle whose fingerprints disagree, so an operator
+                # (or the chaos engine's shrinker) knows where to look.
+                for cycle in range(through_cycle + 1):
+                    values = {history[cycle] for history in histories.values()}
+                    if len(values) != 1:
+                        raise AuditError(
+                            f"cells of group {group.index} disagree on their execution "
+                            f"history at cycle {cycle}: "
+                            + ", ".join(
+                                f"{name}={history[cycle][:18]}..."
+                                for name, history in sorted(histories.items())
+                            )
+                        )
                 raise AuditError(
                     f"cells of group {group.index} disagree on their execution history"
                 )
@@ -439,8 +470,47 @@ class ShardedAuditor:
             for cycle in range(through_cycle + 1)
         ]
 
+    def localize_fingerprint_mismatch(
+        self,
+        through_cycle: int,
+        published: list[list[str]],
+        current: Optional[list[list[str]]] = None,
+    ) -> list[tuple[int, int]]:
+        """Where the deployment's history departs from a published one.
+
+        ``published`` is a per-cycle list of per-group execution
+        fingerprints ``[cycle][group]`` recorded earlier (the same matrix
+        :meth:`collect_group_fingerprints` returns).  The result is the
+        list of ``(cycle, group)`` coordinates whose fingerprints no
+        longer match — which is how a forged shard-digest link is pinned
+        to the offending group and cycle instead of just failing the
+        end-of-chain comparison.  ``current`` reuses an already collected
+        history instead of collecting it again.
+        """
+        if len(published) != through_cycle + 1:
+            raise AuditError(
+                f"published history covers {len(published)} cycles, "
+                f"expected {through_cycle + 1}"
+            )
+        if current is None:
+            current = self.collect_group_fingerprints(through_cycle)
+        mismatches: list[tuple[int, int]] = []
+        for cycle, (now_row, then_row) in enumerate(zip(current, published)):
+            if len(then_row) != len(now_row):
+                raise AuditError(
+                    f"published cycle {cycle} carries {len(then_row)} group "
+                    f"fingerprints, expected {len(now_row)}"
+                )
+            for group, (now_fp, then_fp) in enumerate(zip(now_row, then_row)):
+                if now_fp != then_fp:
+                    mismatches.append((cycle, group))
+        return mismatches
+
     def verify_shard_digest(
-        self, through_cycle: int, published: Optional[str] = None
+        self,
+        through_cycle: int,
+        published: Optional[str] = None,
+        published_fingerprints: Optional[list[list[str]]] = None,
     ) -> AuditReport:
         """Recompute the deployment digest from the per-group histories.
 
@@ -454,6 +524,12 @@ class ShardedAuditor:
         outcome, or reordered cycle in any group since then changes the
         recomputation and is reported as a ``shard_digest_mismatch``.
         The recomputed digest is exposed as ``report.details``.
+
+        ``published_fingerprints`` — the full per-cycle × per-group
+        fingerprint matrix recorded alongside the digest — additionally
+        localizes any mismatch: each forged or diverged link is reported
+        as a ``shard_fingerprint_mismatch`` finding naming the offending
+        group and cycle (:meth:`localize_fingerprint_mismatch`).
         """
         from ..core.sharding import ShardingError, chain_shard_digest
 
@@ -482,37 +558,72 @@ class ShardedAuditor:
                 "shard_digest_mismatch",
                 f"recomputed {recomputed[:18]}... differs from published {published[:18]}...",
             )
+        if published_fingerprints is not None:
+            try:
+                mismatches = self.localize_fingerprint_mismatch(
+                    through_cycle, published_fingerprints, current=fingerprints
+                )
+            except AuditError as exc:
+                report.add("shard_digest_unverifiable", str(exc))
+                return report
+            for cycle, group in mismatches:
+                report.add(
+                    "shard_fingerprint_mismatch",
+                    f"group {group} diverges from the published execution "
+                    f"fingerprint at cycle {cycle}",
+                )
         return report
 
     def run_sharded_audit(
-        self, cycle: int, published_digest: Optional[str] = None
+        self,
+        cycle: int,
+        published_digest: Optional[str] = None,
+        published_fingerprints: Optional[list[list[str]]] = None,
     ) -> dict[str, Any]:
         """Audit every group for ``cycle`` and verify the shard digest.
 
         Returns ``{"passed": bool, "digest": AuditReport, "groups":
         {group index: [AuditReport per cell]}}`` — the digest ties the
         per-group audits into one global-consistency verdict (compared
-        against ``published_digest`` when one is supplied).
+        against ``published_digest`` / the per-cycle
+        ``published_fingerprints`` history when supplied; see
+        :meth:`verify_shard_digest`).
         """
         group_reports = {
             auditor.deployment.config.node_namespace or str(index): auditor.cross_audit(cycle)
             for index, auditor in enumerate(self.group_auditors)
         }
-        digest_report = self.verify_shard_digest(cycle, published=published_digest)
+        digest_report = self.verify_shard_digest(
+            cycle,
+            published=published_digest,
+            published_fingerprints=published_fingerprints,
+        )
         passed = digest_report.passed and all(
             report.passed for reports in group_reports.values() for report in reports
         )
         return {"passed": passed, "digest": digest_report, "groups": group_reports}
 
 
-def _rebuild_contract(name: str, state: dict[str, Any]) -> Optional[BContract]:
-    """Reconstruct a contract instance of a known type and restore its state."""
-    factories = _default_contract_factories()
-    factory = factories.get(name)
-    if factory is None:
-        # Community contracts deployed from source would be rebuilt through
-        # the deployer record; unknown names are skipped rather than failed.
-        return None
-    contract = factory(name)
+def _rebuild_contract(
+    name: str, state: dict[str, Any], type_tag: Optional[str] = None
+) -> Optional[BContract]:
+    """Reconstruct a contract instance of a known type and restore its state.
+
+    The snapshot's ``contract_types`` tag identifies the implementation
+    regardless of the deployed name; the name-based factories remain as
+    the fallback for snapshots recorded before the tag existed.
+    """
+    contract: Optional[BContract] = None
+    cls = _TYPE_FACTORIES.get(type_tag) if type_tag else None
+    if cls is not None:
+        contract = cls(name)
+    else:
+        factory = _default_contract_factories().get(name)
+        if factory is None:
+            # Community contracts deployed from source would be rebuilt
+            # through the deployer record; unknown names are skipped
+            # rather than failed.
+            return None
+        contract = factory(name)
     contract.restore_state(state)
     return contract

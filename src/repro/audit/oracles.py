@@ -1,0 +1,308 @@
+"""Composable audit oracles over a (sharded) deployment.
+
+The paper's auditors (:mod:`repro.audit.auditor`) answer one question each
+about one cell.  The chaos engine (:mod:`repro.chaos`) needs to ask *many*
+questions about a whole deployment after an adversarial run and combine
+the answers into one machine-checkable verdict — an *oracle stack*.  This
+module provides the shared vocabulary:
+
+* :class:`OracleResult` — one oracle's verdict: name, pass/fail, findings.
+* :func:`run_audit_oracle` — the paper's audits as an oracle: every cell
+  of every group passes its per-cycle audit, and the deployment-level
+  shard digest recomputes (optionally against a published digest and
+  fingerprint history, which localizes tampering to a group and cycle).
+* :func:`run_conservation_oracle` — value conservation over every
+  FastMoney-family instance: per-instance ``balances + held escrow ==
+  supply``, cross-shard escrow pairs in legal states (a credit without a
+  matching settle is minted value; a refund *and* a settle of one hold is
+  a double spend), and the global ``minted == supply + in-transit``
+  identity.
+
+Oracles never use privileged state access to *decide* — the audit oracle
+talks to cells over the signed message interface exactly as the paper's
+auditors do; the conservation oracle reads contract stores directly, which
+is sound because every store it reads is first covered by the audit
+oracle's fingerprint checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..contracts.community.fastmoney import FastMoney
+from ..core.sharding import ShardedDeployment
+from .auditor import ShardedAuditor
+
+
+@dataclass
+class OracleResult:
+    """One oracle's verdict about one deployment run."""
+
+    oracle: str
+    passed: bool
+    #: Human-readable findings; empty when the oracle passed.
+    findings: list[str] = field(default_factory=list)
+    #: Oracle-specific headline numbers (coverage counters, totals).
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def to_data(self) -> dict[str, Any]:
+        """JSON-serializable form (scenario reports)."""
+        return {
+            "oracle": self.oracle,
+            "passed": self.passed,
+            "findings": list(self.findings),
+            "metrics": dict(sorted(self.metrics.items())),
+        }
+
+
+# ----------------------------------------------------------------------
+# The paper's audits, composed over every group
+# ----------------------------------------------------------------------
+def run_audit_oracle(
+    deployment: ShardedDeployment,
+    cycle: int,
+    published_digest: Optional[str] = None,
+    published_fingerprints: Optional[list[list[str]]] = None,
+) -> OracleResult:
+    """Every cell passes its cycle audit and the shard digest closes.
+
+    Wraps :meth:`ShardedAuditor.run_sharded_audit` (which drives the
+    simulation) into an :class:`OracleResult`.  ``published_digest`` /
+    ``published_fingerprints`` compare the deployment against a
+    commitment recorded earlier; a mismatch is localized to the offending
+    group and cycle when the fingerprint history is available.
+    """
+    findings: list[str] = []
+    # Anchor agreement (Sections V-C/V-D): within each group, every cell
+    # that anchored a report for a cycle must have anchored the *same*
+    # fingerprint.  This is the public, cross-cell check that catches a
+    # state-tampering cell even in the very first cycle, where the
+    # per-cell succession audit has no predecessor snapshot to replay
+    # from (a compromised cell is perfectly self-consistent — only the
+    # comparison against its honest peers exposes it).  It runs first
+    # and needs no cell cooperation, so its verdict survives even when a
+    # cell is unreachable and aborts the interactive audits below.
+    anchored_cycles = 0
+    for group in deployment.groups:
+        group_deployment = group.deployment
+        for check_cycle in range(cycle + 1):
+            anchors = {
+                cell_index: anchored
+                for cell_index in range(len(group_deployment.cells))
+                if (anchored := group_deployment.anchored_report(check_cycle, cell_index))
+                is not None
+            }
+            anchored_cycles += bool(anchors)
+            if len(set(anchors.values())) > 1:
+                counts: dict[bytes, int] = {}
+                for value in anchors.values():
+                    counts[value] = counts.get(value, 0) + 1
+                top = max(counts.values())
+                majority = [value for value, count in counts.items() if count == top]
+                if len(majority) == 1:
+                    outliers = sorted(
+                        group_deployment.cells[index].node_name
+                        for index, value in anchors.items()
+                        if value != majority[0]
+                    )
+                    findings.append(
+                        f"[group {group.index}] cycle {check_cycle}: anchored "
+                        f"snapshot fingerprints disagree — {', '.join(outliers)} "
+                        f"diverge(s) from the group majority"
+                    )
+                else:
+                    # No majority (e.g. a 2-cell group split 1–1): the
+                    # anchors prove *someone* tampered but cannot say
+                    # who — name every side rather than coin-flipping an
+                    # outlier; the succession audit assigns blame.
+                    sides = ", ".join(
+                        f"{group_deployment.cells[index].node_name}="
+                        f"0x{value.hex()[:16]}..."
+                        for index, value in sorted(anchors.items())
+                    )
+                    findings.append(
+                        f"[group {group.index}] cycle {check_cycle}: anchored "
+                        f"snapshot fingerprints disagree with no majority — {sides}"
+                    )
+
+    auditor = ShardedAuditor(deployment)
+    audited_cells = 0
+    checked_transactions = 0
+    shard_digest = None
+    try:
+        outcome = auditor.run_sharded_audit(
+            cycle,
+            published_digest=published_digest,
+            published_fingerprints=published_fingerprints,
+        )
+    except Exception as exc:  # noqa: BLE001 - an unauditable deployment is a finding
+        findings.append(f"audit could not complete: {exc}")
+    else:
+        for namespace, reports in outcome["groups"].items():
+            for report in reports:
+                audited_cells += 1
+                for finding in report.findings:
+                    findings.append(
+                        f"[group {namespace or '0'}] cell {finding.cell} cycle "
+                        f"{finding.cycle}: {finding.kind}: {finding.details}"
+                    )
+        digest_report = outcome["digest"]
+        for finding in digest_report.findings:
+            findings.append(f"[digest] {finding.kind}: {finding.details}")
+        checked_transactions = digest_report.checked_transactions
+        shard_digest = digest_report.details
+    return OracleResult(
+        oracle="audit",
+        passed=not findings,
+        findings=findings,
+        metrics={
+            "audited_cells": audited_cells,
+            "anchored_group_cycles": anchored_cycles,
+            "checked_transactions": checked_transactions,
+            "shard_digest": shard_digest,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Value conservation across FastMoney escrows
+# ----------------------------------------------------------------------
+def fastmoney_instances(
+    deployment: ShardedDeployment,
+) -> list[tuple[int, str, FastMoney]]:
+    """Every FastMoney-family instance, as ``(group, name, contract)``.
+
+    Contracts are read from each group's cell 0; the within-group audit
+    (fingerprint agreement of all live cells) is what entitles an oracle
+    to treat one cell's store as *the* group state.
+    """
+    instances: list[tuple[int, str, FastMoney]] = []
+    for group in deployment.groups:
+        registry = group.cells[0].contracts
+        for name in registry.names():
+            contract = registry.get(name)
+            if isinstance(contract, FastMoney):
+                instances.append((group.index, name, contract))
+    return instances
+
+
+def harvest_escrows(
+    deployment: ShardedDeployment, base_name: Optional[str] = None
+) -> dict[str, dict[str, dict[str, Any]]]:
+    """All cross-shard escrow records, keyed ``xtx -> direction -> record``.
+
+    Each record is augmented with the instance name and group it was read
+    from.  ``base_name`` restricts the harvest to one application's
+    per-group instances (e.g. ``fastmoney`` / ``fastmoney@s1``).
+    """
+    escrows: dict[str, dict[str, dict[str, Any]]] = {}
+    for group_index, name, contract in fastmoney_instances(deployment):
+        if base_name is not None and name.split("@s", 1)[0] != base_name:
+            continue
+        for key, record in contract.store.items("xshard/"):
+            xtx = key.split("/", 1)[1]
+            enriched = dict(record)
+            enriched["instance"] = name
+            enriched["group"] = group_index
+            escrows.setdefault(xtx, {})[record["direction"]] = enriched
+    return escrows
+
+
+def run_conservation_oracle(
+    deployment: ShardedDeployment,
+    minted: dict[str, int],
+) -> OracleResult:
+    """No FastMoney value is created or destroyed, escrows included.
+
+    ``minted`` maps each FastMoney instance name to the value legally
+    minted into it (genesis balances plus executed faucets minus burns).
+    Three layers of checks:
+
+    * **per instance** — ``sum(balances) + sum(held out-escrows) ==
+      supply``: an invariant of the contract's own bookkeeping, so any
+      violation means the state itself was corrupted;
+    * **escrow pairing** — each cross-shard transaction's (source,
+      target) escrow pair is in a legal joint state: a credit requires a
+      settle (else value was minted), and a settled/refunded/reclaimed
+      hold is terminal exactly once (else value was double-spent);
+    * **global** — ``sum(minted) == sum(supplies) + in-transit``, where
+      in-transit is value settled out of a source instance whose credit
+      has not (yet) executed on the target — escrowed by the protocol,
+      recoverable with the commit certificate, and reported in the
+      metrics so a stuck decision is visible.
+    """
+    findings: list[str] = []
+    instances = fastmoney_instances(deployment)
+    known_names = {name for _g, name, _c in instances}
+    for name in minted:
+        if name not in known_names:
+            findings.append(f"minted map names unknown instance {name!r}")
+
+    total_supply = 0
+    total_held = 0
+    for _group, name, contract in instances:
+        balances = sum(value for _k, value in contract.store.items("balance/"))
+        held = sum(
+            int(record["amount"])
+            for _k, record in contract.store.items("xshard/")
+            if record["direction"] == "out" and record["status"] == "held"
+        )
+        supply = contract.store.get("supply", 0)
+        total_supply += supply
+        total_held += held
+        if balances + held != supply:
+            findings.append(
+                f"instance {name!r}: balances {balances} + held escrow {held} "
+                f"!= supply {supply}"
+            )
+
+    escrows = harvest_escrows(deployment)
+    in_transit = 0
+    for xtx, pair in sorted(escrows.items()):
+        out = pair.get("out")
+        into = pair.get("in")
+        if into is not None and into["status"] == "credited":
+            if out is None or out["status"] != "settled":
+                findings.append(
+                    f"xtx {xtx}: credited on {into['instance']!r} without a "
+                    f"settled source hold (value minted)"
+                )
+            elif int(out["amount"]) != int(into["amount"]):
+                findings.append(
+                    f"xtx {xtx}: settled {out['amount']} but credited {into['amount']}"
+                )
+        if out is not None and out["status"] == "settled":
+            if into is None:
+                findings.append(
+                    f"xtx {xtx}: settled on {out['instance']!r} with no target "
+                    f"escrow record at all"
+                )
+            elif into["status"] == "expected":
+                # Decision made (a commit certificate existed) but the
+                # credit has not executed: value in transit, conserved.
+                in_transit += int(out["amount"])
+            elif into["status"] == "cancelled":
+                findings.append(
+                    f"xtx {xtx}: settled on {out['instance']!r} but cancelled on "
+                    f"{into['instance']!r} (contradictory decisions)"
+                )
+
+    minted_total = sum(minted.values())
+    if minted_total != total_supply + in_transit:
+        findings.append(
+            f"global: minted {minted_total} != supplies {total_supply} "
+            f"+ in-transit {in_transit}"
+        )
+    return OracleResult(
+        oracle="conservation",
+        passed=not findings,
+        findings=findings,
+        metrics={
+            "instances": len(instances),
+            "supply_total": total_supply,
+            "held_total": total_held,
+            "in_transit": in_transit,
+            "escrow_pairs": len(escrows),
+        },
+    )

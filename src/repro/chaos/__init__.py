@@ -1,0 +1,49 @@
+"""Deterministic chaos-scenario engine over the full feature matrix.
+
+Seeded, fully replayable adversarial scenarios (batching × lanes ×
+shards × faults) driven through a
+:class:`~repro.core.sharding.ShardedDeployment` and checked against a
+stack of audit oracles.  ``python -m repro.chaos replay <seed>``
+reproduces any run bit for bit; see ``docs/TESTING.md``.
+"""
+
+from .corpus import CORPUS_SIZE, corpus_seeds, corpus_specs, coverage
+from .report import ScenarioReport
+from .runner import (
+    ChaosError,
+    ScenarioRun,
+    check_scenario,
+    harvest_committed,
+    harvest_semantics,
+    run_scenario,
+    scenario_report,
+)
+from .scenario import (
+    CHAOS_CONTRACT,
+    ScenarioError,
+    ScenarioSpace,
+    ScenarioSpec,
+    sample_scenario,
+)
+from .shrink import shrink_faults
+
+__all__ = [
+    "CHAOS_CONTRACT",
+    "CORPUS_SIZE",
+    "ChaosError",
+    "ScenarioError",
+    "ScenarioReport",
+    "ScenarioRun",
+    "ScenarioSpace",
+    "ScenarioSpec",
+    "check_scenario",
+    "corpus_seeds",
+    "corpus_specs",
+    "coverage",
+    "harvest_committed",
+    "harvest_semantics",
+    "run_scenario",
+    "sample_scenario",
+    "scenario_report",
+    "shrink_faults",
+]

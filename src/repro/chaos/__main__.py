@@ -1,0 +1,109 @@
+"""Command-line front door of the chaos engine.
+
+``python -m repro.chaos replay <seed>`` re-runs one seeded scenario
+against the full oracle stack and prints its report — the one-command
+reproduction promised by every failing :class:`ScenarioReport`.  The
+other subcommands drive the pinned corpus and the shrinking pass:
+
+* ``run [--budget N] [--report-dir DIR]`` — run the corpus (failing
+  scenario reports are written to the report directory);
+* ``replay <seed> [--shrink]`` — reproduce one scenario;
+* ``shrink <seed>`` — bisect a failing scenario's fault schedule;
+* ``sample <seed>`` — print the sampled spec without running it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .corpus import corpus_seeds, corpus_specs, coverage
+from .runner import scenario_report
+from .scenario import ScenarioSpec, sample_scenario
+from .shrink import shrink_faults
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Deterministic chaos scenarios over the full feature matrix.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="run the pinned scenario corpus")
+    run_cmd.add_argument("--budget", type=int, default=None,
+                         help="number of seeded scenarios (default: pinned corpus)")
+    run_cmd.add_argument("--report-dir", default=".chaos-reports",
+                         help="where failing scenario reports are written")
+    run_cmd.add_argument("--shrink", action="store_true",
+                         help="shrink failing scenarios to minimal fault schedules")
+
+    replay_cmd = commands.add_parser("replay", help="re-run one scenario")
+    replay_cmd.add_argument("seed", type=int, nargs="?",
+                            help="corpus seed to re-sample and run")
+    replay_cmd.add_argument("--spec", metavar="FILE",
+                            help="replay the exact spec embedded in a scenario "
+                                 "report (or a bare spec JSON) instead of "
+                                 "re-sampling a seed")
+    replay_cmd.add_argument("--shrink", action="store_true",
+                            help="shrink the fault schedule if the scenario fails")
+
+    shrink_cmd = commands.add_parser("shrink", help="minimize a failing scenario")
+    shrink_cmd.add_argument("seed", type=int)
+
+    sample_cmd = commands.add_parser("sample", help="print a sampled spec")
+    sample_cmd.add_argument("seed", type=int)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "sample":
+        print(json.dumps(sample_scenario(args.seed).to_data(), indent=2, sort_keys=True))
+        return 0
+
+    if args.command == "replay":
+        if (args.seed is None) == (args.spec is None):
+            parser.error("replay needs exactly one of: a seed, or --spec FILE")
+        if args.spec is not None:
+            with open(args.spec, encoding="utf-8") as handle:
+                data = json.load(handle)
+            # Accept a full scenario report (prefer its shrunk spec) or a
+            # bare ScenarioSpec JSON.
+            spec_data = data.get("shrunk_spec") or data.get("spec") or data
+            spec = ScenarioSpec.from_data(spec_data)
+        else:
+            spec = sample_scenario(args.seed)
+        report = scenario_report(spec, shrink_on_failure=args.shrink)
+        print(report.to_json())
+        return 0 if report.passed else 1
+
+    if args.command == "shrink":
+        spec = sample_scenario(args.seed)
+        shrunk, runs = shrink_faults(spec)
+        print(json.dumps(
+            {"seed": args.seed, "runs": runs, "faults_before": len(spec.faults),
+             "faults_after": len(shrunk.faults), "shrunk_spec": shrunk.to_data()},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+
+    # run
+    specs = corpus_specs(args.budget)
+    print(json.dumps(coverage(specs), indent=2, sort_keys=True))
+    failures = 0
+    for seed, spec in zip(corpus_seeds(args.budget), specs):
+        report = scenario_report(spec, shrink_on_failure=args.shrink)
+        status = "ok" if report.passed else "FAIL"
+        print(f"scenario {seed:>4}: {status}")
+        if not report.passed:
+            failures += 1
+            path = report.write(args.report_dir)
+            print(f"  report: {path}")
+            for finding in report.findings()[:5]:
+                print(f"  - {finding}")
+    print(f"{len(specs) - failures}/{len(specs)} scenarios passed")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

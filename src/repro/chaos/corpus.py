@@ -1,0 +1,73 @@
+"""The pinned chaos corpus CI runs on every push.
+
+The corpus is simply the contiguous seed range ``0..CORPUS_SIZE-1``
+sampled from the default :class:`~repro.chaos.scenario.ScenarioSpace`.
+Because sampling stratifies the feature-matrix point over ``seed % 12``
+and the leading fault kind over ``seed % 5``, the range provably spans
+shards {1, 2, 4} × lanes {1, 4} × batching {on, off} and every fault
+kind — :func:`coverage` computes the span so tests (and the benchmark)
+can assert it instead of trusting it.
+
+A *budget* scales the corpus: budgets up to :data:`CORPUS_SIZE` take a
+prefix of the pinned seeds (still spanning the matrix, by construction,
+once the budget reaches one full matrix round); larger budgets extend
+the range with additional seeds for nightly soak runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Optional
+
+from .scenario import ScenarioSpace, ScenarioSpec, sample_scenario
+
+#: Seeds the pinned corpus covers (≥ 50, and a whole number of
+#: matrix × fault-kind rounds: lcm(12, 5) = 60).
+CORPUS_SIZE = 60
+
+
+def corpus_seeds(budget: Optional[int] = None) -> list[int]:
+    """The seed list for one corpus run (``budget`` defaults to pinned)."""
+    size = CORPUS_SIZE if budget is None else int(budget)
+    if size < 1:
+        raise ValueError(f"the chaos budget must be positive, got {budget!r}")
+    return list(range(size))
+
+
+def corpus_specs(
+    budget: Optional[int] = None, space: Optional[ScenarioSpace] = None
+) -> list[ScenarioSpec]:
+    """Sample the corpus scenarios for one run."""
+    space = space or ScenarioSpace()
+    return [sample_scenario(seed, space) for seed in corpus_seeds(budget)]
+
+
+def coverage(specs: list[ScenarioSpec]) -> dict[str, Any]:
+    """What a scenario list actually spans (for assertions and reports)."""
+    matrix = Counter(
+        (spec.shards, spec.lanes, spec.batching) for spec in specs
+    )
+    fault_kinds: Counter[str] = Counter()
+    for spec in specs:
+        for kind in spec.faults.kinds():
+            fault_kinds[kind] += 1
+    op_kinds: Counter[str] = Counter()
+    cross_candidates = 0
+    for spec in specs:
+        for op in spec.operations:
+            op_kinds[op.kind] += 1
+        if spec.shards > 1:
+            cross_candidates += sum(
+                1 for op in spec.operations if op.kind == "transfer"
+            )
+    return {
+        "scenarios": len(specs),
+        "matrix": {
+            f"shards={s}/lanes={l}/batching={'on' if b else 'off'}": count
+            for (s, l, b), count in sorted(matrix.items())
+        },
+        "matrix_points": len(matrix),
+        "fault_kinds": dict(sorted(fault_kinds.items())),
+        "op_kinds": dict(sorted(op_kinds.items())),
+        "multi_shard_transfer_candidates": cross_candidates,
+    }

@@ -1,0 +1,648 @@
+"""Run one chaos scenario and check it against the oracle stack.
+
+:func:`run_scenario` builds the deployment a :class:`ScenarioSpec`
+describes, arms the fault injector, drives the mixed multi-contract
+workload, and runs through the scenario's report cycles.
+:func:`check_scenario` then stacks four oracles on the run:
+
+1. **audit** — every cell of every group passes the paper's per-cycle
+   audit and the deployment shard digest closes
+   (:func:`repro.audit.oracles.run_audit_oracle`);
+2. **conservation** — no FastMoney value appears or vanishes, escrows
+   and in-transit cross-shard holds included
+   (:func:`repro.audit.oracles.run_conservation_oracle`);
+3. **replay** — re-running the identical spec reproduces every artifact
+   (ledger digests, per-cycle execution fingerprints, shard digest,
+   contract state fingerprints, client-visible outcomes) bit for bit;
+4. **differential** — the operations the chaotic run actually committed,
+   re-executed serially on an unsharded, single-lane, unbatched,
+   fault-free reference deployment, produce the same semantic state
+   (balances, CAS blobs, ballot tallies, dividend positions).
+
+The committed set is derived from the *ledgers* (and escrow records for
+cross-shard transfers), never from client receipts: under faults a
+transaction can execute consortium-wide while its receipt is lost, and
+the oracles must judge what the system did, not what one client saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Any, Optional
+
+from ..audit.oracles import (
+    OracleResult,
+    fastmoney_instances,
+    harvest_escrows,
+    run_audit_oracle,
+    run_conservation_oracle,
+)
+from ..client.client import BlockumulusClient
+from ..client.sharded import CrossShardResult, ShardedFastMoneyClient
+from ..client.workload import (
+    MixedWorkloadReport,
+    mixed_instance_names,
+    plan_mixed_genesis,
+    run_mixed_operations,
+)
+from ..contracts.community.ballot import Ballot
+from ..contracts.community.dividend_pool import DividendPool
+from ..contracts.community.fastmoney import FastMoney
+from ..contracts.system.cas import ContentAddressableStorage
+from ..core.faults import ScheduledFault, censor_sender
+from ..core.sharding import ShardedDeployment
+from .report import ScenarioReport
+from .scenario import CHAOS_CONTRACT, ScenarioSpec, sample_scenario
+
+
+class ChaosError(Exception):
+    """Raised when a scenario cannot be run at all (not when oracles fail)."""
+
+
+@dataclass
+class ScenarioRun:
+    """Everything one scenario execution produced."""
+
+    spec: ScenarioSpec
+    deployment: ShardedDeployment
+    workload: MixedWorkloadReport
+    #: Timing-free observables for bit-for-bit replay comparison.
+    artifacts: dict[str, Any]
+    #: Fault injections that actually fired, in order.
+    fault_log: list[dict[str, Any]] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+def _arm_faults(
+    deployment: ShardedDeployment,
+    spec: ScenarioSpec,
+    account_addresses: list[str],
+    fault_log: list[dict[str, Any]],
+) -> None:
+    """Schedule every fault of the spec on the shared simulation clock.
+
+    The schedule was validated against the topology at spec construction;
+    here each entry becomes concrete ``call_at`` flips of the target
+    cell's :class:`~repro.core.faults.FaultPlan` or deployment
+    crash/recover/activate calls.  Injection order at equal timestamps is
+    the schedule order — deterministic, hence replayable.
+
+    Overlapping windows of the same kind on one cell resolve by *last
+    writer wins*: a later window supersedes the earlier one, and the
+    superseded window's end does nothing (logged as ``…_superseded``)
+    instead of clobbering the still-active later window.
+    """
+    env = deployment.env
+    #: (cell id, fault kind) -> the window currently owning that switch.
+    window_owners: dict[tuple[int, str], ScheduledFault] = {}
+
+    def log(fault: ScheduledFault, action: str, **details: Any) -> None:
+        fault_log.append(
+            {"at": env.now, "kind": fault.kind, "group": fault.group,
+             "cell": fault.cell, "action": action, **details}
+        )
+
+    for fault in spec.faults:
+        cell = deployment._group_cell(fault.group, fault.cell)
+        if fault.kind in ("crash_recover", "crash_rejoin"):
+
+            def inject(fault=fault) -> None:
+                deployment.crash_cell(fault.group, fault.cell)
+                if fault.kind == "crash_rejoin":
+                    deployment.exclude_cell(fault.group, fault.cell)
+                log(fault, "crash")
+
+            def resolve(fault=fault) -> None:
+                log(fault, "recover")
+                deployment.recover_cell(fault.group, fault.cell)
+
+            env.call_at(fault.at, inject)
+            env.call_at(fault.until, resolve)
+        elif fault.kind == "standby_activate":
+
+            def activate(fault=fault) -> None:
+                log(fault, "activate")
+                deployment.activate_standby(fault.group, fault.cell)
+
+            env.call_at(fault.at, activate)
+        elif fault.kind == "censor_window":
+            target = account_addresses[fault.params["account"]]
+            owner_key = (id(cell), "censor")
+
+            def censor_on(fault=fault, cell=cell, target=target,
+                          owner_key=owner_key) -> None:
+                window_owners[owner_key] = fault
+                cell.fault.censor = censor_sender(target)
+                log(fault, "censor_on", account=target)
+
+            def censor_off(fault=fault, cell=cell, owner_key=owner_key) -> None:
+                if window_owners.get(owner_key) is not fault:
+                    log(fault, "censor_off_superseded")
+                    return
+                del window_owners[owner_key]
+                cell.fault.censor = None
+                log(fault, "censor_off")
+
+            env.call_at(fault.at, censor_on)
+            env.call_at(fault.until, censor_off)
+        elif fault.kind == "delay_window":
+            seconds = float(fault.params["seconds"])
+            owner_key = (id(cell), "delay")
+
+            def delay_on(fault=fault, cell=cell, seconds=seconds,
+                         owner_key=owner_key) -> None:
+                window_owners[owner_key] = fault
+                cell.fault.extra_confirm_delay = seconds
+                log(fault, "delay_on", seconds=seconds)
+
+            def delay_off(fault=fault, cell=cell, owner_key=owner_key) -> None:
+                if window_owners.get(owner_key) is not fault:
+                    log(fault, "delay_off_superseded")
+                    return
+                del window_owners[owner_key]
+                cell.fault.extra_confirm_delay = 0.0
+                log(fault, "delay_off")
+
+            env.call_at(fault.at, delay_on)
+            env.call_at(fault.until, delay_off)
+        elif fault.kind == "tamper_state":
+
+            def tamper(fault=fault, cell=cell) -> None:
+                cell.fault.tamper_state = True
+                log(fault, "tamper_state")
+
+            env.call_at(fault.at, tamper)
+        elif fault.kind == "tamper_fingerprint":
+
+            def tamper_fp(fault=fault, cell=cell) -> None:
+                cell.fault.tamper_fingerprint = True
+                log(fault, "tamper_fingerprint")
+
+            env.call_at(fault.at, tamper_fp)
+        else:  # pragma: no cover - FaultSchedule already validated kinds
+            raise ChaosError(f"unhandled fault kind {fault.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Artifacts (the replay-equality material)
+# ----------------------------------------------------------------------
+def _result_essence(result: Any) -> Any:
+    """A timing-free, comparable digest of one client-visible outcome."""
+    if result is None:
+        return None
+    if isinstance(result, CrossShardResult):
+        return ("cross", result.xtx, result.decision, result.ok, result.error)
+    receipt = result.receipt
+    return (
+        "tx",
+        result.tx_id,
+        result.ok,
+        result.error,
+        receipt.fingerprint_hex if receipt is not None else None,
+    )
+
+
+def collect_artifacts(deployment: ShardedDeployment, spec: ScenarioSpec,
+                      workload: MixedWorkloadReport) -> dict[str, Any]:
+    """Everything two same-seed runs must agree on, bit for bit."""
+    cycle = spec.audited_cycle
+    ledgers = {}
+    states = {}
+    for group in deployment.groups:
+        for cell in group.cells:
+            ledgers[cell.node_name] = tuple(map(tuple, cell.ledger.sync_digest()))
+            states[cell.node_name] = tuple(
+                sorted(
+                    (name, cell.contracts.get(name).fingerprint_hex())
+                    for name in cell.contracts.names()
+                )
+            )
+    return {
+        "ledgers": ledgers,
+        "fingerprints": {
+            group.index: tuple(
+                group.cells[0].ledger.execution_fingerprints_through(cycle)
+            )
+            for group in deployment.groups
+        },
+        "shard_digest": deployment.shard_digest(cycle),
+        "states": states,
+        "outcomes": tuple(_result_essence(result) for result in workload.results),
+    }
+
+
+# ----------------------------------------------------------------------
+# Running one scenario
+# ----------------------------------------------------------------------
+def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
+    """Execute one scenario: build, inject, drive, settle, snapshot."""
+    deployment = ShardedDeployment(spec.config())
+    primary = deployment.group(0).deployment
+    addresses = [
+        primary.make_client_signer(seed).address.hex()
+        for seed in spec.account_seeds()
+    ]
+    fault_log: list[dict[str, Any]] = []
+    _arm_faults(deployment, spec, addresses, fault_log)
+    workload = run_mixed_operations(
+        deployment,
+        list(spec.operations),
+        spec.account_seeds(),
+        base_name=CHAOS_CONTRACT,
+        genesis=spec.genesis_overrides(),
+        elections=[(eid, list(choices)) for eid, choices in spec.elections],
+        horizon=spec.collect_horizon,
+        label=f"chaos/{spec.seed}",
+    )
+    deployment.run(until=spec.end_time)
+    artifacts = collect_artifacts(deployment, spec, workload)
+    return ScenarioRun(
+        spec=spec,
+        deployment=deployment,
+        workload=workload,
+        artifacts=artifacts,
+        fault_log=fault_log,
+    )
+
+
+# ----------------------------------------------------------------------
+# Committed set (ledger-derived ground truth)
+# ----------------------------------------------------------------------
+#: Methods that are 2PC phases — reconstructed via escrow pairing instead
+#: of per-entry translation.
+_XSHARD_METHODS = frozenset(
+    {"xshard_reserve", "xshard_settle", "xshard_refund", "xshard_reclaim",
+     "xshard_expect", "xshard_credit", "xshard_cancel"}
+)
+
+
+def harvest_committed(
+    deployment: ShardedDeployment, base_name: str
+) -> tuple[list[dict[str, Any]], list[dict[str, Any]]]:
+    """What the run durably committed, straight from the ledgers.
+
+    Returns ``(calls, cross_transfers)``: ``calls`` are the executed
+    plain entries in per-group ledger order, each as
+    ``{group, sender, contract, method, args}``; ``cross_transfers`` are
+    the cross-shard escrow transfers whose source hold *settled* — i.e.
+    a commit certificate existed — as ``{xtx, sender, to, amount}``
+    (whether or not the target credit has executed yet: that value is in
+    transit, and the reference execution delivers it).
+    """
+    calls: list[dict[str, Any]] = []
+    for group in deployment.groups:
+        for entry in group.cells[0].ledger:
+            if entry.status != "executed":
+                continue
+            data = entry.envelope.data
+            method = data.get("method")
+            if method in _XSHARD_METHODS or method == "create_election":
+                continue
+            calls.append(
+                {
+                    "group": group.index,
+                    "sender": entry.envelope.sender.hex(),
+                    "contract": data.get("contract"),
+                    "method": method,
+                    "args": dict(data.get("args", {})),
+                    "tx_id": entry.tx_id,
+                }
+            )
+    cross: list[dict[str, Any]] = []
+    for xtx, pair in sorted(harvest_escrows(deployment, base_name).items()):
+        out = pair.get("out")
+        into = pair.get("in")
+        if out is None or out["status"] != "settled":
+            continue
+        if into is None:
+            # Conservation reports this; the differential cannot place
+            # the value without a target record.
+            continue
+        cross.append(
+            {
+                "xtx": xtx,
+                "sender": out["from"],
+                "to": into["to"],
+                "amount": int(out["amount"]),
+            }
+        )
+    return calls, cross
+
+
+# ----------------------------------------------------------------------
+# Semantic state (what the differential oracle compares)
+# ----------------------------------------------------------------------
+def harvest_semantics(
+    deployment: ShardedDeployment, base_name: str
+) -> dict[str, Any]:
+    """The order-independent application state of one deployment.
+
+    FastMoney balances are summed per account across the application's
+    per-group instances and *adjusted for escrowed value*: a still-held
+    hold logically belongs to its sender, and a settled-but-uncredited
+    hold to its recipient — the two in-flight states a chaotic shutdown
+    can legally leave behind.  CAS, ballot, and dividend-pool state is
+    harvested from their semantic key ranges (blob references, tallies
+    and votes, invested positions), which are timestamp- and
+    transaction-id-free by construction.
+    """
+    balances: dict[str, int] = {}
+    for _group, name, contract in fastmoney_instances(deployment):
+        if name.split("@s", 1)[0] != base_name:
+            continue
+        for key, value in contract.store.items("balance/"):
+            account = key.split("/", 1)[1]
+            balances[account] = balances.get(account, 0) + int(value)
+    for _xtx, pair in harvest_escrows(deployment, base_name).items():
+        out = pair.get("out")
+        into = pair.get("in")
+        if out is not None and out["status"] == "held":
+            owner = out["from"]
+            balances[owner] = balances.get(owner, 0) + int(out["amount"])
+        elif (
+            out is not None
+            and out["status"] == "settled"
+            and into is not None
+            and into["status"] == "expected"
+        ):
+            recipient = into["to"]
+            balances[recipient] = balances.get(recipient, 0) + int(out["amount"])
+
+    cas: dict[str, int] = {}
+    ballots: dict[str, Any] = {}
+    dividends: dict[str, Any] = {}
+    for group in deployment.groups:
+        registry = group.cells[0].contracts
+        for name in registry.names():
+            contract = registry.get(name)
+            if isinstance(contract, ContentAddressableStorage):
+                for key, value in contract.store.items("refs/"):
+                    digest = key.split("/", 1)[1]
+                    cas[digest] = cas.get(digest, 0) + int(value)
+            elif isinstance(contract, Ballot):
+                for prefix in ("tally/", "vote/"):
+                    for key, value in contract.store.items(prefix):
+                        ballots[key] = value
+            elif isinstance(contract, DividendPool):
+                for key, value in contract.store.items("invested/"):
+                    dividends[key] = dividends.get(key, 0) + value
+                dividends["total_invested"] = dividends.get(
+                    "total_invested", 0
+                ) + contract.store.get("total_invested", 0)
+    return {
+        "balances": {k: v for k, v in sorted(balances.items()) if v != 0},
+        "cas": dict(sorted(cas.items())),
+        "ballot": dict(sorted(ballots.items())),
+        "dividends": dict(sorted(dividends.items())),
+    }
+
+
+def run_reference(
+    spec: ScenarioSpec,
+    genesis_by_account: dict[str, int],
+    calls: list[dict[str, Any]],
+    cross: list[dict[str, Any]],
+) -> tuple[ShardedDeployment, list[str]]:
+    """Serially re-execute the committed set on the reference pipeline.
+
+    The reference is the scenario with every feature axis at its plain
+    setting — one shard, one lane, no batching, no standbys, no faults —
+    and the committed calls submitted one at a time, each driven to its
+    receipt before the next is signed.  Returns the reference deployment
+    plus any findings (a committed call that fails on the reference is
+    itself a differential violation).
+    """
+    config = dc_replace(
+        spec.config(),
+        shard_count=1,
+        execution_lanes=1,
+        message_batching=False,
+        standby_cells=0,
+        deployment_id=f"chaos-{spec.seed}-ref",
+    )
+    deployment = ShardedDeployment(config)
+    primary = deployment.group(0).deployment
+    signers = {
+        primary.make_client_signer(seed).address.hex(): primary.make_client_signer(seed)
+        for seed in spec.account_seeds()
+    }
+    instance = mixed_instance_names(deployment, CHAOS_CONTRACT)[0]
+    genesis = {
+        account: amount for account, amount in genesis_by_account.items() if amount > 0
+    }
+    deployment.deploy_contract_instances(
+        [FastMoney(instance, params={"genesis_balances": genesis,
+                                     "allow_faucet": False})],
+        group=0,
+    )
+    client = BlockumulusClient(
+        primary,
+        signer=primary.make_client_signer(f"chaos/{spec.seed}/reference-client"),
+        node_name="chaos-reference-client",
+    )
+    findings: list[str] = []
+
+    def drive(contract: str, method: str, args: dict[str, Any], sender: str,
+              what: str) -> Optional[str]:
+        signer = signers.get(sender)
+        if signer is None:
+            return f"{what}: committed by unknown sender {sender}"
+        event = client.submit(contract, method, args, signer=signer)
+        deployment.env.run(event)
+        result = event.value
+        if not result.ok:
+            return f"{what}: fails on the reference: {result.error}"
+        return None
+
+    for election_id, choices in spec.elections:
+        event = client.submit(
+            "ballot",
+            "create_election",
+            {
+                "election_id": election_id,
+                "question": f"chaos/{election_id}",
+                "choices": list(choices),
+                "closes_at": 1_000_000.0,
+            },
+            signer=next(iter(signers.values())),
+        )
+        deployment.env.run(event)
+        if not event.value.ok:
+            raise ChaosError(
+                f"reference setup failed for election {election_id!r}: "
+                f"{event.value.error}"
+            )
+
+    pending: list[tuple[str, str, dict[str, Any], str, str]] = []
+    for call in calls:
+        contract = call["contract"]
+        if isinstance(contract, str) and contract.split("@s", 1)[0] == CHAOS_CONTRACT:
+            contract = instance
+        pending.append(
+            (contract, call["method"], call["args"], call["sender"],
+             f"committed {call['method']} {call['tx_id'][:18]}...")
+        )
+    for transfer in cross:
+        pending.append(
+            (instance, "transfer",
+             {"to": transfer["to"], "amount": transfer["amount"]},
+             transfer["sender"], f"committed cross transfer {transfer['xtx']}")
+        )
+
+    # Fixpoint replay: the committed set is harvested per group (and the
+    # cross-shard pairs separately), so it carries no global order — and
+    # an account funded *by* one committed transfer may be the sender of
+    # another (e.g. a pauper spending a credit it received mid-run).  The
+    # chaotic execution itself is a witness that a valid order exists, so
+    # retrying the leftovers each round must drain the list; anything
+    # still failing when a round makes no progress is a real divergence.
+    while pending:
+        retry: list[tuple[str, str, dict[str, Any], str, str]] = []
+        errors: list[str] = []
+        for item in pending:
+            error = drive(*item)
+            if error is not None:
+                retry.append(item)
+                errors.append(error)
+        if len(retry) == len(pending):
+            findings.extend(errors)
+            break
+        pending = retry
+    deployment.run(until=deployment.env.now + 1.0)
+    return deployment, findings
+
+
+# ----------------------------------------------------------------------
+# The oracle stack
+# ----------------------------------------------------------------------
+def run_replay_oracle(run: ScenarioRun) -> OracleResult:
+    """Same seed, same spec → byte-identical artifacts."""
+    second = run_scenario(run.spec)
+    findings = [
+        f"artifact {name!r} differs between same-seed runs"
+        for name in run.artifacts
+        if run.artifacts[name] != second.artifacts[name]
+    ]
+    return OracleResult(
+        oracle="replay",
+        passed=not findings,
+        findings=findings,
+        metrics={"artifacts_compared": len(run.artifacts)},
+    )
+
+
+def run_differential_oracle(run: ScenarioRun) -> OracleResult:
+    """Chaos run ≡ serial/unsharded/unbatched reference on the committed set."""
+    deployment = run.deployment
+    calls, cross = harvest_committed(deployment, CHAOS_CONTRACT)
+    genesis_by_account = {
+        signer.address.hex(): amount
+        for signer, amount in zip(run.workload.accounts, run.workload.genesis)
+    }
+    reference, findings = run_reference(run.spec, genesis_by_account, calls, cross)
+    chaos_state = harvest_semantics(deployment, CHAOS_CONTRACT)
+    reference_state = harvest_semantics(reference, CHAOS_CONTRACT)
+    for section in chaos_state:
+        if chaos_state[section] != reference_state[section]:
+            ours, theirs = chaos_state[section], reference_state[section]
+            delta = {
+                key: (ours.get(key), theirs.get(key))
+                for key in set(ours) | set(theirs)
+                if ours.get(key) != theirs.get(key)
+            }
+            findings.append(
+                f"{section} state diverges from the serial reference: {delta}"
+            )
+    return OracleResult(
+        oracle="differential",
+        passed=not findings,
+        findings=findings,
+        metrics={
+            "committed_calls": len(calls),
+            "committed_cross_transfers": len(cross),
+        },
+    )
+
+
+def check_scenario(
+    spec: ScenarioSpec,
+    replay: bool = True,
+    differential: bool = True,
+) -> tuple["ScenarioRun", list[OracleResult]]:
+    """Run a scenario and its full oracle stack.
+
+    Returns the primary run and the oracle results in a fixed order:
+    conservation, differential, replay, audit.  The audit oracle runs
+    last because it drives the simulation further (auditor traffic);
+    artifacts and semantic state are harvested before it.
+    """
+    run = run_scenario(spec)
+    results: list[OracleResult] = []
+    minted = {}
+    instances = mixed_instance_names(run.deployment, CHAOS_CONTRACT)
+    for group, name in enumerate(instances):
+        minted[name] = sum(
+            amount
+            for signer, amount, home in zip(
+                run.workload.accounts, run.workload.genesis, run.workload.homes
+            )
+            if home == group
+        )
+    results.append(run_conservation_oracle(run.deployment, minted))
+    if differential:
+        results.append(run_differential_oracle(run))
+    if replay:
+        results.append(run_replay_oracle(run))
+    results.append(run_audit_oracle(run.deployment, spec.audited_cycle))
+    return run, results
+
+
+def scenario_report(
+    spec: ScenarioSpec,
+    replay: bool = True,
+    differential: bool = True,
+    shrink_on_failure: bool = False,
+) -> ScenarioReport:
+    """Check a scenario and package the outcome as a :class:`ScenarioReport`.
+
+    With ``shrink_on_failure`` a failing scenario's fault schedule is
+    bisected to a minimal failing one (:func:`repro.chaos.shrink_faults`)
+    and recorded in the report's ``shrunk_spec``.
+    """
+    run, results = check_scenario(spec, replay=replay, differential=differential)
+    passed = all(result.passed for result in results)
+    calls, cross = harvest_committed(run.deployment, CHAOS_CONTRACT)
+    report = ScenarioReport(
+        seed=spec.seed,
+        spec=spec.to_data(),
+        # A spec the default sampler does not reproduce (shrunk or
+        # hand-modified) is honestly labelled: its replay command points
+        # at the report's embedded spec instead of the bare seed.
+        sampled=(spec == sample_scenario(spec.seed)),
+        passed=passed,
+        oracles=[result.to_data() for result in results],
+        stats={
+            "operations": len(spec.operations),
+            "faults": len(spec.faults),
+            "fault_kinds": sorted(spec.faults.kinds()),
+            "fault_events": len(run.fault_log),
+            "committed_calls": len(calls),
+            "committed_cross_transfers": len(cross),
+            "client_ok": run.workload.ok_count,
+            "client_unanswered": run.workload.unanswered_count,
+        },
+    )
+    if not passed and shrink_on_failure:
+        from .shrink import shrink_faults
+
+        def fails(candidate: ScenarioSpec) -> bool:
+            _run, candidate_results = check_scenario(
+                candidate, replay=replay, differential=differential
+            )
+            return not all(result.passed for result in candidate_results)
+
+        shrunk, _runs = shrink_faults(spec, fails=fails)
+        report.shrunk_spec = shrunk.to_data()
+    return report

@@ -489,21 +489,33 @@ class ShardedFastMoneyClient:
         """This app's instance name on cell group ``group``."""
         return self.instance_name(self.base_name, group, self.shard_count)
 
-    def shard_of_account(self, account: Address | str) -> int:
-        """Home group of an account (stable hash of its address)."""
+    @staticmethod
+    def account_home(base_name: str, account: Address | str, shard_count: int) -> int:
+        """Home group of an account under one app's namespace (pure function)."""
         account_hex = account.hex() if isinstance(account, Address) else account
         return _stable_shard(
-            f"account/{self.base_name}/{account_hex.lower()}", self.shard_count
+            f"account/{base_name}/{account_hex.lower()}", shard_count
         )
 
+    def shard_of_account(self, account: Address | str) -> int:
+        """Home group of an account (stable hash of its address)."""
+        return self.account_home(self.base_name, account, self.shard_count)
+
     def transfer(
-        self, to: Address | str, amount: int, signer: Optional[Signer] = None
+        self,
+        to: Address | str,
+        amount: int,
+        signer: Optional[Signer] = None,
+        hold_expiry: Optional[float] = None,
     ) -> Event:
         """Transfer with automatic routing: plain in-group, 2PC across groups.
 
         The event value is a
         :class:`~repro.client.client.TransactionResult` for an in-group
         transfer and a :class:`CrossShardResult` for a cross-group one.
+        ``hold_expiry`` (seconds from now) arms the cross-shard escrow
+        safety valve — see :meth:`transfer_cross`; it is ignored for
+        in-group transfers, which hold nothing.
         """
         signer = signer or self.client.signer
         recipient = to.hex() if isinstance(to, Address) else to
@@ -514,7 +526,9 @@ class ShardedFastMoneyClient:
                 self.instance(source), "transfer",
                 {"to": recipient, "amount": amount}, signer=signer,
             )
-        return self.transfer_cross(source, target, recipient, amount, signer=signer)
+        return self.transfer_cross(
+            source, target, recipient, amount, signer=signer, hold_expiry=hold_expiry
+        )
 
     def transfer_cross(
         self,
@@ -523,25 +537,46 @@ class ShardedFastMoneyClient:
         to: Address | str,
         amount: int,
         signer: Optional[Signer] = None,
+        hold_expiry: Optional[float] = None,
     ) -> Event:
-        """Two-phase escrow transfer between explicit group instances."""
+        """Two-phase escrow transfer between explicit group instances.
+
+        ``hold_expiry`` (seconds from now, far beyond the decision
+        deadline) arms both escrow legs with one ``expires_at``: if this
+        coordinator then vanishes between PREPARE and the decision, the
+        sender can pull the hold back with ``xshard_reclaim`` once the
+        expiry passes, and a decision driven after it is refused on both
+        sides.  ``None`` (the default) keeps the historical behaviour —
+        an undecided hold stays escrowed until a decision is re-driven.
+        """
         if source_group == target_group:
             raise ShardRoutingError("a cross-shard transfer needs two distinct groups")
+        if hold_expiry is not None and hold_expiry <= self.client.deployment.config.forwarding_deadline:
+            raise ShardRoutingError(
+                "hold_expiry must exceed the forwarding deadline "
+                f"({self.client.deployment.config.forwarding_deadline}s), "
+                f"got {hold_expiry!r}"
+            )
         signer = signer or self.client.signer
         recipient = to.hex() if isinstance(to, Address) else to
         xtx = self.client.next_xtx()
         source, target = self.instance(source_group), self.instance(target_group)
+        reserve_args: dict[str, Any] = {"xtx": xtx, "amount": amount}
+        expect_args: dict[str, Any] = {"xtx": xtx, "to": recipient, "amount": amount}
+        if hold_expiry is not None:
+            expires_at = self.client.env.now + hold_expiry
+            reserve_args["expires_at"] = expires_at
+            expect_args["expires_at"] = expires_at
         plans = [
             ParticipantPlan(
                 group=source_group,
-                prepare=(source, "xshard_reserve", {"xtx": xtx, "amount": amount}),
+                prepare=(source, "xshard_reserve", reserve_args),
                 commit=(source, "xshard_settle", {"xtx": xtx}),
                 abort=(source, "xshard_refund", {"xtx": xtx}),
             ),
             ParticipantPlan(
                 group=target_group,
-                prepare=(target, "xshard_expect",
-                         {"xtx": xtx, "to": recipient, "amount": amount}),
+                prepare=(target, "xshard_expect", expect_args),
                 commit=(target, "xshard_credit", {"xtx": xtx}),
                 abort=(target, "xshard_cancel", {"xtx": xtx}),
             ),

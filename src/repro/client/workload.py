@@ -13,6 +13,10 @@ same inside the simulation:
   (Fig. 10 / the 20,000-transaction headline).
 * :func:`run_contended_transfers` — N simultaneous transfers with a
   tunable write-conflict rate (the execution-lane benchmark workload).
+* :func:`run_mixed_operations` — a scripted multi-contract mix (FastMoney
+  transfers incl. cross-shard 2PC, CAS uploads, ballot votes, dividend
+  investments) submitted at fixed simulated times over a sharded
+  deployment (the chaos engine's workload shape).
 
 Each returns a :class:`WorkloadReport` with the raw per-transaction results
 plus the latency series and throughput figures the benchmark harness
@@ -662,6 +666,286 @@ def run_sharded_burst_transfers(
                 )
             )
     report.results, report.cross_results = _collect_sharded(deployment, events, horizon)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Mixed multi-contract operations (the chaos-engine workload)
+# ----------------------------------------------------------------------
+#: Operation kinds run_mixed_operations understands.
+MIXED_OP_KINDS = frozenset({"transfer", "cas_put", "vote", "invest"})
+
+
+@dataclass(frozen=True)
+class MixedOperation:
+    """One scripted operation of a mixed multi-contract workload.
+
+    ``sender`` indexes into the account list given to
+    :func:`run_mixed_operations`; ``at`` is the absolute simulated
+    submission time.  ``args`` are kind-specific:
+
+    * ``transfer`` — ``{"to": <account index>, "amount": int}``; runs as
+      a plain in-group transfer when both accounts live on the same cell
+      group and as a two-phase cross-shard escrow transfer otherwise;
+    * ``cas_put`` — ``{"content_hex": "0x..."}``;
+    * ``vote`` — ``{"election_id": str, "choice": str}``;
+    * ``invest`` — ``{"amount": int}``.
+    """
+
+    at: float
+    kind: str
+    sender: int
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def validate(self, accounts: int) -> None:
+        """Raise :class:`WorkloadError` for a malformed operation."""
+        if self.kind not in MIXED_OP_KINDS:
+            raise WorkloadError(
+                f"unknown mixed operation kind {self.kind!r}; "
+                f"known kinds: {sorted(MIXED_OP_KINDS)}"
+            )
+        if not isinstance(self.at, (int, float)) or self.at < 0:
+            raise WorkloadError(f"operation time must be non-negative, got {self.at!r}")
+        if not isinstance(self.sender, int) or not 0 <= self.sender < accounts:
+            raise WorkloadError(
+                f"operation sender {self.sender!r} is not an account index "
+                f"in [0, {accounts})"
+            )
+        if self.kind == "transfer":
+            to = self.args.get("to")
+            if not isinstance(to, int) or not 0 <= to < accounts or to == self.sender:
+                raise WorkloadError(
+                    f"transfer recipient {to!r} must be a different account index"
+                )
+            _validate_amount(self.args.get("amount"))
+        elif self.kind == "invest":
+            _validate_amount(self.args.get("amount"))
+        elif self.kind == "cas_put":
+            content = self.args.get("content_hex")
+            if not isinstance(content, str) or not content.startswith("0x"):
+                raise WorkloadError("cas_put needs 0x-hex args['content_hex']")
+        elif self.kind == "vote":
+            if not self.args.get("election_id") or not self.args.get("choice"):
+                raise WorkloadError("vote needs args['election_id'] and args['choice']")
+
+    def to_data(self) -> dict[str, Any]:
+        """JSON-serializable form (chaos scenario specs)."""
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "sender": self.sender,
+            "args": dict(sorted(self.args.items())),
+        }
+
+    @classmethod
+    def from_data(cls, data: dict[str, Any]) -> "MixedOperation":
+        """Inverse of :meth:`to_data`."""
+        return cls(
+            at=float(data["at"]),
+            kind=str(data["kind"]),
+            sender=int(data["sender"]),
+            args=dict(data.get("args", {})),
+        )
+
+
+@dataclass
+class MixedWorkloadReport:
+    """Everything observed while running one mixed workload.
+
+    ``results[i]`` is what the client learned about ``operations[i]`` — a
+    :class:`TransactionResult`, a :class:`CrossShardResult`, or ``None``
+    when no reply ever arrived before the horizon (e.g. the operation was
+    censored).  Client-side outcomes are *observations*, not ground
+    truth: under faults a transaction can execute consortium-wide while
+    its receipt is lost, so the chaos oracles derive the committed set
+    from the ledgers instead.
+    """
+
+    label: str
+    base_name: str
+    operations: list[MixedOperation] = field(default_factory=list)
+    results: list[Optional[TransactionResult | CrossShardResult]] = field(
+        default_factory=list
+    )
+    #: Account signers, in index order (accounts[i] is op sender i).
+    accounts: list[Any] = field(default_factory=list)
+    #: Home cell group of each account under the workload's shard map.
+    homes: list[int] = field(default_factory=list)
+    #: Genesis balance each account was funded with, by index.
+    genesis: list[int] = field(default_factory=list)
+
+    @property
+    def ok_count(self) -> int:
+        """Operations whose client saw a successful outcome."""
+        return sum(1 for result in self.results if result is not None and result.ok)
+
+    @property
+    def unanswered_count(self) -> int:
+        """Operations whose client never heard back (censored or lost)."""
+        return sum(1 for result in self.results if result is None)
+
+
+def mixed_instance_names(deployment: ShardedDeployment, base_name: str) -> list[str]:
+    """Per-group FastMoney instance names of a mixed workload."""
+    return _sharded_instances(deployment, base_name)
+
+
+def plan_mixed_genesis(
+    operations: list[MixedOperation], accounts: int
+) -> dict[int, int]:
+    """Genesis balances that make every transfer order-independent.
+
+    Funding each account with the *total* it could ever send means any
+    subset of the workload's transfers succeeds in any order — which is
+    what lets a serial reference execution replay exactly the operations
+    a chaotic run committed, without manufacturing insufficient-funds
+    divergences that depend on interleaving.  Accounts that send nothing
+    get zero (a transfer from such a *pauper* deterministically reverts
+    everywhere — the workload's built-in 2PC-abort generator).
+    """
+    genesis = {index: 0 for index in range(accounts)}
+    for op in operations:
+        if op.kind == "transfer":
+            genesis[op.sender] += int(op.args["amount"])
+    return genesis
+
+
+def run_mixed_operations(
+    deployment: ShardedDeployment,
+    operations: list[MixedOperation],
+    account_seeds: list[str],
+    base_name: str = "fastmoney.chaos",
+    genesis: Optional[dict[int, int]] = None,
+    elections: Optional[list[tuple[str, list[str]]]] = None,
+    election_closes_at: float = 1_000_000.0,
+    pools: int = 4,
+    horizon: float = 60.0,
+    label: Optional[str] = None,
+) -> MixedWorkloadReport:
+    """Drive a scripted multi-contract workload over a sharded deployment.
+
+    Deploys one genesis-funded FastMoney instance of ``base_name`` per
+    cell group, creates the given ballot ``elections`` (driving the
+    simulation until each is confirmed — a setup phase, exactly like the
+    funding phase of the burst workloads), then submits every operation
+    at its scheduled time and collects replies until all have arrived or
+    the absolute simulated time ``horizon`` passes.  Accounts are minted
+    deterministically from ``account_seeds``, so two runs of the same
+    script are bit-for-bit identical.
+
+    ``genesis`` overrides the auto-sized funding of
+    :func:`plan_mixed_genesis` per account index (e.g. to create paupers
+    whose transfers must revert).  The CAS, ballot, and dividend-pool
+    operations target the deployment's default system/community
+    contracts and route through the shard map like any client traffic.
+    """
+    if not operations:
+        raise WorkloadError("a mixed workload needs at least one operation")
+    accounts = len(account_seeds)
+    if accounts < 2:
+        raise WorkloadError("a mixed workload needs at least two accounts")
+    for op in operations:
+        op.validate(accounts)
+
+    primary = deployment.group(0).deployment
+    signers = [primary.make_client_signer(seed) for seed in account_seeds]
+
+    funding = plan_mixed_genesis(operations, accounts)
+    if genesis is not None:
+        funding.update(genesis)
+    shards = deployment.shard_count
+    instances = _sharded_instances(deployment, base_name)
+    homes = [
+        ShardedFastMoneyClient.account_home(base_name, signer.address, shards)
+        for signer in signers
+    ]
+    for group, name in enumerate(instances):
+        group_genesis = {
+            signers[index].address.hex(): amount
+            for index, amount in sorted(funding.items())
+            if homes[index] == group and amount > 0
+        }
+        prototype = FastMoney(
+            name, params={"genesis_balances": group_genesis, "allow_faucet": False}
+        )
+        deployment.deploy_contract_instances([prototype], group=group)
+
+    pool_clients = build_sharded_client_pools(deployment, pools)
+
+    # Setup phase: elections exist (and are visible consortium-wide)
+    # before any vote is submitted.
+    for election_id, choices in elections or []:
+        event = pool_clients[0].submit(
+            "ballot",
+            "create_election",
+            {
+                "election_id": election_id,
+                "question": f"chaos/{election_id}",
+                "choices": list(choices),
+                "closes_at": election_closes_at,
+            },
+            signer=signers[0],
+        )
+        deployment.env.run(event)
+        result = event.value
+        if not result.ok:
+            raise WorkloadError(f"creating election {election_id!r} failed: {result.error}")
+
+    report = MixedWorkloadReport(
+        label=label or f"mixed/{shards}shards/{len(operations)}ops",
+        base_name=base_name,
+        operations=list(operations),
+        accounts=signers,
+        homes=homes,
+        genesis=[funding.get(index, 0) for index in range(accounts)],
+    )
+    env = deployment.env
+    events: list[Optional[Event]] = [None] * len(operations)
+
+    def submit(op: MixedOperation) -> Event:
+        pool = pool_clients[op.sender % len(pool_clients)]
+        signer = signers[op.sender]
+        if op.kind == "transfer":
+            app = ShardedFastMoneyClient(pool, base_name=base_name)
+            return app.transfer(
+                signers[op.args["to"]].address, op.args["amount"], signer=signer
+            )
+        if op.kind == "cas_put":
+            return pool.submit(
+                "system.cas", "put", {"content_hex": op.args["content_hex"]}, signer=signer
+            )
+        if op.kind == "vote":
+            return pool.submit(
+                "ballot",
+                "vote",
+                {"election_id": op.args["election_id"], "choice": op.args["choice"]},
+                signer=signer,
+            )
+        # invest
+        return pool.submit(
+            "dividendpool", "invest", {"amount": op.args["amount"]}, signer=signer
+        )
+
+    ordered = sorted(range(len(operations)), key=lambda i: (operations[i].at, i))
+
+    def driver() -> Generator[Event, Any, None]:
+        for index in ordered:
+            op = operations[index]
+            if op.at > env.now:
+                yield env.timeout(op.at - env.now)
+            events[index] = submit(op)
+
+    process = env.process(driver())
+    env.run(process)
+    live = [event for event in events if event is not None]
+    done = env.all_of(live)
+    if horizon <= env.now:
+        raise WorkloadError(f"horizon {horizon} is not after the last submission ({env.now})")
+    env.run(env.any_of([done, env.timeout(horizon - env.now)]))
+    report.results = [
+        event.value if event is not None and (event.processed or event.triggered) else None
+        for event in events
+    ]
     return report
 
 

@@ -154,14 +154,32 @@ class FastMoney(BContract):
         return xtx
 
     @bcontract_method
-    def xshard_reserve(self, ctx: InvocationContext, xtx: str, amount: int) -> dict[str, Any]:
+    def xshard_reserve(
+        self,
+        ctx: InvocationContext,
+        xtx: str,
+        amount: int,
+        expires_at: Optional[float] = None,
+    ) -> dict[str, Any]:
         """Phase-1 hold on the source instance: debit the sender into escrow.
 
         Fails — making the whole cross-shard transaction vote *no* — when
         the sender cannot cover ``amount`` or the id was already used.
+
+        ``expires_at`` arms a safety valve against a coordinator that
+        vanishes between PREPARE and the decision: once the (simulated)
+        clock passes it, the holder may reclaim the hold unilaterally
+        through :meth:`xshard_reclaim` without any abort evidence.  A
+        hold without an expiry can only leave escrow through a decided
+        settle or refund, exactly as before this parameter existed.
         """
         xtx = self._validate_xtx(xtx)
         amount = _validate_amount(amount)
+        if expires_at is not None:
+            if not isinstance(expires_at, (int, float)) or isinstance(expires_at, bool):
+                raise BContractError("FastMoney: expires_at must be a timestamp")
+            if float(expires_at) <= ctx.timestamp:
+                raise BContractError("FastMoney: the escrow expiry must be in the future")
         sender = ctx.sender.hex()
         if self.store.contains(self._escrow_key(xtx)):
             raise BContractError(f"FastMoney: cross-shard id {xtx} already used")
@@ -171,10 +189,10 @@ class FastMoney(BContract):
                 f"FastMoney: insufficient funds for cross-shard hold ({balance} < {amount})"
             )
         self.store.put(self._balance_key(sender), balance - amount)
-        self.store.put(
-            self._escrow_key(xtx),
-            {"direction": "out", "from": sender, "amount": amount, "status": "held"},
-        )
+        record = {"direction": "out", "from": sender, "amount": amount, "status": "held"}
+        if expires_at is not None:
+            record["expires_at"] = float(expires_at)
+        self.store.put(self._escrow_key(xtx), record)
         return {"xtx": xtx, "amount": amount, "status": "held"}
 
     @bcontract_method
@@ -188,6 +206,11 @@ class FastMoney(BContract):
         record = self._escrow(xtx, "held", "out")
         if record.get("from") != ctx.sender.hex():
             raise BContractError("FastMoney: only the holder can settle a cross-shard hold")
+        expiry = record.get("expires_at")
+        if expiry is not None and ctx.timestamp > float(expiry):
+            # A timed-out hold can only leave escrow through refund or
+            # reclaim; see xshard_reclaim for the coordination contract.
+            raise BContractError(f"FastMoney: cross-shard hold {xtx} expired; abort it")
         amount = int(record["amount"])
         self.store.put(
             self._escrow_key(xtx),
@@ -195,6 +218,47 @@ class FastMoney(BContract):
         )
         self.store.increment("supply", -amount)
         return {"xtx": xtx, "amount": amount, "status": "settled"}
+
+    @bcontract_method
+    def xshard_reclaim(self, ctx: InvocationContext, xtx: str) -> dict[str, Any]:
+        """Reclaim an *expired* cross-shard hold without abort evidence.
+
+        The safety valve for an abandoned two-phase commit: when the
+        coordinator vanished between PREPARE and the decision, the hold
+        would otherwise stay escrowed forever (a gateway only accepts an
+        abort carrying a genuine no-vote).  Once the hold's ``expires_at``
+        has passed, the holder may pull the funds back unilaterally —
+        and both commit legs refuse expired escrows
+        (:meth:`xshard_settle` on the source, :meth:`xshard_credit` on a
+        target whose expectation was armed with the same expiry), so a
+        reclaim and a commit can never both move the value.  The
+        coordinator must arm *both* sides with one expiry set far beyond
+        its decision deadline; a decision driven after expiry is then
+        refused everywhere (the classic two-phase-commit timeout
+        trade-off, traded here for non-blocking escrows — with the
+        residual caveat that the two sides read their own group's
+        execution clock, so a decision landing exactly astride the
+        expiry on the two groups can still split).
+        """
+        record = self._escrow(xtx, "held", "out")
+        if record.get("from") != ctx.sender.hex():
+            raise BContractError("FastMoney: only the holder can reclaim a cross-shard hold")
+        expiry = record.get("expires_at")
+        if expiry is None:
+            raise BContractError(f"FastMoney: cross-shard hold {xtx} has no expiry")
+        if ctx.timestamp <= float(expiry):
+            raise BContractError(
+                f"FastMoney: cross-shard hold {xtx} has not expired yet "
+                f"({ctx.timestamp} <= {expiry})"
+            )
+        amount = int(record["amount"])
+        self.store.increment(self._balance_key(record["from"]), amount)
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "out", "from": record["from"], "amount": amount,
+             "status": "reclaimed"},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "reclaimed"}
 
     @bcontract_method
     def xshard_refund(self, ctx: InvocationContext, xtx: str) -> dict[str, Any]:
@@ -211,23 +275,52 @@ class FastMoney(BContract):
         return {"xtx": xtx, "amount": amount, "status": "refunded"}
 
     @bcontract_method
-    def xshard_expect(self, ctx: InvocationContext, xtx: str, to: str, amount: int) -> dict[str, Any]:
-        """Phase-1 on the target instance: record the pending credit."""
+    def xshard_expect(
+        self,
+        ctx: InvocationContext,
+        xtx: str,
+        to: str,
+        amount: int,
+        expires_at: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """Phase-1 on the target instance: record the pending credit.
+
+        A coordinator that arms an expiry on the source hold
+        (:meth:`xshard_reserve`) must arm the *same* expiry here:
+        :meth:`xshard_credit` refuses an expired expectation exactly as
+        :meth:`xshard_settle` refuses an expired hold, so a decision
+        driven after the deadline is refused on both sides and a
+        reclaimed hold can never coexist with a delivered credit.
+        """
         xtx = self._validate_xtx(xtx)
         amount = _validate_amount(amount)
         recipient = _normalize_address(to)
+        if expires_at is not None:
+            if not isinstance(expires_at, (int, float)) or isinstance(expires_at, bool):
+                raise BContractError("FastMoney: expires_at must be a timestamp")
+            if float(expires_at) <= ctx.timestamp:
+                raise BContractError("FastMoney: the escrow expiry must be in the future")
         if self.store.contains(self._escrow_key(xtx)):
             raise BContractError(f"FastMoney: cross-shard id {xtx} already used")
-        self.store.put(
-            self._escrow_key(xtx),
-            {"direction": "in", "to": recipient, "amount": amount, "status": "expected"},
-        )
+        record = {"direction": "in", "to": recipient, "amount": amount,
+                  "status": "expected"}
+        if expires_at is not None:
+            record["expires_at"] = float(expires_at)
+        self.store.put(self._escrow_key(xtx), record)
         return {"xtx": xtx, "amount": amount, "status": "expected"}
 
     @bcontract_method
     def xshard_credit(self, ctx: InvocationContext, xtx: str) -> dict[str, Any]:
         """Phase-2 commit on the target instance: credit the recipient."""
         record = self._escrow(xtx, "expected", "in")
+        expiry = record.get("expires_at")
+        if expiry is not None and ctx.timestamp > float(expiry):
+            # Mirror of the settle-side check: a timed-out transaction
+            # can only abort, so an expired hold's reclaim can never race
+            # a late credit into minting value.
+            raise BContractError(
+                f"FastMoney: cross-shard expectation {xtx} expired; cancel it"
+            )
         amount = int(record["amount"])
         self.store.increment(self._balance_key(record["to"]), amount)
         self.store.increment("supply", amount)
@@ -287,7 +380,7 @@ class FastMoney(BContract):
                     deltas=frozenset({"supply"}),
                 )
             if method in ("xshard_reserve", "xshard_settle", "xshard_refund",
-                          "xshard_expect", "xshard_cancel"):
+                          "xshard_reclaim", "xshard_expect", "xshard_cancel"):
                 escrow = self._escrow_key(self._validate_xtx(args["xtx"]))
                 sender_key = self._balance_key(sender)
                 if method == "xshard_reserve":
@@ -301,7 +394,7 @@ class FastMoney(BContract):
                         writes=frozenset({escrow}),
                         deltas=frozenset({"supply"}),
                     )
-                if method == "xshard_refund":
+                if method in ("xshard_refund", "xshard_reclaim"):
                     return AccessSet(
                         reads=frozenset({escrow}),
                         writes=frozenset({escrow}),

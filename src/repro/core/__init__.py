@@ -6,7 +6,15 @@ from .config import ConfigError, DeploymentConfig, SystemInvariants
 from .consensus import CellStanding, ConsensusError, OverlayConsensus
 from .deployment import BlockumulusDeployment
 from .executor import ExecutionOutcome, TransactionExecutor
-from .faults import FaultPlan, censor_method, censor_sender
+from .faults import (
+    FAULT_KINDS,
+    FaultError,
+    FaultPlan,
+    FaultSchedule,
+    ScheduledFault,
+    censor_method,
+    censor_sender,
+)
 from .lanes import (
     AccessFootprint,
     LaneError,
@@ -48,7 +56,11 @@ __all__ = [
     "DataSnapshot",
     "DeploymentConfig",
     "ExecutionOutcome",
+    "FAULT_KINDS",
+    "FaultError",
     "FaultPlan",
+    "FaultSchedule",
+    "ScheduledFault",
     "LaneError",
     "LaneSchedule",
     "LaneScheduler",

@@ -15,17 +15,29 @@ consensus detects or tolerates the behaviour:
   transaction, so its execution fingerprints diverge from the honest cells.
 * **delay** — the cell adds a fixed extra delay to every confirmation
   (deadline-miss exclusion).
+
+Alongside the per-cell switches, this module defines the *scheduled* fault
+vocabulary used by the chaos engine (:mod:`repro.chaos`): a
+:class:`ScheduledFault` names one fault kind, its target cell (by group and
+cell index), and the simulated time window it covers, and a
+:class:`FaultSchedule` is a validated collection of them.  Both validate
+their arguments at construction — a schedule naming a cell that does not
+exist raises a clear :class:`FaultError` instead of silently never firing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from ..messages.envelope import Envelope
 
 #: Predicate deciding whether a given transaction envelope is censored.
 CensorPredicate = Callable[[Envelope], bool]
+
+
+class FaultError(ValueError):
+    """Raised for invalid fault plans or fault schedules."""
 
 
 @dataclass
@@ -39,6 +51,18 @@ class FaultPlan:
     extra_confirm_delay: float = 0.0
     #: Log of faults actually exercised, for assertions in tests.
     events: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.censor is not None and not callable(self.censor):
+            raise FaultError("censor must be a callable predicate over envelopes")
+        if not isinstance(self.extra_confirm_delay, (int, float)) or isinstance(
+            self.extra_confirm_delay, bool
+        ):
+            raise FaultError("extra_confirm_delay must be a number of seconds")
+        if self.extra_confirm_delay < 0:
+            raise FaultError(
+                f"extra_confirm_delay cannot be negative, got {self.extra_confirm_delay!r}"
+            )
 
     def record(self, kind: str, **details: Any) -> None:
         """Remember that a fault path fired."""
@@ -72,3 +96,189 @@ def censor_method(contract: str, method: str) -> CensorPredicate:
         return data.get("contract") == contract and data.get("method") == method
 
     return predicate
+
+
+# ----------------------------------------------------------------------
+# Scheduled faults (the chaos engine's fault vocabulary)
+# ----------------------------------------------------------------------
+#: Fault kinds a schedule may carry.  ``crash_recover`` crashes the target
+#: at ``at`` and runs the full resync+rejoin recovery at ``until``;
+#: ``crash_rejoin`` additionally scripts the consortium exclusion of
+#: Section V while the cell is down; ``standby_activate`` bootstraps a
+#: provisioned standby cell at ``at``; ``censor_window`` drops one
+#: account's transactions on the target cell during ``[at, until)``;
+#: ``delay_window`` adds a fixed sub-deadline confirmation delay during
+#: ``[at, until)``; ``tamper_state`` and ``tamper_fingerprint`` switch the
+#: corresponding compromised-cell behaviours on at ``at`` (they stay on —
+#: tampering is not something a cell undoes; these are the faults the
+#: audit oracles must *catch*, so a scenario carrying one is expected to
+#: fail its oracle stack).
+FAULT_KINDS = frozenset(
+    {
+        "crash_recover",
+        "crash_rejoin",
+        "standby_activate",
+        "censor_window",
+        "delay_window",
+        "tamper_state",
+        "tamper_fingerprint",
+    }
+)
+
+#: Kinds whose injection takes the target cell offline for a while.
+OUTAGE_KINDS = frozenset({"crash_recover", "crash_rejoin"})
+
+#: Kinds that require an end-of-window time (``until``).
+WINDOWED_KINDS = frozenset(
+    {"crash_recover", "crash_rejoin", "censor_window", "delay_window"}
+)
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One fault injection: what, where (group/cell), and when.
+
+    Pure data — the chaos runner (:mod:`repro.chaos.runner`) turns it
+    into concrete :class:`FaultPlan` flips and deployment crash/recover
+    calls at the scheduled simulated times.  All arguments are validated
+    here; the *topology* (does the target cell exist?) is validated by
+    :meth:`FaultSchedule.validate_for`, which must be called before
+    injection so a schedule can never silently target a ghost cell.
+    """
+
+    kind: str
+    group: int
+    cell: int
+    at: float
+    until: Optional[float] = None
+    #: Kind-specific parameters (e.g. ``account`` for ``censor_window``,
+    #: ``seconds`` for ``delay_window``).
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; known kinds: {sorted(FAULT_KINDS)}"
+            )
+        if not isinstance(self.group, int) or isinstance(self.group, bool) or self.group < 0:
+            raise FaultError(f"fault group must be a non-negative integer, got {self.group!r}")
+        if not isinstance(self.cell, int) or isinstance(self.cell, bool) or self.cell < 0:
+            raise FaultError(f"fault cell must be a non-negative integer, got {self.cell!r}")
+        if not isinstance(self.at, (int, float)) or self.at < 0:
+            raise FaultError(f"fault time must be a non-negative number, got {self.at!r}")
+        if self.kind in WINDOWED_KINDS:
+            if self.until is None:
+                raise FaultError(f"fault kind {self.kind!r} needs an end time (until)")
+            if not isinstance(self.until, (int, float)) or self.until <= self.at:
+                raise FaultError(
+                    f"fault window must end after it starts ({self.until!r} <= {self.at!r})"
+                )
+        elif self.until is not None:
+            raise FaultError(f"fault kind {self.kind!r} does not take an end time")
+        if self.kind == "delay_window":
+            seconds = self.params.get("seconds")
+            if not isinstance(seconds, (int, float)) or seconds <= 0:
+                raise FaultError("delay_window needs positive params['seconds']")
+        if self.kind == "censor_window":
+            account = self.params.get("account")
+            if not isinstance(account, int) or isinstance(account, bool) or account < 0:
+                raise FaultError(
+                    "censor_window needs a non-negative account index in "
+                    "params['account']"
+                )
+
+    def to_data(self) -> dict[str, Any]:
+        """JSON-serializable form (scenario specs, reports)."""
+        data: dict[str, Any] = {
+            "kind": self.kind,
+            "group": self.group,
+            "cell": self.cell,
+            "at": self.at,
+        }
+        if self.until is not None:
+            data["until"] = self.until
+        if self.params:
+            data["params"] = dict(sorted(self.params.items()))
+        return data
+
+    @classmethod
+    def from_data(cls, data: dict[str, Any]) -> "ScheduledFault":
+        """Inverse of :meth:`to_data` (validates on construction)."""
+        return cls(
+            kind=data["kind"],
+            group=int(data["group"]),
+            cell=int(data["cell"]),
+            at=float(data["at"]),
+            until=float(data["until"]) if data.get("until") is not None else None,
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A validated, ordered collection of scheduled faults."""
+
+    faults: tuple[ScheduledFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, ScheduledFault):
+                raise FaultError(f"fault schedules hold ScheduledFault objects, not {fault!r}")
+
+    def __iter__(self) -> Iterator[ScheduledFault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def validate_for(self, shard_count: int, cells_per_group: int, standby_cells: int = 0) -> None:
+        """Check every fault targets a cell that actually exists.
+
+        ``cells_per_group`` counts the *active* consortium cells of each
+        group; ``standby_cells`` the provisioned standbys beyond them
+        (their indices start at ``cells_per_group``).  A
+        ``standby_activate`` fault must target a standby index; every
+        other kind must target an active cell.  Raises a precise
+        :class:`FaultError` naming the offending fault — the old
+        behaviour (a fault naming a ghost cell just never fired) hid
+        scenario-generation bugs.
+        """
+        total = cells_per_group + standby_cells
+        for fault in self.faults:
+            where = f"{fault.kind} fault at t={fault.at}"
+            if not 0 <= fault.group < shard_count:
+                raise FaultError(
+                    f"{where} targets cell group {fault.group}, but the deployment "
+                    f"has {shard_count} group(s)"
+                )
+            if fault.kind == "standby_activate":
+                if not cells_per_group <= fault.cell < total:
+                    raise FaultError(
+                        f"{where} targets cell {fault.cell}, which is not a standby "
+                        f"(standby indices are [{cells_per_group}, {total}))"
+                    )
+            elif not 0 <= fault.cell < cells_per_group:
+                raise FaultError(
+                    f"{where} targets unknown cell {fault.cell} of group {fault.group} "
+                    f"(active cells are [0, {cells_per_group}))"
+                )
+
+    def kinds(self) -> set[str]:
+        """The distinct fault kinds this schedule exercises."""
+        return {fault.kind for fault in self.faults}
+
+    def without(self, index: int) -> "FaultSchedule":
+        """A copy with the ``index``-th fault removed (for shrinking)."""
+        if not 0 <= index < len(self.faults):
+            raise FaultError(f"no fault with index {index} to remove")
+        return FaultSchedule(self.faults[:index] + self.faults[index + 1 :])
+
+    def to_data(self) -> list[dict[str, Any]]:
+        """JSON-serializable form."""
+        return [fault.to_data() for fault in self.faults]
+
+    @classmethod
+    def from_data(cls, data: list[dict[str, Any]]) -> "FaultSchedule":
+        """Inverse of :meth:`to_data`."""
+        return cls(tuple(ScheduledFault.from_data(item) for item in data))

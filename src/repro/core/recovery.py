@@ -65,6 +65,10 @@ class RecoveryResult:
     donor: str
     ok: bool
     reason: Optional[str] = None
+    #: Whether the failure is a transient race (peers moved on during the
+    #: handshake) that a fresh delta resync can fix — the structured flag
+    #: the retry loop in :meth:`RecoveryCoordinator.resync` keys on.
+    retryable: bool = False
     snapshot_cycle: Optional[int] = None
     backfilled: int = 0
     replayed: int = 0
@@ -76,6 +80,11 @@ class RecoveryResult:
     fingerprint_matched: bool = False
     readmitted: bool = False
     ack_count: int = 0
+    #: Full resync+rejoin attempts this recovery took (a rejoin vote can
+    #: race live traffic: peers execute transactions between the donor
+    #: sync and the fingerprint vote, so the coordinator re-syncs the
+    #: delta and retries a bounded number of times).
+    attempts: int = 1
     started_at: float = 0.0
     completed_at: float = 0.0
     messages_used: int = 0
@@ -453,6 +462,14 @@ class MembershipManager:
 class RecoveryCoordinator:
     """Bootstraps a rejoining (or fresh standby) cell from a live donor."""
 
+    #: Resync+rejoin attempts before a recovery gives up.  More than one
+    #: is needed exactly when the deployment is serving traffic *during*
+    #: the recovery: peers keep executing between the donor sync and the
+    #: rejoin fingerprint vote, so the first vote can legitimately find
+    #: the rejoiner one step behind.  Each retry re-fetches the (small)
+    #: delta; under any finite traffic burst the loop converges.
+    REJOIN_ATTEMPTS = 3
+
     def __init__(self, cell: "BlockumulusCell") -> None:
         self.cell = cell
         self.last_result: Optional[RecoveryResult] = None
@@ -486,19 +503,33 @@ class RecoveryCoordinator:
         state, so letting it run — and anchor fingerprints — would be
         worse than staying down); the operator can retry with a different
         donor via :meth:`BlockumulusDeployment.recover_cell`.
+
+        A rejoin vote that merely *raced live traffic* — every peer
+        answered, but their state had moved past the synced tail by the
+        time they voted — is retried with a fresh delta sync, up to
+        :data:`REJOIN_ATTEMPTS` attempts in total, so recovering under
+        load converges instead of failing spuriously.
         """
         cell = self.cell
-        result = RecoveryResult(
-            cell=cell.node_name,
-            donor=donor.hex(),
-            ok=False,
-            started_at=cell.env.now,
-        )
+        started_at = cell.env.now
         messages_before, bytes_before = self._traffic_totals()
         cell.recovering = True
         try:
-            result = yield from self._resync_body(donor, donor_node, result,
-                                                  messages_before, bytes_before)
+            attempt = 0
+            while True:
+                attempt += 1
+                result = RecoveryResult(
+                    cell=cell.node_name,
+                    donor=donor.hex(),
+                    ok=False,
+                    started_at=started_at,
+                )
+                result = yield from self._resync_body(donor, donor_node, result,
+                                                      messages_before, bytes_before)
+                result.attempts = attempt
+                if result.ok or not result.retryable or attempt >= self.REJOIN_ATTEMPTS:
+                    break
+                cell.metrics.increment(f"{cell.node_name}/rejoin_retries")
         finally:
             cell.recovering = False
         if not result.ok:
@@ -559,6 +590,10 @@ class RecoveryCoordinator:
         result.ok = readmitted
         if not readmitted:
             result.reason = "readmission quorum not reached"
+            # Peers answered but their state had moved past our synced
+            # tail (live traffic during the handshake): a fresh delta
+            # sync can catch up, so the coordinator may retry.
+            result.retryable = True
         cell.metrics.increment(f"{cell.node_name}/recoveries")
         return self._finish(result, messages_before, bytes_before)
 

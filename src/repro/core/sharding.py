@@ -394,6 +394,53 @@ class ShardedDeployment:
         return placements
 
     # ------------------------------------------------------------------
+    # Dynamic membership (per-group crash / recover / standby surface)
+    # ------------------------------------------------------------------
+    # Thin, validated delegates to the owning group's BlockumulusDeployment,
+    # so fault injectors (repro.chaos) and tests can target "cell c of
+    # group g" without reaching into deployment internals — and so a bad
+    # target fails loudly through ShardingError instead of an IndexError.
+
+    def crash_cell(self, group: int, cell: int) -> None:
+        """Crash cell ``cell`` of group ``group`` (drops in-flight work)."""
+        self._group_cell(group, cell)
+        self.group(group).deployment.crash_cell(cell)
+
+    def exclude_cell(self, group: int, cell: int, cycle: Optional[int] = None) -> None:
+        """Scripted consortium exclusion of one group member (Section V)."""
+        self._group_cell(group, cell)
+        self.group(group).deployment.exclude_cell(cell, cycle=cycle)
+
+    def restore_cell(self, group: int, cell: int) -> None:
+        """Bring a crashed cell's process and network endpoint back up."""
+        self._group_cell(group, cell)
+        self.group(group).deployment.restore_cell(cell)
+
+    def recover_cell(self, group: int, cell: int, donor_index: Optional[int] = None):
+        """Run the full resync+rejoin recovery of one group member.
+
+        Returns the recovery :class:`~repro.sim.events.Process` (as the
+        underlying :meth:`BlockumulusDeployment.recover_cell` does).
+        """
+        self._group_cell(group, cell)
+        return self.group(group).deployment.recover_cell(cell, donor_index=donor_index)
+
+    def activate_standby(self, group: int, cell: int, donor_index: Optional[int] = None):
+        """Bootstrap a provisioned standby cell of one group into its quorum."""
+        self._group_cell(group, cell)
+        return self.group(group).deployment.activate_standby(cell, donor_index=donor_index)
+
+    def _group_cell(self, group: int, cell: int):
+        """The addressed cell, or a ShardingError naming the bad coordinate."""
+        deployment = self.group(group).deployment
+        if not 0 <= cell < len(deployment.cells):
+            raise ShardingError(
+                f"group {group} has no cell {cell} "
+                f"(cells are [0, {len(deployment.cells)}))"
+            )
+        return deployment.cells[cell]
+
+    # ------------------------------------------------------------------
     # Simulation driving
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:

@@ -88,6 +88,11 @@ class DataSnapshot:
     excluded_contracts: tuple[str, ...]
     #: The combined data snapshot fingerprint anchored on Ethereum.
     fingerprint: bytes
+    #: Per-contract type tags (``BContract.TYPE``), so an auditor can
+    #: reconstruct *any* instance for replay — per-shard application
+    #: instances (``fastmoney@s1``) and renamed deployments included,
+    #: not just contracts that happen to use their default names.
+    contract_types: dict[str, str] = field(default_factory=dict)
     #: Full state export per contract (what auditors download).  Either a
     #: plain dict or a :class:`LazySnapshotExport` that materializes on read.
     state_export: Mapping[str, dict[str, Any]] = field(default_factory=dict, repr=False)
@@ -117,6 +122,7 @@ class DataSnapshot:
                 name: "0x" + digest.hex() for name, digest in self.contract_fingerprints.items()
             },
             "excluded_contracts": list(self.excluded_contracts),
+            "contract_types": dict(sorted(self.contract_types.items())),
             "first_sequence": self.first_sequence,
             "last_sequence": self.last_sequence,
         }
@@ -141,6 +147,7 @@ class DataSnapshot:
                     for name, value in raw["contract_fingerprints"].items()
                 },
                 excluded_contracts=tuple(raw.get("excluded_contracts", [])),
+                contract_types=dict(raw.get("contract_types", {})),
                 fingerprint=bytes.fromhex(raw["fingerprint"][2:]),
                 state_export=dict(raw.get("state_export", {})),
                 first_sequence=int(raw.get("first_sequence", 0)),
@@ -193,11 +200,13 @@ class SnapshotEngine:
                 f"snapshot for cycle {cycle} taken out of order (latest is {self._latest_cycle})"
             )
         fingerprints: dict[str, bytes] = {}
+        types: dict[str, str] = {}
         for contract in self.registry:
             if self.registry.is_excluded(contract.name):
                 continue
             clone = contract.clone_snapshot()
             fingerprints[contract.name] = clone.fingerprint
+            types[contract.name] = contract.TYPE
         combined = snapshot_fingerprint(fingerprints)
         snapshot = DataSnapshot(
             cycle=cycle,
@@ -205,6 +214,7 @@ class SnapshotEngine:
             cell_id=self.cell_id,
             contract_fingerprints=fingerprints,
             excluded_contracts=tuple(self.registry.excluded()),
+            contract_types=types,
             fingerprint=combined,
             state_export=(
                 LazySnapshotExport(self.registry.export_all_lazy()) if include_state else {}

@@ -35,6 +35,17 @@ class SeedSequence:
         """Return a :class:`random.Random` dedicated to ``name``."""
         return random.Random(self.seed_for(name))
 
+    def child(self, name: str) -> "SeedSequence":
+        """Derive an independent child sequence for the scope ``name``.
+
+        A child sequence hands out streams exactly like its parent but
+        from a different key space, so a component that itself owns many
+        named streams (e.g. one chaos scenario, which derives sampling,
+        workload, and fault-time streams) can be given one child and can
+        never collide with — or perturb — streams drawn elsewhere.
+        """
+        return SeedSequence(self._seed_bytes + b"//" + name.encode())
+
     def streams(self, *names: str) -> Iterator[random.Random]:
         """Yield one stream per name, in order."""
         for name in names:

@@ -1,0 +1,30 @@
+"""Fixtures for the chaos-engine suite (budget scaling, report dir)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.chaos import corpus_seeds
+
+#: Where failing scenario reports are written (CI uploads these).
+REPORT_DIR = os.environ.get("CHAOS_REPORT_DIR", ".chaos-reports")
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize corpus tests over the budgeted seed range.
+
+    The ``--chaos-budget N`` option (see the root conftest) replaces the
+    pinned corpus with seeds ``0..N-1`` — a prefix for quick smoke runs,
+    an extension beyond the pinned range for nightly soak runs.
+    """
+    if "chaos_seed" in metafunc.fixturenames:
+        budget = metafunc.config.getoption("--chaos-budget")
+        metafunc.parametrize("chaos_seed", corpus_seeds(budget))
+
+
+@pytest.fixture
+def chaos_budget(request) -> int | None:
+    """The raw --chaos-budget value (None = pinned corpus)."""
+    return request.config.getoption("--chaos-budget")

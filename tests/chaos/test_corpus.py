@@ -1,0 +1,53 @@
+"""The pinned chaos corpus: every seeded scenario passes the oracle stack.
+
+This is the acceptance gate of the chaos engine: seeds ``0..N-1``
+(stratified over shards {1,2,4} × lanes {1,4} × batching {on,off} and
+five fault kinds) each run through :func:`repro.chaos.check_scenario` —
+value conservation, differential equality against the serial/unsharded/
+unbatched reference, bit-for-bit same-seed replay, and the full
+per-group audit + shard-digest verification.  A failing scenario writes
+its :class:`ScenarioReport` (seed + spec + findings) to the report
+directory so CI can upload it as an artifact; the report's
+``replay_command`` reproduces the failure locally in one line.
+
+Scale with ``pytest --chaos-budget N`` (see tests/chaos/conftest.py).
+"""
+
+from repro.chaos import check_scenario, sample_scenario
+from repro.chaos.report import ScenarioReport
+
+from tests.chaos.conftest import REPORT_DIR
+
+
+def test_scenario_passes_all_oracles(chaos_seed):
+    spec = sample_scenario(chaos_seed)
+    run, results = check_scenario(spec)
+    failed = [result for result in results if not result.passed]
+    if failed:
+        report = ScenarioReport(
+            seed=chaos_seed,
+            spec=spec.to_data(),
+            passed=False,
+            oracles=[result.to_data() for result in results],
+            stats={"fault_events": len(run.fault_log)},
+        )
+        path = report.write(REPORT_DIR)
+        details = "; ".join(
+            f"{result.oracle}: {result.findings[:2]}" for result in failed
+        )
+        raise AssertionError(
+            f"scenario {chaos_seed} failed oracles [{details}] — "
+            f"report: {path}; reproduce with: {report.replay_command}"
+        )
+    # Replay + audit + conservation + differential all ran.
+    assert {result.oracle for result in results} == {
+        "conservation",
+        "differential",
+        "replay",
+        "audit",
+    }
+    # Every scheduled fault actually fired (the FaultSchedule validation
+    # promise: nothing silently targets a ghost and never fires).
+    injected = {(f["kind"], f["group"], f["cell"]) for f in run.fault_log}
+    scheduled = {(f.kind, f.group, f.cell) for f in spec.faults}
+    assert scheduled <= injected

@@ -1,0 +1,127 @@
+"""Scenario sampling: determinism, serialization, validation, coverage."""
+
+import pytest
+
+from repro.chaos import (
+    CORPUS_SIZE,
+    ScenarioError,
+    ScenarioSpace,
+    ScenarioSpec,
+    corpus_specs,
+    coverage,
+    sample_scenario,
+)
+from repro.chaos.scenario import (
+    FAULTS_END,
+    FAULTS_START,
+    OPS_END,
+    OPS_START,
+    QUIESCE_AT,
+    RESOLVE_BY,
+)
+from repro.core.faults import FaultError, FaultSchedule, ScheduledFault
+
+
+def test_sampling_is_a_pure_function_of_the_seed():
+    for seed in (0, 7, 41, 59):
+        assert sample_scenario(seed) == sample_scenario(seed)
+
+
+def test_distinct_seeds_draw_distinct_scenarios():
+    specs = {seed: sample_scenario(seed) for seed in range(8)}
+    operations = {
+        tuple(str(op.to_data()) for op in spec.operations) for spec in specs.values()
+    }
+    assert len(operations) == len(specs), "seeds must not share workload draws"
+
+
+def test_spec_round_trips_through_json_data():
+    for seed in (3, 17, 44):
+        spec = sample_scenario(seed)
+        assert ScenarioSpec.from_data(spec.to_data()) == spec
+
+
+def test_sampled_timelines_respect_the_scenario_phases():
+    for seed in range(24):
+        spec = sample_scenario(seed)
+        for op in spec.operations:
+            assert OPS_START <= op.at <= OPS_END
+        outage_ends = [
+            fault.until for fault in spec.faults
+            if fault.kind in ("crash_recover", "crash_rejoin")
+        ]
+        for fault in spec.faults:
+            if fault.kind == "standby_activate":
+                # Activations wait for the workload to quiesce AND for
+                # every crash window to close (a crashed peer counts
+                # toward, but cannot answer, the readmission quorum).
+                assert fault.at >= QUIESCE_AT
+                assert all(fault.at > end for end in outage_ends)
+                assert fault.at <= RESOLVE_BY + 1.0 + spec.shards
+            else:
+                assert FAULTS_START <= fault.at <= FAULTS_END
+            if fault.until is not None:
+                assert fault.at < fault.until <= RESOLVE_BY
+                if fault.kind in ("crash_recover", "crash_rejoin"):
+                    assert fault.until >= QUIESCE_AT
+        assert spec.end_time > spec.cycles * spec.report_period
+
+
+def test_fault_targeting_a_ghost_cell_is_rejected_at_spec_level():
+    spec = sample_scenario(0)
+    ghost = FaultSchedule(
+        (ScheduledFault(kind="crash_recover", group=0, cell=99, at=6.0, until=12.0),)
+    )
+    with pytest.raises(FaultError, match="unknown cell 99"):
+        spec.with_faults(ghost)
+    wrong_group = FaultSchedule(
+        (ScheduledFault(kind="crash_recover", group=7, cell=0, at=6.0, until=12.0),)
+    )
+    with pytest.raises(FaultError, match="group 7"):
+        spec.with_faults(wrong_group)
+    ghost_account = FaultSchedule(
+        (ScheduledFault(kind="censor_window", group=0, cell=0, at=6.0, until=12.0,
+                        params={"account": 99}),)
+    )
+    with pytest.raises(ScenarioError, match="account 99"):
+        spec.with_faults(ghost_account)
+
+
+def test_standby_activation_must_target_a_standby_index():
+    with pytest.raises(FaultError, match="not a standby"):
+        ScenarioSpec.from_data(
+            {
+                **sample_scenario(2).to_data(),
+                "standby_cells": 1,
+                "faults": [
+                    {"kind": "standby_activate", "group": 0, "cell": 0, "at": 6.0}
+                ],
+            }
+        )
+
+
+def test_space_validation_rejects_degenerate_axes():
+    with pytest.raises(ScenarioError):
+        ScenarioSpace(shards=())
+    with pytest.raises(ScenarioError):
+        ScenarioSpace(consortium_size=1)
+    with pytest.raises(ScenarioError):
+        ScenarioSpace(min_ops=5, max_ops=3)
+
+
+def test_pinned_corpus_spans_the_full_feature_matrix():
+    specs = corpus_specs()
+    assert len(specs) == CORPUS_SIZE >= 50
+    cov = coverage(specs)
+    assert cov["matrix_points"] == len(ScenarioSpace().matrix()) == 12
+    assert set(cov["fault_kinds"]) >= {
+        "crash_recover",
+        "crash_rejoin",
+        "standby_activate",
+        "censor_window",
+        "delay_window",
+    }
+    assert set(cov["op_kinds"]) == {"transfer", "cas_put", "vote", "invest"}
+    # Multi-shard scenarios exist with transfers, so cross-shard 2PC and
+    # pauper-driven aborts get exercised across the corpus.
+    assert cov["multi_shard_transfer_candidates"] > 0

@@ -6,8 +6,17 @@ the observable divergence each fault produces — independently of the
 recovery machinery.
 """
 
+import pytest
+
 from repro.client import BlockumulusClient, FastMoneyClient
-from repro.core.faults import FaultPlan, censor_method, censor_sender
+from repro.core.faults import (
+    FaultError,
+    FaultPlan,
+    FaultSchedule,
+    ScheduledFault,
+    censor_method,
+    censor_sender,
+)
 from repro.messages import EcdsaSigner, Envelope, Opcode
 from tests.conftest import make_deployment
 
@@ -21,6 +30,77 @@ def _envelope(signer, contract="fastmoney", method="transfer"):
         timestamp=0.0,
         nonce="0x000000000001",
     )
+
+
+# ----------------------------------------------------------------------
+# Construction validation (FaultPlan and the scheduled-fault vocabulary)
+# ----------------------------------------------------------------------
+def test_fault_plan_rejects_invalid_arguments_at_construction():
+    with pytest.raises(FaultError, match="negative"):
+        FaultPlan(extra_confirm_delay=-1.0)
+    with pytest.raises(FaultError, match="number of seconds"):
+        FaultPlan(extra_confirm_delay="slow")
+    with pytest.raises(FaultError, match="callable"):
+        FaultPlan(censor="0xabc")
+    # The valid shapes still construct.
+    assert FaultPlan(extra_confirm_delay=0.5).extra_confirm_delay == 0.5
+    assert FaultPlan(censor=censor_sender("0x" + "11" * 20)).censor is not None
+
+
+def test_scheduled_fault_validates_kind_time_and_window():
+    with pytest.raises(FaultError, match="unknown fault kind"):
+        ScheduledFault(kind="meteor_strike", group=0, cell=0, at=1.0)
+    with pytest.raises(FaultError, match="non-negative"):
+        ScheduledFault(kind="crash_recover", group=0, cell=0, at=-2.0, until=3.0)
+    with pytest.raises(FaultError, match="end time"):
+        ScheduledFault(kind="crash_recover", group=0, cell=0, at=5.0)
+    with pytest.raises(FaultError, match="end after it starts"):
+        ScheduledFault(kind="censor_window", group=0, cell=0, at=5.0, until=5.0)
+    with pytest.raises(FaultError, match="does not take an end time"):
+        ScheduledFault(kind="tamper_state", group=0, cell=0, at=5.0, until=9.0)
+    with pytest.raises(FaultError, match="seconds"):
+        ScheduledFault(kind="delay_window", group=0, cell=0, at=1.0, until=2.0)
+    with pytest.raises(FaultError, match="account"):
+        ScheduledFault(kind="censor_window", group=0, cell=0, at=1.0, until=2.0)
+    with pytest.raises(FaultError, match="account"):
+        ScheduledFault(kind="censor_window", group=0, cell=0, at=1.0, until=2.0,
+                       params={"account": -3})
+
+
+def test_fault_schedule_rejects_unknown_cells_instead_of_never_firing():
+    crash = ScheduledFault(kind="crash_recover", group=0, cell=3, at=5.0, until=9.0)
+    schedule = FaultSchedule((crash,))
+    with pytest.raises(FaultError, match="unknown cell 3 of group 0"):
+        schedule.validate_for(shard_count=1, cells_per_group=2)
+    with pytest.raises(FaultError, match="cell group 1"):
+        FaultSchedule(
+            (ScheduledFault(kind="delay_window", group=1, cell=0, at=1.0, until=2.0,
+                            params={"seconds": 0.1}),)
+        ).validate_for(shard_count=1, cells_per_group=2)
+    # Standby activation must target a standby index, and vice versa.
+    activate = ScheduledFault(kind="standby_activate", group=0, cell=1, at=5.0)
+    with pytest.raises(FaultError, match="not a standby"):
+        FaultSchedule((activate,)).validate_for(
+            shard_count=1, cells_per_group=2, standby_cells=1
+        )
+    FaultSchedule(
+        (ScheduledFault(kind="standby_activate", group=0, cell=2, at=5.0),)
+    ).validate_for(shard_count=1, cells_per_group=2, standby_cells=1)
+
+
+def test_fault_schedule_round_trips_and_shrinks():
+    schedule = FaultSchedule(
+        (
+            ScheduledFault(kind="censor_window", group=0, cell=1, at=5.0, until=9.0,
+                           params={"account": 2}),
+            ScheduledFault(kind="tamper_state", group=0, cell=0, at=7.0),
+        )
+    )
+    assert FaultSchedule.from_data(schedule.to_data()) == schedule
+    assert schedule.kinds() == {"censor_window", "tamper_state"}
+    assert schedule.without(0).faults == schedule.faults[1:]
+    with pytest.raises(FaultError, match="no fault with index"):
+        schedule.without(5)
 
 
 # ----------------------------------------------------------------------
