@@ -16,6 +16,9 @@ Results are written both as rendered text and as the machine-readable
 import time
 
 from repro.client import run_contended_transfers
+from repro.client.workload import MixedOperation, run_mixed_operations
+from repro.core.config import DeploymentConfig
+from repro.core.sharding import ShardedDeployment
 from repro.crypto.fingerprint import snapshot_fingerprint
 from repro.encoding import canonical_json
 from repro.sim import CellServiceModel, ConstantLatency
@@ -215,3 +218,82 @@ def test_parallel_execution_lanes(benchmark):
     # records conflict deferrals, and low-conflict parallelism saturates.
     high = [row for row in sweep if row["conflict_rate"] == CONFLICT_RATES[-1] and row["lanes"] == 8]
     assert high[0].get("conflict_deferrals", 0) > 0
+
+
+def test_mixed_workload_lane_overlap():
+    """Spot check: ballot votes and dividend investments overlap in lanes.
+
+    Distinct voters touch disjoint vote keys and the per-choice tallies
+    are declared as commutative deltas; distinct investors touch disjoint
+    ``invested/`` keys.  With the access plans declared on
+    :class:`~repro.contracts.community.ballot.Ballot` and
+    :class:`~repro.contracts.community.dividend_pool.DividendPool`, none of
+    these operations may degrade to the exclusive (serialized) footprint,
+    and the 8-lane scheduler must actually run them concurrently.
+    """
+    accounts = 12
+    deployment = ShardedDeployment(
+        DeploymentConfig(
+            consortium_size=4,
+            shard_count=1,
+            execution_lanes=8,
+            report_period=3_600.0,
+            seed=9_100,
+            signature_scheme="sim",
+            service_model=serial_execution_service_model(),
+            client_cell_latency=ConstantLatency(0.01),
+            cell_cell_latency=ConstantLatency(0.005),
+        )
+    )
+    choices = ["alpha", "beta"]
+    operations = [
+        MixedOperation(
+            at=5.0 + 0.01 * index,
+            kind="vote",
+            sender=index,
+            args={"election_id": "bench-election", "choice": choices[index % 2]},
+        )
+        for index in range(accounts)
+    ] + [
+        MixedOperation(
+            at=5.0 + 0.01 * index,
+            kind="invest",
+            sender=index,
+            args={"amount": 100 + index},
+        )
+        for index in range(accounts)
+    ]
+    report = run_mixed_operations(
+        deployment,
+        operations,
+        account_seeds=[f"bench/mixed/account/{i}" for i in range(accounts)],
+        elections=[("bench-election", choices)],
+        horizon=120.0,
+        label="bench-mixed-lane-overlap",
+    )
+
+    lane_stats = [
+        cell.statistics()["lanes"]
+        for group in deployment.groups
+        for cell in group.cells
+        if cell.statistics()["lanes"] is not None
+    ]
+    exclusive_fallbacks = sum(s["exclusive_fallbacks"] for s in lane_stats)
+    peak_parallel = max(s["peak_parallel"] for s in lane_stats)
+
+    payload = {
+        "benchmark": "mixed_workload_lane_overlap",
+        "accounts": accounts,
+        "operations": len(operations),
+        "ok": report.ok_count,
+        "exclusive_fallbacks": exclusive_fallbacks,
+        "peak_parallel": peak_parallel,
+    }
+    write_bench_json("parallel_mixed", payload)
+
+    # Every vote and every investment succeeded...
+    assert report.ok_count == len(operations), payload
+    # ...none fell back to the exclusive footprint (the plans cover them)...
+    assert exclusive_fallbacks == 0, payload
+    # ...and the scheduler genuinely overlapped them in the lanes.
+    assert peak_parallel >= 2, payload

@@ -451,6 +451,7 @@ class ShardedAuditor:
                 # first cycle whose fingerprints disagree, so an operator
                 # (or the chaos engine's shrinker) knows where to look.
                 for cycle in range(through_cycle + 1):
+                    # lint: disable=DET003 — feeds a set cardinality check, so order cannot leak
                     values = {history[cycle] for history in histories.values()}
                     if len(values) != 1:
                         raise AuditError(

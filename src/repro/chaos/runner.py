@@ -96,7 +96,7 @@ def _arm_faults(
     """
     env = deployment.env
     #: (cell id, fault kind) -> the window currently owning that switch.
-    window_owners: dict[tuple[int, str], ScheduledFault] = {}
+    window_owners: dict[tuple[str, str], ScheduledFault] = {}
 
     def log(fault: ScheduledFault, action: str, **details: Any) -> None:
         fault_log.append(
@@ -129,7 +129,7 @@ def _arm_faults(
             env.call_at(fault.at, activate)
         elif fault.kind == "censor_window":
             target = account_addresses[fault.params["account"]]
-            owner_key = (id(cell), "censor")
+            owner_key = (cell.node_name, "censor")
 
             def censor_on(fault=fault, cell=cell, target=target,
                           owner_key=owner_key) -> None:
@@ -149,7 +149,7 @@ def _arm_faults(
             env.call_at(fault.until, censor_off)
         elif fault.kind == "delay_window":
             seconds = float(fault.params["seconds"])
-            owner_key = (id(cell), "delay")
+            owner_key = (cell.node_name, "delay")
 
             def delay_on(fault=fault, cell=cell, seconds=seconds,
                          owner_key=owner_key) -> None:

@@ -9,10 +9,11 @@ can tally the result afterwards.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from ..context import BContractError, InvocationContext
 from ..interface import BContract, bcontract_method, bcontract_view
+from ..state_store import AccessSet
 
 
 class Ballot(BContract):
@@ -86,6 +87,44 @@ class Ballot(BContract):
         self.store.put(self._vote_key(election_id, voter), choice)
         self.store.increment(self._tally_key(election_id, choice))
         return {"election_id": election_id, "voter": voter, "choice": choice}
+
+    # ------------------------------------------------------------------
+    # Access plans (lane scheduler, Section IV)
+    # ------------------------------------------------------------------
+    def access_plan(
+        self, method: str, args: dict, *, sender: str, tx_id: str
+    ) -> Optional[AccessSet]:
+        """Key-level access declarations for the election methods.
+
+        Votes in distinct elections — and votes by distinct voters for
+        distinct choices of the same election — touch disjoint keys and may
+        run concurrently.  The per-choice tally is a pure increment whose
+        running value never appears in a result, so two votes for the same
+        choice still commute as deltas.
+        """
+        try:
+            if method == "create_election":
+                election_id = str(args["election_id"])
+                election = self._election_key(election_id)
+                return AccessSet(
+                    reads=frozenset({election}),
+                    writes=frozenset({election})
+                    | {
+                        self._tally_key(election_id, str(choice))
+                        for choice in args.get("choices", ())
+                    },
+                )
+            if method == "vote":
+                election_id = str(args["election_id"])
+                vote_key = self._vote_key(election_id, sender)
+                return AccessSet(
+                    reads=frozenset({self._election_key(election_id), vote_key}),
+                    writes=frozenset({vote_key}),
+                    deltas=frozenset({self._tally_key(election_id, str(args["choice"]))}),
+                )
+        except Exception:
+            return None
+        return None
 
     # ------------------------------------------------------------------
     # Views

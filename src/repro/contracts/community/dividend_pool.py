@@ -11,11 +11,12 @@ hatch through the Ethereum anchor contract.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from ...crypto.keys import Address
 from ..context import BContractError, InvocationContext
 from ..interface import BContract, bcontract_method, bcontract_view
+from ..state_store import AccessSet
 
 
 class DividendPool(BContract):
@@ -50,6 +51,7 @@ class DividendPool(BContract):
         return {"account": account, "invested": invested}
 
     @bcontract_method
+    # lint: disable=PLAN003 — credits every investor (unbounded prefix scan); exclusive fallback is deliberate
     def declare_dividend(
         self, ctx: InvocationContext, rate_percent: int, claim_deadline: float
     ) -> dict[str, Any]:
@@ -87,6 +89,7 @@ class DividendPool(BContract):
         return {"account": account, "withdrawn_now": pending, "withdrawn_total": withdrawn}
 
     @bcontract_method
+    # lint: disable=PLAN003 — sweeps every pending dividend (unbounded prefix scan); exclusive fallback is deliberate
     def reinvest_unclaimed(self, ctx: InvocationContext) -> dict[str, Any]:
         """After the deadline, unclaimed dividends are converted to new investment."""
         deadline = self.store.get("claim_deadline")
@@ -103,6 +106,37 @@ class DividendPool(BContract):
             reinvested += pending
         self.store.increment("total_reinvested", reinvested)
         return {"reinvested": reinvested}
+
+    # ------------------------------------------------------------------
+    # Access plans (lane scheduler, Section IV)
+    # ------------------------------------------------------------------
+    def access_plan(
+        self, method: str, args: dict, *, sender: str, tx_id: str
+    ) -> Optional[AccessSet]:
+        """Key-level access declarations for the per-investor methods.
+
+        ``invest`` and ``withdraw_dividend`` touch only the sender's own
+        keys plus commutative pool counters, so investors proceed in
+        parallel lanes.  Their results expose the running per-account
+        values, so those keys are full writes rather than deltas.
+        ``declare_dividend`` and ``reinvest_unclaimed`` scan every investor
+        and deliberately stay on the exclusive fallback (no plan branch).
+        """
+        try:
+            if method == "invest":
+                return AccessSet(
+                    writes=frozenset({self._invested_key(sender)}),
+                    deltas=frozenset({"total_invested"}),
+                )
+            if method == "withdraw_dividend":
+                dividend = self._dividend_key(sender)
+                return AccessSet(
+                    reads=frozenset({"claim_deadline", dividend}),
+                    writes=frozenset({dividend, self._withdrawn_key(sender)}),
+                )
+        except Exception:
+            return None
+        return None
 
     # ------------------------------------------------------------------
     # Views

@@ -94,7 +94,7 @@ class ContractRegistry:
         """Per-contract fingerprints for the snapshot engine."""
         return {
             name: contract.fingerprint()
-            for name, contract in self._contracts.items()
+            for name, contract in sorted(self._contracts.items())
             if include_excluded or name not in self._excluded
         }
 

@@ -412,6 +412,7 @@ class KeyValueStore:
     def recompute_fingerprint(self) -> bytes:
         """Recompute the fingerprint from scratch (verification path)."""
         digest = EMPTY_FINGERPRINT
+        # lint: disable=DET003 — XOR accumulation is commutative; order-independent by design
         for key, value in self._data.items():
             digest = _xor_bytes(digest, _entry_digest(key, value))
         return digest

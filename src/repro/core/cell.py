@@ -17,8 +17,10 @@ service times come from the deployment's :class:`CellServiceModel`.
 
 from __future__ import annotations
 
-import random
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+if TYPE_CHECKING:
+    import random
 
 from ..contracts.registry import ContractRegistry
 from ..contracts.system.cas import ContentAddressableStorage
@@ -49,7 +51,7 @@ from .consensus import OverlayConsensus
 from .executor import ExecutionOutcome, TransactionExecutor
 from .faults import FaultPlan
 from .lanes import LaneScheduler
-from .ledger import LedgerError, TransactionLedger
+from .ledger import LedgerEntry, LedgerError, TransactionLedger
 from .receipts import AggregatedReceipt, Confirmation, ConfirmationBatch, ReceiptError
 from .recovery import MembershipManager, RecoveryCoordinator
 from .snapshot import SnapshotEngine
@@ -67,7 +69,7 @@ class _ServiceResult:
     def __init__(
         self,
         *,
-        entry=None,
+        entry: Optional[LedgerEntry] = None,
         outcome: Optional[ExecutionOutcome] = None,
         cycle: int = 0,
         receipt: Optional[AggregatedReceipt] = None,
@@ -754,7 +756,7 @@ class BlockumulusCell:
     # ------------------------------------------------------------------
     # Local execution (shared by service and forwarded paths)
     # ------------------------------------------------------------------
-    def _execute_entry(self, entry) -> Generator[Event, Any, ExecutionOutcome]:
+    def _execute_entry(self, entry: LedgerEntry) -> Generator[Event, Any, ExecutionOutcome]:
         if self.lanes is None:
             # Legacy serial schedule: the execution stage gates on the
             # invoker pool only (conflict-oblivious).
@@ -1021,6 +1023,9 @@ class BlockumulusCell:
     # ------------------------------------------------------------------
     def _serve_snapshot_request(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
         yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not envelope.verify():
+            self.metrics.increment(f"{self.node_name}/auditor_auth_failures")
+            return
         cycle = envelope.data.get("cycle")
         if cycle is None and self.snapshots.latest_cycle is not None:
             cycle = self.snapshots.latest_cycle
@@ -1034,6 +1039,9 @@ class BlockumulusCell:
 
     def _serve_ledger_request(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
         yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not envelope.verify():
+            self.metrics.increment(f"{self.node_name}/auditor_auth_failures")
+            return
         first = int(envelope.data.get("first_cycle", 0))
         last = int(envelope.data.get("last_cycle", first))
         segment = self.ledger.segment(first, last)

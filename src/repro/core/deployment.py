@@ -30,6 +30,7 @@ from ..ethchain.node import EthereumNode
 from ..ethchain.provider import Web3Provider
 from ..messages.signer import EcdsaSigner, Signer, SimulatedSigner
 from ..sim.environment import Environment
+from ..sim.events import Process
 from ..sim.metrics import MetricsRegistry
 from ..sim.network import Network
 from ..sim.rng import SeedSequence
@@ -299,7 +300,7 @@ class BlockumulusDeployment:
             return donor
         raise ValueError("no live donor cell available for recovery")
 
-    def recover_cell(self, index: int, donor_index: int | None = None):
+    def recover_cell(self, index: int, donor_index: int | None = None) -> Process:
         """Restart a crashed cell and run the full resync + rejoin flow.
 
         Returns the recovery :class:`~repro.sim.events.Process`; run the
@@ -311,7 +312,7 @@ class BlockumulusDeployment:
         donor = self.cells[donor_index] if donor_index is not None else self._pick_donor(index)
         return self.env.process(cell.recovery.resync(donor.address, donor.node_name))
 
-    def activate_standby(self, index: int, donor_index: int | None = None):
+    def activate_standby(self, index: int, donor_index: int | None = None) -> Process:
         """Boot a standby cell into the quorum by bootstrapping from a donor.
 
         The standby downloads the donor's latest snapshot and full ledger,

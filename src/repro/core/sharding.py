@@ -49,6 +49,8 @@ from ..crypto.hashing import fast_hash
 from ..sim.environment import Environment
 from ..sim.metrics import MetricsRegistry
 from ..sim.rng import SeedSequence
+from ..sim.events import Process
+from .cell import BlockumulusCell
 from .config import DeploymentConfig
 from .deployment import BlockumulusDeployment
 from .lanes import AccessFootprint
@@ -189,16 +191,16 @@ class CellGroup:
     deployment: BlockumulusDeployment
 
     @property
-    def cells(self):
+    def cells(self) -> list[BlockumulusCell]:
         """The group's consortium cells."""
         return self.deployment.cells
 
     @property
-    def gateway(self):
+    def gateway(self) -> BlockumulusCell:
         """The group's designated cross-shard gateway cell."""
         return self.deployment.cells[GATEWAY_CELL_INDEX]
 
-    def live_cells(self):
+    def live_cells(self) -> list[BlockumulusCell]:
         """Cells currently running (not crashed)."""
         return [cell for cell in self.deployment.cells if not cell.fault.crashed]
 
@@ -416,7 +418,7 @@ class ShardedDeployment:
         self._group_cell(group, cell)
         self.group(group).deployment.restore_cell(cell)
 
-    def recover_cell(self, group: int, cell: int, donor_index: Optional[int] = None):
+    def recover_cell(self, group: int, cell: int, donor_index: Optional[int] = None) -> Process:
         """Run the full resync+rejoin recovery of one group member.
 
         Returns the recovery :class:`~repro.sim.events.Process` (as the
@@ -425,12 +427,12 @@ class ShardedDeployment:
         self._group_cell(group, cell)
         return self.group(group).deployment.recover_cell(cell, donor_index=donor_index)
 
-    def activate_standby(self, group: int, cell: int, donor_index: Optional[int] = None):
+    def activate_standby(self, group: int, cell: int, donor_index: Optional[int] = None) -> Process:
         """Bootstrap a provisioned standby cell of one group into its quorum."""
         self._group_cell(group, cell)
         return self.group(group).deployment.activate_standby(cell, donor_index=donor_index)
 
-    def _group_cell(self, group: int, cell: int):
+    def _group_cell(self, group: int, cell: int) -> BlockumulusCell:
         """The addressed cell, or a ShardingError naming the bad coordinate."""
         deployment = self.group(group).deployment
         if not 0 <= cell < len(deployment.cells):

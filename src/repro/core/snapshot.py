@@ -119,7 +119,8 @@ class DataSnapshot:
             "cell_id": self.cell_id,
             "fingerprint": self.fingerprint_hex(),
             "contract_fingerprints": {
-                name: "0x" + digest.hex() for name, digest in self.contract_fingerprints.items()
+                name: "0x" + digest.hex()
+                for name, digest in sorted(self.contract_fingerprints.items())
             },
             "excluded_contracts": list(self.excluded_contracts),
             "contract_types": dict(sorted(self.contract_types.items())),
@@ -144,7 +145,7 @@ class DataSnapshot:
                 cell_id=cell_id if cell_id is not None else str(raw["cell_id"]),
                 contract_fingerprints={
                     name: bytes.fromhex(value[2:])
-                    for name, value in raw["contract_fingerprints"].items()
+                    for name, value in sorted(raw["contract_fingerprints"].items())
                 },
                 excluded_contracts=tuple(raw.get("excluded_contracts", [])),
                 contract_types=dict(raw.get("contract_types", {})),

@@ -8,7 +8,7 @@ Section III-C3 of the paper.
 
 from __future__ import annotations
 
-import secrets
+import secrets  # lint: disable=DET001 — entropy is quarantined in PrivateKey.generate below
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -106,6 +106,7 @@ class PrivateKey:
     @classmethod
     def generate(cls) -> "PrivateKey":
         """Generate a key from the OS entropy pool (non-deterministic)."""
+        # lint: disable=DET002 — real key generation wants real entropy; experiments use from_seed
         return cls(secrets.randbelow(N - 1) + 1)
 
     @classmethod

@@ -95,6 +95,7 @@ class NativeContract:
 
     def emit(self, ctx: CallContext, event: str, **fields: Any) -> None:
         """Emit a log entry (charged at LOG prices)."""
+        # lint: disable=DET003 — sum() is commutative; only the total reaches gas accounting
         data_length = sum(len(str(value)) for value in fields.values())
         ctx.gas.charge(log_gas(topics=1, data_length=data_length), f"log {event}")
         ctx.logs.append({"event": event, "address": self.address.hex(), **fields})

@@ -10,8 +10,10 @@ from it — all through the provider interface in
 
 from __future__ import annotations
 
-import random
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
+
+if TYPE_CHECKING:
+    import random
 
 from ..crypto.keys import Address, PrivateKey
 from ..sim.environment import Environment

@@ -1,0 +1,93 @@
+"""Command-line entry point: ``python -m repro.lint [paths...]``.
+
+Exit codes: ``0`` — clean (or only baselined findings); ``1`` — new
+findings (or an updated baseline was requested and written); ``2`` —
+usage/configuration error (missing path, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .engine import (
+    LintError,
+    form_github_annotation,
+    lint_paths,
+    load_baseline,
+    render_findings,
+    split_by_baseline,
+    write_baseline,
+)
+
+DEFAULT_PATHS = ("src/repro",)
+DEFAULT_BASELINE = Path("tools/lint_baseline.json")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism / access-plan / protocol static analysis "
+        "for the Blockumulus reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline ratchet file (default: tools/lint_baseline.json); "
+        "a missing file means an empty baseline",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline and report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current findings and exit 1 "
+        "(a ratchet reset is always a reviewed, deliberate act)",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="additionally emit GitHub Actions ::error annotations for new findings",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        findings = lint_paths(args.paths)
+        baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    except LintError as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"repro.lint: wrote {len(findings)} finding(s) to {args.baseline}; "
+            "review the diff before committing"
+        )
+        return 1 if findings else 0
+
+    new, baselined = split_by_baseline(findings, baseline)
+    print(render_findings(new, baselined))
+    if args.github:
+        for finding in new:
+            print(form_github_annotation(finding))
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

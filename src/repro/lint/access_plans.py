@@ -1,0 +1,469 @@
+"""Access-plan conformance rules (``PLAN*``).
+
+The conflict-aware lane scheduler (:mod:`repro.core.lanes`) decides which
+transactions may run concurrently from the access plan a contract declares
+*before* execution.  The executor verifies observed mutations at runtime,
+but only for schedules that actually interleave — a plan that under-declares
+a write is a latent parallel-corruption bug that no serial test can see.
+These rules re-derive each ``@bcontract_method``'s touched store keys from
+its AST and cross-check them against the declared plan:
+
+* ``PLAN001`` — **undeclared mutation** (the lane-soundness bug): a method
+  body writes/deletes/increments a store key the declared plan does not
+  cover.  ``put``/``delete`` must be covered by declared ``writes``;
+  ``increment`` by ``writes`` or ``deltas``.
+* ``PLAN002`` — **dead declaration**: a declared key the method body never
+  touches.  Harmless for safety but it serializes transactions for no
+  reason and usually marks a stale plan.
+* ``PLAN003`` — **unplanned mutating method**: a contract that declares
+  plans leaves a mutating method without one, silently degrading it to the
+  exclusive (fully serialized) footprint.  Deliberate fallbacks must say
+  so with a suppression reason.
+
+Keys are compared *symbolically*: a key built by a ``self._helper(...)``
+call matches a declaration built by the same helper, a string literal
+matches the same literal, and an f-string matches on its constant prefix.
+This is coarse (it cannot distinguish two calls to the same helper with
+different arguments) but sound for the check that matters: a mutation
+whose symbol has no declared counterpart is definitely undeclared.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .engine import Finding, SourceFile
+
+#: Package whose classes are subject to plan conformance checking.
+CONTRACTS_PACKAGE = "repro.contracts"
+
+#: KeySym kinds: ("lit", value) | ("helper", name) | ("fstr", prefix)
+#: | ("expr", source-ish) — the last is unresolvable statically.
+KeySym = tuple[str, str]
+
+_READ_OPS = {"get": "read", "require": "read", "contains": "read"}
+_MUTATING_OPS = {"put": "write", "delete": "write", "increment": "delta"}
+
+
+@dataclass
+class Access:
+    """One store access derived from a method body."""
+
+    kind: str      # "read" | "write" | "delta" | "prefixscan"
+    sym: KeySym
+    line: int
+
+
+@dataclass
+class DeclaredPlan:
+    """The AccessSet a contract declares for one method."""
+
+    reads: set[KeySym] = field(default_factory=set)
+    writes: set[KeySym] = field(default_factory=set)
+    deltas: set[KeySym] = field(default_factory=set)
+    line: int = 0
+
+    def merge(self, other: "DeclaredPlan") -> None:
+        self.reads |= other.reads
+        self.writes |= other.writes
+        self.deltas |= other.deltas
+
+
+def _decorator_names(func: ast.FunctionDef) -> set[str]:
+    names = set()
+    for decorator in func.decorator_list:
+        if isinstance(decorator, ast.Name):
+            names.add(decorator.id)
+        elif isinstance(decorator, ast.Attribute):
+            names.add(decorator.attr)
+    return names
+
+
+def _key_sym(node: ast.expr, env: Optional[dict[str, KeySym]] = None) -> KeySym:
+    """Normalize a key expression to its comparison symbol."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return ("lit", node.value)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+                and func.value.id in ("self", "cls"):
+            return ("helper", func.attr)
+        if isinstance(func, ast.Name):
+            return ("helper", func.id)
+    if isinstance(node, ast.JoinedStr):
+        prefix = ""
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                prefix += value.value
+            else:
+                break
+        return ("fstr", prefix)
+    if isinstance(node, ast.Name):
+        if env is not None and node.id in env:
+            return env[node.id]
+        return ("expr", node.id)
+    return ("expr", ast.dump(node)[:60])
+
+
+def _syms_match(a: KeySym, b: KeySym) -> bool:
+    """Whether a body-access symbol is covered by a declared symbol."""
+    if a == b:
+        return True
+    # A literal key is covered by an f-string declaration sharing its prefix
+    # (and vice versa) — both name the same key family.
+    if a[0] == "lit" and b[0] == "fstr":
+        return a[1].startswith(b[1])
+    if a[0] == "fstr" and b[0] == "lit":
+        return b[1].startswith(a[1])
+    return False
+
+
+def _covered(sym: KeySym, declared: set[KeySym]) -> bool:
+    return any(_syms_match(sym, decl) for decl in declared)
+
+
+class _ClassAnalysis:
+    """Per-class derivation: body accesses and the declared plan map."""
+
+    def __init__(self, node: ast.ClassDef) -> None:
+        self.node = node
+        self.methods: dict[str, ast.FunctionDef] = {}
+        self.tx_methods: dict[str, ast.FunctionDef] = {}
+        self.plan_func: Optional[ast.FunctionDef] = None
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            self.methods[item.name] = item
+            decorators = _decorator_names(item)
+            if "bcontract_method" in decorators:
+                self.tx_methods[item.name] = item
+            if item.name == "access_plan":
+                self.plan_func = item
+        self._access_memo: dict[str, list[Access]] = {}
+
+    # ------------------------------------------------------------------
+    # Body derivation
+    # ------------------------------------------------------------------
+    def accesses_of(self, method: str, _stack: Optional[set[str]] = None) -> list[Access]:
+        """Store accesses of ``method``, following same-class helper calls."""
+        if method in self._access_memo:
+            return self._access_memo[method]
+        stack = _stack or set()
+        if method in stack:
+            return []
+        stack.add(method)
+        func = self.methods.get(method)
+        if func is None:
+            return []
+        accesses: list[Access] = []
+        env: dict[str, KeySym] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                _bind_assignment(node.targets[0], node.value, env)
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if not isinstance(callee, ast.Attribute):
+                continue
+            owner = callee.value
+            # self.store.<op>(key, ...)
+            if (
+                isinstance(owner, ast.Attribute)
+                and owner.attr == "store"
+                and isinstance(owner.value, ast.Name)
+                and owner.value.id == "self"
+            ):
+                op = callee.attr
+                if op == "keys":
+                    prefix = ""
+                    if node.args and isinstance(node.args[0], ast.Constant):
+                        prefix = str(node.args[0].value)
+                    accesses.append(Access("prefixscan", ("fstr", prefix), node.lineno))
+                elif op in _READ_OPS or op in _MUTATING_OPS:
+                    if not node.args:
+                        continue
+                    sym = _key_sym(node.args[0], env)
+                    kind = _READ_OPS.get(op) or _MUTATING_OPS[op]
+                    accesses.append(Access(kind, sym, node.lineno))
+            # self.<helper>(...) — include the helper's accesses transitively.
+            elif (
+                isinstance(owner, ast.Name)
+                and owner.id == "self"
+                and callee.attr in self.methods
+                and callee.attr != method
+            ):
+                accesses.extend(self.accesses_of(callee.attr, stack))
+        self._access_memo[method] = accesses
+        return accesses
+
+    # ------------------------------------------------------------------
+    # Plan parsing
+    # ------------------------------------------------------------------
+    def declared_plans(self) -> dict[str, DeclaredPlan]:
+        """Parse ``access_plan`` into ``{method: DeclaredPlan}``."""
+        if self.plan_func is None:
+            return {}
+        plans: dict[str, DeclaredPlan] = {}
+        universe = frozenset(self.tx_methods)
+
+        def record(methods: Optional[frozenset], plan: DeclaredPlan) -> None:
+            targets = universe if methods is None else (methods & universe)
+            for name in targets:
+                if name in plans:
+                    plans[name].merge(plan)
+                else:
+                    existing = DeclaredPlan(line=plan.line)
+                    existing.merge(plan)
+                    plans[name] = existing
+
+        def intersect(a: Optional[frozenset], b: Optional[frozenset]) -> Optional[frozenset]:
+            if a is None:
+                return b
+            if b is None:
+                return a
+            return a & b
+
+        def subtract(a: Optional[frozenset], b: Optional[frozenset]) -> Optional[frozenset]:
+            # ``None`` stands for "any method"; the complement of a known
+            # set within the universe is not representable, so it widens
+            # back to "any" — conservative for plan *recording*.
+            if a is None or b is None:
+                return a if b is None else None
+            return a - b
+
+        def walk(
+            stmts: list[ast.stmt],
+            methods: Optional[frozenset],
+            env: dict[str, KeySym],
+        ) -> tuple[bool, Optional[frozenset]]:
+            """Process a block sequentially, tracking which ``method`` values
+            can still reach each statement.  Returns ``(always_exits,
+            fall-through constraint)`` so callers can narrow after branches
+            that return early (the ``else: return None`` idiom)."""
+            possible = methods
+            for stmt in stmts:
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    _bind_assignment(stmt.targets[0], stmt.value, env)
+                elif isinstance(stmt, ast.Return):
+                    plan = _parse_access_set(stmt.value, env, stmt.lineno)
+                    if plan is not None:
+                        record(possible, plan)
+                    return True, possible
+                elif isinstance(stmt, ast.Raise):
+                    return True, possible
+                elif isinstance(stmt, ast.Try):
+                    # Handlers in plan functions only widen to the exclusive
+                    # fallback (return None); the body carries the plans.
+                    exits, possible = walk(stmt.body, possible, env)
+                    if exits:
+                        return True, possible
+                elif isinstance(stmt, ast.If):
+                    cond = _method_test(stmt.test)
+                    then_exits, then_out = walk(
+                        stmt.body, intersect(possible, cond), dict(env)
+                    )
+                    if stmt.orelse:
+                        else_exits, else_out = walk(
+                            stmt.orelse, subtract(possible, cond), dict(env)
+                        )
+                    else:
+                        else_exits, else_out = False, subtract(possible, cond)
+                    if then_exits and else_exits:
+                        return True, possible
+                    if then_exits:
+                        possible = else_out
+                    elif else_exits:
+                        possible = then_out
+                    else:
+                        possible = (
+                            None
+                            if then_out is None or else_out is None
+                            else then_out | else_out
+                        )
+            return False, possible
+
+        walk(self.plan_func.body, None, {})
+        return plans
+
+
+def _bind_assignment(target: ast.expr, value: ast.expr, env: dict[str, KeySym]) -> None:
+    """Track simple local bindings so declarations can use intermediates."""
+    if isinstance(target, ast.Name):
+        env[target.id] = _key_sym(value, env)
+    elif isinstance(target, ast.Tuple) and isinstance(value, ast.Tuple) \
+            and len(target.elts) == len(value.elts):
+        for sub_target, sub_value in zip(target.elts, value.elts):
+            _bind_assignment(sub_target, sub_value, env)
+    elif isinstance(target, ast.Tuple):
+        for sub_target in target.elts:
+            if isinstance(sub_target, ast.Name):
+                env[sub_target.id] = ("expr", sub_target.id)
+
+
+def _method_test(test: ast.expr) -> Optional[frozenset]:
+    """Constraint a condition places on the ``method`` argument, if any."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return None
+    left, op, right = test.left, test.ops[0], test.comparators[0]
+    if not (isinstance(left, ast.Name) and left.id == "method"):
+        return None
+    if isinstance(op, ast.Eq) and isinstance(right, ast.Constant):
+        return frozenset({str(right.value)})
+    if isinstance(op, ast.In) and isinstance(right, (ast.Tuple, ast.List, ast.Set)):
+        values = set()
+        for element in right.elts:
+            if not isinstance(element, ast.Constant):
+                return None
+            values.add(str(element.value))
+        return frozenset(values)
+    return None
+
+
+def _parse_access_set(
+    value: Optional[ast.expr], env: dict[str, KeySym], line: int
+) -> Optional[DeclaredPlan]:
+    """Parse a ``return AccessSet(...)`` expression (None for other returns)."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+    if name != "AccessSet":
+        return None
+    plan = DeclaredPlan(line=line)
+    buckets = {"reads": plan.reads, "writes": plan.writes, "deltas": plan.deltas}
+    ordered = ["reads", "writes", "deltas"]
+    for index, arg in enumerate(value.args[:3]):
+        buckets[ordered[index]].update(_parse_key_collection(arg, env))
+    for keyword in value.keywords:
+        if keyword.arg in buckets:
+            buckets[keyword.arg].update(_parse_key_collection(keyword.value, env))
+    return plan
+
+
+def _parse_key_collection(node: ast.expr, env: dict[str, KeySym]) -> set[KeySym]:
+    """Elements of ``frozenset({...})`` / set / tuple / list displays.
+
+    Comprehensions contribute their element's symbol (one key family per
+    comprehension), and ``|`` unions contribute both sides, so plans can be
+    written in the natural ``frozenset({a}) | {self._key(x) for x in xs}``
+    style.
+    """
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set"):
+        if not node.args:
+            return set()
+        return _parse_key_collection(node.args[0], env)
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        return {_key_sym(element, env) for element in node.elts}
+    if isinstance(node, (ast.SetComp, ast.GeneratorExp, ast.ListComp)):
+        return {_key_sym(node.elt, env)}
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _parse_key_collection(node.left, env) | _parse_key_collection(node.right, env)
+    return {_key_sym(node, env)}
+
+
+def _render_sym(sym: KeySym) -> str:
+    kind, value = sym
+    if kind == "lit":
+        return f"'{value}'"
+    if kind == "helper":
+        return f"self.{value}(...)"
+    if kind == "fstr":
+        return f"f'{value}...'"
+    return f"<{value}>"
+
+
+def check_access_plans(source: SourceFile) -> Iterator[Finding]:
+    """Apply PLAN001-003 to every plan-declaring contract in the file."""
+    if not (
+        source.module == CONTRACTS_PACKAGE
+        or source.module.startswith(CONTRACTS_PACKAGE + ".")
+    ):
+        return
+
+    def finding(line: int, rule: str, message: str, fixit: str, symbol: str) -> Finding:
+        return Finding(
+            path=source.display_path,
+            line=line,
+            rule=rule,
+            message=message,
+            fixit=fixit,
+            symbol=symbol,
+            module=source.module,
+        )
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        analysis = _ClassAnalysis(node)
+        if analysis.plan_func is None or not analysis.tx_methods:
+            continue
+        plans = analysis.declared_plans()
+        for method, func in sorted(analysis.tx_methods.items()):
+            accesses = analysis.accesses_of(method)
+            mutations = [a for a in accesses if a.kind in ("write", "delta")]
+            plan = plans.get(method)
+            if plan is None:
+                if mutations:
+                    yield finding(
+                        func.lineno,
+                        "PLAN003",
+                        f"{node.name}.{method} mutates state but has no access "
+                        f"plan (falls back to the exclusive footprint)",
+                        "declare an AccessSet branch for it in access_plan, or "
+                        "suppress with the reason the fallback is deliberate",
+                        f"{node.name}.{method}",
+                    )
+                continue
+            # PLAN001 — every body mutation must be declared.
+            for access in mutations:
+                if access.sym[0] == "expr":
+                    yield finding(
+                        access.line,
+                        "PLAN001",
+                        f"{node.name}.{method} mutates a key "
+                        f"({_render_sym(access.sym)}) the analyzer cannot relate "
+                        f"to the declared plan",
+                        "build the key through a self._*_key helper or a literal "
+                        "so conformance is checkable",
+                        f"{node.name}.{method}:{access.sym[1]}",
+                    )
+                    continue
+                declared = plan.writes if access.kind == "write" \
+                    else plan.writes | plan.deltas
+                if not _covered(access.sym, declared):
+                    where = "writes" if access.kind == "write" else "writes/deltas"
+                    yield finding(
+                        access.line,
+                        "PLAN001",
+                        f"{node.name}.{method} mutates {_render_sym(access.sym)} "
+                        f"but the declared plan's {where} do not cover it",
+                        f"add the key to the AccessSet {where} for "
+                        f"{method!r} (a concurrent lane could otherwise "
+                        f"interleave with this write)",
+                        f"{node.name}.{method}:{access.sym[0]}:{access.sym[1]}",
+                    )
+            # PLAN002 — every declaration must correspond to a body access.
+            touched = [a.sym for a in accesses]
+            mutated = [a.sym for a in mutations]
+            delta_syms = [a.sym for a in mutations if a.kind == "delta"]
+            for bucket, declared_syms, candidates in (
+                ("writes", plan.writes, mutated),
+                ("deltas", plan.deltas, delta_syms + mutated),
+                ("reads", plan.reads, touched),
+            ):
+                for sym in sorted(declared_syms):
+                    if sym[0] == "expr":
+                        continue  # unresolvable declarations judged by PLAN001 side
+                    if not any(_syms_match(candidate, sym) for candidate in candidates):
+                        yield finding(
+                            plan.line,
+                            "PLAN002",
+                            f"{node.name}.{method} declares {_render_sym(sym)} in "
+                            f"{bucket} but the body never touches it",
+                            "drop the dead declaration (it serializes the lane "
+                            "scheduler for nothing) or fix the stale key",
+                            f"{node.name}.{method}:{bucket}:{sym[1]}",
+                        )

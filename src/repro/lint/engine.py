@@ -1,0 +1,295 @@
+"""Finding model, suppression handling, baseline ratchet, and the driver.
+
+The engine is deliberately dependency-free: it parses every ``.py`` file
+under the requested roots with :mod:`ast`, hands the parsed sources to the
+rule modules, filters findings through inline suppressions and the
+committed baseline, and renders what remains.
+
+Design points worth knowing before adding a rule:
+
+* A finding carries a *stable key* (``module:rule:symbol``) in addition to
+  its line number, so the baseline does not churn when unrelated edits
+  move code around.
+* Suppressions are justified comments — ``# lint: disable=RULE — reason``
+  — honoured on the flagged line or the line directly above it.  A
+  suppression without a reason is itself a finding (``LINT001``): the
+  suppression policy is "every silenced rule documents why".
+* The baseline (``tools/lint_baseline.json``) is a ratchet: baselined
+  findings are reported but do not fail the run; anything new does.  The
+  committed baseline is empty, and the goal is to keep it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
+
+
+class LintError(Exception):
+    """Raised for unusable inputs (missing paths, unparsable baseline)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str      #: path as given (repo-relative when run from the root)
+    line: int      #: 1-based line the finding anchors to
+    rule: str      #: rule identifier, e.g. ``DET001``
+    message: str   #: what is wrong
+    fixit: str     #: how to fix it
+    symbol: str    #: stable anchor (import name, method, opcode, ...)
+    module: str    #: dotted module name of the file
+
+    @property
+    def key(self) -> str:
+        """Line-independent identity used by the baseline ratchet."""
+        return f"{self.module}:{self.rule}:{self.symbol}"
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message} [fix: {self.fixit}]"
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    display_path: str
+    module: str
+    text: str
+    tree: ast.Module
+    #: line -> set of rule ids suppressed on that line (empty set = all).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: lines whose suppression comment is missing its justification.
+    unjustified: list[tuple[int, str]] = field(default_factory=list)
+
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+
+#: Matches ``lint: disable=RULE[,RULE...] — reason`` comments (the em dash
+#: may also be written ``--`` or ``-``).
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=(?P<rules>[A-Z]+[0-9]*(?:\s*,\s*[A-Z]+[0-9]*)*)"
+    r"(?P<rest>.*)$"
+)
+_REASON_RE = re.compile(r"^\s*(?:—|–|--|-)\s*\S")
+
+
+def _parse_suppressions(text: str) -> tuple[dict[int, set[str]], list[tuple[int, str]]]:
+    """Collect per-line suppressions and unjustified suppression comments."""
+    suppressions: dict[int, set[str]] = {}
+    unjustified: list[tuple[int, str]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group("rules").split(",") if part.strip()}
+        if not _REASON_RE.match(match.group("rest")):
+            unjustified.append((lineno, ", ".join(sorted(rules))))
+        suppressions[lineno] = rules
+    return suppressions, unjustified
+
+
+def _module_name(file_path: Path, root: Path) -> str:
+    """Dotted module name of ``file_path`` relative to the scanned ``root``.
+
+    The root directory itself is taken as the top-level package (scanning
+    ``src/repro`` yields ``repro.core.cell`` style names), which is also
+    what lets tests lint synthetic fixture trees under a ``repro/`` temp
+    directory and exercise package-scoped rules.
+    """
+    relative = file_path.relative_to(root)
+    parts = [root.name, *relative.parts]
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)
+
+
+def load_sources(paths: Sequence[Path]) -> list[SourceFile]:
+    """Parse every ``.py`` file under ``paths`` (files or directories)."""
+    sources: list[SourceFile] = []
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise LintError(f"no such path: {root}")
+        if root.is_file():
+            files = [(root, root.parent)]
+        else:
+            files = [(f, root) for f in sorted(root.rglob("*.py"))]
+        for file_path, base in files:
+            text = file_path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(text, filename=str(file_path))
+            except SyntaxError as exc:
+                raise LintError(f"cannot parse {file_path}: {exc}") from exc
+            suppressions, unjustified = _parse_suppressions(text)
+            sources.append(
+                SourceFile(
+                    path=file_path,
+                    display_path=str(file_path),
+                    module=_module_name(file_path, base if base.is_dir() else base),
+                    text=text,
+                    tree=tree,
+                    suppressions=suppressions,
+                    unjustified=unjustified,
+                )
+            )
+    return sources
+
+
+def _is_suppressed(finding: Finding, source: SourceFile) -> bool:
+    """A suppression on the flagged line or the line above silences a rule."""
+    for lineno in (finding.line, finding.line - 1):
+        rules = source.suppressions.get(lineno)
+        if rules is not None and (not rules or finding.rule in rules):
+            return True
+    return False
+
+
+def _suppression_findings(source: SourceFile) -> list[Finding]:
+    """LINT001: a suppression comment must carry a justification."""
+    return [
+        Finding(
+            path=source.display_path,
+            line=lineno,
+            rule="LINT001",
+            message=f"suppression of {rules} has no justification",
+            fixit="append '— reason' explaining why the rule does not apply here",
+            symbol=f"line{lineno}",
+            module=source.module,
+        )
+        for lineno, rules in source.unjustified
+    ]
+
+
+Checker = Callable[[SourceFile], Iterable[Finding]]
+GlobalChecker = Callable[[Sequence[SourceFile]], Iterable[Finding]]
+
+
+def _default_checkers() -> tuple[list[Checker], list[GlobalChecker]]:
+    # Imported lazily so the engine stays importable from rule modules.
+    from .access_plans import check_access_plans
+    from .determinism import check_determinism
+    from .protocol import check_protocol
+
+    return [check_determinism, check_access_plans], [check_protocol]
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    per_file: Optional[Sequence[Checker]] = None,
+    global_checkers: Optional[Sequence[GlobalChecker]] = None,
+) -> list[Finding]:
+    """Lint ``paths`` and return the surviving (non-suppressed) findings."""
+    sources = load_sources([Path(p) for p in paths])
+    if per_file is None or global_checkers is None:
+        default_local, default_global = _default_checkers()
+        per_file = default_local if per_file is None else per_file
+        global_checkers = default_global if global_checkers is None else global_checkers
+
+    findings: list[Finding] = []
+    by_module = {source.module: source for source in sources}
+    for source in sources:
+        findings.extend(_suppression_findings(source))
+        for checker in per_file:
+            for finding in checker(source):
+                if not _is_suppressed(finding, source):
+                    findings.append(finding)
+    for global_checker in global_checkers:
+        for finding in global_checker(sources):
+            owner = by_module.get(finding.module)
+            if owner is None or not _is_suppressed(finding, owner):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.symbol))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet
+# ----------------------------------------------------------------------
+def load_baseline(path: Optional[Path]) -> dict[str, str]:
+    """Load the baseline as ``{finding key: justification}``.
+
+    A missing file is an empty baseline; a malformed one is an error (a
+    truncated baseline must never silently admit new findings).
+    """
+    if path is None or not Path(path).exists():
+        return {}
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintError(f"malformed baseline {path}: {exc}") from exc
+    entries = raw.get("findings", raw) if isinstance(raw, dict) else raw
+    baseline: dict[str, str] = {}
+    if isinstance(entries, dict):
+        for key, reason in entries.items():
+            baseline[str(key)] = str(reason)
+    elif isinstance(entries, list):
+        for entry in entries:
+            if isinstance(entry, dict) and "key" in entry:
+                baseline[str(entry["key"])] = str(entry.get("reason", ""))
+            else:
+                baseline[str(entry)] = ""
+    else:
+        raise LintError(f"malformed baseline {path}: expected a dict or list")
+    return baseline
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new baseline (ratchet reset)."""
+    payload = {
+        "comment": (
+            "Grandfathered repro.lint findings. The ratchet: entries here are "
+            "reported but do not fail CI; new findings do. Shrink, never grow."
+        ),
+        "findings": {f.key: f.render() for f in findings},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: dict[str, str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined)."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.key in baseline else new).append(finding)
+    return new, old
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_findings(new: Sequence[Finding], baselined: Sequence[Finding]) -> str:
+    """Human-readable report for the CLI."""
+    lines: list[str] = [finding.render() for finding in new]
+    if baselined:
+        lines.append("")
+        lines.append(f"{len(baselined)} baselined finding(s) (allowed, ratcheted):")
+        lines.extend("  " + finding.render() for finding in baselined)
+    lines.append("")
+    if new:
+        lines.append(f"repro.lint: {len(new)} new finding(s)")
+    else:
+        lines.append(f"repro.lint: clean ({len(baselined)} baselined)")
+    return "\n".join(lines)
+
+
+def form_github_annotation(finding: Finding) -> str:
+    """GitHub Actions workflow-command form (surfaces as a job annotation)."""
+    message = f"{finding.message} [fix: {finding.fixit}]".replace("\n", " ")
+    return (
+        f"::error file={finding.path},line={finding.line},"
+        f"title=repro.lint {finding.rule}::{message}"
+    )

@@ -1,0 +1,52 @@
+"""Opcode -> typed-payload-body registry.
+
+Structured opcodes (the batching, membership, and cross-shard families)
+carry signed sub-structures in their data field ``D``; each has exactly one
+body class that knows how to parse and verify it.  This registry is the
+single place that association is written down, so the cell dispatch path,
+the audit tooling, and the static analyzer (``PROTO002`` in
+:mod:`repro.lint.protocol`) all agree on the wiring.
+
+Entries are ``"module:Class"`` strings rather than class objects because
+one body (:class:`repro.core.receipts.ConfirmationBatch`) lives in
+``repro.core``, which itself imports ``repro.messages`` — a direct import
+here would cycle.  :func:`body_class_for` resolves entries lazily.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Dict, Optional, Type
+
+from .opcodes import Opcode
+
+#: Structured opcodes mapped to the dotted path of their payload body class.
+OPCODE_BODIES: Dict[Opcode, str] = {
+    Opcode.TX_FORWARD_BATCH: "repro.messages.batch:ForwardBatch",
+    Opcode.TX_CONFIRM_BATCH: "repro.core.receipts:ConfirmationBatch",
+    Opcode.CELL_EXCLUDE: "repro.messages.membership:ExclusionProposal",
+    Opcode.CELL_EXCLUDE_VOTE: "repro.messages.membership:ExclusionVote",
+    Opcode.MEMBERSHIP_UPDATE: "repro.messages.membership:MembershipUpdate",
+    Opcode.CELL_REJOIN: "repro.messages.membership:RejoinRequest",
+    Opcode.CELL_REJOIN_ACK: "repro.messages.membership:RejoinAck",
+    Opcode.CELL_SYNC: "repro.messages.membership:SyncRequest",
+    Opcode.CELL_SYNC_STATE: "repro.messages.membership:SyncState",
+    Opcode.XSHARD_PREPARE: "repro.messages.xshard:CrossShardPrepare",
+    Opcode.XSHARD_COMMIT: "repro.messages.xshard:CrossShardDecision",
+    Opcode.XSHARD_ABORT: "repro.messages.xshard:CrossShardDecision",
+    Opcode.XSHARD_VOTE: "repro.messages.xshard:CrossShardVote",
+}
+
+
+def body_class_for(opcode: Opcode) -> Optional[Type[object]]:
+    """Resolve the payload body class for ``opcode`` (None if unstructured)."""
+    spec = OPCODE_BODIES.get(opcode)
+    if spec is None:
+        return None
+    module_name, _, class_name = spec.partition(":")
+    return getattr(import_module(module_name), class_name)
+
+
+def structured_opcodes() -> frozenset[Opcode]:
+    """The opcodes that carry a typed body."""
+    return frozenset(OPCODE_BODIES)

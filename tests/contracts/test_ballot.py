@@ -84,3 +84,31 @@ def test_invalid_choice_and_unknown_election(ballot):
                       {"election_id": "ghost", "choice": "overlay"})
     with pytest.raises(BContractError):
         ballot.query("tally", {"election_id": "ghost"})
+
+
+def test_access_plans_cover_observed_mutations(ballot):
+    """The declared plans are sound against the runtime mutation journal."""
+    voter = VOTERS[0]
+    context = ctx(sender=voter, timestamp=20.0)
+    args = {"election_id": "e1", "choice": "overlay"}
+    ballot.invoke(context, "vote", args)
+    plan = ballot.access_plan("vote", args, sender=voter.hex(), tx_id=context.tx_id)
+    assert plan is not None
+    assert plan.covers_mutations_of(ballot.last_access)
+
+    fresh = Ballot("ballot2")
+    context = ctx(timestamp=5.0)
+    args = {"election_id": "e9", "question": "?", "choices": ["a", "b"], "closes_at": 100.0}
+    fresh.invoke(context, "create_election", args)
+    plan = fresh.access_plan(
+        "create_election", args, sender=CHAIR.hex(), tx_id=context.tx_id
+    )
+    assert plan is not None
+    assert plan.covers_mutations_of(fresh.last_access)
+
+
+def test_access_plan_exclusive_fallback_on_malformed_args():
+    """Garbage arguments yield None (the exclusive footprint), not a raise."""
+    contract = Ballot("ballot")
+    assert contract.access_plan("vote", {}, sender=CHAIR.hex(), tx_id="0x1") is None
+    assert contract.access_plan("unknown", {}, sender=CHAIR.hex(), tx_id="0x1") is None

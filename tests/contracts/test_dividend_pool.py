@@ -87,3 +87,30 @@ def test_declaration_validation(pool):
     with pytest.raises(BContractError):
         pool.invoke(ctx(BUSINESS, "0x3", 2.0), "declare_dividend",
                     {"rate_percent": 10, "claim_deadline": 1.0})
+
+
+def test_access_plans_cover_observed_mutations(pool):
+    """The declared plans are sound against the runtime mutation journal."""
+    context = ctx(INVESTOR, "0x10", 3.0)
+    pool.invoke(context, "invest", {"amount": 250})
+    plan = pool.access_plan(
+        "invest", {"amount": 250}, sender=INVESTOR.hex(), tx_id=context.tx_id
+    )
+    assert plan is not None
+    assert plan.covers_mutations_of(pool.last_access)
+
+    pool.invoke(ctx(BUSINESS, "0x11", 4.0), "declare_dividend",
+                {"rate_percent": 10, "claim_deadline": 100.0})
+    context = ctx(INVESTOR, "0x12", 5.0)
+    pool.invoke(context, "withdraw_dividend", {})
+    plan = pool.access_plan(
+        "withdraw_dividend", {}, sender=INVESTOR.hex(), tx_id=context.tx_id
+    )
+    assert plan is not None
+    assert plan.covers_mutations_of(pool.last_access)
+
+
+def test_sweep_methods_stay_exclusive(pool):
+    """The unbounded prefix-scan methods deliberately have no plan."""
+    for method in ("declare_dividend", "reinvest_unclaimed"):
+        assert pool.access_plan(method, {}, sender=BUSINESS.hex(), tx_id="0x1") is None

@@ -101,15 +101,34 @@ def test_writer_conflicts_with_delta_recipient(setup):
     assert writer.conflicts_with(fa) and writer.conflicts_with(fb)
 
 
-def test_unplanned_contract_falls_back_to_exclusive(setup):
+def test_unplanned_method_falls_back_to_exclusive(setup):
     registry, ledger, _ = setup
-    entry = admit(
+    # Ballot declares plans for its methods now; votes get a precise
+    # footprint and votes for distinct choices do not conflict.
+    a = admit(
         ledger, ALICE,
         {"contract": Ballot.DEFAULT_NAME, "method": "vote",
          "args": {"election_id": "e", "choice": "x"}},
         "0x1",
     )
-    footprint = footprint_for_entry(entry, registry)
+    b = admit(
+        ledger, BOB,
+        {"contract": Ballot.DEFAULT_NAME, "method": "vote",
+         "args": {"election_id": "e", "choice": "y"}},
+        "0x2",
+    )
+    fa, fb = (footprint_for_entry(entry, registry) for entry in (a, b))
+    assert not fa.exclusive and not fb.exclusive
+    assert not fa.conflicts_with(fb)
+    # A method without a plan branch still degrades to exclusive: the
+    # dividend pool's whole-store sweep is the deliberate example.
+    sweep = admit(
+        ledger, ALICE,
+        {"contract": "dividendpool", "method": "declare_dividend",
+         "args": {"rate_percent": 10, "claim_deadline": 100.0}},
+        "0x3",
+    )
+    footprint = footprint_for_entry(sweep, registry)
     assert footprint.exclusive
     assert footprint.conflicts_with(AccessFootprint())
 

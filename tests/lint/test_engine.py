@@ -1,0 +1,120 @@
+"""Engine mechanics: baselines, stable keys, CLI exit codes, annotations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import LintError, form_github_annotation, lint_paths, load_baseline
+from repro.lint.__main__ import main
+from repro.lint.engine import split_by_baseline, write_baseline
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "core" / "x.py").write_text("import random\n")
+    return root
+
+
+def test_finding_keys_are_line_independent(dirty_tree):
+    before = lint_paths([dirty_tree])[0]
+    source = dirty_tree / "core" / "x.py"
+    source.write_text('"""Docstring pushing the import down."""\n\n\nimport random\n')
+    after = lint_paths([dirty_tree])[0]
+    assert before.line != after.line
+    assert before.key == after.key
+
+
+def test_baseline_roundtrip_and_split(dirty_tree, tmp_path):
+    findings = lint_paths([dirty_tree])
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, findings)
+    baseline = load_baseline(baseline_path)
+    new, old = split_by_baseline(findings, baseline)
+    assert new == [] and old == findings
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_malformed_baseline_is_an_error(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text("{truncated")
+    with pytest.raises(LintError):
+        load_baseline(path)
+    path.write_text('"a bare string"')
+    with pytest.raises(LintError):
+        load_baseline(path)
+
+
+def test_baseline_accepts_list_and_dict_forms(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(["repro.core.x:DET001:import:random"]))
+    assert load_baseline(path) == {"repro.core.x:DET001:import:random": ""}
+    path.write_text(json.dumps({"findings": {"k": "why"}}))
+    assert load_baseline(path) == {"k": "why"}
+
+
+def test_github_annotation_form(dirty_tree):
+    finding = lint_paths([dirty_tree])[0]
+    annotation = form_github_annotation(finding)
+    assert annotation.startswith("::error file=")
+    assert "title=repro.lint DET001" in annotation
+    assert "\n" not in annotation
+
+
+# ----------------------------------------------------------------------
+# CLI exit codes
+# ----------------------------------------------------------------------
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "core" / "x.py").write_text("VALUE = 1\n")
+    assert main([str(root), "--baseline", str(tmp_path / "none.json")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_new_findings_exit_one_with_github_annotations(dirty_tree, tmp_path, capsys):
+    code = main(
+        [str(dirty_tree), "--baseline", str(tmp_path / "none.json"), "--github"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "::error file=" in out
+
+
+def test_cli_baselined_findings_exit_zero(dirty_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main([str(dirty_tree), "--baseline", str(baseline), "--write-baseline"]) == 1
+    assert main([str(dirty_tree), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_usage_error_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "missing-dir")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_malformed_baseline_exits_two(dirty_tree, tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{oops")
+    assert main([str(dirty_tree), "--baseline", str(baseline)]) == 2
+    assert "malformed" in capsys.readouterr().err
+
+
+def test_cli_no_baseline_flag_ignores_baseline(dirty_tree, tmp_path):
+    baseline = tmp_path / "baseline.json"
+    main([str(dirty_tree), "--baseline", str(baseline), "--write-baseline"])
+    assert main([str(dirty_tree), "--baseline", str(baseline), "--no-baseline"]) == 1
+
+
+def test_unparsable_source_is_a_lint_error(tmp_path):
+    root = tmp_path / "repro"
+    root.mkdir()
+    (root / "bad.py").write_text("def broken(:\n")
+    with pytest.raises(LintError):
+        lint_paths([root])

@@ -1,0 +1,432 @@
+"""Per-rule fixture goldens for :mod:`repro.lint`.
+
+Each rule gets three fixtures: a positive (the rule fires), a suppressed
+variant (a justified inline comment silences it), and a clean variant (the
+sanctioned way to write the same code).  Fixture trees live in a temp
+directory literally named ``repro`` because the analyzer derives module
+names from the scanned root, which is what makes the package-scoped rules
+(guarded packages, ``repro.contracts``, ``repro.core``) apply.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths
+
+
+@pytest.fixture
+def tree(tmp_path):
+    root = tmp_path / "repro"
+
+    def write(relative: str, source: str) -> Path:
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    write.root = root  # type: ignore[attr-defined]
+    return write
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# DET001 — runtime entropy imports in guarded packages
+# ----------------------------------------------------------------------
+def test_det001_fires_on_runtime_import(tree):
+    tree("core/x.py", "import random\n")
+    assert rules_of(lint_paths([tree.root])) == ["DET001"]
+
+
+def test_det001_allows_type_checking_gate(tree):
+    tree(
+        "core/x.py",
+        """
+        from typing import TYPE_CHECKING
+
+        if TYPE_CHECKING:
+            import random
+        """,
+    )
+    assert lint_paths([tree.root]) == []
+
+
+def test_det001_not_applied_outside_guarded_packages(tree):
+    tree("sim/x.py", "import random\n")
+    assert lint_paths([tree.root]) == []
+
+
+def test_det001_suppressed_with_reason(tree):
+    tree(
+        "core/x.py",
+        "import random  # lint: disable=DET001 — fixture exercising the suppression path\n",
+    )
+    assert lint_paths([tree.root]) == []
+
+
+# ----------------------------------------------------------------------
+# DET002 — ambient nondeterminism calls (every package)
+# ----------------------------------------------------------------------
+def test_det002_fires_even_outside_guarded_packages(tree):
+    tree(
+        "sim/latencyish.py",
+        """
+        import random
+        import time
+
+        def sample():
+            return random.random() + time.time()
+        """,
+    )
+    assert rules_of(lint_paths([tree.root])) == ["DET002", "DET002"]
+
+
+def test_det002_allows_seeded_random_stream(tree):
+    tree(
+        "sim/latencyish.py",
+        """
+        import random
+
+        def stream(seed):
+            return random.Random(seed)
+        """,
+    )
+    assert lint_paths([tree.root]) == []
+
+
+def test_det002_flags_unseeded_random_and_environment(tree):
+    tree(
+        "client/cfg.py",
+        """
+        import os
+        import random
+
+        def build():
+            return random.Random(), os.environ.get("LANES")
+        """,
+    )
+    assert rules_of(lint_paths([tree.root])) == ["DET002", "DET002"]
+
+
+# ----------------------------------------------------------------------
+# DET003 — order-unstable iteration in order-sensitive places
+# ----------------------------------------------------------------------
+def test_det003_fires_on_set_iteration_in_guarded_package(tree):
+    tree(
+        "core/y.py",
+        """
+        def collect(items):
+            return [x for x in {1, 2, 3}]
+        """,
+    )
+    assert rules_of(lint_paths([tree.root])) == ["DET003"]
+
+
+def test_det003_fires_on_dict_views_in_sink_functions_only(tree):
+    tree(
+        "core/y.py",
+        """
+        def to_wire(self):
+            return [k for k in self.data.items()]
+
+        def helper(self):
+            return [k for k in self.data.items()]
+        """,
+    )
+    findings = lint_paths([tree.root])
+    assert rules_of(findings) == ["DET003"]
+    assert "to_wire" in findings[0].message
+
+
+def test_det003_clean_when_sorted(tree):
+    tree(
+        "core/y.py",
+        """
+        def to_wire(self):
+            return [k for k in sorted(self.data.items())]
+        """,
+    )
+    assert lint_paths([tree.root]) == []
+
+
+def test_det003_suppressed_with_reason(tree):
+    tree(
+        "core/y.py",
+        """
+        def fingerprint(self):
+            # lint: disable=DET003 — XOR accumulation is order-independent
+            return [k for k in self.data.items()]
+        """,
+    )
+    assert lint_paths([tree.root]) == []
+
+
+# ----------------------------------------------------------------------
+# DET004 — salted / address-based identity in guarded packages
+# ----------------------------------------------------------------------
+def test_det004_fires_on_builtin_hash_and_id(tree):
+    tree(
+        "messages/z.py",
+        """
+        def key_of(obj):
+            return hash(obj), id(obj)
+        """,
+    )
+    assert rules_of(lint_paths([tree.root])) == ["DET004", "DET004"]
+
+
+def test_det004_not_applied_outside_guarded_packages(tree):
+    tree(
+        "baselines/z.py",
+        """
+        def key_of(obj):
+            return hash(obj)
+        """,
+    )
+    assert lint_paths([tree.root]) == []
+
+
+# ----------------------------------------------------------------------
+# PLAN rules — access-plan conformance
+# ----------------------------------------------------------------------
+PLAN_CONTRACT = """
+    from ..state_store import AccessSet
+
+
+    class Thing:
+        def _k(self, a):
+            return f"k/{a}"
+
+        @bcontract_method
+        def put_it(self, ctx, a):
+            self.store.put(self._k(a), 1)
+            self.store.increment("count")
+            %(extra)s
+            return {}
+
+        %(orphan)s
+
+        def access_plan(self, method, args, *, sender, tx_id):
+            if method == "put_it":
+                return AccessSet(
+                    writes=frozenset({self._k(args["a"])}),
+                    deltas=frozenset(%(deltas)s),
+                )
+            return None
+"""
+
+
+def plan_contract(extra="pass", orphan="", deltas='{"count"}'):
+    return textwrap.dedent(PLAN_CONTRACT) % {
+        "extra": extra,
+        "orphan": textwrap.indent(textwrap.dedent(orphan), " " * 4).lstrip(),
+        "deltas": deltas,
+    }
+
+
+def test_plan_clean_contract(tree):
+    tree("contracts/community/thing.py", plan_contract())
+    assert lint_paths([tree.root]) == []
+
+
+def test_plan001_fires_on_undeclared_mutation(tree):
+    tree(
+        "contracts/community/thing.py",
+        plan_contract(extra='self.store.put("extra", 2)'),
+    )
+    findings = lint_paths([tree.root])
+    assert rules_of(findings) == ["PLAN001"]
+    assert "'extra'" in findings[0].message
+
+
+def test_plan002_fires_on_dead_declaration(tree):
+    tree(
+        "contracts/community/thing.py",
+        plan_contract(deltas='{"count", "dead"}'),
+    )
+    findings = lint_paths([tree.root])
+    assert rules_of(findings) == ["PLAN002"]
+    assert "'dead'" in findings[0].message
+
+
+def test_plan003_fires_on_unplanned_mutating_method(tree):
+    orphan = """
+    @bcontract_method
+    def orphan(self, ctx):
+        self.store.put("solo", 1)
+        return {}
+    """
+    tree("contracts/community/thing.py", plan_contract(orphan=orphan))
+    findings = lint_paths([tree.root])
+    assert rules_of(findings) == ["PLAN003"]
+    assert "orphan" in findings[0].message
+
+
+def test_plan003_suppressed_with_reason(tree):
+    orphan = """
+    @bcontract_method
+    # lint: disable=PLAN003 — whole-store sweep stays exclusive on purpose
+    def orphan(self, ctx):
+        self.store.put("solo", 1)
+        return {}
+    """
+    tree("contracts/community/thing.py", plan_contract(orphan=orphan))
+    assert lint_paths([tree.root]) == []
+
+
+def test_plan_rules_skip_planless_contracts(tree):
+    # A contract with no access_plan at all is outside the PLAN rules
+    # (it runs exclusively; nothing was declared to conform to).
+    tree(
+        "contracts/community/thing.py",
+        """
+        class Thing:
+            @bcontract_method
+            def put_it(self, ctx):
+                self.store.put("solo", 1)
+                return {}
+        """,
+    )
+    assert lint_paths([tree.root]) == []
+
+
+# ----------------------------------------------------------------------
+# PROTO rules — opcode / registry / verify-order wiring
+# ----------------------------------------------------------------------
+OPCODES = """
+    from enum import Enum
+
+
+    class Opcode(str, Enum):
+        TX_SUBMIT = "tx_submit"
+        CELL_SYNC = "cell_sync"
+"""
+
+REGISTRY = """
+    OPCODE_BODIES = {
+        Opcode.CELL_SYNC: "repro.messages.bodies:SyncRequest",
+    }
+"""
+
+BODIES = """
+    class SyncRequest:
+        pass
+"""
+
+DISPATCH = """
+    def dispatch(self, envelope):
+        if envelope.operation == Opcode.TX_SUBMIT:
+            return self._serve_submit(envelope)
+        if envelope.operation == Opcode.CELL_SYNC:
+            return None
+"""
+
+
+def write_protocol_tree(tree, opcodes=OPCODES, registry=REGISTRY, dispatch=DISPATCH):
+    tree("messages/opcodes.py", opcodes)
+    tree("messages/registry.py", registry)
+    tree("messages/bodies.py", BODIES)
+    tree("core/cell.py", dispatch)
+
+
+def test_proto_clean_wiring(tree):
+    write_protocol_tree(tree)
+    assert lint_paths([tree.root]) == []
+
+
+def test_proto001_fires_on_undispatched_opcode(tree):
+    write_protocol_tree(
+        tree,
+        opcodes=OPCODES + '        PING = "ping"\n',
+    )
+    findings = lint_paths([tree.root])
+    assert rules_of(findings) == ["PROTO001"]
+    assert "PING" in findings[0].message
+
+
+def test_proto002_fires_on_unregistered_structured_opcode(tree):
+    write_protocol_tree(
+        tree,
+        opcodes=OPCODES + '        XSHARD_VOTE = "xshard_vote"\n',
+        dispatch=DISPATCH + "        if envelope.operation == Opcode.XSHARD_VOTE:\n            return None\n",
+    )
+    findings = lint_paths([tree.root])
+    assert rules_of(findings) == ["PROTO002"]
+    assert "XSHARD_VOTE" in findings[0].message
+
+
+def test_proto002_fires_on_stale_and_dangling_registry_entries(tree):
+    write_protocol_tree(
+        tree,
+        registry="""
+        OPCODE_BODIES = {
+            Opcode.CELL_SYNC: "repro.messages.bodies:NoSuchClass",
+            Opcode.GHOST: "repro.messages.bodies:SyncRequest",
+        }
+        """,
+    )
+    findings = lint_paths([tree.root])
+    assert sorted(rules_of(findings)) == ["PROTO002", "PROTO002"]
+    messages = " / ".join(finding.message for finding in findings)
+    assert "NoSuchClass" in messages and "GHOST" in messages
+
+
+def test_proto003_fires_on_data_before_verify(tree):
+    write_protocol_tree(
+        tree,
+        dispatch=DISPATCH
+        + """
+        def _serve_submit(self, envelope: Envelope):
+            cycle = envelope.data["cycle"]
+            if not envelope.verify():
+                return None
+            return cycle
+        """,
+    )
+    findings = lint_paths([tree.root])
+    assert rules_of(findings) == ["PROTO003"]
+    assert "_serve_submit" in findings[0].message
+
+
+def test_proto003_clean_when_verify_comes_first(tree):
+    write_protocol_tree(
+        tree,
+        dispatch=DISPATCH
+        + """
+        def _serve_submit(self, envelope: Envelope):
+            if not envelope.verify():
+                return None
+            return envelope.data["cycle"]
+        """,
+    )
+    assert lint_paths([tree.root]) == []
+
+
+def test_proto003_fires_when_handler_never_verifies(tree):
+    write_protocol_tree(
+        tree,
+        dispatch=DISPATCH
+        + """
+        def handle_thing(self, envelope: Envelope):
+            return envelope.payload
+        """,
+    )
+    findings = lint_paths([tree.root])
+    assert rules_of(findings) == ["PROTO003"]
+    assert "never verifies" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# LINT001 — suppression hygiene
+# ----------------------------------------------------------------------
+def test_lint001_fires_on_unjustified_suppression(tree):
+    tree("core/x.py", "import random  # lint: disable=DET001\n")
+    findings = lint_paths([tree.root])
+    # The suppression still silences DET001, but is itself flagged.
+    assert rules_of(findings) == ["LINT001"]

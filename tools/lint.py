@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Repo-root wrapper for the static-analysis suite.
+
+Equivalent to ``PYTHONPATH=src python -m repro.lint`` — kept so the lint
+pass can run from a bare checkout (and from CI) without environment setup.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
