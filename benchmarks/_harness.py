@@ -19,11 +19,17 @@ import os
 from pathlib import Path
 
 from repro.core import BlockumulusDeployment, DeploymentConfig
+from repro.core.sharding import ShardedDeployment
+from repro.sim import CellServiceModel, ConstantLatency
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 #: Machine-readable benchmark baselines live at the repository root so the
 #: result trajectory (BENCH_*.json) is easy to diff across PRs.
 BENCH_JSON_DIR = Path(__file__).parent.parent
+
+#: Version of the BENCH_*.json envelope.  Bump when the stamped keys (not
+#: the per-benchmark payloads) change shape.
+BENCH_SCHEMA_VERSION = 2
 
 #: Consortium sizes evaluated in the paper.
 CONSORTIUM_SIZES = (2, 4, 8)
@@ -54,6 +60,44 @@ def azure_deployment(cells: int, seed: int = 2021, **overrides) -> BlockumulusDe
     return BlockumulusDeployment(DeploymentConfig(**settings))
 
 
+def sharded_azure_deployment(cells: int, seed: int = 2021, **overrides) -> ShardedDeployment:
+    """The azure deployment behind the sharded front door.
+
+    With the default ``shard_count=1`` this is the same pipeline as
+    :func:`azure_deployment` bit-for-bit, exposed as a
+    :class:`ShardedDeployment` for harnesses (endurance, sharding sweeps)
+    that drive deployments through the sharded client APIs.
+    """
+    settings = dict(
+        consortium_size=cells,
+        signature_scheme="sim",
+        report_period=3_600.0,
+        forwarding_deadline=900.0,
+        seed=seed,
+    )
+    settings.update(overrides)
+    return ShardedDeployment(DeploymentConfig(**settings))
+
+
+def serial_execution_service_model() -> CellServiceModel:
+    """The calibrated per-transaction service model with parallelism off.
+
+    ``max_parallel_invocations=1`` makes contract execution the
+    bottleneck resource (~20 tx/s per group), so lane/shard speedups and
+    endurance capacity limits are attributable and measurable.  Shared by
+    the parallel-execution, sharding, and endurance benchmarks.
+    """
+    return CellServiceModel(
+        invoke_overhead=ConstantLatency(0.05),
+        auth_overhead=ConstantLatency(0.002),
+        aggregate_overhead_per_cell=0.001,
+        invoke_cpu=0.0005,
+        forward_cpu_per_cell=0.0002,
+        cpu_workers=8,
+        max_parallel_invocations=1,
+    )
+
+
 def write_output(name: str, text: str) -> Path:
     """Persist rendered benchmark output and echo it to stdout."""
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
@@ -63,13 +107,19 @@ def write_output(name: str, text: str) -> Path:
     return path
 
 
-def write_bench_json(name: str, payload: dict) -> Path:
+def write_bench_json(name: str, payload: dict, seed: int | None = None) -> Path:
     """Persist a machine-readable benchmark result as ``BENCH_<name>.json``.
 
     These files are the regression baseline the next PRs are measured
     against; keep the payload stable-keyed and JSON-native (no objects).
+    Every file is stamped with the envelope ``schema_version`` and, when
+    the caller passes one, the deployment/corpus ``seed`` that reproduces
+    the run — so a baseline is self-describing about how to regenerate it.
     """
+    stamped = {"schema_version": BENCH_SCHEMA_VERSION, **payload}
+    if seed is not None:
+        stamped.setdefault("seed", seed)
     path = BENCH_JSON_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
     print(f"[bench json written to {path}]")
     return path

@@ -70,7 +70,7 @@ def test_chaos_scenarios_per_minute():
         "oracle_work": dict(sorted(work.items())),
         "coverage": span,
     }
-    write_bench_json("chaos", payload)
+    write_bench_json("chaos", payload, seed=specs[0].seed)
 
     lines = [
         "Chaos-scenario engine — corpus throughput and oracle coverage",

@@ -32,9 +32,10 @@ from repro.core import BlockumulusDeployment, DeploymentConfig, ShardedDeploymen
 from repro.crypto.fingerprint import snapshot_fingerprint
 from repro.crypto.hashing import fast_hash
 from repro.encoding import canonical_json
-from repro.sim import CellServiceModel, ConstantLatency
+from repro.sim import ConstantLatency
 
-from _harness import bench_scale, write_bench_json, write_output
+from _harness import (bench_scale, serial_execution_service_model, write_bench_json,
+                      write_output)
 
 CELLS_PER_GROUP = 2
 SHARD_COUNTS = (1, 2, 4)
@@ -45,26 +46,6 @@ CONTENDED_CONFLICT = 0.3
 #: Transactions per run (scaled like the paper bursts).
 BURST = max(160, int(1_600 * bench_scale()))
 SEED = 11_000
-
-
-def serial_execution_service_model() -> CellServiceModel:
-    """Azure-B1ms-like profile with a strictly serial execution stage.
-
-    The mutex-protected executor of Section V-A makes bContract
-    invocation the bottleneck, so total work — not network fan-out — is
-    what limits throughput, and splitting the namespace across groups is
-    the only way to add capacity.  Constant overheads keep every
-    configuration's service-time draws identical.
-    """
-    return CellServiceModel(
-        invoke_overhead=ConstantLatency(0.05),
-        auth_overhead=ConstantLatency(0.002),
-        aggregate_overhead_per_cell=0.001,
-        invoke_cpu=0.0005,
-        forward_cpu_per_cell=0.0002,
-        cpu_workers=8,
-        max_parallel_invocations=1,
-    )
 
 
 def bench_config(shards: int) -> DeploymentConfig:
@@ -256,7 +237,7 @@ def test_sharding_throughput(benchmark):
         "shard_digest_verified": digest_report.passed,
         "serial_pipeline_equivalent": serial_equivalent,
     }
-    write_bench_json("sharding", payload)
+    write_bench_json("sharding", payload, seed=SEED)
 
     text = (
         f"Contract-state sharding — {BURST}-tx burst, {CELLS_PER_GROUP} cells/group "

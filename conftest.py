@@ -20,6 +20,11 @@ def pytest_addoption(parser):
     ``--chaos-budget`` scales the chaos corpus (tests/chaos): by default
     the pinned corpus runs in full; nightly jobs pass a larger budget to
     extend the seed range, and a smaller one gives a quick smoke slice.
+
+    ``--endurance-budget`` scales the endurance benchmark's steady phase
+    (benchmarks/test_endurance.py) in simulated minutes: the default
+    regenerates the committed 30-minute baseline; CI's endurance job
+    passes a short smoke horizon, and nightly jobs extend it.
     """
     parser.addoption(
         "--chaos-budget",
@@ -27,4 +32,11 @@ def pytest_addoption(parser):
         default=None,
         metavar="N",
         help="number of seeded chaos scenarios to run (default: the pinned corpus)",
+    )
+    parser.addoption(
+        "--endurance-budget",
+        type=int,
+        default=None,
+        metavar="MINUTES",
+        help="steady-phase sim-minutes for the endurance benchmark (default: 30)",
     )

@@ -13,12 +13,22 @@ This module provides the closed-form models with the paper's constants made
 explicit, plus an empirical-fit helper the benchmarks use to confirm that
 the quantities measured from the simulator indeed grow linearly (storage,
 data, latency) or stay flat (fees).
+
+It also closes the loop between the repo's measured benchmark baselines
+and a predictive **capacity model** (:class:`CapacityModel`): a
+multiplicative decomposition of sustainable throughput over the four
+feature axes — shard count, execution lanes (at a given conflict rate),
+message batching, and cross-shard transaction rate — fitted directly
+from the committed ``BENCH_parallel.json`` / ``BENCH_sharding.json`` /
+``BENCH_pipeline.json`` payloads and checked against every matrix point
+in CI (``tests/analysis/test_capacity_model.py``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -88,8 +98,6 @@ def fit_growth_exponent(sizes: Sequence[float], values: Sequence[float]) -> floa
     constant; near 2.0 would reveal quadratic behaviour that the paper's
     analysis rules out.
     """
-    import math
-
     if len(sizes) != len(values) or len(sizes) < 2:
         raise ValueError("need at least two (size, value) pairs")
     if any(size <= 0 for size in sizes) or any(value <= 0 for value in values):
@@ -103,3 +111,220 @@ def fit_growth_exponent(sizes: Sequence[float], values: Sequence[float]) -> floa
     if denominator == 0:
         raise ValueError("all sizes are identical")
     return numerator / denominator
+
+
+# ----------------------------------------------------------------------
+# The benchmark-fitted capacity model
+# ----------------------------------------------------------------------
+class CapacityError(ValueError):
+    """Raised for malformed benchmark payloads or out-of-grid queries."""
+
+
+@dataclass(frozen=True)
+class CapacityPrediction:
+    """One operating point's predicted steady-state behaviour."""
+
+    #: Deliverable throughput, transactions per simulated second.
+    tps: float
+    #: Predicted in-group median / 99th-percentile confirmation latency (s).
+    p50: float
+    p99: float
+
+
+@dataclass
+class CapacityModel:
+    """Throughput/latency capacity fitted from the benchmark baselines.
+
+    The decomposition is multiplicative over the repo's feature axes::
+
+        tps(s, l, c, x, b) = base_tps
+                             * shard_factor[s]
+                             * lane_factor[(c, l)]
+                             * (batching_factor if b else 1)
+                             * exp(-cross_gamma * x)
+
+    where ``s`` is the shard count, ``l`` the execution lanes, ``c`` the
+    workload's write-conflict rate, ``x`` the cross-shard transaction
+    rate, and ``b`` whether inter-cell message batching is on.  Latency
+    follows the inverse of the *in-group* throughput (cross-shard 2PC
+    stretches the makespan but leaves in-group confirmation delays
+    almost untouched, which the sharding sweep's per-axis percentiles
+    show)::
+
+        p50 = k50 / tps_in_group        p99 = k99 / tps_in_group
+
+    Shard and lane factors are lookup tables over the measured grids (a
+    query off the grid raises :class:`CapacityError` rather than
+    extrapolating silently); ``cross_gamma`` is the least-squares
+    exponential-decay fit over every measured cross-shard point.
+    """
+
+    base_tps: float
+    shard_factors: dict[int, float]
+    lane_factors: dict[tuple[float, int], float]
+    cross_gamma: float
+    k50: float
+    k99: float
+    batching_factor: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_benchmarks(
+        cls,
+        parallel: Mapping[str, Any],
+        sharding: Mapping[str, Any],
+        pipeline: Optional[Mapping[str, Any]] = None,
+    ) -> "CapacityModel":
+        """Fit the model from BENCH_parallel / BENCH_sharding / BENCH_pipeline.
+
+        ``parallel`` and ``sharding`` are the parsed JSON payloads of the
+        committed baselines; ``pipeline`` (optional) contributes the
+        batching factor, which defaults to 1.0 when absent.
+        """
+        parallel_rows = list(parallel.get("sweep", ()))
+        sharding_rows = list(sharding.get("sweep", ()))
+        if not parallel_rows or not sharding_rows:
+            raise CapacityError("benchmark payloads carry no sweep rows")
+
+        serial_rows = [row for row in parallel_rows if row["lanes"] == 1]
+        if not serial_rows:
+            raise CapacityError("BENCH_parallel has no lanes=1 row to anchor the base rate")
+        base_tps = sum(row["throughput_tps"] for row in serial_rows) / len(serial_rows)
+        if base_tps <= 0:
+            raise CapacityError("base throughput must be positive")
+
+        lane_factors: dict[tuple[float, int], float] = {}
+        for row in parallel_rows:
+            key = (float(row["conflict_rate"]), int(row["lanes"]))
+            lane_factors[key] = row["throughput_tps"] / base_tps
+
+        zero_cross = {
+            int(row["shards"]): row["throughput_tps"]
+            for row in sharding_rows
+            if float(row.get("cross_shard_rate", 0.0)) == 0.0
+        }
+        one_shard = zero_cross.get(1)
+        if not one_shard:
+            raise CapacityError("BENCH_sharding has no shards=1, cross=0 anchor row")
+        shard_factors = {
+            shards: tps / one_shard for shards, tps in sorted(zero_cross.items())
+        }
+
+        # Exponential cross-shard penalty: with f = measured / in-group
+        # prediction and the model f = exp(-gamma * x), the least-squares
+        # estimate over the measured points is gamma = -sum(x ln f) / sum(x^2).
+        numerator = 0.0
+        denominator = 0.0
+        for row in sharding_rows:
+            cross = float(row.get("cross_shard_rate", 0.0))
+            if cross == 0.0:
+                continue
+            in_group = base_tps * shard_factors[int(row["shards"])]
+            residual = row["throughput_tps"] / in_group
+            if residual <= 0:
+                raise CapacityError("cross-shard rows must have positive throughput")
+            numerator += cross * math.log(residual)
+            denominator += cross * cross
+        cross_gamma = -numerator / denominator if denominator else 0.0
+
+        # Latency constants from the conflict-free lane sweep: each row's
+        # tps * percentile product is nearly constant (latency tracks the
+        # inverse of in-group throughput), so average the products.
+        latency_rows = [
+            row for row in parallel_rows if float(row["conflict_rate"]) == 0.0
+        ] or serial_rows
+        k50 = sum(r["throughput_tps"] * r["latency_p50_s"] for r in latency_rows)
+        k99 = sum(r["throughput_tps"] * r["latency_p99_s"] for r in latency_rows)
+        k50 /= len(latency_rows)
+        k99 /= len(latency_rows)
+
+        batching_factor = 1.0
+        if pipeline is not None:
+            modes = pipeline.get("modes", {})
+            per_tx = modes.get("per_tx", {}).get("throughput_tps")
+            batched = modes.get("batched", {}).get("throughput_tps")
+            if per_tx and batched:
+                batching_factor = batched / per_tx
+
+        return cls(
+            base_tps=base_tps,
+            shard_factors=shard_factors,
+            lane_factors=lane_factors,
+            cross_gamma=cross_gamma,
+            k50=k50,
+            k99=k99,
+            batching_factor=batching_factor,
+        )
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _shard_factor(self, shards: int) -> float:
+        try:
+            return self.shard_factors[shards]
+        except KeyError:
+            raise CapacityError(
+                f"shard count {shards} is off the measured grid "
+                f"{sorted(self.shard_factors)}"
+            ) from None
+
+    def _lane_factor(self, conflict: float, lanes: int) -> float:
+        if lanes == 1:
+            # Serial execution is conflict-blind by construction.
+            return 1.0
+        try:
+            return self.lane_factors[(float(conflict), lanes)]
+        except KeyError:
+            raise CapacityError(
+                f"(conflict={conflict}, lanes={lanes}) is off the measured grid "
+                f"{sorted(self.lane_factors)}"
+            ) from None
+
+    def predict(
+        self,
+        shards: int = 1,
+        lanes: int = 1,
+        conflict: float = 0.0,
+        cross_rate: float = 0.0,
+        batched: bool = False,
+    ) -> CapacityPrediction:
+        """Predicted sustainable throughput and latency at one operating point."""
+        if not 0.0 <= cross_rate <= 1.0:
+            raise CapacityError(f"cross_rate must be in [0, 1], got {cross_rate!r}")
+        in_group = (
+            self.base_tps
+            * self._shard_factor(shards)
+            * self._lane_factor(conflict, lanes)
+            * (self.batching_factor if batched else 1.0)
+        )
+        tps = in_group * math.exp(-self.cross_gamma * cross_rate)
+        return CapacityPrediction(
+            tps=tps, p50=self.k50 / in_group, p99=self.k99 / in_group
+        )
+
+    def capacity_tps(
+        self, shards: int = 1, lanes: int = 1, conflict: float = 0.0,
+        cross_rate: float = 0.0, batched: bool = False,
+    ) -> float:
+        """Shorthand for ``predict(...).tps`` (the admission-sizing number)."""
+        return self.predict(shards, lanes, conflict, cross_rate, batched).tps
+
+    def to_data(self) -> dict[str, Any]:
+        """JSON-serializable form (stamped into BENCH_endurance.json)."""
+        return {
+            "base_tps": round(self.base_tps, 4),
+            "shard_factors": {
+                str(shards): round(factor, 4)
+                for shards, factor in sorted(self.shard_factors.items())
+            },
+            "lane_factors": {
+                f"c{conflict}/l{lanes}": round(factor, 4)
+                for (conflict, lanes), factor in sorted(self.lane_factors.items())
+            },
+            "cross_gamma": round(self.cross_gamma, 4),
+            "k50": round(self.k50, 4),
+            "k99": round(self.k99, 4),
+            "batching_factor": round(self.batching_factor, 4),
+        }

@@ -43,6 +43,16 @@ class TransactionResult:
         """Client-observed confirmation delay (seconds of simulated time)."""
         return self.completed_at - self.submitted_at
 
+    @property
+    def shed(self) -> bool:
+        """Whether the cell's admission controller rejected this arrival.
+
+        A shed transaction was refused *before* ledger admission — it
+        never executed anywhere and is safe to retry.  Matched on the
+        ``OVERLOADED`` error prefix of the cell's ``TX_ERROR`` reply.
+        """
+        return not self.ok and self.error is not None and self.error.startswith("OVERLOADED")
+
 
 class BlockumulusClient:
     """A client machine attached to the simulated network.

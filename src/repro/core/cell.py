@@ -57,6 +57,12 @@ from .recovery import MembershipManager, RecoveryCoordinator
 from .snapshot import SnapshotEngine
 from .subscription import PricingPolicy, SubscriptionManager, SubscriptionError
 
+#: Error string of a transaction shed by the admission controller.  The
+#: prefix is the client-visible contract (``TransactionResult.shed``
+#: matches on it); the reply reuses the existing ``TX_ERROR`` opcode so
+#: shedding needs no new protocol message.
+OVERLOADED_ERROR = "OVERLOADED: the cell's admission queue is full"
+
 
 class _ServiceResult:
     """What the shared service pipeline learned about one transaction.
@@ -145,6 +151,7 @@ class BlockumulusCell:
         message_batching: bool = True,
         batch_quantum: float = 0.02,
         execution_lanes: int = 1,
+        max_inflight: Optional[int] = None,
     ) -> None:
         self.env = env
         self.index = index
@@ -209,6 +216,20 @@ class BlockumulusCell:
             if execution_lanes > 1
             else None
         )
+
+        # Admission control (backpressure).  The counter tracks client
+        # transactions currently being serviced end to end (ingress to
+        # reply); with a bound, arrivals beyond it are shed *before* any
+        # signature verification or ledger admission, so a shed
+        # transaction leaves no protocol trace anywhere — which is what
+        # keeps the conservation and differential oracles oblivious to
+        # shedding by construction.  Forwarded transactions from peer
+        # cells are never shed: they were already admitted by their
+        # service cell, and dropping them here would diverge the ledgers.
+        self.max_inflight = max_inflight
+        self._inflight = 0
+        self._inflight_peak = 0
+        self._shed_count = 0
 
         # Peer routing: consortium address -> network node name.
         self._peers: dict[Address, str] = {}
@@ -385,8 +406,39 @@ class BlockumulusCell:
     # ------------------------------------------------------------------
     # Client transaction servicing (Fig. 7 steps 1-4)
     # ------------------------------------------------------------------
+    def _admit_ingress(self) -> bool:
+        """Admission gate: take an inflight slot or shed the arrival.
+
+        Runs *before* signature verification and ledger admission — the
+        point of load shedding is to refuse work before paying for it,
+        and a shed transaction must leave no protocol trace (no ledger
+        entry, no forwards, no state), so the oracles never see it.
+        Returns ``False`` when the arrival must be shed.
+        """
+        if self.max_inflight is not None and self._inflight >= self.max_inflight:
+            self._shed_count += 1
+            self.metrics.increment(f"{self.node_name}/transactions_shed")
+            return False
+        self._inflight += 1
+        self._inflight_peak = max(self._inflight_peak, self._inflight)
+        return True
+
     def _serve_transaction(self, src_node: str, envelope: Envelope) -> Generator[Event, Any, None]:
         started = self.env.now
+        if not self._admit_ingress():
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": OVERLOADED_ERROR, "shed": True},
+            )
+            return
+        try:
+            yield from self._serve_admitted_transaction(src_node, envelope, started)
+        finally:
+            self._inflight -= 1
+
+    def _serve_admitted_transaction(
+        self, src_node: str, envelope: Envelope, started: float
+    ) -> Generator[Event, Any, None]:
         yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
 
         if not envelope.verify() or envelope.recipient != self.address:
@@ -857,7 +909,30 @@ class BlockumulusCell:
         group's ledgers, receipts, and fingerprints treat cross-shard
         traffic like any other traffic.  The reply is the gateway's
         signed :class:`CrossShardVote` for the phase.
+
+        Admission control covers *prepares* only: a prepare is new work,
+        and shedding it before any escrow hold exists simply aborts the
+        cross-shard transaction (the coordinator reads the ``TX_ERROR``
+        as a no-vote).  Commit/abort decisions are never shed — they
+        complete a transaction whose funds are already held, and the
+        timeout contingencies expect the decision to land eventually.
         """
+        prepare = envelope.operation == Opcode.XSHARD_PREPARE
+        if prepare and not self._admit_ingress():
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": OVERLOADED_ERROR, "shed": True},
+            )
+            return
+        try:
+            yield from self._serve_xshard_admitted(src_node, envelope)
+        finally:
+            if prepare:
+                self._inflight -= 1
+
+    def _serve_xshard_admitted(
+        self, src_node: str, envelope: Envelope
+    ) -> Generator[Event, Any, None]:
         yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
         if not envelope.verify() or envelope.recipient != self.address:
             self.metrics.increment(f"{self.node_name}/auth_failures")
@@ -1212,6 +1287,12 @@ class BlockumulusCell:
             "subscriber_count": len(self.subscriptions.subscribers()),
             "batching": self.batcher.statistics() if self.batcher is not None else None,
             "lanes": self.lanes.statistics() if self.lanes is not None else None,
+            "admission": {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "peak_inflight": self._inflight_peak,
+                "shed": self._shed_count,
+            },
             "shard_group": self.shard_group,
             "xshard_transactions": len(self._xshard_state),
             "recovering": self.recovering,

@@ -139,6 +139,14 @@ class DeploymentConfig:
     #: groups can share one network fabric without name collisions; the
     #: empty default keeps the historical ``cell-<i>`` names.
     node_namespace: str = ""
+    #: Per-cell admission limit: the maximum number of client transactions
+    #: a cell services concurrently (``TX_SUBMIT`` / ``DEPLOY_CONTRACT``
+    #: plus new cross-shard prepares).  ``None`` (default) keeps today's
+    #: unbounded behaviour bit-for-bit; with a bound, arrivals above it
+    #: are *shed* deterministically — rejected before ledger admission
+    #: with a client-visible ``OVERLOADED`` error — so sustained overload
+    #: degrades gracefully instead of growing queues without bound.
+    max_inflight: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.consortium_size < 1:
@@ -159,6 +167,8 @@ class DeploymentConfig:
             raise ConfigError("execution_lanes must be at least 1")
         if self.shard_count < 1:
             raise ConfigError("shard_count must be at least 1")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigError("max_inflight must be at least 1 (or None for unbounded)")
 
     def cell_name(self, index: int) -> str:
         """Canonical node name of cell ``index`` (namespaced per group)."""

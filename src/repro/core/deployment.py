@@ -149,6 +149,7 @@ class BlockumulusDeployment:
                 message_batching=self.config.message_batching,
                 batch_quantum=self.config.batch_quantum,
                 execution_lanes=self.config.execution_lanes,
+                max_inflight=self.config.max_inflight,
             )
             self.cells.append(cell)
 

@@ -1,0 +1,39 @@
+"""Open-loop load generation: arrival processes and the endurance harness.
+
+The burst workloads in :mod:`repro.client.workload` measure how fast a
+deployment drains a closed batch; this package measures what it
+*sustains* — deterministic open-loop arrival schedules
+(:mod:`repro.loadgen.arrivals`) driven for simulated hours over a large
+user population, with per-minute time series, admission-control shed
+accounting, and replayable run identifiers
+(:mod:`repro.loadgen.endurance`).
+"""
+
+from .arrivals import ArrivalError, diurnal_arrivals, diurnal_rate, poisson_arrivals
+from .endurance import (
+    ARRIVAL_PROCESSES,
+    ENDURANCE_CONTRACT,
+    EndurancePlan,
+    EnduranceReport,
+    collect_endurance_artifacts,
+    endurance_differential,
+    endurance_run_id,
+    run_endurance,
+    run_endurance_conservation,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "ENDURANCE_CONTRACT",
+    "ArrivalError",
+    "EndurancePlan",
+    "EnduranceReport",
+    "collect_endurance_artifacts",
+    "diurnal_arrivals",
+    "diurnal_rate",
+    "endurance_differential",
+    "endurance_run_id",
+    "poisson_arrivals",
+    "run_endurance",
+    "run_endurance_conservation",
+]

@@ -1,0 +1,155 @@
+"""The SLO capacity model against every committed benchmark baseline.
+
+This is the CI loop-closure of the endurance work: the capacity model is
+fitted from the committed ``BENCH_parallel.json`` / ``BENCH_sharding.json``
+/ ``BENCH_pipeline.json`` payloads and its predictions are asserted
+against **every** measured matrix point — throughput within ±20% and
+latency percentiles within ±35% — plus the endurance baseline's
+sustained-overload point.  A code change that shifts measured capacity
+out of these bands must re-run the benchmarks and commit new baselines.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.scalability import CapacityError, CapacityModel
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The CI accuracy bands of the capacity model.
+TPS_TOLERANCE = 0.20
+LATENCY_TOLERANCE = 0.35
+
+
+def _load(name: str) -> dict:
+    path = REPO_ROOT / name
+    if not path.exists():
+        pytest.skip(f"{name} baseline is not committed yet")
+    return json.loads(path.read_text())
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return _load("BENCH_parallel.json")
+
+
+@pytest.fixture(scope="module")
+def sharding():
+    return _load("BENCH_sharding.json")
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return _load("BENCH_pipeline.json")
+
+
+@pytest.fixture(scope="module")
+def model(parallel, sharding, pipeline):
+    return CapacityModel.from_benchmarks(parallel, sharding, pipeline)
+
+
+def _assert_point(model, measured, **point):
+    prediction = model.predict(**point)
+    assert prediction.tps == pytest.approx(
+        measured["throughput_tps"], rel=TPS_TOLERANCE
+    ), f"tps off at {point}: predicted {prediction.tps}, measured {measured['throughput_tps']}"
+    assert prediction.p50 == pytest.approx(
+        measured["latency_p50_s"], rel=LATENCY_TOLERANCE
+    ), f"p50 off at {point}"
+    assert prediction.p99 == pytest.approx(
+        measured["latency_p99_s"], rel=LATENCY_TOLERANCE
+    ), f"p99 off at {point}"
+
+
+def test_every_parallel_matrix_point(model, parallel):
+    for row in parallel["sweep"]:
+        _assert_point(model, row, lanes=row["lanes"], conflict=row["conflict_rate"])
+
+
+def test_every_sharding_matrix_point(model, sharding):
+    for row in sharding["sweep"]:
+        _assert_point(
+            model, row, shards=row["shards"], cross_rate=row["cross_shard_rate"]
+        )
+
+
+def test_every_contended_matrix_point(model, sharding):
+    for row in sharding["contended_sweep"]:
+        _assert_point(
+            model,
+            row,
+            shards=row["shards"],
+            lanes=1,
+            conflict=row["conflict_rate"],
+            cross_rate=row["cross_shard_rate"],
+        )
+
+
+def test_endurance_overload_point(model):
+    """The measured sustained-overload throughput matches predicted capacity.
+
+    Under open-loop overload the admission controller pins delivered
+    throughput at the cell's capacity; the endurance baseline's overload
+    phase therefore measures exactly what the model predicts for its
+    configuration.
+    """
+    endurance = _load("BENCH_endurance.json")
+    overload = endurance["overload"]
+    plan = overload["plan"]
+    predicted = model.capacity_tps(shards=1, lanes=1)
+    assert plan["rate"] >= 1.5 * predicted, "overload phase must push >= 1.5x capacity"
+    assert overload["throughput_tps"] == pytest.approx(predicted, rel=TPS_TOLERANCE)
+
+
+def test_fitted_axes_are_sane(model):
+    assert model.base_tps > 0
+    assert model.shard_factors[1] == pytest.approx(1.0)
+    # Shard factors grow with the shard count (near-linear scaling).
+    factors = [model.shard_factors[s] for s in sorted(model.shard_factors)]
+    assert factors == sorted(factors)
+    # Cross-shard traffic is a penalty, batching trades peak tps for bytes.
+    assert model.cross_gamma > 0
+    assert 0 < model.batching_factor <= 1.0
+    assert model.k99 >= model.k50 > 0
+
+
+def test_off_grid_queries_raise(model):
+    with pytest.raises(CapacityError):
+        model.predict(shards=16)
+    with pytest.raises(CapacityError):
+        model.predict(lanes=3, conflict=0.0)
+    with pytest.raises(CapacityError):
+        model.predict(cross_rate=1.5)
+
+
+def test_malformed_payloads_raise():
+    with pytest.raises(CapacityError):
+        CapacityModel.from_benchmarks({"sweep": []}, {"sweep": []})
+    with pytest.raises(CapacityError):
+        CapacityModel.from_benchmarks(
+            {"sweep": [{"lanes": 2, "conflict_rate": 0.0, "throughput_tps": 10.0}]},
+            {"sweep": [{"shards": 1, "cross_shard_rate": 0.0, "throughput_tps": 10.0}]},
+        )
+    with pytest.raises(CapacityError):
+        CapacityModel.from_benchmarks(
+            {
+                "sweep": [
+                    {
+                        "lanes": 1,
+                        "conflict_rate": 0.0,
+                        "throughput_tps": 10.0,
+                        "latency_p50_s": 1.0,
+                        "latency_p99_s": 2.0,
+                    }
+                ]
+            },
+            {"sweep": [{"shards": 2, "cross_shard_rate": 0.0, "throughput_tps": 20.0}]},
+        )
+
+
+def test_serialized_form_is_json_native(model):
+    data = model.to_data()
+    assert json.loads(json.dumps(data)) == data
+    assert data["shard_factors"]["1"] == pytest.approx(1.0)

@@ -46,6 +46,21 @@ def test_fit_growth_exponent_identifies_linear_and_constant():
     assert fit_growth_exponent(sizes, quadratic) == pytest.approx(2.0, abs=0.01)
 
 
+def test_fit_growth_exponent_recovers_fractional_power_laws():
+    sizes = [10, 100, 1_000, 10_000]
+    sqrt_growth = [size ** 0.5 for size in sizes]
+    cubic = [2 * size ** 3 for size in sizes]
+    assert fit_growth_exponent(sizes, sqrt_growth) == pytest.approx(0.5, abs=0.01)
+    assert fit_growth_exponent(sizes, cubic) == pytest.approx(3.0, abs=0.01)
+
+
+def test_fit_growth_exponent_tolerates_measurement_noise():
+    sizes = [10, 100, 1_000, 10_000]
+    noise = (1.05, 0.95, 1.02, 0.98)
+    noisy_linear = [3 * size * factor for size, factor in zip(sizes, noise)]
+    assert fit_growth_exponent(sizes, noisy_linear) == pytest.approx(1.0, abs=0.05)
+
+
 def test_fit_growth_exponent_validation():
     with pytest.raises(ValueError):
         fit_growth_exponent([1], [1])
@@ -53,6 +68,16 @@ def test_fit_growth_exponent_validation():
         fit_growth_exponent([1, 2], [0, 1])
     with pytest.raises(ValueError):
         fit_growth_exponent([2, 2], [1, 1])
+    # Degenerate shapes: empty, mismatched lengths, non-positive input
+    # (a log-log fit is undefined there and must refuse, not NaN out).
+    with pytest.raises(ValueError):
+        fit_growth_exponent([], [])
+    with pytest.raises(ValueError):
+        fit_growth_exponent([1, 2, 3], [1, 2])
+    with pytest.raises(ValueError):
+        fit_growth_exponent([-1, 2], [1, 2])
+    with pytest.raises(ValueError):
+        fit_growth_exponent([1, 2], [1, -2])
 
 
 def test_model_exponents_match_the_paper_claims(model):

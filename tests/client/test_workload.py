@@ -3,11 +3,14 @@
 import pytest
 
 from repro.client.workload import (
+    MixedOperation,
     WorkloadError,
     build_client_pools,
+    plan_mixed_genesis,
     run_burst_cas_uploads,
     run_burst_transfers,
     run_contended_transfers,
+    run_mixed_operations,
     run_sequential_transfers,
     run_sharded_burst_transfers,
     run_sharded_contended_transfers,
@@ -119,3 +122,117 @@ def test_sharded_workload_validation():
         run_sharded_burst_transfers(deployment, count=5, cross_shard_rate=0.1)
     with pytest.raises(WorkloadError, match="cross_shard_rate"):
         run_sharded_contended_transfers(deployment, count=5, cross_shard_rate=2.0)
+
+
+# ----------------------------------------------------------------------
+# Mixed multi-contract workloads: failure paths
+# ----------------------------------------------------------------------
+def test_mixed_workload_pauper_revert_is_counted_not_dropped():
+    """An unfunded sender's transfer reverts and stays in the report.
+
+    ``results[i]`` must line up with ``operations[i]`` even for failures:
+    the revert is an observation the chaos oracles rely on, not noise to
+    be filtered out.
+    """
+    deployment = make_sharded_deployment(1)
+    operations = [
+        MixedOperation(at=0.0, kind="transfer", sender=0, args={"to": 1, "amount": 5}),
+        MixedOperation(at=0.5, kind="transfer", sender=1, args={"to": 2, "amount": 3}),
+        MixedOperation(at=1.0, kind="transfer", sender=2, args={"to": 0, "amount": 2}),
+    ]
+    report = run_mixed_operations(
+        deployment,
+        operations,
+        account_seeds=["acct/a", "acct/b", "acct/c"],
+        genesis={0: 0},  # sender 0 becomes a pauper despite sending 5
+        horizon=60.0,
+    )
+    assert len(report.results) == len(operations)
+    assert report.unanswered_count == 0
+    pauper = report.results[0]
+    assert pauper is not None and not pauper.ok
+    assert "insufficient funds" in pauper.error
+    assert report.ok_count == 2
+    assert report.genesis == [0, 3, 2]
+
+
+def test_plan_mixed_genesis_funds_totals_and_leaves_paupers_at_zero():
+    operations = [
+        MixedOperation(at=0.0, kind="transfer", sender=0, args={"to": 1, "amount": 5}),
+        MixedOperation(at=1.0, kind="transfer", sender=0, args={"to": 2, "amount": 7}),
+        MixedOperation(at=2.0, kind="invest", sender=1, args={"amount": 9}),
+    ]
+    assert plan_mixed_genesis(operations, 3) == {0: 12, 1: 0, 2: 0}
+
+
+def test_mixed_operation_validation_accepts_every_well_formed_kind():
+    well_formed = [
+        MixedOperation(at=0.0, kind="transfer", sender=0, args={"to": 1, "amount": 1}),
+        MixedOperation(at=1.5, kind="cas_put", sender=1, args={"content_hex": "0xdead"}),
+        MixedOperation(at=2.0, kind="vote", sender=0,
+                       args={"election_id": "e1", "choice": "yes"}),
+        MixedOperation(at=3.0, kind="invest", sender=1, args={"amount": 2}),
+    ]
+    for op in well_formed:
+        op.validate(2)  # must not raise
+
+
+def test_mixed_operation_validation_rejects_every_malformed_shape():
+    malformed = [
+        (MixedOperation(at=0.0, kind="mint", sender=0), "unknown mixed operation kind"),
+        (MixedOperation(at=-1.0, kind="invest", sender=0, args={"amount": 1}),
+         "non-negative"),
+        (MixedOperation(at=0.0, kind="invest", sender=9, args={"amount": 1}),
+         "account index"),
+        (MixedOperation(at=0.0, kind="invest", sender="0", args={"amount": 1}),
+         "account index"),
+        (MixedOperation(at=0.0, kind="transfer", sender=0, args={"to": 0, "amount": 1}),
+         "different account"),
+        (MixedOperation(at=0.0, kind="transfer", sender=0, args={"to": 7, "amount": 1}),
+         "different account"),
+        (MixedOperation(at=0.0, kind="transfer", sender=0, args={"to": 1, "amount": 0}),
+         "positive integer"),
+        (MixedOperation(at=0.0, kind="transfer", sender=0, args={"to": 1, "amount": True}),
+         "positive integer"),
+        (MixedOperation(at=0.0, kind="invest", sender=0, args={"amount": -2}),
+         "positive integer"),
+        (MixedOperation(at=0.0, kind="cas_put", sender=0, args={"content_hex": "dead"}),
+         "0x-hex"),
+        (MixedOperation(at=0.0, kind="cas_put", sender=0), "0x-hex"),
+        (MixedOperation(at=0.0, kind="vote", sender=0, args={"election_id": "e1"}),
+         "election_id"),
+        (MixedOperation(at=0.0, kind="vote", sender=0, args={"choice": "yes"}),
+         "election_id"),
+    ]
+    for op, match in malformed:
+        with pytest.raises(WorkloadError, match=match):
+            op.validate(2)
+
+
+def test_run_mixed_operations_preconditions_fail_before_any_traffic():
+    deployment = make_sharded_deployment(1)
+    transfer = MixedOperation(at=0.0, kind="transfer", sender=0,
+                              args={"to": 1, "amount": 1})
+    with pytest.raises(WorkloadError, match="at least one operation"):
+        run_mixed_operations(deployment, [], account_seeds=["a", "b"])
+    with pytest.raises(WorkloadError, match="at least two accounts"):
+        run_mixed_operations(deployment, [transfer], account_seeds=["a"])
+    with pytest.raises(WorkloadError, match="unknown mixed operation kind"):
+        run_mixed_operations(
+            deployment,
+            [MixedOperation(at=0.0, kind="mint", sender=0)],
+            account_seeds=["a", "b"],
+        )
+    # Every rejection above fired before any contract was deployed or
+    # message sent.
+    assert deployment.network.total_messages() == 0
+
+
+def test_run_mixed_operations_rejects_a_horizon_inside_the_schedule():
+    deployment = make_sharded_deployment(1)
+    late = MixedOperation(at=50.0, kind="transfer", sender=0,
+                          args={"to": 1, "amount": 1})
+    with pytest.raises(WorkloadError, match="not after the last submission"):
+        run_mixed_operations(
+            deployment, [late], account_seeds=["a", "b"], horizon=10.0
+        )

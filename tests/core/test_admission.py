@@ -1,0 +1,91 @@
+"""Per-cell admission control: bounded inflight and deterministic shedding.
+
+The endurance benchmark proves the overload story at scale; these tests
+pin the mechanism at unit scale — configuration validation, the ingress
+gate itself, the client-visible ``OVERLOADED`` contract, the statistics
+block, and that a shed burst replays bit-identically under the same seed.
+"""
+
+import pytest
+
+from repro.client.workload import run_burst_transfers
+from repro.core.cell import OVERLOADED_ERROR
+from repro.core.config import ConfigError
+from repro.sim import CellServiceModel, ConstantLatency
+from tests.conftest import fast_config, make_deployment
+
+
+def slow_serial_model() -> CellServiceModel:
+    """One transaction at a time, 50 ms each — easy to overload."""
+    return CellServiceModel(
+        invoke_overhead=ConstantLatency(0.05),
+        auth_overhead=ConstantLatency(0.002),
+        aggregate_overhead_per_cell=0.001,
+        max_parallel_invocations=1,
+    )
+
+
+def test_max_inflight_config_validation():
+    assert fast_config().max_inflight is None  # unbounded by default
+    assert fast_config(max_inflight=1).max_inflight == 1
+    for bad in (0, -5):
+        with pytest.raises(ConfigError, match="max_inflight"):
+            fast_config(max_inflight=bad)
+
+
+def test_admission_gate_takes_slots_and_sheds_at_the_bound():
+    deployment = make_deployment(max_inflight=2)
+    cell = deployment.cell(0)
+    assert cell._admit_ingress() and cell._admit_ingress()
+    assert not cell._admit_ingress(), "the third arrival must be shed"
+    cell._inflight -= 1  # one service completes
+    assert cell._admit_ingress(), "a freed slot admits again"
+
+    stats = cell.statistics()["admission"]
+    assert stats == {"max_inflight": 2, "inflight": 2, "peak_inflight": 2, "shed": 1}
+
+
+def test_unbounded_cell_never_sheds():
+    deployment = make_deployment(service_model=slow_serial_model())
+    report = run_burst_transfers(deployment, count=20, pools=4)
+    assert report.failure_count == 0
+    assert all(not result.shed for result in report.results)
+    for cell in deployment.cells:
+        stats = cell.statistics()["admission"]
+        assert stats["max_inflight"] is None and stats["shed"] == 0
+
+
+def test_overloaded_burst_sheds_with_the_client_visible_error():
+    deployment = make_deployment(
+        max_inflight=4, service_model=slow_serial_model(), signature_scheme="sim"
+    )
+    report = run_burst_transfers(deployment, count=30, pools=4)
+
+    shed = [result for result in report.results if result.shed]
+    committed = [result for result in report.results if result.ok]
+    assert shed, "a 30-tx instant burst must overflow max_inflight=4"
+    assert committed, "admitted transactions must still commit"
+    assert len(shed) + len(committed) == 30, "no third outcome under overload"
+    for result in shed:
+        assert not result.ok and result.error == OVERLOADED_ERROR
+
+    total_shed = 0
+    for cell in deployment.cells:
+        stats = cell.statistics()["admission"]
+        assert stats["peak_inflight"] <= 4
+        assert stats["inflight"] == 0, "inflight must drain to zero"
+        total_shed += stats["shed"]
+    assert total_shed == len(shed)
+
+
+def test_shedding_is_deterministic_under_the_same_seed():
+    def outcomes():
+        deployment = make_deployment(
+            max_inflight=4, service_model=slow_serial_model(), signature_scheme="sim"
+        )
+        report = run_burst_transfers(deployment, count=30, pools=4)
+        return [(result.ok, result.shed, result.error) for result in report.results]
+
+    first, second = outcomes(), outcomes()
+    assert first == second
+    assert any(shed for _ok, shed, _error in first)

@@ -1,0 +1,86 @@
+"""Open-loop arrival processes: determinism, validation, and shape."""
+
+import random
+
+import pytest
+
+from repro.loadgen import (
+    ArrivalError,
+    diurnal_arrivals,
+    diurnal_rate,
+    poisson_arrivals,
+)
+
+
+def test_poisson_is_a_pure_function_of_the_rng_seed():
+    first = poisson_arrivals(random.Random(7), rate=5.0, horizon=200.0)
+    second = poisson_arrivals(random.Random(7), rate=5.0, horizon=200.0)
+    other = poisson_arrivals(random.Random(8), rate=5.0, horizon=200.0)
+    assert first == second
+    assert first != other
+
+
+def test_poisson_times_are_sorted_and_inside_the_window():
+    start = 100.0
+    times = poisson_arrivals(random.Random(1), rate=3.0, horizon=50.0, start=start)
+    assert times == sorted(times)
+    assert all(start <= at < start + 50.0 for at in times)
+
+
+def test_poisson_mean_rate_matches_the_intensity():
+    times = poisson_arrivals(random.Random(42), rate=5.0, horizon=2_000.0)
+    assert len(times) == pytest.approx(5.0 * 2_000.0, rel=0.05)
+
+
+def test_poisson_parameter_validation():
+    rng = random.Random(0)
+    for bad_rate in (0.0, -1.0, float("nan"), float("inf"), "fast", None):
+        with pytest.raises(ArrivalError):
+            poisson_arrivals(rng, rate=bad_rate, horizon=10.0)
+    for bad_horizon in (0.0, -5.0, float("inf")):
+        with pytest.raises(ArrivalError):
+            poisson_arrivals(rng, rate=1.0, horizon=bad_horizon)
+
+
+def test_diurnal_rate_traces_the_raised_cosine():
+    period = 86_400.0
+    assert diurnal_rate(0.0, 2.0, 8.0, period) == pytest.approx(2.0)
+    assert diurnal_rate(period / 2, 2.0, 8.0, period) == pytest.approx(8.0)
+    assert diurnal_rate(period, 2.0, 8.0, period) == pytest.approx(2.0)
+    # Symmetric around midday, and never outside [base, peak].
+    assert diurnal_rate(period / 4, 2.0, 8.0, period) == pytest.approx(
+        diurnal_rate(3 * period / 4, 2.0, 8.0, period)
+    )
+    for elapsed in range(0, int(period), 3_600):
+        assert 2.0 <= diurnal_rate(float(elapsed), 2.0, 8.0, period) <= 8.0
+
+
+def test_diurnal_arrivals_concentrate_at_midday():
+    horizon = 3_000.0
+    times = diurnal_arrivals(
+        random.Random(9), base_rate=1.0, peak_rate=10.0, horizon=horizon, period=horizon
+    )
+    assert times == sorted(times)
+    third = horizon / 3
+    night = sum(1 for at in times if at < third or at >= 2 * third)
+    midday = sum(1 for at in times if third <= at < 2 * third)
+    # The midday third sees the peak of the intensity profile; each night
+    # third sits near the base rate.
+    assert midday > night / 2
+
+
+def test_diurnal_arrivals_are_deterministic_per_seed():
+    kwargs = dict(base_rate=2.0, peak_rate=6.0, horizon=500.0, period=500.0)
+    assert diurnal_arrivals(random.Random(3), **kwargs) == diurnal_arrivals(
+        random.Random(3), **kwargs
+    )
+
+
+def test_diurnal_parameter_validation():
+    rng = random.Random(0)
+    with pytest.raises(ArrivalError, match="must not exceed"):
+        diurnal_arrivals(rng, base_rate=5.0, peak_rate=2.0, horizon=10.0)
+    with pytest.raises(ArrivalError):
+        diurnal_arrivals(rng, base_rate=1.0, peak_rate=2.0, horizon=10.0, period=0.0)
+    with pytest.raises(ArrivalError):
+        diurnal_arrivals(rng, base_rate=0.0, peak_rate=2.0, horizon=10.0)

@@ -1,0 +1,220 @@
+"""Endurance harness units: plan validation, run-ids, outcome taxonomy.
+
+The endurance *benchmark* (benchmarks/test_endurance.py) proves the
+sustained-load story end to end; these tests pin the harness's building
+blocks at unit scale — every plan-validation branch, run-id sensitivity,
+the shed/revert/unanswered classification (including the cross-shard
+OVERLOADED-prepare case), minute-series bucketing, and a short
+deterministic run with both oracles.
+"""
+
+import pytest
+
+from repro.client.client import TransactionResult
+from repro.client.sharded import CrossShardResult, PhaseOutcome
+from repro.client.workload import WorkloadError
+from repro.core.cell import OVERLOADED_ERROR
+from repro.loadgen import (
+    EndurancePlan,
+    EnduranceReport,
+    collect_endurance_artifacts,
+    endurance_differential,
+    endurance_run_id,
+    run_endurance,
+    run_endurance_conservation,
+)
+from repro.loadgen.endurance import _Arrival
+from tests.conftest import make_sharded_deployment
+
+
+# ----------------------------------------------------------------------
+# Plan validation
+# ----------------------------------------------------------------------
+def test_default_plan_validates():
+    EndurancePlan().validate(make_sharded_deployment(1))
+
+
+def test_every_plan_validation_branch_raises():
+    deployment = make_sharded_deployment(1)
+    bad_plans = [
+        (dict(process="bursty"), "unknown arrival process"),
+        (dict(users=1), "users"),
+        (dict(users=2.5), "users"),
+        (dict(rate=0.0), "rate"),
+        (dict(process="diurnal", peak_rate=None), "peak_rate"),
+        (dict(process="diurnal", rate=5.0, peak_rate=2.0), "peak_rate"),
+        (dict(horizon=0.0), "positive"),
+        (dict(bucket_seconds=0.0), "positive"),
+        (dict(horizon=30.0, bucket_seconds=60.0), "at least one bucket"),
+        (dict(cross_shard_rate=1.5), "cross_shard_rate"),
+        (dict(cross_shard_rate=-0.1), "cross_shard_rate"),
+        (dict(cross_shard_rate=0.5), "at least two shards"),
+        (dict(pools=0), "client pool"),
+        (dict(amount=0), "amount"),
+        (dict(drain=-1.0), "drain"),
+    ]
+    for overrides, match in bad_plans:
+        with pytest.raises(WorkloadError, match=match):
+            EndurancePlan(**overrides).validate(deployment)
+    # The cross-shard plan that the single-shard deployment rejected is
+    # fine once there are two groups to cross between.
+    EndurancePlan(cross_shard_rate=0.5).validate(make_sharded_deployment(2))
+
+
+def test_plan_round_trips_to_json_native_data():
+    plan = EndurancePlan(process="diurnal", rate=2.0, peak_rate=8.0)
+    data = plan.to_data()
+    assert data["process"] == "diurnal" and data["peak_rate"] == 8.0
+    assert EndurancePlan(**data) == plan
+
+
+# ----------------------------------------------------------------------
+# Run identifiers
+# ----------------------------------------------------------------------
+def test_run_id_is_stable_for_the_same_plan_and_config():
+    plan = EndurancePlan()
+    assert endurance_run_id(plan, make_sharded_deployment(1)) == endurance_run_id(
+        plan, make_sharded_deployment(1)
+    )
+
+
+def test_run_id_is_sensitive_to_plan_and_deployment_knobs():
+    base = endurance_run_id(EndurancePlan(), make_sharded_deployment(1))
+    ids = {
+        base,
+        endurance_run_id(EndurancePlan(rate=5.0), make_sharded_deployment(1)),
+        endurance_run_id(EndurancePlan(), make_sharded_deployment(1, seed=43)),
+        endurance_run_id(EndurancePlan(), make_sharded_deployment(1, max_inflight=8)),
+        endurance_run_id(EndurancePlan(), make_sharded_deployment(2)),
+    }
+    assert len(ids) == 5
+    assert all(run_id.startswith("endure-") for run_id in ids)
+
+
+# ----------------------------------------------------------------------
+# Outcome classification
+# ----------------------------------------------------------------------
+def _tx(ok: bool, error: str | None = None) -> TransactionResult:
+    return TransactionResult(ok=ok, submitted_at=0.0, completed_at=1.0, error=error)
+
+
+def test_outcome_taxonomy_for_plain_transactions():
+    classify = EnduranceReport.outcome_of
+    assert classify(None) == "unanswered"
+    assert classify(_tx(True)) == "ok"
+    assert classify(_tx(False, OVERLOADED_ERROR)) == "shed"
+    assert classify(_tx(False, "FastMoney: insufficient funds (0 < 1)")) == "reverted"
+
+
+def test_outcome_taxonomy_for_cross_shard_transactions():
+    classify = EnduranceReport.outcome_of
+
+    def cross(prepare_errors):
+        return CrossShardResult(
+            ok=False, xtx="xtx-1", decision="abort", submitted_at=0.0,
+            completed_at=1.0,
+            prepare={
+                group: PhaseOutcome(ok=error is None, error=error)
+                for group, error in enumerate(prepare_errors)
+            },
+            error="prepare votes were lost before any decision was provable",
+        )
+
+    # A shed prepare surfaces the admission refusal, even though the
+    # coordinator's own top-level error only reports the missing vote.
+    assert classify(cross([OVERLOADED_ERROR, None])) == "shed"
+    assert classify(cross([None, "FastMoney: insufficient funds (0 < 1)"])) == "reverted"
+    ok = CrossShardResult(
+        ok=True, xtx="xtx-2", decision="commit", submitted_at=0.0, completed_at=1.0
+    )
+    assert classify(ok) == "ok"
+
+
+# ----------------------------------------------------------------------
+# Minute-series bucketing
+# ----------------------------------------------------------------------
+def test_minute_series_buckets_by_submission_time():
+    plan = EndurancePlan(horizon=120.0, bucket_seconds=60.0)
+    report = EnduranceReport(label="unit", run_id="endure-unit", plan=plan,
+                             started_at=0.0)
+    report.schedule = [
+        _Arrival(at=10.0, user=0, home=0),
+        _Arrival(at=30.0, user=1, home=0),
+        _Arrival(at=70.0, user=2, home=0),
+        _Arrival(at=119.9, user=3, home=0),
+    ]
+    report.results = [
+        TransactionResult(ok=True, submitted_at=10.0, completed_at=10.5),
+        TransactionResult(ok=False, submitted_at=30.0, completed_at=30.1,
+                          error=OVERLOADED_ERROR),
+        # Completes in the *next* bucket but counts where it was submitted.
+        TransactionResult(ok=True, submitted_at=70.0, completed_at=130.0),
+        None,
+    ]
+    report.queue_samples = [
+        {"minute": 0.0, "time": 60.0, "inflight": 3.0},
+        {"minute": 1.0, "time": 120.0, "inflight": 1.0},
+    ]
+
+    series = report.minute_series()
+    assert [row["minute"] for row in series] == [0, 1]
+    assert series[0]["submitted"] == 2 and series[1]["submitted"] == 2
+    assert series[0]["ok"] == 1 and series[0]["shed"] == 1
+    assert series[1]["ok"] == 1 and series[1]["unanswered"] == 1
+    assert series[0]["tps"] == pytest.approx(1 / 60.0, abs=1e-4)
+    assert series[0]["p50"] == pytest.approx(0.5)
+    assert series[1]["p50"] == pytest.approx(60.0)
+    assert series[0]["queue_depth"] == 3 and series[1]["queue_depth"] == 1
+
+    totals = report.totals()
+    assert totals == {"arrivals": 4, "ok": 2, "shed": 1, "reverted": 0,
+                      "unanswered": 1}
+    assert report.peak_queue_depth() == 3
+
+
+# ----------------------------------------------------------------------
+# Short end-to-end runs (sim signatures: the unit tests exercise the
+# harness plumbing, not the crypto; the endurance benchmark runs the
+# full-size configuration)
+# ----------------------------------------------------------------------
+def test_short_endurance_run_commits_everything_and_replays_bit_identically():
+    plan = EndurancePlan(users=40, rate=1.0, horizon=60.0, bucket_seconds=30.0,
+                         pools=2, drain=30.0)
+    deployment = make_sharded_deployment(1, signature_scheme="sim")
+    report = run_endurance(deployment, plan)
+
+    totals = report.totals()
+    assert totals["arrivals"] == len(report.schedule) > 0
+    assert totals["ok"] == totals["arrivals"], "under-capacity load must all commit"
+    assert sum(row["submitted"] for row in report.minute_series()) == totals["arrivals"]
+    assert report.run_id == endurance_run_id(plan, deployment)
+
+    conservation = run_endurance_conservation(deployment, report)
+    assert conservation.passed, conservation.findings
+    assert endurance_differential(deployment, report) == []
+
+    replay_deployment = make_sharded_deployment(1, signature_scheme="sim")
+    replay = run_endurance(replay_deployment, plan)
+    assert collect_endurance_artifacts(deployment, report) == (
+        collect_endurance_artifacts(replay_deployment, replay)
+    )
+
+
+def test_cross_shard_endurance_run_settles_and_conserves():
+    plan = EndurancePlan(users=40, rate=1.0, horizon=60.0, bucket_seconds=30.0,
+                         cross_shard_rate=0.5, pools=2, drain=60.0)
+    deployment = make_sharded_deployment(2, signature_scheme="sim")
+    report = run_endurance(deployment, plan)
+
+    assert any(arrival.cross for arrival in report.schedule)
+    assert any(not arrival.cross for arrival in report.schedule)
+    totals = report.totals()
+    assert totals["ok"] == totals["arrivals"] > 0
+    conservation = run_endurance_conservation(deployment, report)
+    assert conservation.passed, conservation.findings
+
+
+def test_plan_that_produces_no_arrivals_raises():
+    plan = EndurancePlan(users=10, rate=1e-9, horizon=60.0, bucket_seconds=60.0)
+    with pytest.raises(WorkloadError, match="no arrivals"):
+        run_endurance(make_sharded_deployment(1), plan)

@@ -46,6 +46,65 @@ def test_fraction_below():
     assert series.fraction_below(100) == 1.0
 
 
+def test_empty_series_raises_on_every_statistic():
+    series = SampleSeries()
+    for query in (
+        series.min,
+        series.max,
+        series.mean,
+        series.stdev,
+        series.p50,
+        lambda: series.percentile(0.5),
+        lambda: series.fraction_below(1.0),
+        lambda: series.cdf(),
+    ):
+        with pytest.raises(MetricsError):
+            query()
+    assert len(series) == 0 and series.values == []
+
+
+def test_single_sample_answers_every_percentile_with_itself():
+    series = SampleSeries()
+    series.add(7.5)
+    assert series.percentile(0.0) == 7.5
+    assert series.percentile(0.5) == 7.5
+    assert series.percentile(1.0) == 7.5
+    assert series.min() == series.max() == series.mean() == 7.5
+    assert series.stdev() == 0.0
+    # Strictly-below semantics hold even for the lone sample.
+    assert series.fraction_below(7.5) == 0.0
+    assert series.fraction_below(7.5000001) == 1.0
+
+
+def test_percentile_boundaries_and_exact_sample_positions():
+    series = SampleSeries()
+    series.extend([30, 0, 10, 20])
+    assert series.percentile(0.0) == series.min() == 0
+    assert series.percentile(1.0) == series.max() == 30
+    # fraction 1/3 lands exactly on the second order statistic — no
+    # interpolation; 0.5 falls between samples and interpolates.
+    assert series.percentile(1 / 3) == pytest.approx(10.0)
+    assert series.percentile(0.5) == pytest.approx(15.0)
+
+
+def test_percentile_rejects_out_of_range_fractions():
+    series = SampleSeries()
+    series.extend([1, 2, 3])
+    with pytest.raises(MetricsError):
+        series.percentile(-0.01)
+    with pytest.raises(MetricsError):
+        series.percentile(1.01)
+
+
+def test_fraction_below_at_the_extremes_is_strict():
+    series = SampleSeries()
+    series.extend([2, 4, 6])
+    assert series.fraction_below(1.99) == 0.0
+    assert series.fraction_below(2) == 0.0  # equal-to-min does not count
+    assert series.fraction_below(6) == pytest.approx(2 / 3)  # max excluded
+    assert series.fraction_below(6.01) == 1.0
+
+
 def test_fraction_below_is_strict_at_duplicate_boundary_values():
     series = SampleSeries()
     series.extend([1, 2, 2, 2, 3])
