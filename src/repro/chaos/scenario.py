@@ -23,7 +23,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from ..core.config import DeploymentConfig
-from ..core.faults import OUTAGE_KINDS, FaultSchedule, ScheduledFault
+from ..core.faults import FaultSchedule, ScheduledFault
 from ..client.workload import MixedOperation
 from ..sim.latency import ConstantLatency, fast_test_service_model
 from ..sim.rng import SeedSequence
@@ -48,16 +48,14 @@ OPS_END = 22.0
 FAULTS_START = 5.0
 FAULTS_END = 20.0
 RESOLVE_BY = 45.0
-#: Earliest time recoveries / standby activations are scheduled: after
-#: the workload has quiesced.  The chaos engine itself found the reason
-#: (seeded repro: the pre-constraint corpus): a cell readmitted while
-#: transactions are in flight can miss entries that peers admitted
-#: between its last delta sync and the readmit commit — the rejoin vote
-#: compares *state* fingerprints, which cannot see admitted-but-not-yet-
-#: executed transactions.  Until the rejoin protocol closes that window
-#: (see ROADMAP), passing scenarios recover into a quiet consortium,
-#: exactly as an operator would.
-QUIESCE_AT = 26.0
+# Recoveries and standby activations are sampled anywhere inside the
+# fault/traffic window.  Earlier corpora pinned them after a QUIESCE_AT
+# quiesce point because the rejoin vote compared *state* fingerprints,
+# blind to admitted-but-not-yet-executed transactions — a cell readmitted
+# under live traffic could silently miss that in-flight window.  The
+# rejoin handshake now carries each voter's admitted ledger head and the
+# coordinator backfills the gap after readmission (repro.core.recovery),
+# so node churn at production load is exactly what the corpus exercises.
 
 
 @dataclass(frozen=True)
@@ -385,13 +383,14 @@ def _sample_faults(rng, space, shards, lead_kind, funded):
       gateway (cell 0): a gateway that dies holding an undriven commit
       decision parks value in transit forever, which is a legal state the
       conservation oracle reports but a poor default for a pass-corpus;
-    * every outage resolves (recover / activate) before ``RESOLVE_BY``,
-      and all resolutions happen at or after ``QUIESCE_AT`` — rejoining
-      a consortium that is still executing traffic can silently miss
-      in-flight transactions (see the ``QUIESCE_AT`` note), and standby
-      activations additionally wait out every crash window, because a
-      crashed-but-not-excluded peer still counts toward (and cannot
-      answer) the readmission quorum.
+    * every outage resolves (recover / activate) before ``RESOLVE_BY``.
+
+    Recoveries and standby activations are deliberately *not* kept clear
+    of the traffic window or of each other's crash windows: the rejoin
+    handshake carries admitted ledger heads and backfills the in-flight
+    gap after readmission, and a rejoiner excludes silent (crashed)
+    voters instead of waiting their window out — recovering under
+    full-rate traffic is precisely what the corpus is here to exercise.
     """
     kinds = [lead_kind]
     extra = rng.randrange(0, space.max_faults)
@@ -411,7 +410,7 @@ def _sample_faults(rng, space, shards, lead_kind, funded):
                 continue
             outage_groups.add(group)
             cell = rng.randrange(1, cells) if shards > 1 else rng.randrange(cells)
-            until = round(rng.uniform(max(at + 4.0, QUIESCE_AT), RESOLVE_BY), 3)
+            until = round(rng.uniform(at + 4.0, RESOLVE_BY), 3)
             faults.append(
                 ScheduledFault(kind=kind, group=group, cell=cell, at=at, until=until)
             )
@@ -419,7 +418,7 @@ def _sample_faults(rng, space, shards, lead_kind, funded):
             if standby_cells:
                 continue
             standby_cells = 1
-            standby_base = round(rng.uniform(QUIESCE_AT, RESOLVE_BY - 5.0), 3)
+            standby_base = round(rng.uniform(FAULTS_START, RESOLVE_BY - 5.0), 3)
         elif kind == "censor_window":
             cell = rng.randrange(cells)
             until = round(rng.uniform(at + 2.0, RESOLVE_BY), 3)
@@ -441,15 +440,11 @@ def _sample_faults(rng, space, shards, lead_kind, funded):
     if standby_base is not None:
         # Every group is provisioned with the standby, and every standby
         # must join (an unactivated standby is a permanently crashed
-        # consortium member as far as the audits care).  Activations wait
-        # out every crash window: a crashed peer cannot answer the
-        # readmission vote it is counted for.
-        latest_outage = max(
-            (fault.until for fault in faults if fault.kind in OUTAGE_KINDS
-             if fault.until is not None),
-            default=0.0,
-        )
-        base = max(standby_base, round(latest_outage + 1.0, 3))
+        # consortium member as far as the audits care).  Activations may
+        # land inside traffic and inside other cells' crash windows: the
+        # rejoin handshake backfills in-flight admissions and votes out
+        # silent peers, so neither needs to be scheduled around.
+        base = standby_base
         for activate_group in range(shards):
             faults.append(
                 ScheduledFault(

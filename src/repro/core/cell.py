@@ -253,8 +253,15 @@ class BlockumulusCell:
         self._xshard_state: dict[str, str] = {}
 
         # While a resync is in flight the cell must not take snapshots: it
-        # would anchor fingerprints of half-restored state.
+        # would anchor fingerprints of half-restored state.  For the same
+        # reason it sheds client ingress (half-restored state must never
+        # service transactions) and buffers forwarded transactions from
+        # peers instead of admitting them — the replay path needs the
+        # ledger to stay donor-aligned until the resync settles, and the
+        # buffered forwards drain immediately afterwards.
         self.recovering = False
+        self._shed_recovering = 0
+        self._recovery_forward_buffer: list[tuple[str, Address, Envelope, str]] = []
         # Report-stage state: when True, incoming executions queue on the event.
         self.in_report_stage = False
         self._stage_resume: Event = env.event()
@@ -415,6 +422,15 @@ class BlockumulusCell:
         entry, no forwards, no state), so the oracles never see it.
         Returns ``False`` when the arrival must be shed.
         """
+        if self.recovering:
+            # Mid-resync the cell holds half-restored state: servicing a
+            # transaction from it could admit on top of a ledger that is
+            # about to be truncated or replayed.  Shed with the same
+            # OVERLOADED outcome as backpressure — clients retry
+            # elsewhere, and no protocol trace is left.
+            self._shed_recovering += 1
+            self.metrics.increment(f"{self.node_name}/transactions_shed_recovering")
+            return False
         if self.max_inflight is not None and self._inflight >= self.max_inflight:
             self._shed_count += 1
             self.metrics.increment(f"{self.node_name}/transactions_shed")
@@ -514,11 +530,20 @@ class BlockumulusCell:
         finally:
             self.ledger.mutex.release()
 
-        # Forward to every active consortium peer.
+        # Forward to every active consortium peer — plus any rejoiner this
+        # cell agreed to readmit whose commit is still in flight.  Without
+        # the provisional targets, everything admitted between the rejoin
+        # ack and the readmit commit would silently never reach the
+        # rejoiner (it is not in the active view yet).  Provisional
+        # targets buffer the forward mid-resync and are *not* part of the
+        # confirmation quorum, so they never gate the receipt.
         active_peers = self.active_peer_nodes()
+        forward_targets = dict(active_peers)
+        for address, node in self.membership.provisional_forward_targets().items():
+            forward_targets.setdefault(address, node)
         pending = _PendingTransaction(self.env, entry.tx_id, set(active_peers))
         self._pending[entry.tx_id] = pending
-        for peer_address, peer_node in active_peers.items():
+        for peer_address, peer_node in forward_targets.items():
             yield from self.cpu.use(self.service_model.forward_cpu_per_cell)
             if self.fault.crashed:
                 return _ServiceResult(entry=entry, cycle=cycle, aborted=True)
@@ -677,6 +702,18 @@ class BlockumulusCell:
             # delivered: drop the work exactly as per-transaction traffic
             # arriving after the crash would have been dropped.
             return
+        if self.recovering:
+            # Mid-resync the ledger must stay aligned with the donor's
+            # stream (the replay path hard-fails on interleaved local
+            # admissions), so park the forward and re-handle it once the
+            # resync settles.  Recovery completes well inside the
+            # forwarding deadline, so the confirmation still reaches the
+            # origin in time; if the recovery fails, the re-crashed cell
+            # drops the buffer exactly like in-flight traffic at a crash.
+            self._recovery_forward_buffer.append(
+                (src_node, origin, client_envelope, reply_nonce)
+            )
+            return
         if not client_envelope.verify():
             self._confirm(src_node, origin, reply_nonce, client_envelope.payload.hash_hex(),
                           contract="", fingerprint_hex="0x" + "00" * 32,
@@ -690,6 +727,7 @@ class BlockumulusCell:
             # never admitted, exactly as if the envelope had been dropped.
             return
 
+        duplicate = None
         yield self.ledger.mutex.request()
         try:
             if self.in_report_stage:
@@ -698,21 +736,49 @@ class BlockumulusCell:
             try:
                 entry = self.ledger.admit(client_envelope, cycle)
             except LedgerError:
-                # Already admitted (duplicate submission through another cell):
-                # report the recorded outcome instead of re-executing.
-                existing = self.ledger.get(client_envelope.payload.hash_hex())
-                fingerprint_hex = (
-                    "0x" + existing.fingerprint.hex() if existing.fingerprint else "0x" + "00" * 32
-                )
-                self._confirm(
-                    src_node, origin, reply_nonce, existing.tx_id, existing.contract or "",
-                    fingerprint_hex,
-                    status="executed" if existing.status == "executed" else "rejected",
-                    error=existing.error or "duplicate transaction",
-                )
-                return
+                # Already admitted: a duplicate submission through another
+                # cell, or a forward drained from the recovery buffer whose
+                # entry the post-readmit backfill admitted first.
+                duplicate = self.ledger.get(client_envelope.payload.hash_hex())
         finally:
             self.ledger.mutex.release()
+
+        if duplicate is not None:
+            # Report the recorded outcome instead of re-executing — but an
+            # entry that is merely *admitted* has an execution still in
+            # flight (or about to be replayed); calling it rejected would
+            # manufacture a spurious failed confirmation.  Wait it out,
+            # bounded by the forwarding deadline the origin is under
+            # anyway.
+            wait_deadline = self.env.now + self.invariants.forwarding_deadline
+            while duplicate.status == "admitted" and self.env.now < wait_deadline:
+                yield self.env.timeout(0.01)
+            if duplicate.status == "executed":
+                # The origin compares the order-independent *execution*
+                # fingerprint, not the stored post-execution state
+                # fingerprint — recompute it from the recorded outcome.
+                recorded = ExecutionOutcome(
+                    tx_id=duplicate.tx_id,
+                    contract=duplicate.contract or "",
+                    method=duplicate.envelope.data.get("method", ""),
+                    status="executed",
+                    result=duplicate.result,
+                    error=duplicate.error,
+                    fingerprint=duplicate.fingerprint or b"",
+                )
+                self._confirm(
+                    src_node, origin, reply_nonce, duplicate.tx_id,
+                    duplicate.contract or "", recorded.execution_fingerprint_hex(),
+                    status="executed", error=duplicate.error,
+                )
+            else:
+                self._confirm(
+                    src_node, origin, reply_nonce, duplicate.tx_id,
+                    duplicate.contract or "", "0x" + "00" * 32,
+                    status="rejected",
+                    error=duplicate.error or "duplicate transaction",
+                )
+            return
 
         outcome = yield from self._execute_entry(entry)
         self._confirm(
@@ -725,6 +791,24 @@ class BlockumulusCell:
             status=outcome.status,
             error=outcome.error,
         )
+
+    def drain_recovery_forwards(self) -> None:
+        """Re-handle the forwards that arrived mid-resync.
+
+        Called by the recovery coordinator once ``recovering`` clears.
+        After a *failed* recovery the cell is crashed again and the
+        buffered work is dropped, exactly like in-flight traffic at a
+        crash; after a successful one each forward runs through the
+        normal handler — entries the backfill already admitted take the
+        duplicate path and confirm from the recorded outcome.
+        """
+        buffered, self._recovery_forward_buffer = self._recovery_forward_buffer, []
+        if self.fault.crashed:
+            return
+        for src_node, origin, client_envelope, reply_nonce in buffered:
+            self.env.process(
+                self._handle_forwarded(src_node, origin, client_envelope, reply_nonce)
+            )
 
     def _confirm(
         self,
@@ -1148,7 +1232,13 @@ class BlockumulusCell:
             return
         snapshot_wire = None
         start = request.since_sequence
-        if self.snapshots.latest_cycle is not None:
+        if request.delta_only:
+            # Rejoin retries and the post-readmit backfill already carry
+            # the snapshot from their first sync: ship only the entries
+            # past the requester's head, so repeated catch-up rounds cost
+            # bytes proportional to the gap, not to the state size.
+            pass
+        elif self.snapshots.latest_cycle is not None:
             latest = self.snapshots.latest()
             snapshot_wire = latest.to_wire(include_state=True)
             # If the snapshot predates what the requester already has, the
@@ -1162,6 +1252,7 @@ class BlockumulusCell:
             excluded=tuple(
                 address.hex() for address in self.consensus.excluded_cells()
             ),
+            head=len(self.ledger),
         )
         self.metrics.increment(f"{self.node_name}/syncs_served")
         self._reply(src_node, envelope, Opcode.CELL_SYNC_STATE, bundle.to_data())
@@ -1292,6 +1383,7 @@ class BlockumulusCell:
                 "inflight": self._inflight,
                 "peak_inflight": self._inflight_peak,
                 "shed": self._shed_count,
+                "shed_recovering": self._shed_recovering,
             },
             "shard_group": self.shard_group,
             "xshard_transactions": len(self._xshard_state),

@@ -19,10 +19,14 @@ letting the consortium actually *recover*:
   restores contract state, backfills the ledger entries the snapshot
   already covers, replays the remainder through its own executor while
   matching the donor's recorded per-entry execution fingerprints, adopts
-  the snapshot into its snapshot engine, and finally requests readmission
-  with the quorum handshake above.  The result is a cell whose ledger,
+  the snapshot into its snapshot engine, requests readmission with the
+  quorum handshake above, and — because state fingerprints cannot see
+  transactions peers *admitted* but had not executed when they voted —
+  runs a post-readmit delta backfill that fetches exactly that gap
+  before the cell resumes anchoring.  The result is a cell whose ledger,
   contract state, and future snapshot fingerprints are indistinguishable
-  from a cell that never crashed.
+  from a cell that never crashed, even when the consortium kept serving
+  full-rate traffic throughout the recovery.
 """
 
 from __future__ import annotations
@@ -85,6 +89,31 @@ class RecoveryResult:
     #: sync and the fingerprint vote, so the coordinator re-syncs the
     #: delta and retries a bounded number of times).
     attempts: int = 1
+    #: Entries admitted *after* the first full sync — by delta retries and
+    #: the post-readmit backfill phase.  Under quiesced traffic this is 0;
+    #: under load it is exactly the in-flight window the rejoin vote's
+    #: state fingerprints could not see.
+    live_backfilled: int = 0
+    #: Post-readmit backfill rounds run (0 when every agreeing ack's
+    #: admitted head was already covered by the synced ledger).
+    backfill_rounds: int = 0
+    #: Delta-only CELL_SYNC round-trips (retries + backfill rounds); full
+    #: snapshot transfers happen exactly once per recovery, so this is the
+    #: count that bounds recovery traffic under load.
+    delta_syncs: int = 0
+    #: Active-view peers that never answered the last rejoin vote (hex
+    #: addresses).  Crashed-but-unexcluded peers land here; the
+    #: coordinator opens exclusion votes on them so the next attempt's
+    #: quorum is measured against peers that can actually answer.
+    silent_peers: list[str] = field(default_factory=list)
+    #: Replayed entries whose donor-recorded execution fingerprint did not
+    #: match the ledger-order replay.  A live donor executes entries as
+    #: they clear its invoker pool — under concurrent traffic that is not
+    #: ledger order — so its per-entry fingerprints capture different
+    #: intermediate states.  Non-zero skew is expected under load; actual
+    #: divergence is caught by the readmission vote on the full state
+    #: fingerprint.
+    fingerprint_skews: int = 0
     started_at: float = 0.0
     completed_at: float = 0.0
     messages_used: int = 0
@@ -96,19 +125,47 @@ class RecoveryResult:
         return self.completed_at - self.started_at
 
 
-class _RejoinCollection:
-    """Acks gathered for one rejoin attempt, firing at quorum."""
+@dataclass
+class RejoinOutcome:
+    """What one rejoin vote produced, beyond the bare pass/fail.
 
-    def __init__(self, env: Any, required: int) -> None:
+    ``acks`` carry each voter's ``admitted_head`` — the input to the
+    post-readmit backfill phase — and ``silent`` names the active-view
+    peers that never answered at all, so the coordinator can open
+    exclusion votes on them instead of counting unreachable peers in the
+    next attempt's quorum denominator.
+    """
+
+    readmitted: bool
+    acks: list[RejoinAck] = field(default_factory=list)
+    silent: list[Address] = field(default_factory=list)
+
+
+class _RejoinCollection:
+    """Acks gathered for one rejoin attempt.
+
+    Fires ``done`` when the required number of *agreeing* acks arrived —
+    or as soon as every expected (active-view) voter has answered at
+    all: once everyone reachable has spoken there is nothing left to
+    wait for, so a failing vote resolves immediately instead of burning
+    the full forwarding deadline.
+    """
+
+    def __init__(self, env: Any, required: int, expected: set[str]) -> None:
         self.required = required
+        self.expected = expected
         self.acks: dict[str, RejoinAck] = {}
         self.done: Event = env.event()
 
     def add(self, ack: RejoinAck) -> None:
-        """Record one verified ack, firing the quorum event when reached."""
+        """Record one verified ack, firing when quorum or all-answered."""
         self.acks[ack.voter.hex()] = ack
+        if self.done.triggered:
+            return
         agreeing = sum(1 for item in self.acks.values() if item.agree)
-        if agreeing >= self.required and not self.done.triggered:
+        if agreeing >= self.required:
+            self.done.succeed(agreeing)
+        elif self.expected and self.expected <= set(self.acks):
             self.done.succeed(agreeing)
 
 
@@ -126,6 +183,13 @@ class MembershipManager:
         self._committed: set[tuple[str, int]] = set()
         #: The in-flight rejoin attempt, if this cell is recovering.
         self._rejoin_collection: Optional[_RejoinCollection] = None
+        #: Rejoiners this cell agreed to readmit but whose readmit commit
+        #: has not arrived yet, keyed by hex address →
+        #: (address, node, expiry).  The forwarding path treats them as
+        #: extra targets so entries admitted inside the ack→commit window
+        #: still reach the rejoiner; without this, peers forward only to
+        #: active-view members and those entries are silently lost.
+        self._provisional_forwards: dict[str, tuple[Address, str, float]] = {}
 
     # ------------------------------------------------------------------
     # Outgoing plumbing
@@ -332,6 +396,7 @@ class MembershipManager:
                 return
             if len(supporters) < cell.consensus.exclusion_quorum(update.subject):
                 return
+            self._provisional_forwards.pop(update.subject.hex(), None)
             if cell.consensus.is_active(update.subject):
                 cell.consensus.exclude(update.subject, update.cycle)
                 cell.metrics.increment(f"{cell.node_name}/cells_excluded_by_quorum")
@@ -345,9 +410,34 @@ class MembershipManager:
                 return
             if len(supporters) < cell.consensus.readmission_quorum(update.subject):
                 return
+            # The subject is (re)entering the active view: ordinary
+            # forwarding covers it from here on.
+            self._provisional_forwards.pop(update.subject.hex(), None)
             if not cell.consensus.is_active(update.subject):
                 cell.consensus.readmit(update.subject, update.cycle)
                 cell.metrics.increment(f"{cell.node_name}/cells_readmitted")
+
+    def provisional_forward_targets(self) -> dict[Address, str]:
+        """Rejoiners in their ack→readmit-commit window (address → node).
+
+        Expired entries (votes that died without a commit either way) are
+        pruned on access.  The forwarding path unions these with the
+        active view, but does *not* count them toward the confirmation
+        quorum — a mid-recovery rejoiner buffers forwards instead of
+        confirming them.
+        """
+        now = self.cell.env.now
+        expired = [
+            key
+            for key, (_, _, expiry) in self._provisional_forwards.items()
+            if expiry <= now
+        ]
+        for key in expired:
+            del self._provisional_forwards[key]
+        return {
+            address: node
+            for address, node, _ in self._provisional_forwards.values()
+        }
 
     # ------------------------------------------------------------------
     # Rejoin: fingerprint check (peer side) and quorum handshake (rejoiner)
@@ -380,7 +470,18 @@ class MembershipManager:
             cycle=request.cycle,
             fingerprint_hex=own_fingerprint,
             agree=agree,
+            admitted_head=len(cell.ledger),
         )
+        if agree and not cell.consensus.is_active(request.cell):
+            # Start forwarding to the rejoiner *now*: everything this cell
+            # admits between this ack and the readmit commit would
+            # otherwise never reach it (forwards only go to active-view
+            # peers).  The entry expires in case the vote dies quietly.
+            self._provisional_forwards[request.cell.hex()] = (
+                request.cell,
+                src_node,
+                cell.env.now + 2 * cell.invariants.forwarding_deadline,
+            )
         self._send(
             src_node,
             envelope.sender,
@@ -413,20 +514,25 @@ class MembershipManager:
 
     def request_rejoin(
         self, basis_cycle: int, last_sequence: int
-    ) -> Generator[Event, Any, tuple[bool, list[RejoinAck]]]:
+    ) -> Generator[Event, Any, RejoinOutcome]:
         """Ask the live quorum to readmit this cell (a process).
 
         Broadcasts a :class:`RejoinRequest` carrying the post-resync state
         fingerprint, waits for a strict majority of agreeing signed acks
-        (or the forwarding deadline), and on success commits the
-        readmission consortium-wide with a :class:`MembershipUpdate`.
+        (the wait resolves early once every active-view peer has answered,
+        and gives up at the forwarding deadline), and on success commits
+        the readmission consortium-wide with a :class:`MembershipUpdate`.
+        The returned :class:`RejoinOutcome` names the active-view peers
+        that stayed silent, so a failed vote can be turned into exclusion
+        proposals instead of re-running against the same dead quorum.
         """
         cell = self.cell
         if not cell._peers:
-            return True, []
+            return RejoinOutcome(readmitted=True)
         active_peers = cell.active_peer_nodes()
+        expected = {address.hex() for address in active_peers}
         required = cell.consensus.quorum_size(max(1, len(active_peers)))
-        collection = _RejoinCollection(cell.env, required)
+        collection = _RejoinCollection(cell.env, required, expected)
         self._rejoin_collection = collection
         handshake_cycle = cell.consensus.cycle_of(cell.env.now)
         request = RejoinRequest(
@@ -446,17 +552,22 @@ class MembershipManager:
         yield cell.env.any_of([collection.done, deadline])
         self._rejoin_collection = None
         acks = list(collection.acks.values())
+        silent = [
+            address
+            for address in active_peers
+            if address.hex() not in collection.acks
+        ]
         agreeing = tuple(ack for ack in acks if ack.agree)
         if len(agreeing) < required:
             cell.metrics.increment(f"{cell.node_name}/rejoin_rejected")
-            return False, acks
+            return RejoinOutcome(readmitted=False, acks=acks, silent=silent)
         update = MembershipUpdate(
             action="readmit", subject=cell.address, cycle=handshake_cycle, acks=agreeing
         )
         for address, node in cell._peers.items():
             self._send(node, address, Opcode.MEMBERSHIP_UPDATE, update.to_data())
         cell.metrics.increment(f"{cell.node_name}/rejoins_committed")
-        return True, acks
+        return RejoinOutcome(readmitted=True, acks=acks, silent=silent)
 
 
 class RecoveryCoordinator:
@@ -466,13 +577,25 @@ class RecoveryCoordinator:
     #: is needed exactly when the deployment is serving traffic *during*
     #: the recovery: peers keep executing between the donor sync and the
     #: rejoin fingerprint vote, so the first vote can legitimately find
-    #: the rejoiner one step behind.  Each retry re-fetches the (small)
-    #: delta; under any finite traffic burst the loop converges.
+    #: the rejoiner one step behind.  Each retry re-fetches only the
+    #: delta past the already-synced tail (the full snapshot moves at
+    #: most once per recovery); under any finite traffic burst the loop
+    #: converges.
     REJOIN_ATTEMPTS = 3
+    #: Post-readmit backfill: delta rounds before the coordinator accepts
+    #: that anything still missing will arrive through ordinary (now
+    #: re-enabled) forwarding, and the settle pause between rounds that
+    #: lets in-flight admissions land at the donor.
+    BACKFILL_ROUNDS = 8
+    BACKFILL_SETTLE = 0.05
 
     def __init__(self, cell: "BlockumulusCell") -> None:
         self.cell = cell
         self.last_result: Optional[RecoveryResult] = None
+        #: Escape hatch for the regression suite: with backfill disabled
+        #: the pre-fix behaviour (readmit on fingerprint agreement alone)
+        #: is reproduced so tests can prove the in-flight window is real.
+        self.backfill_enabled = True
 
     # ------------------------------------------------------------------
     # Accounting helpers
@@ -516,6 +639,7 @@ class RecoveryCoordinator:
         cell.recovering = True
         try:
             attempt = 0
+            carried: dict[str, int] = {}
             while True:
                 attempt += 1
                 result = RecoveryResult(
@@ -524,12 +648,35 @@ class RecoveryCoordinator:
                     ok=False,
                     started_at=started_at,
                 )
-                result = yield from self._resync_body(donor, donor_node, result,
-                                                      messages_before, bytes_before)
+                # Delta/backfill traffic counters accumulate across
+                # attempts so the final result reflects the whole
+                # recovery, not just the winning attempt.
+                result.live_backfilled = carried.get("live_backfilled", 0)
+                result.delta_syncs = carried.get("delta_syncs", 0)
+                result.fingerprint_skews = carried.get("fingerprint_skews", 0)
+                result = yield from self._resync_body(
+                    donor,
+                    donor_node,
+                    result,
+                    messages_before,
+                    bytes_before,
+                    delta_only=attempt > 1,
+                )
                 result.attempts = attempt
                 if result.ok or not result.retryable or attempt >= self.REJOIN_ATTEMPTS:
                     break
                 cell.metrics.increment(f"{cell.node_name}/rejoin_retries")
+                carried = {
+                    "live_backfilled": result.live_backfilled,
+                    "delta_syncs": result.delta_syncs,
+                    "fingerprint_skews": result.fingerprint_skews,
+                }
+                if result.silent_peers:
+                    # Active-view peers that never answered are most
+                    # likely crashed-but-unexcluded: shrink the quorum
+                    # denominator by voting them out before retrying,
+                    # instead of waiting out their crash window.
+                    yield from self._exclude_silent(result.silent_peers)
         finally:
             cell.recovering = False
         if not result.ok:
@@ -537,6 +684,7 @@ class RecoveryCoordinator:
             # fingerprints; go back down until the operator retries.
             cell.fault.crashed = True
             cell.network.set_online(cell.node_name, False)
+        cell.drain_recovery_forwards()
         return result
 
     def _resync_body(
@@ -546,9 +694,14 @@ class RecoveryCoordinator:
         result: RecoveryResult,
         messages_before: int,
         bytes_before: int,
+        delta_only: bool = False,
     ) -> Generator[Event, Any, RecoveryResult]:
         cell = self.cell
-        bundle = yield from self._fetch_sync_state(donor, donor_node)
+        bundle = yield from self._fetch_sync_state(
+            donor, donor_node, delta_only=delta_only
+        )
+        if delta_only:
+            result.delta_syncs += 1
         if bundle is None:
             result.reason = "donor unreachable or sync request timed out"
             return self._finish(result, messages_before, bytes_before)
@@ -581,21 +734,119 @@ class RecoveryCoordinator:
         ):
             cell.snapshots.adopt(snapshot)
 
-        basis_cycle = snapshot.cycle if snapshot is not None else 0
-        readmitted, acks = yield from cell.membership.request_rejoin(
+        if snapshot is not None:
+            basis_cycle = snapshot.cycle
+        else:
+            # Delta-only retries ride on the snapshot adopted by the
+            # first attempt (0 for a consortium that never snapshotted).
+            basis_cycle = cell.snapshots.latest_cycle or 0
+        outcome = yield from cell.membership.request_rejoin(
             basis_cycle=basis_cycle, last_sequence=len(cell.ledger) - 1
         )
-        result.readmitted = readmitted
-        result.ack_count = len(acks)
-        result.ok = readmitted
-        if not readmitted:
+        result.readmitted = outcome.readmitted
+        result.ack_count = len(outcome.acks)
+        result.silent_peers = [address.hex() for address in outcome.silent]
+        result.ok = outcome.readmitted
+        if not outcome.readmitted:
             result.reason = "readmission quorum not reached"
-            # Peers answered but their state had moved past our synced
-            # tail (live traffic during the handshake): a fresh delta
-            # sync can catch up, so the coordinator may retry.
+            # Either peers answered but their state had moved past our
+            # synced tail (live traffic during the handshake — a fresh
+            # delta sync can catch up) or part of the quorum stayed
+            # silent (the coordinator excludes them before retrying).
             result.retryable = True
+        elif self.backfill_enabled:
+            # The vote compared *state* fingerprints, which cannot see
+            # entries peers admitted but had not executed yet.  Close
+            # that window before this cell resumes anchoring: fetch the
+            # delta past our head until the donor runs dry.
+            backfill_error = yield from self._backfill(
+                donor, donor_node, outcome.acks, result
+            )
+            if backfill_error is not None:
+                result.ok = False
+                result.reason = backfill_error
         cell.metrics.increment(f"{cell.node_name}/recoveries")
         return self._finish(result, messages_before, bytes_before)
+
+    def _backfill(
+        self,
+        donor: Address,
+        donor_node: str,
+        acks: list[RejoinAck],
+        result: RecoveryResult,
+    ) -> Generator[Event, Any, Optional[str]]:
+        """Admit the entries the rejoin vote's fingerprints could not see.
+
+        Every agreeing ack carries the voter's ledger head at check time;
+        if any head is past this cell's ledger, peers admitted
+        transactions our sync missed.  Delta-fetch from the donor until
+        two consecutive rounds apply nothing and the donor's own head is
+        covered — in-flight admissions settle between rounds.  Returns an
+        error string on divergence, None once converged (a process).
+        """
+        cell = self.cell
+        heads = [
+            ack.admitted_head
+            for ack in acks
+            if ack.agree and ack.admitted_head >= 0
+        ]
+        if not heads or max(heads) <= len(cell.ledger):
+            # Every agreeing voter's head was already covered by the
+            # synced tail: the quiesced fast path, zero extra messages.
+            return None
+        dry = 0
+        while result.backfill_rounds < self.BACKFILL_ROUNDS:
+            result.backfill_rounds += 1
+            bundle = yield from self._fetch_sync_state(
+                donor, donor_node, delta_only=True
+            )
+            result.delta_syncs += 1
+            if bundle is None:
+                return "donor unreachable during post-readmit backfill"
+            applied_before = result.replayed
+            error = yield from self._replay_entries(bundle, -1, result)
+            if error is not None:
+                return error
+            applied = result.replayed - applied_before
+            result.live_backfilled += applied
+            if applied == 0 and bundle.head <= len(cell.ledger):
+                dry += 1
+                if dry >= 2:
+                    return None
+            else:
+                dry = 0
+            yield cell.env.timeout(self.BACKFILL_SETTLE)
+        return None
+
+    def _exclude_silent(
+        self, silent_hex: list[str]
+    ) -> Generator[Event, Any, None]:
+        """Open exclusion votes on peers that ignored the rejoin vote.
+
+        A crashed-but-unexcluded peer inflates the readmission quorum
+        denominator while never contributing an ack, forcing recoveries
+        to wait out its crash window.  Proposing its exclusion makes the
+        live peers probe it; once the vote commits, the next rejoin
+        attempt measures its quorum against peers that can actually
+        answer (a process).
+        """
+        cell = self.cell
+        cycle = cell.consensus.cycle_of(cell.env.now)
+        proposed = False
+        for hex_address in silent_hex:
+            address = next(
+                (peer for peer in cell._peers if peer.hex() == hex_address), None
+            )
+            if address is None or not cell.consensus.is_active(address):
+                continue
+            cell.membership.propose_exclusion(
+                address, cycle, "no answer to rejoin vote"
+            )
+            proposed = True
+        if proposed:
+            # Give the live peers time to probe the suspects and vote
+            # before the next attempt measures its quorum.
+            yield cell.env.timeout(cell.invariants.probe_deadline + 1.0)
 
     def _finish(
         self, result: RecoveryResult, messages_before: int, bytes_before: int
@@ -609,15 +860,23 @@ class RecoveryCoordinator:
         return result
 
     def _fetch_sync_state(
-        self, donor: Address, donor_node: str
+        self, donor: Address, donor_node: str, delta_only: bool = False
     ) -> Generator[Event, Any, Optional[SyncState]]:
-        """One CELL_SYNC round-trip to the donor (None on timeout)."""
+        """One CELL_SYNC round-trip to the donor (None on timeout).
+
+        ``delta_only`` asks the donor to skip the snapshot payload and
+        ship just the ledger entries past this cell's head — what rejoin
+        retries and the post-readmit backfill use, so only the first
+        attempt of a recovery ever moves a full snapshot.
+        """
         cell = self.cell
         request = Envelope.create(
             signer=cell.signer,
             recipient=donor,
             operation=Opcode.CELL_SYNC,
-            data=SyncRequest(since_sequence=len(cell.ledger)).to_data(),
+            data=SyncRequest(
+                since_sequence=len(cell.ledger), delta_only=delta_only
+            ).to_data(),
             timestamp=cell.env.now,
             nonce=cell.nonces.next(),
         )
@@ -708,12 +967,13 @@ class RecoveryCoordinator:
             sequence = int(summary.get("sequence", -1))
             if sequence < len(cell.ledger):
                 local_tx = cell.ledger.entry_at(sequence).tx_id
-                if local_tx != summary.get("tx_id"):
-                    return (
-                        f"ledger divergence at sequence {sequence}: "
-                        f"local {local_tx} vs donor {summary.get('tx_id')}"
-                    )
-                continue
+                if local_tx == summary.get("tx_id"):
+                    continue
+                divergence = self._drop_admitted_suffix(sequence, summary, result)
+                if divergence is not None:
+                    return divergence
+                # The admitted-only local suffix is gone; fall through and
+                # admit the donor's entry at this now-free sequence.
             try:
                 envelope = Envelope.from_wire(item["envelope"])
             except (KeyError, ValueError) as exc:
@@ -751,7 +1011,12 @@ class RecoveryCoordinator:
                     outcome.tx_id, outcome.contract, outcome.error or ""
                 )
             donor_status = summary.get("status")
-            if donor_status is not None and outcome.status != donor_status:
+            # A donor status of "admitted" is not a claim about execution:
+            # the donor simply had not executed the entry yet when it
+            # served the sync (the backfill phase fetches exactly such
+            # entries).  Executing ahead of the donor is safe — execution
+            # is deterministic in ledger order.
+            if donor_status not in (None, "admitted") and outcome.status != donor_status:
                 return (
                     f"replay of sequence {sequence} diverged: local status "
                     f"{outcome.status!r} vs donor {donor_status!r}"
@@ -762,9 +1027,39 @@ class RecoveryCoordinator:
                 and outcome.ok
                 and "0x" + outcome.fingerprint.hex() != donor_fingerprint
             ):
-                return (
-                    f"replay of sequence {sequence} diverged from the "
-                    "donor's recorded execution fingerprint"
-                )
+                # Not fatal: the donor executes entries as they clear its
+                # invoker pool, which under concurrent traffic is not
+                # ledger order, so its recorded per-entry fingerprint can
+                # capture a different intermediate state than this
+                # ledger-order replay.  Real state divergence is caught by
+                # the readmission vote over the full combined fingerprint.
+                result.fingerprint_skews += 1
             result.replayed += 1
+        return None
+
+    def _drop_admitted_suffix(
+        self, sequence: int, summary: dict[str, Any], result: RecoveryResult
+    ) -> Optional[str]:
+        """Roll back a local admitted-only suffix that diverged from the donor.
+
+        A cell can crash holding entries it admitted but never executed
+        (or forwarded) — the batch dispatcher flushes on a quantum, so a
+        crash can strand them locally.  Such entries changed no contract
+        state and no peer ever saw them, so dropping them in favour of the
+        donor's stream is safe; the client simply never gets a receipt,
+        exactly as if the submission had been lost with the crash.  Any
+        *executed* entry in the divergent suffix is real divergence and
+        stays fatal.  Returns an error string or None after truncating.
+        """
+        cell = self.cell
+        for seq in range(sequence, len(cell.ledger)):
+            entry = cell.ledger.entry_at(seq)
+            if entry.status != "admitted":
+                local_tx = cell.ledger.entry_at(sequence).tx_id
+                return (
+                    f"ledger divergence at sequence {sequence}: "
+                    f"local {local_tx} vs donor {summary.get('tx_id')} "
+                    f"with executed entries in the divergent suffix"
+                )
+        result.truncated += cell.ledger.truncate(sequence - 1)
         return None

@@ -206,6 +206,12 @@ class RejoinAck:
     ``agree`` is True when the rejoiner's claimed state fingerprint matched
     the voter's own contract data at check time; the fingerprint the voter
     actually computed rides along so disagreements are diagnosable.
+    ``admitted_head`` is the voter's ledger length at check time — its
+    admitted-but-not-necessarily-executed transaction head.  State
+    fingerprints cannot see admitted-but-unexecuted transactions, so this
+    is what tells the rejoiner how far each peer's *ledger* had moved at
+    the moment it voted: any gap past the rejoiner's own head must be
+    backfilled after readmission before the cell anchors fingerprints.
     """
 
     voter: Address
@@ -215,10 +221,18 @@ class RejoinAck:
     agree: bool
     signature: bytes
     scheme: str = "ecdsa"
+    #: The voter's ledger length when it checked the request (-1 for acks
+    #: from peers that predate the in-flight-aware handshake).
+    admitted_head: int = -1
 
     @staticmethod
     def signing_body(
-        voter: Address, rejoiner: Address, cycle: int, fingerprint_hex: str, agree: bool
+        voter: Address,
+        rejoiner: Address,
+        cycle: int,
+        fingerprint_hex: str,
+        agree: bool,
+        admitted_head: int = -1,
     ) -> bytes:
         """Canonical bytes a voter signs for a rejoin ack."""
         return canonical_json.dump_bytes(
@@ -229,6 +243,7 @@ class RejoinAck:
                 "cycle": cycle,
                 "fingerprint": fingerprint_hex,
                 "agree": agree,
+                "admitted_head": admitted_head,
             }
         )
 
@@ -240,9 +255,12 @@ class RejoinAck:
         cycle: int,
         fingerprint_hex: str,
         agree: bool,
+        admitted_head: int = -1,
     ) -> "RejoinAck":
         """Build and sign an ack on behalf of ``signer``."""
-        body = cls.signing_body(signer.address, rejoiner, cycle, fingerprint_hex, agree)
+        body = cls.signing_body(
+            signer.address, rejoiner, cycle, fingerprint_hex, agree, admitted_head
+        )
         return cls(
             voter=signer.address,
             rejoiner=rejoiner,
@@ -251,12 +269,18 @@ class RejoinAck:
             agree=agree,
             signature=signer.sign(body),
             scheme=signer.scheme,
+            admitted_head=admitted_head,
         )
 
     def verify(self) -> bool:
         """Check the voter's signature over the ack body."""
         body = self.signing_body(
-            self.voter, self.rejoiner, self.cycle, self.fingerprint_hex, self.agree
+            self.voter,
+            self.rejoiner,
+            self.cycle,
+            self.fingerprint_hex,
+            self.agree,
+            self.admitted_head,
         )
         return verify_signature(self.scheme, self.voter, body, self.signature)
 
@@ -270,6 +294,7 @@ class RejoinAck:
             "agree": self.agree,
             "signature": "0x" + self.signature.hex(),
             "scheme": self.scheme,
+            "admitted_head": self.admitted_head,
         }
 
     @classmethod
@@ -284,6 +309,7 @@ class RejoinAck:
                 agree=bool(raw["agree"]),
                 signature=bytes.fromhex(raw["signature"][2:]),
                 scheme=raw.get("scheme", "ecdsa"),
+                admitted_head=int(raw.get("admitted_head", -1)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise MembershipError(f"malformed rejoin ack: {exc}") from exc
@@ -388,25 +414,30 @@ class SyncRequest:
 
     ``since_sequence`` is the first ledger sequence number the requester is
     missing; the donor answers with its latest snapshot and every entry
-    from that sequence onward.
+    from that sequence onward.  With ``delta_only`` the requester already
+    holds a restored basis (an earlier full sync this recovery): the donor
+    skips the snapshot and ships just the entries past ``since_sequence``,
+    which is what keeps retry and backfill traffic bounded under load.
     """
 
     since_sequence: int
+    delta_only: bool = False
 
     def to_data(self) -> dict[str, Any]:
         """The data field D of a ``CELL_SYNC`` envelope."""
-        return {"since_sequence": self.since_sequence}
+        return {"since_sequence": self.since_sequence, "delta_only": self.delta_only}
 
     @classmethod
     def from_data(cls, raw: dict[str, Any]) -> "SyncRequest":
         """Rebuild a sync request from an envelope's data field."""
         try:
             since = int(raw["since_sequence"])
+            delta_only = bool(raw.get("delta_only", False))
         except (KeyError, TypeError, ValueError) as exc:
             raise MembershipError(f"malformed sync request: {exc}") from exc
         if since < 0:
             raise MembershipError("since_sequence cannot be negative")
-        return cls(since_sequence=since)
+        return cls(since_sequence=since, delta_only=delta_only)
 
 
 @dataclass(frozen=True)
@@ -420,13 +451,17 @@ class SyncState:
     per-entry execution fingerprint), the signed client envelope, and the
     recorded result.  ``excluded`` is the donor's current membership view
     (hex addresses of excluded cells) so the requester can refresh its own
-    stale view along with its state.
+    stale view along with its state.  ``head`` is the donor's ledger
+    length at serve time: the requester tracks it across delta rounds so
+    each follow-up sync asks for exactly the entries past what the donor
+    already shipped (-1 from donors predating the field).
     """
 
     donor: Address
     snapshot: Optional[dict[str, Any]]
     entries: tuple[dict[str, Any], ...]
     excluded: tuple[str, ...] = ()
+    head: int = -1
 
     def to_data(self) -> dict[str, Any]:
         """The data field D of a ``CELL_SYNC_STATE`` envelope."""
@@ -435,6 +470,7 @@ class SyncState:
             "snapshot": self.snapshot,
             "entries": list(self.entries),
             "excluded": list(self.excluded),
+            "head": self.head,
         }
 
     @classmethod
@@ -453,9 +489,14 @@ class SyncState:
             isinstance(item, str) for item in excluded
         ):
             raise MembershipError("sync excluded view must be a list of hex addresses")
+        try:
+            head = int(raw.get("head", -1))
+        except (TypeError, ValueError) as exc:
+            raise MembershipError(f"malformed sync head: {exc}") from exc
         return cls(
             donor=_address(raw.get("donor"), "donor"),
             snapshot=snapshot,
             entries=tuple(entries),
             excluded=tuple(excluded),
+            head=head,
         )

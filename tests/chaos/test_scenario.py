@@ -16,7 +16,6 @@ from repro.chaos.scenario import (
     FAULTS_START,
     OPS_END,
     OPS_START,
-    QUIESCE_AT,
     RESOLVE_BY,
 )
 from repro.core.faults import FaultError, FaultSchedule, ScheduledFault
@@ -46,24 +45,20 @@ def test_sampled_timelines_respect_the_scenario_phases():
         spec = sample_scenario(seed)
         for op in spec.operations:
             assert OPS_START <= op.at <= OPS_END
-        outage_ends = [
-            fault.until for fault in spec.faults
-            if fault.kind in ("crash_recover", "crash_rejoin")
-        ]
         for fault in spec.faults:
             if fault.kind == "standby_activate":
-                # Activations wait for the workload to quiesce AND for
-                # every crash window to close (a crashed peer counts
-                # toward, but cannot answer, the readmission quorum).
-                assert fault.at >= QUIESCE_AT
-                assert all(fault.at > end for end in outage_ends)
-                assert fault.at <= RESOLVE_BY + 1.0 + spec.shards
+                # Activations land anywhere in the fault/traffic window —
+                # including inside other cells' crash windows; the rejoin
+                # protocol backfills in-flight admissions and excludes
+                # silent voters, so nothing is scheduled around.
+                assert fault.at >= FAULTS_START
+                assert fault.at <= RESOLVE_BY + spec.shards
             else:
                 assert FAULTS_START <= fault.at <= FAULTS_END
             if fault.until is not None:
                 assert fault.at < fault.until <= RESOLVE_BY
                 if fault.kind in ("crash_recover", "crash_rejoin"):
-                    assert fault.until >= QUIESCE_AT
+                    assert fault.until >= fault.at + 4.0
         assert spec.end_time > spec.cycles * spec.report_period
 
 

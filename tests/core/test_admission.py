@@ -42,7 +42,13 @@ def test_admission_gate_takes_slots_and_sheds_at_the_bound():
     assert cell._admit_ingress(), "a freed slot admits again"
 
     stats = cell.statistics()["admission"]
-    assert stats == {"max_inflight": 2, "inflight": 2, "peak_inflight": 2, "shed": 1}
+    assert stats == {
+        "max_inflight": 2,
+        "inflight": 2,
+        "peak_inflight": 2,
+        "shed": 1,
+        "shed_recovering": 0,
+    }
 
 
 def test_unbounded_cell_never_sheds():

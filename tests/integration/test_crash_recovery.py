@@ -220,9 +220,10 @@ def test_rejoin_rejected_while_state_is_stale():
         stale.membership.request_rejoin(basis_cycle=0, last_sequence=len(stale.ledger) - 1)
     )
     deployment.env.run(attempt)
-    readmitted, acks = attempt.value
-    assert not readmitted
-    assert acks and all(not ack.agree for ack in acks)
+    outcome = attempt.value
+    assert not outcome.readmitted
+    assert outcome.acks and all(not ack.agree for ack in outcome.acks)
+    assert not outcome.silent  # every live peer answered, just disagreed
     assert stale.address in deployment.cell(0).consensus.excluded_cells()
     assert stale.address in deployment.cell(1).consensus.excluded_cells()
 

@@ -64,10 +64,46 @@ def test_rejoin_ack_signature_round_trip(signer, other_signer):
         cycle=3,
         fingerprint_hex="0x" + "ab" * 32,
         agree=True,
+        admitted_head=17,
     )
     assert ack.verify()
     rebuilt = RejoinAck.from_data(ack.to_data())
     assert rebuilt.verify() and rebuilt.agree
+    assert rebuilt.admitted_head == 17
+
+
+def test_rejoin_ack_admitted_head_is_signed(signer, other_signer):
+    """The backfill decision rides on admitted_head; a peer (or a relayer)
+    must not be able to understate it after signing."""
+    ack = RejoinAck.create(
+        signer,
+        rejoiner=other_signer.address,
+        cycle=3,
+        fingerprint_hex="0x" + "ab" * 32,
+        agree=True,
+        admitted_head=17,
+    )
+    wire = ack.to_wire()
+    wire["admitted_head"] = 3  # pretend nothing was admitted in flight
+    assert not RejoinAck.from_wire(wire).verify()
+
+
+def test_rejoin_ack_without_admitted_head_stays_verifiable(signer, other_signer):
+    """Pre-extension acks (no admitted_head on the wire) still verify, as
+    the unknown-head sentinel -1."""
+    ack = RejoinAck.create(
+        signer,
+        rejoiner=other_signer.address,
+        cycle=3,
+        fingerprint_hex="0x" + "ab" * 32,
+        agree=True,
+    )
+    wire = ack.to_wire()
+    assert wire["admitted_head"] == -1
+    del wire["admitted_head"]
+    rebuilt = RejoinAck.from_wire(wire)
+    assert rebuilt.admitted_head == -1
+    assert rebuilt.verify()
 
 
 def test_rejoin_request_round_trip(other_signer):
@@ -128,6 +164,10 @@ def test_verified_supporters_with_simulated_scheme():
 
 def test_sync_request_validation():
     assert SyncRequest.from_data({"since_sequence": 9}).since_sequence == 9
+    # Pre-extension requests carry no delta_only flag: full sync.
+    assert SyncRequest.from_data({"since_sequence": 9}).delta_only is False
+    request = SyncRequest(since_sequence=4, delta_only=True)
+    assert SyncRequest.from_data(request.to_data()) == request
     with pytest.raises(MembershipError):
         SyncRequest.from_data({"since_sequence": -1})
     with pytest.raises(MembershipError):
@@ -139,11 +179,16 @@ def test_sync_state_round_trip(signer):
         donor=signer.address,
         snapshot={"cycle": 0, "fingerprint": "0x" + "00" * 32},
         entries=({"summary": {"sequence": 0}, "envelope": {}, "result": None},),
+        head=12,
     )
     rebuilt = SyncState.from_data(bundle.to_data())
     assert rebuilt.donor == signer.address
     assert rebuilt.snapshot["cycle"] == 0
     assert len(rebuilt.entries) == 1
+    assert rebuilt.head == 12
+    # Pre-extension bundles carry no head: the unknown sentinel.
+    legacy = {"donor": signer.address.hex(), "snapshot": None, "entries": []}
+    assert SyncState.from_data(legacy).head == -1
     with pytest.raises(MembershipError):
         SyncState.from_data({"donor": signer.address.hex(), "snapshot": "nope", "entries": []})
     with pytest.raises(MembershipError):
