@@ -7,7 +7,22 @@ stack of audit oracles.  ``python -m repro.chaos replay <seed>``
 reproduces any run bit for bit; see ``docs/TESTING.md``.
 """
 
-from .corpus import CORPUS_SIZE, corpus_seeds, corpus_specs, coverage
+from .byzantine import (
+    ATTRIBUTION_MECHANISMS,
+    FaultAttribution,
+    attribute_byzantine_faults,
+    byzantine_verdict,
+    check_byzantine_scenario,
+)
+from .corpus import (
+    BYZANTINE_CORPUS_SIZE,
+    CORPUS_SIZE,
+    byzantine_corpus_seeds,
+    byzantine_corpus_specs,
+    corpus_seeds,
+    corpus_specs,
+    coverage,
+)
 from .report import ScenarioReport
 from .runner import (
     ChaosError,
@@ -23,19 +38,30 @@ from .scenario import (
     ScenarioError,
     ScenarioSpace,
     ScenarioSpec,
+    sample_byzantine_scenario,
     sample_scenario,
 )
+from .search import SearchOutcome, run_search
 from .shrink import shrink_faults
 
 __all__ = [
+    "ATTRIBUTION_MECHANISMS",
+    "BYZANTINE_CORPUS_SIZE",
     "CHAOS_CONTRACT",
     "CORPUS_SIZE",
     "ChaosError",
+    "FaultAttribution",
     "ScenarioError",
     "ScenarioReport",
     "ScenarioRun",
     "ScenarioSpace",
     "ScenarioSpec",
+    "SearchOutcome",
+    "attribute_byzantine_faults",
+    "byzantine_corpus_seeds",
+    "byzantine_corpus_specs",
+    "byzantine_verdict",
+    "check_byzantine_scenario",
     "check_scenario",
     "corpus_seeds",
     "corpus_specs",
@@ -43,6 +69,7 @@ __all__ = [
     "harvest_committed",
     "harvest_semantics",
     "run_scenario",
+    "sample_byzantine_scenario",
     "sample_scenario",
     "scenario_report",
     "shrink_faults",

@@ -9,7 +9,9 @@ other subcommands drive the pinned corpus and the shrinking pass:
   scenario reports are written to the report directory);
 * ``replay <seed> [--shrink]`` — reproduce one scenario;
 * ``shrink <seed>`` — bisect a failing scenario's fault schedule;
-* ``sample <seed>`` — print the sampled spec without running it.
+* ``sample <seed>`` — print the sampled spec without running it;
+* ``search [--budget N] [--trend-out FILE]`` — coverage-guided search,
+  emitting ``corpus_trend.json`` and enforcing the pinned coverage floor.
 """
 
 from __future__ import annotations
@@ -21,6 +23,12 @@ import sys
 from .corpus import corpus_seeds, corpus_specs, coverage
 from .runner import scenario_report
 from .scenario import ScenarioSpec, sample_scenario
+from .search import (
+    PINNED_COVERAGE_FLOOR,
+    PINNED_SEARCH_BUDGET,
+    run_search,
+    uniform_coverage,
+)
 from .shrink import shrink_faults
 
 
@@ -55,11 +63,58 @@ def main(argv: list[str] | None = None) -> int:
     sample_cmd = commands.add_parser("sample", help="print a sampled spec")
     sample_cmd.add_argument("seed", type=int)
 
+    search_cmd = commands.add_parser(
+        "search", help="coverage-guided scenario search"
+    )
+    search_cmd.add_argument(
+        "--budget", type=int, default=PINNED_SEARCH_BUDGET,
+        help=f"scenario budget (default: pinned {PINNED_SEARCH_BUDGET})")
+    search_cmd.add_argument(
+        "--trend-out", default="corpus_trend.json",
+        help="where the coverage trend is written")
+    search_cmd.add_argument(
+        "--coverage-floor", type=int, default=None,
+        help="fail if covered tuples drop below this (default: the pinned "
+             "floor when running at the pinned budget, else no floor)")
+    search_cmd.add_argument(
+        "--baseline", action="store_true",
+        help="also run the uniform corpus at the same budget and fail "
+             "unless the search strictly beats it")
+
     args = parser.parse_args(argv)
 
     if args.command == "sample":
         print(json.dumps(sample_scenario(args.seed).to_data(), indent=2, sort_keys=True))
         return 0
+
+    if args.command == "search":
+        floor = args.coverage_floor
+        if floor is None and args.budget == PINNED_SEARCH_BUDGET:
+            floor = PINNED_COVERAGE_FLOOR
+        outcome = run_search(args.budget)
+        uniform_tuples = None
+        if args.baseline:
+            uniform_tuples = len(uniform_coverage(args.budget))
+        outcome.write_trend(args.trend_out, uniform_tuples)
+        summary = outcome.coverage_summary()
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        print(f"trend: {args.trend_out}")
+        status = 0
+        if outcome.failures:
+            print(f"{len(outcome.failures)} search scenario(s) FAILED their "
+                  f"oracle stack (specs embedded in the trend file)")
+            status = 1
+        if floor is not None and summary["tuples"] < floor:
+            print(f"coverage REGRESSED: {summary['tuples']} tuples < "
+                  f"floor {floor}")
+            status = 1
+        if uniform_tuples is not None:
+            verdict = "beats" if summary["tuples"] > uniform_tuples else "LOSES TO"
+            print(f"search {verdict} uniform baseline: "
+                  f"{summary['tuples']} vs {uniform_tuples} tuples")
+            if summary["tuples"] <= uniform_tuples:
+                status = 1
+        return status
 
     if args.command == "replay":
         if (args.seed is None) == (args.spec is None):

@@ -19,11 +19,21 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Optional
 
-from .scenario import ScenarioSpace, ScenarioSpec, sample_scenario
+from .scenario import (
+    ScenarioSpace,
+    ScenarioSpec,
+    sample_byzantine_scenario,
+    sample_scenario,
+)
 
 #: Seeds the pinned corpus covers (≥ 50, and a whole number of
-#: matrix × fault-kind rounds: lcm(12, 5) = 60).
-CORPUS_SIZE = 60
+#: matrix × fault-kind rounds: lcm(12, 7) = 84).
+CORPUS_SIZE = 84
+
+#: Seeds of the pinned *Byzantine* corpus: a whole number of rounds over
+#: the four must-be-caught kinds (``seed % 4``), sized so both lying
+#: modes (``(seed // 4) % 2``) and several matrix points appear.
+BYZANTINE_CORPUS_SIZE = 8
 
 
 def corpus_seeds(budget: Optional[int] = None) -> list[int]:
@@ -40,6 +50,25 @@ def corpus_specs(
     """Sample the corpus scenarios for one run."""
     space = space or ScenarioSpace()
     return [sample_scenario(seed, space) for seed in corpus_seeds(budget)]
+
+
+def byzantine_corpus_seeds(budget: Optional[int] = None) -> list[int]:
+    """The seed list for one Byzantine (must-be-caught) corpus run."""
+    size = BYZANTINE_CORPUS_SIZE if budget is None else int(budget)
+    if size < 1:
+        raise ValueError(f"the chaos budget must be positive, got {budget!r}")
+    return list(range(size))
+
+
+def byzantine_corpus_specs(
+    budget: Optional[int] = None, space: Optional[ScenarioSpace] = None
+) -> list[ScenarioSpec]:
+    """Sample the Byzantine corpus scenarios for one run."""
+    space = space or ScenarioSpace()
+    return [
+        sample_byzantine_scenario(seed, space)
+        for seed in byzantine_corpus_seeds(budget)
+    ]
 
 
 def coverage(specs: list[ScenarioSpec]) -> dict[str, Any]:

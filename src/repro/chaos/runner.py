@@ -97,6 +97,9 @@ def _arm_faults(
     env = deployment.env
     #: (cell id, fault kind) -> the window currently owning that switch.
     window_owners: dict[tuple[str, str], ScheduledFault] = {}
+    #: schedule index of a partition fault -> active network partition id
+    #: (filled at inject; ScheduledFault carries a dict and is unhashable).
+    partition_ids: dict[int, int] = {}
 
     def log(fault: ScheduledFault, action: str, **details: Any) -> None:
         fault_log.append(
@@ -104,7 +107,7 @@ def _arm_faults(
              "cell": fault.cell, "action": action, **details}
         )
 
-    for fault in spec.faults:
+    for fault_index, fault in enumerate(spec.faults):
         cell = deployment._group_cell(fault.group, fault.cell)
         if fault.kind in ("crash_recover", "crash_rejoin"):
 
@@ -167,6 +170,48 @@ def _arm_faults(
 
             env.call_at(fault.at, delay_on)
             env.call_at(fault.until, delay_off)
+        elif fault.kind == "partition_window":
+
+            def cut(fault=fault, cell=cell, fault_index=fault_index) -> None:
+                # The cell keeps running — it is only unreachable, which
+                # is what distinguishes a network cut from a crash.
+                partition_id = deployment.network.partition([cell.node_name])
+                partition_ids[fault_index] = partition_id
+                log(fault, "partition", members=[cell.node_name])
+
+            def merge(fault=fault, cell=cell, fault_index=fault_index) -> None:
+                partition_id = partition_ids.pop(fault_index, None)
+                if partition_id is None:  # pragma: no cover - inject always ran
+                    return
+                deployment.network.heal(partition_id)
+                log(fault, "heal")
+                # The rejoined side missed everything admitted during the
+                # cut; run the same resync + rejoin pipeline a crashed
+                # cell uses to backfill and re-enter the quorum.
+                deployment.recover_cell(fault.group, fault.cell)
+
+            env.call_at(fault.at, cut)
+            env.call_at(fault.until, merge)
+        elif fault.kind == "skew_window":
+            seconds = float(fault.params["seconds"])
+            owner_key = (cell.node_name, "skew")
+
+            def skew_on(fault=fault, cell=cell, seconds=seconds,
+                        owner_key=owner_key) -> None:
+                window_owners[owner_key] = fault
+                deployment.network.set_node_skew(cell.node_name, seconds)
+                log(fault, "skew_on", seconds=seconds)
+
+            def skew_off(fault=fault, cell=cell, owner_key=owner_key) -> None:
+                if window_owners.get(owner_key) is not fault:
+                    log(fault, "skew_off_superseded")
+                    return
+                del window_owners[owner_key]
+                deployment.network.set_node_skew(cell.node_name, 0.0)
+                log(fault, "skew_off")
+
+            env.call_at(fault.at, skew_on)
+            env.call_at(fault.until, skew_off)
         elif fault.kind == "tamper_state":
 
             def tamper(fault=fault, cell=cell) -> None:
@@ -181,6 +226,21 @@ def _arm_faults(
                 log(fault, "tamper_fingerprint")
 
             env.call_at(fault.at, tamper_fp)
+        elif fault.kind == "equivocate":
+
+            def equivocate(fault=fault, cell=cell) -> None:
+                cell.fault.equivocate = True
+                log(fault, "equivocate")
+
+            env.call_at(fault.at, equivocate)
+        elif fault.kind == "lying_gateway":
+            mode = str(fault.params.get("mode", "forge"))
+
+            def lie(fault=fault, cell=cell, mode=mode) -> None:
+                cell.fault.lying_gateway = mode
+                log(fault, "lying_gateway", mode=mode)
+
+            env.call_at(fault.at, lie)
         else:  # pragma: no cover - FaultSchedule already validated kinds
             raise ChaosError(f"unhandled fault kind {fault.kind!r}")
 

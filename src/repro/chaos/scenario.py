@@ -23,8 +23,16 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from ..core.config import DeploymentConfig
-from ..core.faults import FaultSchedule, ScheduledFault
+from ..core.faults import (
+    BYZANTINE_FAULT_KINDS,
+    LYING_GATEWAY_MODES,
+    RECOVERABLE_FAULT_KINDS,
+    FaultSchedule,
+    ScheduledFault,
+)
+from ..client.sharded import ShardedFastMoneyClient
 from ..client.workload import MixedOperation
+from ..messages.signer import SimulatedSigner
 from ..sim.latency import ConstantLatency, fast_test_service_model
 from ..sim.rng import SeedSequence
 
@@ -65,13 +73,13 @@ class ScenarioSpace:
     shards: tuple[int, ...] = (1, 2, 4)
     lanes: tuple[int, ...] = (1, 4)
     batching: tuple[bool, ...] = (True, False)
-    fault_kinds: tuple[str, ...] = (
-        "crash_recover",
-        "crash_rejoin",
-        "standby_activate",
-        "censor_window",
-        "delay_window",
-    )
+    #: Sampled fault kinds — derived from the *single* source of truth in
+    #: ``repro.core.faults``, so a kind added there is automatically
+    #: sampled here (and a kind misspelled here fails schedule
+    #: validation).  Byzantine kinds live in ``BYZANTINE_FAULT_KINDS``
+    #: and are deliberately absent: this space's scenarios must *pass*
+    #: their oracle stack.
+    fault_kinds: tuple[str, ...] = RECOVERABLE_FAULT_KINDS
     consortium_size: int = 2
     min_accounts: int = 5
     max_accounts: int = 8
@@ -374,8 +382,8 @@ def _sample_faults(rng, space, shards, lead_kind, funded):
     """The fault schedule of one scenario (plus the standby provisioning).
 
     Constraints keeping corpus scenarios *recoverable* (their oracles
-    must pass — tamper faults, which oracles must catch, come from a
-    different space):
+    must pass — Byzantine faults, which oracles must catch, are sampled
+    by :func:`sample_byzantine_scenario` instead):
 
     * at most one outage-class fault per cell group, so a live resync
       donor always exists;
@@ -419,6 +427,31 @@ def _sample_faults(rng, space, shards, lead_kind, funded):
                 continue
             standby_cells = 1
             standby_base = round(rng.uniform(FAULTS_START, RESOLVE_BY - 5.0), 3)
+        elif kind == "partition_window":
+            if group in outage_groups:
+                continue
+            outage_groups.add(group)
+            cell = rng.randrange(1, cells) if shards > 1 else rng.randrange(cells)
+            # Unlike a crashed cell, a partitioned cell keeps its report
+            # lifecycle: if the cut straddled a report boundary it would
+            # anchor a stale-state fingerprint and (correctly) fail the
+            # anchor-agreement check.  The cut therefore heals — with
+            # margin for the resync + rejoin to settle — well before the
+            # first boundary.
+            at = round(rng.uniform(FAULTS_START, 13.0), 3)
+            until = round(at + rng.uniform(2.0, 6.0), 3)
+            faults.append(
+                ScheduledFault(kind=kind, group=group, cell=cell, at=at, until=until)
+            )
+        elif kind == "skew_window":
+            cell = rng.randrange(cells)
+            until = round(rng.uniform(at + 2.0, RESOLVE_BY), 3)
+            faults.append(
+                ScheduledFault(
+                    kind=kind, group=group, cell=cell, at=at, until=until,
+                    params={"seconds": round(rng.uniform(0.05, 0.5), 3)},
+                )
+            )
         elif kind == "censor_window":
             cell = rng.randrange(cells)
             until = round(rng.uniform(at + 2.0, RESOLVE_BY), 3)
@@ -455,3 +488,109 @@ def _sample_faults(rng, space, shards, lead_kind, funded):
                 )
             )
     return FaultSchedule(tuple(faults)), standby_cells
+
+
+# ----------------------------------------------------------------------
+# Byzantine sampling
+# ----------------------------------------------------------------------
+def _chaos_account_homes(spec: ScenarioSpec) -> list[int]:
+    """Home group of each scenario account, computed at *sample* time.
+
+    Chaos deployments run the ``sim`` signature scheme, so an account's
+    address — and therefore its home shard — is a pure function of its
+    identity seed.  Byzantine sampling exploits this to place faults on
+    groups that provably see traffic (and to build guaranteed cross-shard
+    pairs) without running anything.
+    """
+    return [
+        ShardedFastMoneyClient.account_home(
+            CHAOS_CONTRACT, SimulatedSigner(seed).address, spec.shards
+        )
+        for seed in spec.account_seeds()
+    ]
+
+
+def _cross_shard_pair(
+    spec: ScenarioSpec, homes: list[int]
+) -> Optional[tuple[int, int]]:
+    """A (funded sender, recipient) pair homed on different groups."""
+    paupers = set(spec.pauper_accounts)
+    for sender in range(spec.account_count):
+        if sender in paupers:
+            continue
+        for recipient in range(spec.account_count):
+            if recipient != sender and homes[recipient] != homes[sender]:
+                return sender, recipient
+    return None
+
+
+def sample_byzantine_scenario(
+    seed: int, space: Optional[ScenarioSpace] = None
+) -> ScenarioSpec:
+    """Sample a *must-be-caught* scenario: one Byzantine fault per run.
+
+    The recoverable scenario for ``seed`` keeps its matrix point,
+    accounts, and workload, but its fault schedule is replaced by exactly
+    one Byzantine fault — stratified round-robin over
+    ``BYZANTINE_FAULT_KINDS`` — so an oracle failure is unambiguously
+    attributable.  A probe transfer is appended to the workload to make
+    the fault provably fire: state tampering needs an execution on the
+    target group, and a lying gateway needs a cross-shard prepare to vote
+    on.  Single-shard matrix points are widened to two shards for the
+    lying-gateway kind (there is no gateway to corrupt otherwise).
+    """
+    space = space or ScenarioSpace()
+    kind = BYZANTINE_FAULT_KINDS[seed % len(BYZANTINE_FAULT_KINDS)]
+    base = sample_scenario(seed, space)
+    rng = SeedSequence("chaos-byzantine").child(str(seed)).stream("fault")
+    at = round(rng.uniform(FAULTS_START, 8.0), 3)
+
+    # Drop the recoverable faults (and any standby provisioning that
+    # came with them): the Byzantine fault must be the only adversary.
+    spec = base.with_faults(FaultSchedule(()))
+    params: dict[str, Any] = {}
+    if kind == "lying_gateway":
+        if spec.shards == 1:
+            spec = replace(spec, shards=2)
+        homes = _chaos_account_homes(spec)
+        pair = _cross_shard_pair(spec, homes)
+        while pair is None:
+            # All sampled accounts landed on one shard — grow the account
+            # set until a funded cross-shard pair exists.  Existing
+            # accounts keep their indices (and pauper status), so the
+            # base workload is untouched.
+            spec = replace(spec, account_count=spec.account_count + 1)
+            homes = _chaos_account_homes(spec)
+            pair = _cross_shard_pair(spec, homes)
+        sender, recipient = pair
+        # The lying cell must be the sender's home gateway (cell 0): that
+        # is the cell the 2PC coordinator asks for the source-escrow vote.
+        group, cell = homes[sender], 0
+        mode = LYING_GATEWAY_MODES[
+            (seed // len(BYZANTINE_FAULT_KINDS)) % len(LYING_GATEWAY_MODES)
+        ]
+        params["mode"] = mode
+    else:
+        homes = _chaos_account_homes(spec)
+        paupers = set(spec.pauper_accounts)
+        sender = next(i for i in range(spec.account_count) if i not in paupers)
+        recipient = next(i for i in range(spec.account_count) if i != sender)
+        # Target the sender's home group: the probe transfer executes
+        # there (its escrow/debit does, even when the pair crosses
+        # shards), so a state tamper is guaranteed an execution to latch
+        # onto.  Equivocation and fingerprint tampering fire at report
+        # boundaries regardless; the probe just thickens the evidence.
+        group = homes[sender]
+        cell = rng.randrange(spec.consortium_size)
+    probe = MixedOperation(
+        at=round(rng.uniform(12.0, OPS_END), 3),
+        kind="transfer",
+        sender=sender,
+        args={"to": recipient, "amount": rng.randrange(1, 6)},
+    )
+    fault = ScheduledFault(kind=kind, group=group, cell=cell, at=at, params=params)
+    return replace(
+        spec,
+        operations=tuple(sorted(spec.operations + (probe,), key=lambda op: op.at)),
+        faults=FaultSchedule((fault,)),
+    )

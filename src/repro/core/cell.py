@@ -64,6 +64,18 @@ from .subscription import PricingPolicy, SubscriptionManager, SubscriptionError
 OVERLOADED_ERROR = "OVERLOADED: the cell's admission queue is full"
 
 
+def _flip_fingerprint(fingerprint_hex: str) -> str:
+    """The bitwise complement of a ``0x``-hex fingerprint.
+
+    What an *equivocating* cell signs on one of its two channels: a
+    well-formed fingerprint of the right width that deterministically
+    differs from the honest one (unlike the zeroed fingerprint of
+    ``tamper_fingerprint``, which is self-consistently wrong everywhere).
+    """
+    honest = bytes.fromhex(fingerprint_hex[2:])
+    return "0x" + bytes(byte ^ 0xFF for byte in honest).hex()
+
+
 class _ServiceResult:
     """What the shared service pipeline learned about one transaction.
 
@@ -829,6 +841,16 @@ class BlockumulusCell:
         """
         if self.fault.crashed:
             return
+        if self.fault.equivocate and status == "executed":
+            # Equivocation: sign a *different* execution fingerprint for
+            # roughly half the service cells (split deterministically by
+            # the origin address), so two honest peers end up holding
+            # contradictory signed confirmations for the same execution.
+            if int(origin.hex()[-1], 16) % 2 == 0:
+                fingerprint_hex = _flip_fingerprint(fingerprint_hex)
+                self.fault.record(
+                    "equivocate", channel="confirmation", tx_id=tx_id, to=origin.hex()
+                )
         confirmation = Confirmation.create(
             self.signer,
             tx_id=tx_id,
@@ -1153,6 +1175,10 @@ class BlockumulusCell:
         assert self._shard_directory is not None
         certificate_error = body.certificate_error(self._shard_directory)
         if certificate_error is not None:
+            # The directory-verified certificate caught a half-commit
+            # (forged, missing, or wrong-shaped votes) — count it so the
+            # chaos attribution oracle can name this mechanism.
+            self.metrics.increment(f"{self.node_name}/xshard_certificate_refusals")
             return certificate_error
         return None
 
@@ -1170,6 +1196,36 @@ class BlockumulusCell:
     ) -> None:
         """Sign and send this gateway's vote / acknowledgement for a phase."""
         assert self.shard_group is not None
+        if self.fault.lying_gateway is not None and phase == "prepare":
+            mode = self.fault.lying_gateway
+            self.fault.record("lying_gateway", mode=mode, xtx=xtx, honest_ok=ok)
+            self.metrics.increment(f"{self.node_name}/xshard_votes_{mode}d")
+            if mode == "withhold":
+                # The gateway never answers: no signed yes-vote can exist,
+                # so no commit certificate over this group can assemble.
+                return
+            # Forge: an always-yes vote whose signature cannot verify —
+            # the coordinator and every certificate check must refuse it
+            # (destroying a genuine no-vote's abort evidence on the way).
+            body = CrossShardVote.signing_body(
+                self.signer.address, xtx, self.shard_group, tuple(participants),
+                phase, True,
+            )
+            forged = CrossShardVote(
+                voter=self.signer.address,
+                xtx=xtx,
+                group=self.shard_group,
+                participants=tuple(participants),
+                phase=phase,
+                ok=True,
+                signature=bytes(byte ^ 0xFF for byte in self.signer.sign(body)),
+                scheme=self.signer.scheme,
+            )
+            self._reply(
+                src_node, request, Opcode.XSHARD_VOTE,
+                forged.to_data(receipt=receipt, error=error),
+            )
+            return
         vote = CrossShardVote.create(
             self.signer, xtx, self.shard_group, participants, phase, ok
         )
@@ -1298,6 +1354,12 @@ class BlockumulusCell:
             if self.fault.tamper_fingerprint:
                 fingerprint_hex = "0x" + bytes(32).hex()
                 self.fault.record("tamper_fingerprint", cycle=completed_cycle)
+            elif self.fault.equivocate:
+                # The cell *anchors* one signed fingerprint while serving
+                # auditors the honest snapshot behind another — the same
+                # logical report, two payloads, both apparently valid.
+                fingerprint_hex = _flip_fingerprint(fingerprint_hex)
+                self.fault.record("equivocate", channel="anchor", cycle=completed_cycle)
             # The on-chain submission runs in the background: execution has
             # already resumed, and waiting for block inclusion here would
             # make the cell miss the next report deadline on slow chains.

@@ -15,6 +15,13 @@ consensus detects or tolerates the behaviour:
   transaction, so its execution fingerprints diverge from the honest cells.
 * **delay** — the cell adds a fixed extra delay to every confirmation
   (deadline-miss exclusion).
+* **equivocate** — the cell signs *different* payloads for the same
+  logical message to different observers: its anchored snapshot
+  fingerprint diverges from the snapshots it serves, and peers receive
+  contradictory signed confirmations for the same execution.
+* **lying_gateway** — a cell-group gateway forges (corrupted signature,
+  always-yes) or withholds its signed 2PC prepare votes; the
+  directory-verified certificates must refuse the half-commit.
 
 Alongside the per-cell switches, this module defines the *scheduled* fault
 vocabulary used by the chaos engine (:mod:`repro.chaos`): a
@@ -49,12 +56,25 @@ class FaultPlan:
     tamper_fingerprint: bool = False
     tamper_state: bool = False
     extra_confirm_delay: float = 0.0
+    #: Equivocation: the cell anchors a signed fingerprint that differs
+    #: from the one backing the snapshots it serves, and signs divergent
+    #: confirmations for the same execution to different peers.
+    equivocate: bool = False
+    #: Lying 2PC gateway: ``"forge"`` replaces every signed prepare vote
+    #: with an always-yes vote carrying a corrupted signature;
+    #: ``"withhold"`` never answers XSHARD_VOTE prepares at all.
+    lying_gateway: Optional[str] = None
     #: Log of faults actually exercised, for assertions in tests.
     events: list[dict[str, Any]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.censor is not None and not callable(self.censor):
             raise FaultError("censor must be a callable predicate over envelopes")
+        if self.lying_gateway is not None and self.lying_gateway not in LYING_GATEWAY_MODES:
+            raise FaultError(
+                f"lying_gateway must be None or one of {list(LYING_GATEWAY_MODES)}, "
+                f"got {self.lying_gateway!r}"
+            )
         if not isinstance(self.extra_confirm_delay, (int, float)) or isinstance(
             self.extra_confirm_delay, bool
         ):
@@ -101,37 +121,74 @@ def censor_method(contract: str, method: str) -> CensorPredicate:
 # ----------------------------------------------------------------------
 # Scheduled faults (the chaos engine's fault vocabulary)
 # ----------------------------------------------------------------------
-#: Fault kinds a schedule may carry.  ``crash_recover`` crashes the target
-#: at ``at`` and runs the full resync+rejoin recovery at ``until``;
-#: ``crash_rejoin`` additionally scripts the consortium exclusion of
-#: Section V while the cell is down; ``standby_activate`` bootstraps a
-#: provisioned standby cell at ``at``; ``censor_window`` drops one
-#: account's transactions on the target cell during ``[at, until)``;
-#: ``delay_window`` adds a fixed sub-deadline confirmation delay during
-#: ``[at, until)``; ``tamper_state`` and ``tamper_fingerprint`` switch the
-#: corresponding compromised-cell behaviours on at ``at`` (they stay on —
-#: tampering is not something a cell undoes; these are the faults the
-#: audit oracles must *catch*, so a scenario carrying one is expected to
-#: fail its oracle stack).
-FAULT_KINDS = frozenset(
-    {
-        "crash_recover",
-        "crash_rejoin",
-        "standby_activate",
-        "censor_window",
-        "delay_window",
-        "tamper_state",
-        "tamper_fingerprint",
-    }
+#: Fault kinds the consortium must *tolerate*: a scenario carrying only
+#: these is expected to pass its whole oracle stack.  ``crash_recover``
+#: crashes the target at ``at`` and runs the full resync+rejoin recovery
+#: at ``until``; ``crash_rejoin`` additionally scripts the consortium
+#: exclusion of Section V while the cell is down; ``standby_activate``
+#: bootstraps a provisioned standby cell at ``at``; ``censor_window``
+#: drops one account's transactions on the target cell during
+#: ``[at, until)``; ``delay_window`` adds a fixed sub-deadline
+#: confirmation delay during ``[at, until)``; ``partition_window`` cuts
+#: the target cell off from every other node (peers, clients) at the
+#: network layer during ``[at, until)``, then heals the cut and runs the
+#: resync+rejoin recovery; ``skew_window`` skews the target cell's
+#: scheduling by a fixed per-message latency offset during
+#: ``[at, until)`` (its clock effectively runs behind its peers').
+#:
+#: The chaos engine's default :class:`~repro.chaos.scenario.ScenarioSpace`
+#: samples exactly this tuple — it is ordered so ``seed % len(...)``
+#: stratification is stable.
+RECOVERABLE_FAULT_KINDS = (
+    "crash_recover",
+    "crash_rejoin",
+    "standby_activate",
+    "censor_window",
+    "delay_window",
+    "partition_window",
+    "skew_window",
 )
 
-#: Kinds whose injection takes the target cell offline for a while.
-OUTAGE_KINDS = frozenset({"crash_recover", "crash_rejoin"})
+#: *Byzantine* fault kinds the oracle stack must **catch**, not survive:
+#: a scenario carrying one is expected to fail its audit (or have the
+#: misbehaviour refused at the certificate layer) with findings that
+#: attribute the fault.  ``tamper_state`` and ``tamper_fingerprint``
+#: switch the corresponding compromised-cell behaviours on at ``at``
+#: (they stay on — tampering is not something a cell undoes);
+#: ``equivocate`` makes the cell sign *different* payloads for the same
+#: logical message to different observers (anchored fingerprints vs.
+#: served snapshots, and per-peer confirmations); ``lying_gateway``
+#: makes a 2PC gateway forge (``params['mode'] = 'forge'``) or withhold
+#: (``'withhold'``) its signed XSHARD_VOTE prepare votes.
+BYZANTINE_FAULT_KINDS = (
+    "tamper_state",
+    "tamper_fingerprint",
+    "equivocate",
+    "lying_gateway",
+)
+
+#: Every fault kind a schedule may carry.
+FAULT_KINDS = frozenset(RECOVERABLE_FAULT_KINDS) | frozenset(BYZANTINE_FAULT_KINDS)
+
+#: Kinds whose injection takes the target cell offline for a while (a
+#: partitioned cell stays up but is unreachable, which for scheduling
+#: purposes — one outage per group, donor must stay live — is the same).
+OUTAGE_KINDS = frozenset({"crash_recover", "crash_rejoin", "partition_window"})
 
 #: Kinds that require an end-of-window time (``until``).
 WINDOWED_KINDS = frozenset(
-    {"crash_recover", "crash_rejoin", "censor_window", "delay_window"}
+    {
+        "crash_recover",
+        "crash_rejoin",
+        "censor_window",
+        "delay_window",
+        "partition_window",
+        "skew_window",
+    }
 )
+
+#: Valid ``params['mode']`` values of a ``lying_gateway`` fault.
+LYING_GATEWAY_MODES = ("forge", "withhold")
 
 
 @dataclass(frozen=True)
@@ -179,12 +236,23 @@ class ScheduledFault:
             seconds = self.params.get("seconds")
             if not isinstance(seconds, (int, float)) or seconds <= 0:
                 raise FaultError("delay_window needs positive params['seconds']")
+        if self.kind == "skew_window":
+            seconds = self.params.get("seconds")
+            if not isinstance(seconds, (int, float)) or seconds <= 0:
+                raise FaultError("skew_window needs positive params['seconds']")
         if self.kind == "censor_window":
             account = self.params.get("account")
             if not isinstance(account, int) or isinstance(account, bool) or account < 0:
                 raise FaultError(
                     "censor_window needs a non-negative account index in "
                     "params['account']"
+                )
+        if self.kind == "lying_gateway":
+            mode = self.params.get("mode", "forge")
+            if mode not in LYING_GATEWAY_MODES:
+                raise FaultError(
+                    f"lying_gateway params['mode'] must be one of "
+                    f"{list(LYING_GATEWAY_MODES)}, got {mode!r}"
                 )
 
     def to_data(self) -> dict[str, Any]:

@@ -2,6 +2,7 @@
 
 from .batch import BatchError, ForwardBatch
 from .envelope import Envelope, EnvelopeError, NonceFactory
+from .evidence import EquivocationEvidence, EvidenceError, PartitionEvent
 from .membership import (
     ExclusionProposal,
     ExclusionVote,
@@ -34,6 +35,8 @@ __all__ = [
     "EcdsaSigner",
     "Envelope",
     "EnvelopeError",
+    "EquivocationEvidence",
+    "EvidenceError",
     "ExclusionProposal",
     "ExclusionVote",
     "ForwardBatch",
@@ -41,6 +44,7 @@ __all__ = [
     "MembershipUpdate",
     "NonceFactory",
     "Opcode",
+    "PartitionEvent",
     "Payload",
     "PayloadError",
     "RejoinAck",

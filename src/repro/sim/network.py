@@ -73,6 +73,9 @@ class Network:
         self.framing_bytes = framing_bytes
         self._nodes: dict[str, NodeConfig] = {}
         self._links: dict[tuple[str, str], LatencyModel] = {}
+        self._partitions: dict[int, frozenset[str]] = {}
+        self._next_partition_id = 1
+        self._skews: dict[str, float] = {}
         self.traffic: dict[tuple[str, str], TrafficCounter] = defaultdict(TrafficCounter)
         self.dropped_messages = 0
 
@@ -116,6 +119,62 @@ class Network:
         """Whether the node currently accepts messages."""
         return self._require_node(name).online
 
+    # ------------------------------------------------------------------
+    # Partitions and clock/latency skew (fault injection)
+    # ------------------------------------------------------------------
+    def partition(self, members: Iterable[str]) -> int:
+        """Cut the named nodes off from the rest of the network.
+
+        While the partition is active, messages cross the cut in neither
+        direction (they are dropped at send time, exactly like traffic to
+        an offline node); nodes on the same side still talk normally.
+        Returns a partition id for :meth:`heal`.  Unlike
+        :meth:`set_online`, a partitioned node keeps running — it just
+        cannot be reached, which is what distinguishes a network cut
+        from a crash.
+        """
+        cut = frozenset(members)
+        if not cut:
+            raise SimulationError("a partition needs at least one member")
+        for name in cut:
+            self._require_node(name)
+        partition_id = self._next_partition_id
+        self._next_partition_id += 1
+        self._partitions[partition_id] = cut
+        return partition_id
+
+    def heal(self, partition_id: int) -> None:
+        """Merge a partition back into the network."""
+        if self._partitions.pop(partition_id, None) is None:
+            raise SimulationError(f"unknown partition id {partition_id!r}")
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        """Whether an active partition separates the two nodes."""
+        return any(
+            (src in cut) != (dst in cut) for cut in self._partitions.values()
+        )
+
+    def set_node_skew(self, name: str, seconds: float) -> None:
+        """Add a fixed scheduling offset to every message to/from a node.
+
+        Models a cell whose clock (or scheduler) runs ``seconds`` behind
+        its peers': everything it sends and everything it receives lands
+        late by the offset.  Pass ``0`` to clear.  The offset is a
+        constant, so it never changes how many times the latency model's
+        RNG is sampled — skewed runs replay bit-for-bit.
+        """
+        self._require_node(name)
+        if seconds < 0:
+            raise SimulationError(f"node skew cannot be negative, got {seconds!r}")
+        if seconds == 0:
+            self._skews.pop(name, None)
+        else:
+            self._skews[name] = float(seconds)
+
+    def node_skew(self, name: str) -> float:
+        """Current scheduling offset of a node (0 when unskewed)."""
+        return self._skews.get(name, 0.0)
+
     def nodes(self) -> list[str]:
         """Names of all registered nodes."""
         return list(self._nodes)
@@ -143,7 +202,8 @@ class Network:
         propagation = self._latency_for(src, dst).sample(self.rng)
         bits = size_bytes * 8
         transmission = bits / sender.uplink_bps + bits / receiver.downlink_bps
-        return propagation + transmission
+        skew = self._skews.get(src, 0.0) + self._skews.get(dst, 0.0)
+        return propagation + transmission + skew
 
     def send(self, src: str, dst: str, payload: Any, payload_bytes: int) -> bool:
         """Send ``payload`` from ``src`` to ``dst``.
@@ -157,6 +217,12 @@ class Network:
         receiver = self._require_node(dst)
         size = self.wire_size(payload_bytes)
         if not sender.online or not receiver.online:
+            self.dropped_messages += 1
+            return False
+        # A partition drops traffic before any RNG is consumed or any
+        # byte is accounted — same replay-neutral position as the
+        # offline check above.
+        if self._partitions and self.is_partitioned(src, dst):
             self.dropped_messages += 1
             return False
         self.traffic[(src, dst)].record(size)

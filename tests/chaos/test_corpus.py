@@ -2,7 +2,9 @@
 
 This is the acceptance gate of the chaos engine: seeds ``0..N-1``
 (stratified over shards {1,2,4} × lanes {1,4} × batching {on,off} and
-five fault kinds) each run through :func:`repro.chaos.check_scenario` —
+the seven recoverable fault kinds — crashes, rejoins, standby
+activations, censor/delay windows, healing partitions, clock skew) each
+run through :func:`repro.chaos.check_scenario` —
 value conservation, differential equality against the serial/unsharded/
 unbatched reference, bit-for-bit same-seed replay, and the full
 per-group audit + shard-digest verification.  A failing scenario writes

@@ -18,7 +18,13 @@ from repro.chaos.scenario import (
     OPS_START,
     RESOLVE_BY,
 )
-from repro.core.faults import FaultError, FaultSchedule, ScheduledFault
+from repro.core.faults import (
+    BYZANTINE_FAULT_KINDS,
+    RECOVERABLE_FAULT_KINDS,
+    FaultError,
+    FaultSchedule,
+    ScheduledFault,
+)
 
 
 def test_sampling_is_a_pure_function_of_the_seed():
@@ -59,7 +65,26 @@ def test_sampled_timelines_respect_the_scenario_phases():
                 assert fault.at < fault.until <= RESOLVE_BY
                 if fault.kind in ("crash_recover", "crash_rejoin"):
                     assert fault.until >= fault.at + 4.0
+            if fault.kind == "partition_window":
+                # Partitions heal before the first anchor boundary, so
+                # the cut-off cells reconnect in time to co-sign digests.
+                assert fault.until is not None
+                assert fault.until <= 19.0 < spec.report_period
+            if fault.kind == "skew_window":
+                assert 0.0 < fault.params["seconds"] <= 0.5
         assert spec.end_time > spec.cycles * spec.report_period
+
+
+def test_fault_kinds_derive_from_the_exported_taxonomy():
+    """Satellite: the sampling space's fault kinds are the single
+    exported constant, not a hand-maintained copy — adding a kind to
+    ``repro.core.faults`` widens the sampler automatically."""
+    space = ScenarioSpace()
+    assert space.fault_kinds == RECOVERABLE_FAULT_KINDS
+    assert space.fault_kinds is RECOVERABLE_FAULT_KINDS
+    # Byzantine kinds are deliberately NOT in the uniform space: their
+    # scenarios must fail oracles, and belong to the byzantine corpus.
+    assert not set(space.fault_kinds) & set(BYZANTINE_FAULT_KINDS)
 
 
 def test_fault_targeting_a_ghost_cell_is_rejected_at_spec_level():
@@ -109,13 +134,7 @@ def test_pinned_corpus_spans_the_full_feature_matrix():
     assert len(specs) == CORPUS_SIZE >= 50
     cov = coverage(specs)
     assert cov["matrix_points"] == len(ScenarioSpace().matrix()) == 12
-    assert set(cov["fault_kinds"]) >= {
-        "crash_recover",
-        "crash_rejoin",
-        "standby_activate",
-        "censor_window",
-        "delay_window",
-    }
+    assert set(cov["fault_kinds"]) == set(RECOVERABLE_FAULT_KINDS)
     assert set(cov["op_kinds"]) == {"transfer", "cas_put", "vote", "invest"}
     # Multi-shard scenarios exist with transfers, so cross-shard 2PC and
     # pauper-driven aborts get exercised across the corpus.

@@ -84,8 +84,35 @@ def test_scenario_report_records_the_shrunk_spec():
 
 
 def test_shrinker_is_a_no_op_on_single_fault_schedules():
+    """Regression: an already-1-minimal schedule must cost *zero*
+    candidate executions — the shrinker must not re-run the scenario
+    just to confirm the single fault is load-bearing."""
     spec = sample_scenario(0)
     assert len(spec.faults) == 1
-    shrunk, runs = shrink_faults(spec, fails=lambda _candidate: True)
+    calls = []
+
+    def fails(candidate):
+        calls.append(candidate)
+        return True
+
+    shrunk, runs = shrink_faults(spec, fails=fails)
     assert shrunk == spec
     assert runs == 0
+    assert calls == [], "no runner invocation may happen on a minimal schedule"
+
+
+def test_shrinker_is_a_no_op_on_empty_schedules():
+    """Regression: a spec whose faults validated away entirely (e.g. a
+    workload-only failure) shrinks to itself without a single run."""
+    spec = sample_scenario(0).with_faults(FaultSchedule(()))
+    assert len(spec.faults) == 0
+    calls = []
+
+    def fails(candidate):
+        calls.append(candidate)
+        return True
+
+    shrunk, runs = shrink_faults(spec, fails=fails)
+    assert shrunk == spec
+    assert runs == 0
+    assert calls == []

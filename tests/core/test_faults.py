@@ -10,6 +10,10 @@ import pytest
 
 from repro.client import BlockumulusClient, FastMoneyClient
 from repro.core.faults import (
+    BYZANTINE_FAULT_KINDS,
+    FAULT_KINDS,
+    LYING_GATEWAY_MODES,
+    RECOVERABLE_FAULT_KINDS,
     FaultError,
     FaultPlan,
     FaultSchedule,
@@ -65,6 +69,66 @@ def test_scheduled_fault_validates_kind_time_and_window():
     with pytest.raises(FaultError, match="account"):
         ScheduledFault(kind="censor_window", group=0, cell=0, at=1.0, until=2.0,
                        params={"account": -3})
+
+
+def test_fault_kind_taxonomy_is_partitioned():
+    """Every kind is recoverable or Byzantine, never both — samplers and
+    the attribution oracle branch on this split."""
+    assert set(FAULT_KINDS) == set(RECOVERABLE_FAULT_KINDS) | set(
+        BYZANTINE_FAULT_KINDS
+    )
+    assert not set(RECOVERABLE_FAULT_KINDS) & set(BYZANTINE_FAULT_KINDS)
+    assert {"partition_window", "skew_window"} <= set(RECOVERABLE_FAULT_KINDS)
+    assert {"equivocate", "lying_gateway"} <= set(BYZANTINE_FAULT_KINDS)
+
+
+def test_scheduled_fault_validates_the_byzantine_and_windowed_kinds():
+    # Clock skew needs a positive magnitude and a window.
+    with pytest.raises(FaultError, match="seconds"):
+        ScheduledFault(kind="skew_window", group=0, cell=0, at=1.0, until=2.0)
+    with pytest.raises(FaultError, match="seconds"):
+        ScheduledFault(kind="skew_window", group=0, cell=0, at=1.0, until=2.0,
+                       params={"seconds": -0.5})
+    with pytest.raises(FaultError, match="end time"):
+        ScheduledFault(kind="skew_window", group=0, cell=0, at=1.0,
+                       params={"seconds": 0.2})
+    # Partitions are windowed: they must heal.
+    with pytest.raises(FaultError, match="end time"):
+        ScheduledFault(kind="partition_window", group=0, cell=0, at=1.0)
+    # A lying gateway needs a recognised lying mode and no window.
+    with pytest.raises(FaultError, match="mode"):
+        ScheduledFault(kind="lying_gateway", group=0, cell=0, at=1.0,
+                       params={"mode": "stall"})
+    with pytest.raises(FaultError, match="does not take an end time"):
+        ScheduledFault(kind="lying_gateway", group=0, cell=0, at=1.0, until=5.0,
+                       params={"mode": "forge"})
+    for mode in LYING_GATEWAY_MODES:
+        fault = ScheduledFault(kind="lying_gateway", group=0, cell=0, at=1.0,
+                               params={"mode": mode})
+        assert fault.params["mode"] == mode
+    # Equivocation and partitions survive the wire round-trip.
+    schedule = FaultSchedule((
+        ScheduledFault(kind="equivocate", group=0, cell=1, at=6.0),
+        ScheduledFault(kind="partition_window", group=0, cell=1, at=6.0,
+                       until=11.0),
+        ScheduledFault(kind="skew_window", group=0, cell=0, at=6.0, until=12.0,
+                       params={"seconds": 0.25}),
+    ))
+    assert FaultSchedule.from_data(schedule.to_data()) == schedule
+    assert schedule.kinds() == {"equivocate", "partition_window", "skew_window"}
+
+
+def test_fault_plan_validates_the_byzantine_switches():
+    with pytest.raises(FaultError, match="forge"):
+        FaultPlan(lying_gateway="stall")
+    plan = FaultPlan(equivocate=True, lying_gateway="withhold")
+    assert plan.equivocate
+    assert plan.lying_gateway == "withhold"
+    plan.record("lying_gateway", mode="withhold", xtx="x-1", honest_ok=True)
+    assert plan.events == [
+        {"kind": "lying_gateway", "mode": "withhold", "xtx": "x-1",
+         "honest_ok": True}
+    ]
 
 
 def test_fault_schedule_rejects_unknown_cells_instead_of_never_firing():

@@ -1,0 +1,173 @@
+"""Equivocation-evidence and partition-event marshalling and forgery rules."""
+
+import pytest
+
+from repro.core.receipts import Confirmation
+from repro.crypto import PrivateKey
+from repro.messages import (
+    EcdsaSigner,
+    EquivocationEvidence,
+    EvidenceError,
+    PartitionEvent,
+    SimulatedSigner,
+)
+
+
+@pytest.fixture
+def equivocator():
+    return EcdsaSigner(PrivateKey.from_seed("evidence-equivocator"))
+
+
+@pytest.fixture
+def observer():
+    return EcdsaSigner(PrivateKey.from_seed("evidence-observer"))
+
+
+def _confirmation(signer, fingerprint, tx_id="tx-1", status="executed"):
+    return Confirmation.create(
+        signer, tx_id=tx_id, contract="fastmoney", fingerprint_hex=fingerprint,
+        status=status, timestamp=12.5,
+    )
+
+
+# ----------------------------------------------------------------------
+# EquivocationEvidence
+# ----------------------------------------------------------------------
+def test_equivocation_evidence_round_trip(equivocator):
+    evidence = EquivocationEvidence(
+        first=_confirmation(equivocator, "0x" + "aa" * 32),
+        second=_confirmation(equivocator, "0x" + "bb" * 32),
+    )
+    assert evidence.verify()
+    rebuilt = EquivocationEvidence.from_data(evidence.to_data())
+    assert rebuilt == evidence
+    assert rebuilt.verify()
+    assert rebuilt.cell() == equivocator.address
+
+
+def test_equivocation_evidence_with_simulated_scheme():
+    signer = SimulatedSigner("sim-equivocator")
+    evidence = EquivocationEvidence(
+        first=_confirmation(signer, "0x" + "aa" * 32),
+        second=_confirmation(signer, "0x" + "bb" * 32),
+    )
+    assert evidence.verify()
+    assert EquivocationEvidence.from_data(evidence.to_data()).verify()
+
+
+def test_matching_confirmations_prove_nothing(equivocator):
+    """Two honest (identical) confirmations are not an equivocation."""
+    evidence = EquivocationEvidence(
+        first=_confirmation(equivocator, "0x" + "aa" * 32),
+        second=_confirmation(equivocator, "0x" + "aa" * 32),
+    )
+    assert not evidence.verify()
+
+
+def test_different_transactions_prove_nothing(equivocator):
+    """Divergent fingerprints of *different* transactions are normal."""
+    evidence = EquivocationEvidence(
+        first=_confirmation(equivocator, "0x" + "aa" * 32, tx_id="tx-1"),
+        second=_confirmation(equivocator, "0x" + "bb" * 32, tx_id="tx-2"),
+    )
+    assert not evidence.verify()
+
+
+def test_different_cells_prove_nothing(equivocator, observer):
+    """Two cells legitimately disagreeing is the auditor's business, not
+    an equivocation by either."""
+    evidence = EquivocationEvidence(
+        first=_confirmation(equivocator, "0x" + "aa" * 32),
+        second=_confirmation(observer, "0x" + "bb" * 32),
+    )
+    assert not evidence.verify()
+
+
+def test_forged_confirmation_invalidates_evidence(equivocator):
+    """An accuser must not be able to *fabricate* the contradicting half
+    by editing a real confirmation's fingerprint after signing."""
+    honest = _confirmation(equivocator, "0x" + "aa" * 32)
+    forged_wire = _confirmation(equivocator, "0x" + "aa" * 32).to_wire()
+    forged_wire["fingerprint"] = "0x" + "bb" * 32  # edit after signing
+    evidence = EquivocationEvidence.from_data(
+        {"first": honest.to_wire(), "second": forged_wire}
+    )
+    assert not evidence.verify()
+
+
+def test_status_equivocation_counts(equivocator):
+    """Same fingerprint but contradictory status is still equivocation
+    (executed-to-one-peer, rejected-to-another)."""
+    evidence = EquivocationEvidence(
+        first=_confirmation(equivocator, "0x" + "aa" * 32, status="executed"),
+        second=_confirmation(equivocator, "0x" + "aa" * 32, status="rejected"),
+    )
+    assert evidence.verify()
+
+
+def test_equivocation_evidence_rejects_garbage():
+    with pytest.raises(EvidenceError):
+        EquivocationEvidence.from_data({"first": {"cell": "zz"}, "second": {}})
+    with pytest.raises(EvidenceError):
+        EquivocationEvidence.from_data({})
+
+
+# ----------------------------------------------------------------------
+# PartitionEvent
+# ----------------------------------------------------------------------
+def test_partition_event_signature_round_trip(observer):
+    event = PartitionEvent.create(
+        observer, members=("cell-1-2", "cell-1-3"), action="cut", at=7.25
+    )
+    assert event.verify()
+    rebuilt = PartitionEvent.from_wire(event.to_wire())
+    assert rebuilt == event
+    assert rebuilt.verify()
+    assert rebuilt.members == ("cell-1-2", "cell-1-3")
+
+
+def test_partition_event_tamper_detected(observer):
+    """Neither the member set nor the action survives post-sign edits."""
+    event = PartitionEvent.create(
+        observer, members=("cell-1-2",), action="cut", at=7.25
+    )
+    wire = event.to_wire()
+    wire["members"] = ["cell-0-0"]  # accuse a different cell
+    assert not PartitionEvent.from_wire(wire).verify()
+    wire = event.to_wire()
+    wire["action"] = "heal"  # claim the cut resolved
+    assert not PartitionEvent.from_wire(wire).verify()
+
+
+def test_partition_event_healed_at_is_signed(observer):
+    """The healing time feeds window-length accounting; an observer's
+    signed value must not be movable by a relayer."""
+    event = PartitionEvent.create(
+        observer, members=("cell-1-2",), action="heal", at=13.0, healed_at=12.75
+    )
+    wire = event.to_wire()
+    wire["healed_at"] = 40.0  # stretch the outage window
+    assert not PartitionEvent.from_wire(wire).verify()
+
+
+def test_partition_event_without_healed_at_stays_verifiable(observer):
+    """Pre-extension events (no healed_at on the wire) still verify, as
+    the unknown sentinel -1.0."""
+    event = PartitionEvent.create(
+        observer, members=("cell-1-2",), action="cut", at=7.25
+    )
+    wire = event.to_wire()
+    assert wire["healed_at"] == -1.0
+    del wire["healed_at"]
+    rebuilt = PartitionEvent.from_wire(wire)
+    assert rebuilt.healed_at == -1.0
+    assert rebuilt.verify()
+
+
+def test_partition_event_validation(observer):
+    with pytest.raises(EvidenceError):
+        PartitionEvent.create(observer, members=(), action="cut", at=1.0)
+    with pytest.raises(EvidenceError):
+        PartitionEvent.create(observer, members=("x",), action="split", at=1.0)
+    with pytest.raises(EvidenceError):
+        PartitionEvent.from_wire({"observer": "not-hex", "members": ["x"]})
