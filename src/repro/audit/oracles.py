@@ -224,8 +224,10 @@ def run_conservation_oracle(
       violation means the state itself was corrupted;
     * **escrow pairing** — each cross-shard transaction's (source,
       target) escrow pair is in a legal joint state: a credit requires a
-      settle (else value was minted), and a settled/refunded/reclaimed
-      hold is terminal exactly once (else value was double-spent);
+      settle (else value was minted), a fast-path redeem requires a
+      minted voucher that was not reclaimed, and a
+      settled/refunded/reclaimed hold is terminal exactly once (else
+      value was double-spent);
     * **global** — ``sum(minted) == sum(supplies) + in-transit``, where
       in-transit is value settled out of a source instance whose credit
       has not (yet) executed on the target — escrowed by the protocol,
@@ -287,6 +289,34 @@ def run_conservation_oracle(
                     f"xtx {xtx}: settled on {out['instance']!r} but cancelled on "
                     f"{into['instance']!r} (contradictory decisions)"
                 )
+        # Fast-path voucher pairing: a redeem needs a minted, unreclaimed
+        # source voucher; an outstanding voucher is value in transit (it
+        # redeems with the voucher or reclaims after its deadline).
+        if into is not None and into["status"] == "redeemed":
+            if out is None:
+                findings.append(
+                    f"xtx {xtx}: voucher redeemed on {into['instance']!r} with "
+                    f"no minted source voucher (value minted)"
+                )
+            elif out["status"] == "voucher_reclaimed":
+                findings.append(
+                    f"xtx {xtx}: voucher redeemed on {into['instance']!r} but "
+                    f"reclaimed on {out['instance']!r} (double spend)"
+                )
+            elif out["status"] != "voucher":
+                findings.append(
+                    f"xtx {xtx}: redeemed on {into['instance']!r} but the "
+                    f"source record on {out['instance']!r} has status "
+                    f"{out['status']!r}, not a minted voucher"
+                )
+            elif int(out["amount"]) != int(into["amount"]):
+                findings.append(
+                    f"xtx {xtx}: vouched {out['amount']} but redeemed "
+                    f"{into['amount']}"
+                )
+        if out is not None and out["status"] == "voucher":
+            if into is None or into.get("status") != "redeemed":
+                in_transit += int(out["amount"])
 
     minted_total = sum(minted.values())
     if minted_total != total_supply + in_transit:

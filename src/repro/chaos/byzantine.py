@@ -12,7 +12,10 @@ be *caught*.  This module turns "caught" into a checkable contract:
     XSHARD_VOTE never produced a provable decision: the coordinator's
     directory-verified vote check refused it and every touched hold
     stayed escrowed (no settled source hold, no credited target, no
-    ok-commit client result — *zero undetected half-commits*);
+    ok-commit client result — *zero undetected half-commits*).  The
+    fast-path variant (``mode='voucher'``) forges the signatures on the
+    credit vouchers it mints; the destination gateway's directory check
+    refuses them, so no forged voucher ever redeems;
   - ``caught-by-anchor-agreement`` — the cell's anchored snapshot
     fingerprint disagrees with its group (the on-chain agreement check);
   - ``caught-by-audit`` — a per-cell audit finding names the cell
@@ -143,6 +146,11 @@ def _attribute_lying_gateway(
             undetected.append(
                 f"xtx {xtx}: target credited despite a {mode}d vote"
             )
+        if into is not None and into["status"] == "redeemed":
+            undetected.append(
+                f"xtx {xtx}: target redeemed a voucher whose signature "
+                f"never verified against the directory"
+            )
     committed_results = [
         result
         for result in run.workload.results
@@ -158,13 +166,22 @@ def _attribute_lying_gateway(
     if undetected:
         findings.extend(undetected)
         return None
-    lies_counted = run.deployment.metrics.counter(
-        f"{node}/xshard_votes_{mode}d"
-    )
-    evidence = [
-        f"{node} {mode}d {len(events)} XSHARD_VOTE prepare vote(s) "
-        f"(metric {node}/xshard_votes_{mode}d={lies_counted:g})",
-    ]
+    if mode == "voucher":
+        forged = run.deployment.metrics.counter(
+            f"{node}/xshard_vouchers_forged"
+        )
+        evidence = [
+            f"{node} forged the signature on {len(events)} credit "
+            f"voucher(s) (metric {node}/xshard_vouchers_forged={forged:g})",
+        ]
+    else:
+        lies_counted = run.deployment.metrics.counter(
+            f"{node}/xshard_votes_{mode}d"
+        )
+        evidence = [
+            f"{node} {mode}d {len(events)} XSHARD_VOTE prepare vote(s) "
+            f"(metric {node}/xshard_votes_{mode}d={lies_counted:g})",
+        ]
     for xtx in sorted(lied):
         result = next(
             (
@@ -192,6 +209,18 @@ def _attribute_lying_gateway(
     )
     if refusals:
         evidence.append(f"gateways refused {refusals:g} uncertified decision(s)")
+    voucher_refusals = sum(
+        run.deployment.metrics.counter(
+            f"{cell.node_name}/xshard_voucher_refusals"
+        )
+        for group in run.deployment.groups
+        for cell in group.cells
+    )
+    if voucher_refusals:
+        evidence.append(
+            f"gateways refused {voucher_refusals:g} voucher(s) whose "
+            f"signatures failed the directory check"
+        )
     return FaultAttribution(
         kind=fault.kind, group=fault.group, cell=fault.cell, node=node,
         mechanism="caught-by-certificate", evidence=tuple(evidence),

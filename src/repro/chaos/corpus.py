@@ -3,7 +3,7 @@
 The corpus is simply the contiguous seed range ``0..CORPUS_SIZE-1``
 sampled from the default :class:`~repro.chaos.scenario.ScenarioSpace`.
 Because sampling stratifies the feature-matrix point over ``seed % 12``
-and the leading fault kind over ``seed % 5``, the range provably spans
+and the leading fault kind over ``seed % 7``, the range provably spans
 shards {1, 2, 4} × lanes {1, 4} × batching {on, off} and every fault
 kind — :func:`coverage` computes the span so tests (and the benchmark)
 can assert it instead of trusting it.
@@ -31,9 +31,10 @@ from .scenario import (
 CORPUS_SIZE = 84
 
 #: Seeds of the pinned *Byzantine* corpus: a whole number of rounds over
-#: the four must-be-caught kinds (``seed % 4``), sized so both lying
-#: modes (``(seed // 4) % 2``) and several matrix points appear.
-BYZANTINE_CORPUS_SIZE = 8
+#: the four must-be-caught kinds (``seed % 4``), sized so all three
+#: lying-gateway modes (``(seed // 4) % 3`` — forge, withhold, and the
+#: fast-path voucher forgery) and several matrix points appear.
+BYZANTINE_CORPUS_SIZE = 12
 
 
 def corpus_seeds(budget: Optional[int] = None) -> list[int]:

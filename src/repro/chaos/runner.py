@@ -241,6 +241,42 @@ def _arm_faults(
                 log(fault, "lying_gateway", mode=mode)
 
             env.call_at(fault.at, lie)
+        elif fault.kind == "voucher_loss":
+            owner_key = (cell.node_name, "voucher_loss")
+
+            def drop_on(fault=fault, cell=cell, owner_key=owner_key) -> None:
+                window_owners[owner_key] = fault
+                cell.fault.drop_voucher = True
+                log(fault, "voucher_loss_on")
+
+            def drop_off(fault=fault, cell=cell, owner_key=owner_key) -> None:
+                if window_owners.get(owner_key) is not fault:
+                    log(fault, "voucher_loss_off_superseded")
+                    return
+                del window_owners[owner_key]
+                cell.fault.drop_voucher = False
+                log(fault, "voucher_loss_off")
+
+            env.call_at(fault.at, drop_on)
+            env.call_at(fault.until, drop_off)
+        elif fault.kind == "voucher_duplication":
+            owner_key = (cell.node_name, "voucher_duplication")
+
+            def dup_on(fault=fault, cell=cell, owner_key=owner_key) -> None:
+                window_owners[owner_key] = fault
+                cell.fault.duplicate_voucher = True
+                log(fault, "voucher_duplication_on")
+
+            def dup_off(fault=fault, cell=cell, owner_key=owner_key) -> None:
+                if window_owners.get(owner_key) is not fault:
+                    log(fault, "voucher_duplication_off_superseded")
+                    return
+                del window_owners[owner_key]
+                cell.fault.duplicate_voucher = False
+                log(fault, "voucher_duplication_off")
+
+            env.call_at(fault.at, dup_on)
+            env.call_at(fault.until, dup_off)
         else:  # pragma: no cover - FaultSchedule already validated kinds
             raise ChaosError(f"unhandled fault kind {fault.kind!r}")
 
@@ -253,7 +289,14 @@ def _result_essence(result: Any) -> Any:
     if result is None:
         return None
     if isinstance(result, CrossShardResult):
-        return ("cross", result.xtx, result.decision, result.ok, result.error)
+        return (
+            "cross",
+            result.xtx,
+            result.decision,
+            result.ok,
+            result.in_transit,
+            result.error,
+        )
     receipt = result.receipt
     return (
         "tx",
@@ -315,6 +358,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
         elections=[(eid, list(choices)) for eid, choices in spec.elections],
         horizon=spec.collect_horizon,
         label=f"chaos/{spec.seed}",
+        fast_path=spec.fast_path,
     )
     deployment.run(until=spec.end_time)
     artifacts = collect_artifacts(deployment, spec, workload)
@@ -334,7 +378,8 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioRun:
 #: of per-entry translation.
 _XSHARD_METHODS = frozenset(
     {"xshard_reserve", "xshard_settle", "xshard_refund", "xshard_reclaim",
-     "xshard_expect", "xshard_credit", "xshard_cancel"}
+     "xshard_expect", "xshard_credit", "xshard_cancel",
+     "xshard_voucher_mint", "xshard_voucher_redeem", "xshard_voucher_reclaim"}
 )
 
 
@@ -374,9 +419,19 @@ def harvest_committed(
     for xtx, pair in sorted(harvest_escrows(deployment, base_name).items()):
         out = pair.get("out")
         into = pair.get("in")
-        if out is None or out["status"] != "settled":
+        if out is None:
             continue
-        if into is None:
+        if out["status"] == "voucher":
+            # Fast path: a minted voucher whose credit *redeemed* is a
+            # complete transfer.  An unredeemed one is value in transit
+            # (the conservation oracle counts it); the reference cannot
+            # place it, and the semantic harvest hands it back to its
+            # sender on both sides.
+            if into is None or into.get("status") != "redeemed":
+                continue
+        elif out["status"] != "settled":
+            continue
+        elif into is None:
             # Conservation reports this; the differential cannot place
             # the value without a target record.
             continue
@@ -419,6 +474,16 @@ def harvest_semantics(
         out = pair.get("out")
         into = pair.get("in")
         if out is not None and out["status"] == "held":
+            owner = out["from"]
+            balances[owner] = balances.get(owner, 0) + int(out["amount"])
+        elif (
+            out is not None
+            and out["status"] == "voucher"
+            and (into is None or into.get("status") != "redeemed")
+        ):
+            # An outstanding (lost, refused, or not-yet-redeemed) voucher
+            # still logically belongs to its sender: the escrowed debit
+            # reclaims after the voucher deadline.
             owner = out["from"]
             balances[owner] = balances.get(owner, 0) + int(out["amount"])
         elif (

@@ -27,6 +27,7 @@ from ..core.faults import (
     BYZANTINE_FAULT_KINDS,
     LYING_GATEWAY_MODES,
     RECOVERABLE_FAULT_KINDS,
+    VOUCHER_FAULT_KINDS,
     FaultSchedule,
     ScheduledFault,
 )
@@ -141,6 +142,11 @@ class ScenarioSpec:
     operations: tuple[MixedOperation, ...]
     faults: FaultSchedule
     elections: tuple[tuple[str, tuple[str, ...]], ...] = (CHAOS_ELECTION,)
+    #: Whether cross-shard transfers take the one-way credit-voucher fast
+    #: path when the destination footprint allows it (half the corpus
+    #: samples it on, so both the voucher and the 2PC machinery stay
+    #: exercised under faults).
+    fast_path: bool = False
 
     def __post_init__(self) -> None:
         if self.account_count < 2:
@@ -241,6 +247,7 @@ class ScenarioSpec:
             "pauper_accounts": list(self.pauper_accounts),
             "operations": [op.to_data() for op in self.operations],
             "faults": self.faults.to_data(),
+            "fast_path": self.fast_path,
             "elections": [
                 {"election_id": election_id, "choices": list(choices)}
                 for election_id, choices in self.elections
@@ -269,6 +276,8 @@ class ScenarioSpec:
                 (item["election_id"], tuple(item["choices"]))
                 for item in data["elections"]
             ),
+            # Absent in pre-voucher reports: those ran pure 2PC.
+            fast_path=bool(data.get("fast_path", False)),
         )
 
 
@@ -287,6 +296,10 @@ def sample_scenario(seed: int, space: Optional[ScenarioSpace] = None) -> Scenari
     matrix = space.matrix()
     shards, lanes, batching = matrix[seed % len(matrix)]
     lead_kind = space.fault_kinds[seed % len(space.fault_kinds)]
+    # Stratified like the matrix point: every other seed runs its
+    # cross-shard transfers over the credit-voucher fast path, so both
+    # the voucher and the 2PC machinery face the sampled faults.
+    fast_path = seed % 2 == 0
     # One child sequence per scenario: its named streams (accounts,
     # operations, faults) can never collide with another seed's — or
     # with any stream the deployment itself draws.
@@ -301,7 +314,7 @@ def sample_scenario(seed: int, space: Optional[ScenarioSpace] = None) -> Scenari
         seeds.stream("operations"), space, account_count, funded, paupers
     )
     faults, standby_cells = _sample_faults(
-        seeds.stream("faults"), space, shards, lead_kind, funded
+        seeds.stream("faults"), space, shards, lead_kind, funded, fast_path
     )
     return ScenarioSpec(
         seed=seed,
@@ -316,6 +329,7 @@ def sample_scenario(seed: int, space: Optional[ScenarioSpace] = None) -> Scenari
         pauper_accounts=paupers,
         operations=tuple(operations),
         faults=faults,
+        fast_path=fast_path,
     )
 
 
@@ -378,7 +392,7 @@ def _sample_operations(rng, space, account_count, funded, paupers):
     return operations
 
 
-def _sample_faults(rng, space, shards, lead_kind, funded):
+def _sample_faults(rng, space, shards, lead_kind, funded, fast_path=False):
     """The fault schedule of one scenario (plus the standby provisioning).
 
     Constraints keeping corpus scenarios *recoverable* (their oracles
@@ -487,6 +501,20 @@ def _sample_faults(rng, space, shards, lead_kind, funded):
                     at=round(base + activate_group, 3),
                 )
             )
+    # Voucher delivery faults ride along when the fast path is sampled
+    # on: about half such scenarios lose or re-deliver vouchers at one
+    # group's gateway (cell 0 — the cell that mints and redeems).  These
+    # draws come strictly *after* every draw above on the same stream, so
+    # pre-voucher fault schedules stay bit-for-bit identical.
+    if fast_path and shards > 1 and rng.random() < 0.5:
+        kind = VOUCHER_FAULT_KINDS[rng.randrange(len(VOUCHER_FAULT_KINDS))]
+        at = round(rng.uniform(FAULTS_START, FAULTS_END), 3)
+        until = round(rng.uniform(at + 2.0, RESOLVE_BY), 3)
+        faults.append(
+            ScheduledFault(
+                kind=kind, group=rng.randrange(shards), cell=0, at=at, until=until
+            )
+        )
     return FaultSchedule(tuple(faults)), standby_cells
 
 
@@ -547,7 +575,10 @@ def sample_byzantine_scenario(
 
     # Drop the recoverable faults (and any standby provisioning that
     # came with them): the Byzantine fault must be the only adversary.
-    spec = base.with_faults(FaultSchedule(()))
+    # The fast path is pinned off too — a forging/withholding gateway
+    # needs the probe to drive a 2PC prepare, not a voucher — and only
+    # the voucher-forging mode (below) switches it back on.
+    spec = replace(base.with_faults(FaultSchedule(())), fast_path=False)
     params: dict[str, Any] = {}
     if kind == "lying_gateway":
         if spec.shards == 1:
@@ -570,6 +601,11 @@ def sample_byzantine_scenario(
             (seed // len(BYZANTINE_FAULT_KINDS)) % len(LYING_GATEWAY_MODES)
         ]
         params["mode"] = mode
+        if mode == "voucher":
+            # Forged vouchers only mint when the probe takes the fast
+            # path; its FastMoney redeem footprint is a pure increment,
+            # so the classifier provably routes it through the voucher.
+            spec = replace(spec, fast_path=True)
     else:
         homes = _chaos_account_homes(spec)
         paupers = set(spec.pauper_accounts)

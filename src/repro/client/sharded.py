@@ -53,6 +53,8 @@ from ..messages.xshard import (
     CrossShardError,
     CrossShardPrepare,
     CrossShardVote,
+    CrossShardVoucher,
+    CrossShardVoucherTransfer,
 )
 from ..sim.events import Event
 from .client import BlockumulusClient, ClientError
@@ -64,6 +66,16 @@ class ShardRoutingError(ClientError):
 
 #: One invocation: (contract, method, args).
 Call = tuple[str, str, dict[str, Any]]
+
+#: Default padding (seconds) added to delivery-side escrow deadlines.
+#: Clock skew in this system is a delivery delay (the network adds the
+#: two endpoints' skews to a message's latency), so a deadline computed
+#: at the client can pass *in flight* on the slower leg while the other
+#: leg settles in time.  Padding the destination-side deadline by the
+#: configured skew bound keeps the two legs' deadlines effectively
+#: symmetric; the chaos engine samples per-node skews up to 0.5s, so the
+#: default covers both endpoints of one delivery.
+DEFAULT_SKEW_PAD = 1.0
 
 
 @dataclass(frozen=True)
@@ -93,7 +105,16 @@ class PhaseOutcome:
 
 @dataclass
 class CrossShardResult:
-    """What the coordinator learned about one cross-shard transaction."""
+    """What the coordinator learned about one cross-shard transaction.
+
+    ``ok=False`` alone does not mean the transfer failed: when
+    ``in_transit`` is set the decision was *provably reached* (a commit
+    certificate exists, or a voucher was minted) but some leg's
+    acknowledgement never arrived — the value moved, or will move, and
+    callers must not double-count it as a failure.  ``prepare`` carries
+    the signed votes (the certificate) so an in-transit decision can be
+    re-driven.
+    """
 
     ok: bool
     xtx: str
@@ -103,6 +124,10 @@ class CrossShardResult:
     prepare: dict[int, PhaseOutcome] = field(default_factory=dict)
     acks: dict[int, PhaseOutcome] = field(default_factory=dict)
     error: Optional[str] = None
+    in_transit: bool = False
+    #: Asynchronous fast path only (``await_redeem=False``): the still-
+    #: running redeem delivery, resolving to the final CrossShardResult.
+    redeem: Optional[Event] = field(default=None, compare=False, repr=False)
 
     @property
     def latency(self) -> float:
@@ -435,21 +460,46 @@ class ShardedClient:
 
         ok = committing and all(outcome.ok for outcome in acks.values())
         error: Optional[str] = None
+        in_transit = False
         if not committing:
-            failed = [
-                outcome.error for outcome in prepare.values()
+            # Aggregate every group's distinct refusal, sorted by group,
+            # so shrink/attribution reports see a stable message even
+            # when several groups voted no for different reasons (dict
+            # order used to surface an arbitrary one).
+            failed = sorted(
+                (group, outcome.error)
+                for group, outcome in prepare.items()
                 if not outcome.ok and outcome.error is not None
-            ]
+            )
             if not have_no_vote:
                 error = (
                     "prepare votes were lost before any decision was provable; "
                     "holds remain escrowed until the decision is re-driven"
                 )
             else:
-                error = failed[0] if failed else "prepare phase failed"
+                error = (
+                    "; ".join(f"group {group}: {reason}" for group, reason in failed)
+                    if failed
+                    else "prepare phase failed"
+                )
         elif not ok:
-            failed = [outcome.error for outcome in acks.values() if not outcome.ok]
-            error = failed[0] if failed else "commit phase failed"
+            # The commit *decision* was reached — the certificate in
+            # ``prepare`` proves it and the decision was sent — so the
+            # value is in transit, not lost: every group that received
+            # the decision applied (or will apply) it, and a group that
+            # missed it can have the certificate re-driven.  Reporting
+            # this as a plain failure double-counts the transfer.
+            in_transit = True
+            failed = sorted(
+                (group, outcome.error or "no commit acknowledgement before the deadline")
+                for group, outcome in acks.items()
+                if not outcome.ok
+            )
+            error = (
+                "commit decided but not fully acknowledged ("
+                + "; ".join(f"group {group}: {reason}" for group, reason in failed)
+                + "); value is in transit under the commit certificate"
+            )
         return CrossShardResult(
             ok=ok,
             xtx=xtx,
@@ -459,6 +509,266 @@ class ShardedClient:
             prepare=prepare,
             acks=acks,
             error=error,
+            in_transit=in_transit,
+        )
+
+    # ------------------------------------------------------------------
+    # The one-way voucher fast path
+    # ------------------------------------------------------------------
+    def destination_is_pure_increment(
+        self, group: int, call: Call, sender: Optional[Address] = None
+    ) -> bool:
+        """Prove (not assume) that ``call``'s effect is a pure increment.
+
+        The fast-path safety rule: the destination leg may skip 2PC only
+        when its declared access plan shows that, apart from keys minted
+        fresh for this transaction (they embed the unique xtx id, so no
+        other transaction can touch them), every effect is a commutative
+        delta.  Such a call commutes with all concurrent traffic — a
+        one-way voucher redeemed at any later time yields the same state
+        as a synchronous 2PC credit.  Anything unprovable (no plan, a
+        read or write of a shared key, a routing mismatch) answers
+        ``False`` and the transfer falls back to full 2PC.
+        """
+        contract_name, method, args = call
+        xtx = args.get("xtx")
+        if not isinstance(xtx, str) or not xtx:
+            return False
+        try:
+            if self.route(contract_name, method, args) != group:
+                return False
+        except ShardRoutingError:
+            return False
+        registry = self.deployment.group(group).cells[0].contracts
+        if not registry.contains(contract_name):
+            return False
+        sender_hex = (sender or self.signer.address).hex()
+        try:
+            plan = registry.get(contract_name).access_plan(
+                method, args, sender=sender_hex, tx_id=f"plan/{method}"
+            )
+        except Exception:  # noqa: BLE001 - planless calls cannot prove safety
+            return False
+        if plan is None:
+            return False
+        shared = {key for key in (plan.reads | plan.writes) if xtx not in key}
+        return not shared
+
+    def submit_voucher(
+        self,
+        source_group: int,
+        target_group: int,
+        mint: Call,
+        redeem: Call,
+        signer: Optional[Signer] = None,
+        xtx: Optional[str] = None,
+        await_redeem: bool = True,
+    ) -> Event:
+        """Run a fast-path voucher transfer; the process value is a CrossShardResult.
+
+        With ``await_redeem=False`` the process completes as soon as the
+        signed voucher is secured and verified against the shard
+        directory — the one-way asynchronous mode: the redeem leg keeps
+        running in the background (``CrossShardResult.redeem`` resolves
+        to the final outcome once delivery settles).
+        """
+        if source_group == target_group:
+            raise ShardRoutingError("a voucher transfer needs two distinct groups")
+        return self.env.process(
+            self._coordinate_voucher(
+                source_group, target_group, mint, redeem,
+                signer or self.signer, xtx or self.next_xtx(),
+                await_redeem=await_redeem,
+            )
+        )
+
+    def _shard_gateway_directory(self) -> dict[int, frozenset]:
+        """The shard directory: each group's designated gateway address."""
+        return {
+            group.index: frozenset({group.gateway.address})
+            for group in self.deployment.groups
+        }
+
+    def _send_voucher(self, signer: Signer, group: int, data: dict[str, Any]) -> Event:
+        """Send one voucher leg to a group's gateway; returns the safe waiter."""
+        _request, waiter = self._gateway_client(group).request(
+            Opcode.XSHARD_VOUCHER, data, signer=signer
+        )
+        return self._safe_reply(waiter)
+
+    def _coordinate_voucher(
+        self,
+        source_group: int,
+        target_group: int,
+        mint: Call,
+        redeem: Call,
+        signer: Signer,
+        xtx: str,
+        await_redeem: bool = True,
+    ) -> Generator[Event, Any, CrossShardResult]:
+        """Drive mint-then-redeem; one message to each gateway, no barrier.
+
+        Unlike :meth:`_coordinate` there is no prepare/decide round trip:
+        the source gateway's signed voucher *is* the decision, and the
+        destination's redeem is idempotent and deadline-bounded, so every
+        partial outcome resolves — a refused mint fails cleanly before
+        any value moves, and a lost voucher (or lost/refused redeem)
+        leaves the value in transit until the source holder reclaims it
+        after the voucher's reclaim deadline.
+
+        With ``await_redeem=False`` the coordinator verifies the voucher
+        against the shard directory itself (the check is load-bearing
+        here: the early ``ok`` promises the credit will be honoured, so
+        a forged voucher must be refused *before* the promise) and
+        returns once it holds a valid voucher; the redeem leg runs on in
+        the background and resolves ``CrossShardResult.redeem``.
+        """
+        submitted_at = self.env.now
+        deadline = self.deployment.config.forwarding_deadline
+
+        def result(
+            ok: bool, decision: str, *, error: Optional[str] = None,
+            in_transit: bool = False,
+            prepare: Optional[dict[int, PhaseOutcome]] = None,
+            acks: Optional[dict[int, PhaseOutcome]] = None,
+            redeem_event: Optional[Event] = None,
+        ) -> CrossShardResult:
+            return CrossShardResult(
+                ok=ok, xtx=xtx, decision=decision,
+                submitted_at=submitted_at, completed_at=self.env.now,
+                prepare=prepare or {}, acks=acks or {},
+                error=error, in_transit=in_transit, redeem=redeem_event,
+            )
+
+        # Leg 1: the source gateway mints (escrowed debit + signed voucher).
+        inner = self._sign_call(signer, source_group, mint)
+        body = CrossShardVoucherTransfer(
+            xtx=xtx, phase="mint", group=source_group,
+            transaction=inner.to_wire(),
+            target_group=target_group, target_contract=redeem[0],
+        )
+        waiter = self._send_voucher(signer, source_group, body.to_data())
+        yield self.env.any_of([waiter, self.env.timeout(deadline)])
+        reply = waiter.value if waiter.triggered else None
+        if reply is None:
+            return result(
+                False, "abort", in_transit=True,
+                error=(
+                    "voucher mint unanswered before the deadline; an outstanding "
+                    "voucher reclaims after its deadline"
+                ),
+            )
+        if reply.operation != Opcode.XSHARD_VOUCHER:
+            return result(
+                False, "abort",
+                error=str(reply.data.get("error", f"unexpected {reply.operation}")),
+            )
+        voucher_wire = reply.data.get("voucher")
+        if reply.data.get("phase") != "minted" or not isinstance(voucher_wire, dict):
+            return result(False, "abort", error="malformed voucher mint reply")
+        try:
+            voucher = CrossShardVoucher.from_wire(voucher_wire)
+        except CrossShardError as exc:
+            return result(False, "abort", error=str(exc))
+        mint_outcome = PhaseOutcome(ok=True, receipt=reply.data.get("receipt"))
+
+        if not await_redeem:
+            # The asynchronous commit point: once the client holds a
+            # directory-valid voucher the outcome is irrevocable — the
+            # destination must honour it (idempotently) until its
+            # deadline, after which the escrow reclaims.  The signature
+            # check is load-bearing for the early ok, so a forged
+            # voucher is refused here, before the promise is made.
+            refusal = voucher.verify_against(self._shard_gateway_directory())
+            if refusal is not None:
+                return result(
+                    False, "abort", in_transit=True,
+                    prepare={source_group: mint_outcome},
+                    error=(
+                        f"voucher failed directory verification ({refusal}); "
+                        "the escrowed debit reclaims after its deadline"
+                    ),
+                )
+            redeem_event = self.env.process(
+                self._redeem_voucher_leg(
+                    signer, source_group, target_group, redeem, xtx,
+                    voucher, mint_outcome, submitted_at,
+                )
+            )
+            return result(
+                True, "commit", prepare={source_group: mint_outcome},
+                redeem_event=redeem_event,
+            )
+
+        # The synchronous client relays the voucher without judging its
+        # signature: the destination gateway's directory check is the
+        # authoritative refusal (which is how a forged voucher gets
+        # caught and counted there rather than silently dropped here).
+        final = yield from self._redeem_voucher_leg(
+            signer, source_group, target_group, redeem, xtx,
+            voucher, mint_outcome, submitted_at,
+        )
+        return final
+
+    def _redeem_voucher_leg(
+        self,
+        signer: Signer,
+        source_group: int,
+        target_group: int,
+        redeem: Call,
+        xtx: str,
+        voucher: CrossShardVoucher,
+        mint_outcome: PhaseOutcome,
+        submitted_at: float,
+    ) -> Generator[Event, Any, CrossShardResult]:
+        """Deliver one voucher to the destination gateway for redemption."""
+        deadline = self.deployment.config.forwarding_deadline
+
+        def result(
+            ok: bool, *, error: Optional[str] = None, in_transit: bool = False,
+            acks: Optional[dict[int, PhaseOutcome]] = None,
+        ) -> CrossShardResult:
+            return CrossShardResult(
+                ok=ok, xtx=xtx, decision="commit",
+                submitted_at=submitted_at, completed_at=self.env.now,
+                prepare={source_group: mint_outcome}, acks=acks or {},
+                error=error, in_transit=in_transit,
+            )
+
+        inner = self._sign_call(signer, target_group, redeem)
+        body = CrossShardVoucherTransfer(
+            xtx=xtx, phase="redeem", group=target_group,
+            transaction=inner.to_wire(), voucher=voucher.to_wire(),
+        )
+        waiter = self._send_voucher(signer, target_group, body.to_data())
+        yield self.env.any_of([waiter, self.env.timeout(deadline)])
+        reply = waiter.value if waiter.triggered else None
+        if reply is None:
+            return result(
+                False, in_transit=True,
+                acks={target_group: PhaseOutcome(
+                    ok=False, error="gateway unreachable or timed out"
+                )},
+                error=(
+                    "voucher minted but the redeem was unanswered; value is in "
+                    "transit until redeemed or reclaimed"
+                ),
+            )
+        if reply.operation != Opcode.XSHARD_VOUCHER or reply.data.get("phase") != "redeemed":
+            refusal = str(reply.data.get("error", f"unexpected {reply.operation}"))
+            return result(
+                False, in_transit=True,
+                acks={target_group: PhaseOutcome(ok=False, error=refusal)},
+                error=(
+                    f"voucher minted but the redeem was refused ({refusal}); value "
+                    "is in transit until redeemed or reclaimed"
+                ),
+            )
+        return result(
+            True,
+            acks={target_group: PhaseOutcome(
+                ok=True, receipt=reply.data.get("receipt")
+            )},
         )
 
 
@@ -507,6 +817,7 @@ class ShardedFastMoneyClient:
         amount: int,
         signer: Optional[Signer] = None,
         hold_expiry: Optional[float] = None,
+        fast_path: bool = False,
     ) -> Event:
         """Transfer with automatic routing: plain in-group, 2PC across groups.
 
@@ -515,7 +826,9 @@ class ShardedFastMoneyClient:
         transfer and a :class:`CrossShardResult` for a cross-group one.
         ``hold_expiry`` (seconds from now) arms the cross-shard escrow
         safety valve — see :meth:`transfer_cross`; it is ignored for
-        in-group transfers, which hold nothing.
+        in-group transfers, which hold nothing.  ``fast_path`` opts a
+        cross-group transfer into the one-way voucher path when its
+        destination footprint proves safe.
         """
         signer = signer or self.client.signer
         recipient = to.hex() if isinstance(to, Address) else to
@@ -527,8 +840,15 @@ class ShardedFastMoneyClient:
                 {"to": recipient, "amount": amount}, signer=signer,
             )
         return self.transfer_cross(
-            source, target, recipient, amount, signer=signer, hold_expiry=hold_expiry
+            source, target, recipient, amount, signer=signer,
+            hold_expiry=hold_expiry, fast_path=fast_path,
         )
+
+    #: Voucher deadline when the caller arms no explicit hold_expiry,
+    #: as a multiple of the forwarding deadline: far beyond the redeem
+    #: round trip, yet early enough that a lost voucher reclaims within
+    #: a bounded horizon.
+    DEFAULT_VOUCHER_EXPIRY_FACTOR = 2.5
 
     def transfer_cross(
         self,
@@ -538,16 +858,38 @@ class ShardedFastMoneyClient:
         amount: int,
         signer: Optional[Signer] = None,
         hold_expiry: Optional[float] = None,
+        fast_path: bool = False,
+        skew_pad: float = DEFAULT_SKEW_PAD,
+        await_redeem: bool = True,
     ) -> Event:
-        """Two-phase escrow transfer between explicit group instances.
+        """Cross-group transfer: two-phase escrow, or the voucher fast path.
 
         ``hold_expiry`` (seconds from now, far beyond the decision
-        deadline) arms both escrow legs with one ``expires_at``: if this
-        coordinator then vanishes between PREPARE and the decision, the
-        sender can pull the hold back with ``xshard_reclaim`` once the
-        expiry passes, and a decision driven after it is refused on both
-        sides.  ``None`` (the default) keeps the historical behaviour —
-        an undecided hold stays escrowed until a decision is re-driven.
+        deadline) arms both escrow legs: if this coordinator then
+        vanishes between PREPARE and the decision, the sender can pull
+        the hold back with ``xshard_reclaim`` once the expiry passes,
+        and a decision driven after it is refused on both sides.
+        ``None`` (the default) keeps the historical behaviour — an
+        undecided hold stays escrowed until a decision is re-driven.
+        The *destination* leg's deadline is padded by ``skew_pad``
+        (see :data:`DEFAULT_SKEW_PAD`): deadlines are checked at
+        delivery time, and under skewed delivery the credit can arrive
+        after a deadline the settle met — the pad keeps the two legs
+        symmetric under the configured skew bound.
+
+        ``fast_path=True`` runs the transfer as a one-way credit voucher
+        *when the destination footprint provably is a pure increment*
+        (see :meth:`ShardedClient.destination_is_pure_increment`):
+        the source gateway executes the escrowed debit and signs a
+        voucher, the destination redeems it as a plain increment — one
+        message to each gateway instead of two full 2PC rounds.  The
+        voucher always carries a deadline (``hold_expiry`` when given,
+        else ``DEFAULT_VOUCHER_EXPIRY_FACTOR`` forwarding deadlines) so
+        a lost voucher reclaims cleanly; an unprovable footprint falls
+        back to full 2PC.  ``await_redeem=False`` (fast path only)
+        completes once the voucher is secured and directory-verified,
+        leaving the redeem to a background delivery —
+        :attr:`CrossShardResult.redeem` resolves to the final outcome.
         """
         if source_group == target_group:
             raise ShardRoutingError("a cross-shard transfer needs two distinct groups")
@@ -557,16 +899,54 @@ class ShardedFastMoneyClient:
                 f"({self.client.deployment.config.forwarding_deadline}s), "
                 f"got {hold_expiry!r}"
             )
+        if skew_pad < 0:
+            raise ShardRoutingError(f"skew_pad must be non-negative, got {skew_pad!r}")
         signer = signer or self.client.signer
         recipient = to.hex() if isinstance(to, Address) else to
         xtx = self.client.next_xtx()
         source, target = self.instance(source_group), self.instance(target_group)
+
+        if fast_path:
+            expiry = (
+                hold_expiry
+                if hold_expiry is not None
+                else self.DEFAULT_VOUCHER_EXPIRY_FACTOR
+                * self.client.deployment.config.forwarding_deadline
+            )
+            # The redeem deadline is checked at the destination on
+            # delivery, so it gets the skew pad; the reclaim deadline
+            # sits another pad beyond it, keeping redeem and reclaim
+            # mutually exclusive under the skew bound.
+            voucher_expires = self.client.env.now + expiry + skew_pad
+            reclaim_after = self.client.env.now + expiry + 2 * skew_pad
+            mint: Call = (
+                source, "xshard_voucher_mint",
+                {"xtx": xtx, "to": recipient, "amount": amount,
+                 "expires_at": voucher_expires, "reclaim_after": reclaim_after},
+            )
+            redeem: Call = (
+                target, "xshard_voucher_redeem",
+                {"xtx": xtx, "to": recipient, "amount": amount,
+                 "expires_at": voucher_expires},
+            )
+            if self.client.destination_is_pure_increment(
+                target_group, redeem, sender=signer.address
+            ):
+                return self.client.submit_voucher(
+                    source_group, target_group, mint, redeem,
+                    signer=signer, xtx=xtx, await_redeem=await_redeem,
+                )
+            # Unprovable destination footprint: fall through to 2PC.
+
         reserve_args: dict[str, Any] = {"xtx": xtx, "amount": amount}
         expect_args: dict[str, Any] = {"xtx": xtx, "to": recipient, "amount": amount}
         if hold_expiry is not None:
             expires_at = self.client.env.now + hold_expiry
             reserve_args["expires_at"] = expires_at
-            expect_args["expires_at"] = expires_at
+            # The credit-side deadline is enforced against the delivery
+            # clock; pad it so a skew-delayed commit cannot expire the
+            # destination leg while the source leg settles.
+            expect_args["expires_at"] = expires_at + skew_pad
         plans = [
             ParticipantPlan(
                 group=source_group,

@@ -343,6 +343,142 @@ class FastMoney(BContract):
         return {"xtx": xtx, "amount": amount, "status": "cancelled"}
 
     # ------------------------------------------------------------------
+    # Cross-shard voucher methods (the one-way fast path)
+    # ------------------------------------------------------------------
+    # When the destination effect of a cross-shard transfer is a pure
+    # increment, the 2PC round is unnecessary: the source instance fuses
+    # reserve+settle into a single *mint* (the value leaves its balance
+    # AND its supply at once — it is carried by the voucher from then
+    # on), the destination *redeem* is a plain credit that is idempotent
+    # per xtx, and a voucher that is never redeemed is *reclaimed* by
+    # the holder after its reclaim deadline.  The redeem deadline
+    # (``expires_at``) and the reclaim deadline (``reclaim_after``,
+    # strictly later by the coordinator's skew pad) are disjoint under
+    # bounded clock skew, so a redeem and a reclaim can never both move
+    # the value.
+
+    @bcontract_method
+    def xshard_voucher_mint(
+        self,
+        ctx: InvocationContext,
+        xtx: str,
+        to: str,
+        amount: int,
+        expires_at: float,
+        reclaim_after: float,
+    ) -> dict[str, Any]:
+        """Fast-path debit on the source instance: value leaves with the voucher.
+
+        Unlike :meth:`xshard_reserve`, the debit is final the moment it
+        executes — balance and supply drop together, and the escrow
+        record (status ``voucher``) tracks the value now in transit.
+        Fails when the sender cannot cover ``amount`` or the id was
+        already used, which is what makes the gateway refuse to sign a
+        voucher for an unfunded transfer.
+        """
+        xtx = self._validate_xtx(xtx)
+        amount = _validate_amount(amount)
+        recipient = _normalize_address(to)
+        for name, value in (("expires_at", expires_at), ("reclaim_after", reclaim_after)):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise BContractError(f"FastMoney: {name} must be a timestamp")
+        if float(expires_at) <= ctx.timestamp:
+            raise BContractError("FastMoney: the voucher expiry must be in the future")
+        if float(reclaim_after) < float(expires_at):
+            raise BContractError(
+                "FastMoney: the reclaim deadline cannot precede the voucher expiry"
+            )
+        sender = ctx.sender.hex()
+        if self.store.contains(self._escrow_key(xtx)):
+            raise BContractError(f"FastMoney: cross-shard id {xtx} already used")
+        balance = self.store.get(self._balance_key(sender), 0)
+        if balance < amount:
+            raise BContractError(
+                f"FastMoney: insufficient funds for voucher mint ({balance} < {amount})"
+            )
+        self.store.put(self._balance_key(sender), balance - amount)
+        self.store.increment("supply", -amount)
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "out", "from": sender, "to": recipient, "amount": amount,
+             "status": "voucher", "expires_at": float(expires_at),
+             "reclaim_after": float(reclaim_after)},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "voucher",
+                "expires_at": float(expires_at)}
+
+    @bcontract_method
+    def xshard_voucher_redeem(
+        self,
+        ctx: InvocationContext,
+        xtx: str,
+        to: str,
+        amount: int,
+        expires_at: float,
+    ) -> dict[str, Any]:
+        """Fast-path credit on the destination instance (idempotent per xtx).
+
+        The first redemption credits the recipient and records the xtx in
+        the redeemed-voucher registry (the escrow record, status
+        ``redeemed``); any later redemption of the same voucher is a
+        no-op that reports ``duplicate`` — duplicate delivery can never
+        double-credit.  An expired voucher refuses redemption outright
+        (mirror of the settle-side expiry check), so the source holder's
+        reclaim can never race a late redeem into minting value.
+        """
+        xtx = self._validate_xtx(xtx)
+        amount = _validate_amount(amount)
+        recipient = _normalize_address(to)
+        existing = self.store.get(self._escrow_key(xtx))
+        if existing is not None:
+            if existing.get("direction") == "in" and existing.get("status") == "redeemed":
+                return {"xtx": xtx, "amount": int(existing["amount"]),
+                        "status": "redeemed", "duplicate": True}
+            raise BContractError(f"FastMoney: cross-shard id {xtx} already used")
+        if not isinstance(expires_at, (int, float)) or isinstance(expires_at, bool):
+            raise BContractError("FastMoney: expires_at must be a timestamp")
+        if ctx.timestamp > float(expires_at):
+            raise BContractError(
+                f"FastMoney: voucher {xtx} expired; the source reclaims it"
+            )
+        self.store.increment(self._balance_key(recipient), amount)
+        self.store.increment("supply", amount)
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "in", "to": recipient, "amount": amount, "status": "redeemed"},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "redeemed", "duplicate": False}
+
+    @bcontract_method
+    def xshard_voucher_reclaim(self, ctx: InvocationContext, xtx: str) -> dict[str, Any]:
+        """Reclaim a minted voucher whose reclaim deadline has passed.
+
+        The lost-voucher safety valve: once the (simulated) clock passes
+        ``reclaim_after`` — which the coordinator arms strictly later
+        than the redeem deadline, padded by the skew bound — the holder
+        pulls the value back into balance and supply.  The destination
+        refuses redemption after ``expires_at``, so under bounded skew
+        the two exits from the voucher state are mutually exclusive.
+        """
+        record = self._escrow(xtx, "voucher", "out")
+        if record.get("from") != ctx.sender.hex():
+            raise BContractError("FastMoney: only the holder can reclaim a voucher")
+        if ctx.timestamp <= float(record["reclaim_after"]):
+            raise BContractError(
+                f"FastMoney: voucher {xtx} is not reclaimable yet "
+                f"({ctx.timestamp} <= {record['reclaim_after']})"
+            )
+        amount = int(record["amount"])
+        self.store.increment(self._balance_key(record["from"]), amount)
+        self.store.increment("supply", amount)
+        self.store.put(
+            self._escrow_key(xtx),
+            {"direction": "out", "from": record["from"], "to": record.get("to"),
+             "amount": amount, "status": "voucher_reclaimed"},
+        )
+        return {"xtx": xtx, "amount": amount, "status": "voucher_reclaimed"}
+
+    # ------------------------------------------------------------------
     # Access planning (conflict-aware execution lanes)
     # ------------------------------------------------------------------
     def access_plan(
@@ -408,6 +544,35 @@ class FastMoney(BContract):
                     )
                 # xshard_cancel
                 return AccessSet(reads=frozenset({escrow}), writes=frozenset({escrow}))
+            if method in ("xshard_voucher_mint", "xshard_voucher_redeem",
+                          "xshard_voucher_reclaim"):
+                escrow = self._escrow_key(self._validate_xtx(args["xtx"]))
+                sender_key = self._balance_key(sender)
+                if method == "xshard_voucher_mint":
+                    return AccessSet(
+                        reads=frozenset({escrow, sender_key}),
+                        writes=frozenset({escrow, sender_key}),
+                        deltas=frozenset({"supply"}),
+                    )
+                if method == "xshard_voucher_redeem":
+                    # The recipient is part of the call (unlike
+                    # xshard_credit), so the plan is derivable: apart
+                    # from the fresh per-xtx escrow key, the whole
+                    # effect is commutative increments — which is
+                    # exactly the pure-increment shape the client's
+                    # fast-path classifier requires.
+                    recipient_key = self._balance_key(_normalize_address(args["to"]))
+                    return AccessSet(
+                        reads=frozenset({escrow}),
+                        writes=frozenset({escrow}),
+                        deltas=frozenset({recipient_key, "supply"}),
+                    )
+                # xshard_voucher_reclaim
+                return AccessSet(
+                    reads=frozenset({escrow}),
+                    writes=frozenset({escrow}),
+                    deltas=frozenset({sender_key, "supply"}),
+                )
             # xshard_credit's recipient balance key is only recorded in the
             # escrow (not in the call), so its plan cannot be derived
             # pre-execution: returning None degrades it to the exclusive

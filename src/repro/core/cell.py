@@ -38,6 +38,8 @@ from ..messages.xshard import (
     CrossShardError,
     CrossShardPrepare,
     CrossShardVote,
+    CrossShardVoucher,
+    CrossShardVoucherTransfer,
 )
 from ..sim.environment import Environment
 from ..sim.events import Event
@@ -376,6 +378,10 @@ class BlockumulusCell:
             self._client_nodes[envelope.sender] = src_node
             self.subscriptions.record_traffic(envelope.sender, size)
             self.env.process(self._serve_xshard(src_node, envelope))
+        elif operation == Opcode.XSHARD_VOUCHER:
+            self._client_nodes[envelope.sender] = src_node
+            self.subscriptions.record_traffic(envelope.sender, size)
+            self.env.process(self._serve_xshard_voucher(src_node, envelope))
         elif operation == Opcode.SNAPSHOT_REQUEST:
             self.env.process(self._serve_snapshot_request(src_node, envelope))
         elif operation == Opcode.LEDGER_REQUEST:
@@ -1196,7 +1202,10 @@ class BlockumulusCell:
     ) -> None:
         """Sign and send this gateway's vote / acknowledgement for a phase."""
         assert self.shard_group is not None
-        if self.fault.lying_gateway is not None and phase == "prepare":
+        if self.fault.lying_gateway in ("forge", "withhold") and phase == "prepare":
+            # The "voucher" lying mode corrupts voucher mints instead of
+            # 2PC prepare votes (see _voucher_reply); it must leave the
+            # vote path honest so its probe traffic isolates the forgery.
             mode = self.fault.lying_gateway
             self.fault.record("lying_gateway", mode=mode, xtx=xtx, honest_ok=ok)
             self.metrics.increment(f"{self.node_name}/xshard_votes_{mode}d")
@@ -1232,6 +1241,307 @@ class BlockumulusCell:
         self._reply(
             src_node, request, Opcode.XSHARD_VOTE, vote.to_data(receipt=receipt, error=error)
         )
+
+    # ------------------------------------------------------------------
+    # Cross-shard voucher fast path (one-way credit vouchers)
+    # ------------------------------------------------------------------
+    def _serve_xshard_voucher(
+        self, src_node: str, envelope: Envelope
+    ) -> Generator[Event, Any, None]:
+        """Serve one leg of the voucher fast path for this group.
+
+        Both legs are new work for their group (unlike 2PC decisions,
+        which complete an already-held escrow), so both pass admission
+        control: a shed mint simply fails the transfer before any value
+        moves, and a shed redeem behaves exactly like a lost voucher —
+        the value stays in transit until the source holder reclaims it.
+        """
+        if not self._admit_ingress():
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": OVERLOADED_ERROR, "shed": True},
+            )
+            return
+        try:
+            yield from self._serve_xshard_voucher_admitted(src_node, envelope)
+        finally:
+            self._inflight -= 1
+
+    def _serve_xshard_voucher_admitted(
+        self, src_node: str, envelope: Envelope
+    ) -> Generator[Event, Any, None]:
+        yield self.env.timeout(self.service_model.auth_overhead.sample(self.rng))
+        if not envelope.verify() or envelope.recipient != self.address:
+            self.metrics.increment(f"{self.node_name}/auth_failures")
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": "authentication failed"})
+            return
+        if self.shard_group is None or self._shard_directory is None:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": "this deployment is not sharded"},
+            )
+            return
+        if not self.is_xshard_gateway:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": f"{self.node_name} is not the cross-shard gateway of its group"},
+            )
+            return
+        try:
+            self.subscriptions.check_access(envelope.sender)
+        except SubscriptionError as exc:
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+            return
+        try:
+            body = CrossShardVoucherTransfer.from_data(envelope.data)
+        except CrossShardError as exc:
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+            return
+        if body.group != self.shard_group:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": f"cell group {self.shard_group} is not group {body.group}"},
+            )
+            return
+        if body.phase == "mint":
+            yield from self._voucher_mint(src_node, envelope, body)
+        else:
+            yield from self._voucher_redeem(src_node, envelope, body)
+
+    def _voucher_inner(
+        self, envelope: Envelope, body: CrossShardVoucherTransfer, method: str
+    ) -> Optional[Envelope]:
+        """Parse and authenticate a voucher leg's inner transaction.
+
+        Same rules as the 2PC inner transactions — client-signed
+        ``TX_SUBMIT`` from the coordinating sender, addressed to this
+        cell — plus the leg's method and xtx must match the outer
+        request, so a gateway never signs a voucher (or credits one)
+        over a transaction that does something else.
+        """
+        try:
+            inner = Envelope.from_wire(body.transaction)
+        except Exception:  # noqa: BLE001 - malformed inner envelopes are refused
+            return None
+        if (
+            not inner.verify()
+            or inner.sender != envelope.sender
+            or inner.operation != Opcode.TX_SUBMIT
+            or inner.recipient != self.address
+        ):
+            return None
+        data = inner.data
+        if data.get("method") != method:
+            return None
+        if data.get("args", {}).get("xtx") != body.xtx:
+            return None
+        return inner
+
+    def _voucher_mint(
+        self, src_node: str, envelope: Envelope, body: CrossShardVoucherTransfer
+    ) -> Generator[Event, Any, None]:
+        """Service a voucher mint and reply with the signed voucher."""
+        state = self._xshard_state.get(body.xtx)
+        if state is not None:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": f"cross-shard transaction {body.xtx} was already used",
+                 "xtx": body.xtx},
+            )
+            return
+        inner = self._voucher_inner(envelope, body, "xshard_voucher_mint")
+        if inner is not None:
+            args = inner.data.get("args", {})
+            try:
+                recipient = str(args["to"])
+                amount = int(args["amount"])
+                expires_at = float(args["expires_at"])
+            except (KeyError, TypeError, ValueError):
+                inner = None
+        if inner is None:
+            # Refused before anything executes: no debit, no voucher,
+            # and the xtx is poisoned against a later well-formed mint
+            # (single-use ids, exactly as in the 2PC state machine).
+            self._xshard_state[body.xtx] = "voucher-failed"
+            self.metrics.increment(f"{self.node_name}/xshard_voucher_mint_failed")
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": "inner transaction invalid for this gateway", "xtx": body.xtx},
+            )
+            return
+        if self.fault.is_censored(inner):
+            self.metrics.increment(f"{self.node_name}/censored")
+            return
+        result = yield from self._service_pipeline(inner)
+        if result.aborted:
+            return
+        ok = result.confirmed
+        if result.admit_error is None:
+            self.subscriptions.record_transaction(envelope.sender)
+        self._xshard_state[body.xtx] = "voucher-minted" if ok else "voucher-failed"
+        self.metrics.increment(
+            f"{self.node_name}/xshard_voucher_mint_{'ok' if ok else 'failed'}"
+        )
+        if not ok:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": result.failure_reason() or "voucher mint failed",
+                 "xtx": body.xtx},
+            )
+            return
+        assert self.shard_group is not None and body.target_group is not None
+        if self.fault.lying_gateway == "voucher":
+            # The Byzantine voucher forger: the debit is real, but the
+            # emitted voucher's signature cannot verify — every
+            # directory check at the destination must refuse it, so the
+            # value stays in transit and nothing credits.
+            self.fault.record(
+                "lying_gateway", mode="voucher", xtx=body.xtx, honest_ok=ok
+            )
+            self.metrics.increment(f"{self.node_name}/xshard_vouchers_forged")
+            signing = CrossShardVoucher.signing_body(
+                self.signer.address, body.xtx, self.shard_group, body.target_group,
+                str(body.target_contract), recipient, amount, expires_at,
+            )
+            voucher = CrossShardVoucher(
+                issuer=self.signer.address,
+                xtx=body.xtx,
+                source_group=self.shard_group,
+                target_group=body.target_group,
+                contract=str(body.target_contract),
+                recipient=recipient,
+                amount=amount,
+                expires_at=expires_at,
+                signature=bytes(byte ^ 0xFF for byte in self.signer.sign(signing)),
+                scheme=self.signer.scheme,
+            )
+        else:
+            voucher = CrossShardVoucher.create(
+                self.signer, body.xtx, self.shard_group, body.target_group,
+                str(body.target_contract), recipient, amount, expires_at,
+            )
+        if self.fault.drop_voucher:
+            # The voucher is lost in flight: the debit stands, the reply
+            # never leaves, and the source holder reclaims after the
+            # deadline (the lost-voucher recovery path).
+            self.fault.record("voucher_loss", xtx=body.xtx)
+            self.metrics.increment(f"{self.node_name}/xshard_vouchers_dropped")
+            return
+        self._reply(
+            src_node, envelope, Opcode.XSHARD_VOUCHER,
+            {
+                "phase": "minted",
+                "xtx": body.xtx,
+                "voucher": voucher.to_wire(),
+                "receipt": result.receipt.to_wire() if result.receipt is not None else None,
+            },
+        )
+
+    def _voucher_redeem(
+        self, src_node: str, envelope: Envelope, body: CrossShardVoucherTransfer
+    ) -> Generator[Event, Any, None]:
+        """Verify a voucher against the directory and credit its recipient."""
+        state = self._xshard_state.get(body.xtx)
+        if state == "voucher-redeemed":
+            # The redeemed-voucher registry: duplicate delivery is a
+            # no-op acknowledged as such, never a second credit.
+            self.metrics.increment(f"{self.node_name}/xshard_voucher_duplicates")
+            self._reply(
+                src_node, envelope, Opcode.XSHARD_VOUCHER,
+                {"phase": "redeemed", "xtx": body.xtx, "duplicate": True},
+            )
+            return
+        if state is not None:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": f"cross-shard transaction {body.xtx} was already used",
+                 "xtx": body.xtx},
+            )
+            return
+        try:
+            voucher = CrossShardVoucher.from_wire(body.voucher or {})
+        except CrossShardError as exc:
+            self._reply(src_node, envelope, Opcode.TX_ERROR, {"error": str(exc)})
+            return
+        refusal: Optional[str] = None
+        if voucher.xtx != body.xtx:
+            refusal = "voucher is for a different cross-shard transaction"
+        elif voucher.target_group != self.shard_group:
+            refusal = f"voucher targets group {voucher.target_group}, not this group"
+        else:
+            assert self._shard_directory is not None
+            refusal = voucher.verify_against(self._shard_directory)
+        if refusal is not None:
+            # A forged (or misdirected) voucher dies here, before any
+            # credit — the voucher analogue of certificate refusals,
+            # counted for the chaos attribution oracle.
+            self.metrics.increment(f"{self.node_name}/xshard_voucher_refusals")
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": refusal, "xtx": body.xtx},
+            )
+            return
+        inner = self._voucher_inner(envelope, body, "xshard_voucher_redeem")
+        if inner is not None:
+            args = inner.data.get("args", {})
+            if (
+                str(args.get("to")) != voucher.recipient
+                or args.get("amount") != voucher.amount
+                or args.get("expires_at") != voucher.expires_at
+                or inner.data.get("contract") != voucher.contract
+            ):
+                # The inner credit must spend exactly what the voucher
+                # vouches for — nothing more, nowhere else.
+                inner = None
+        if inner is None:
+            self._xshard_state[body.xtx] = "voucher-redeem-failed"
+            self.metrics.increment(f"{self.node_name}/xshard_voucher_redeem_failed")
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": "inner transaction does not match the voucher", "xtx": body.xtx},
+            )
+            return
+        if self.fault.is_censored(inner):
+            self.metrics.increment(f"{self.node_name}/censored")
+            return
+        result = yield from self._service_pipeline(inner)
+        if result.aborted:
+            return
+        ok = result.confirmed
+        if result.admit_error is None:
+            self.subscriptions.record_transaction(envelope.sender)
+        self._xshard_state[body.xtx] = (
+            "voucher-redeemed" if ok else "voucher-redeem-failed"
+        )
+        self.metrics.increment(
+            f"{self.node_name}/xshard_voucher_redeem_{'ok' if ok else 'failed'}"
+        )
+        if not ok:
+            self._reply(
+                src_node, envelope, Opcode.TX_ERROR,
+                {"error": result.failure_reason() or "voucher redeem failed",
+                 "xtx": body.xtx},
+            )
+            return
+        self._reply(
+            src_node, envelope, Opcode.XSHARD_VOUCHER,
+            {
+                "phase": "redeemed",
+                "xtx": body.xtx,
+                "duplicate": False,
+                "receipt": result.receipt.to_wire() if result.receipt is not None else None,
+            },
+        )
+        if self.fault.duplicate_voucher:
+            # The network redelivers the redeem: the registry answers it
+            # as a duplicate without touching the pipeline — observable
+            # through the metric, inert on state.
+            self.fault.record("voucher_duplication", xtx=body.xtx)
+            self.metrics.increment(f"{self.node_name}/xshard_voucher_duplicates")
+            self._reply(
+                src_node, envelope, Opcode.XSHARD_VOUCHER,
+                {"phase": "redeemed", "xtx": body.xtx, "duplicate": True},
+            )
 
     # ------------------------------------------------------------------
     # Auditor interface

@@ -20,8 +20,10 @@ consensus detects or tolerates the behaviour:
   fingerprint diverges from the snapshots it serves, and peers receive
   contradictory signed confirmations for the same execution.
 * **lying_gateway** — a cell-group gateway forges (corrupted signature,
-  always-yes) or withholds its signed 2PC prepare votes; the
-  directory-verified certificates must refuse the half-commit.
+  always-yes) or withholds its signed 2PC prepare votes, or mints
+  fast-path credit vouchers with corrupted signatures; the
+  directory-verified certificates must refuse the half-commit (or the
+  forged voucher).
 
 Alongside the per-cell switches, this module defines the *scheduled* fault
 vocabulary used by the chaos engine (:mod:`repro.chaos`): a
@@ -62,8 +64,16 @@ class FaultPlan:
     equivocate: bool = False
     #: Lying 2PC gateway: ``"forge"`` replaces every signed prepare vote
     #: with an always-yes vote carrying a corrupted signature;
-    #: ``"withhold"`` never answers XSHARD_VOTE prepares at all.
+    #: ``"withhold"`` never answers XSHARD_VOTE prepares at all;
+    #: ``"voucher"`` mints fast-path credit vouchers with corrupted
+    #: signatures (the destination's directory check must refuse them).
     lying_gateway: Optional[str] = None
+    #: Voucher fast path: withhold the minted-voucher reply (the voucher
+    #: is lost in flight; the escrowed value must reclaim cleanly).
+    drop_voucher: bool = False
+    #: Voucher fast path: answer a successful redeem a second time (the
+    #: redeemed-voucher registry must make the duplicate a no-op).
+    duplicate_voucher: bool = False
     #: Log of faults actually exercised, for assertions in tests.
     events: list[dict[str, Any]] = field(default_factory=list)
 
@@ -159,7 +169,8 @@ RECOVERABLE_FAULT_KINDS = (
 #: logical message to different observers (anchored fingerprints vs.
 #: served snapshots, and per-peer confirmations); ``lying_gateway``
 #: makes a 2PC gateway forge (``params['mode'] = 'forge'``) or withhold
-#: (``'withhold'``) its signed XSHARD_VOTE prepare votes.
+#: (``'withhold'``) its signed XSHARD_VOTE prepare votes, or forge the
+#: signatures on the fast-path credit vouchers it mints (``'voucher'``).
 BYZANTINE_FAULT_KINDS = (
     "tamper_state",
     "tamper_fingerprint",
@@ -167,8 +178,26 @@ BYZANTINE_FAULT_KINDS = (
     "lying_gateway",
 )
 
+#: Voucher-fast-path delivery faults: tolerated kinds that only make
+#: sense on a gateway cell while the credit-voucher fast path is active.
+#: ``voucher_loss`` withholds minted-voucher replies during
+#: ``[at, until)`` (the voucher is lost in flight; the escrow reclaims
+#: after its deadline), ``voucher_duplication`` re-delivers successful
+#: redeem replies (the redeemed-voucher registry must keep the duplicate
+#: a no-op).  They are sampled as *extra* draws on top of the lead-fault
+#: stratification, never as lead kinds — ``RECOVERABLE_FAULT_KINDS`` must
+#: keep its length so ``seed % 7`` stays stable.
+VOUCHER_FAULT_KINDS = (
+    "voucher_loss",
+    "voucher_duplication",
+)
+
 #: Every fault kind a schedule may carry.
-FAULT_KINDS = frozenset(RECOVERABLE_FAULT_KINDS) | frozenset(BYZANTINE_FAULT_KINDS)
+FAULT_KINDS = (
+    frozenset(RECOVERABLE_FAULT_KINDS)
+    | frozenset(BYZANTINE_FAULT_KINDS)
+    | frozenset(VOUCHER_FAULT_KINDS)
+)
 
 #: Kinds whose injection takes the target cell offline for a while (a
 #: partitioned cell stays up but is unreachable, which for scheduling
@@ -184,11 +213,13 @@ WINDOWED_KINDS = frozenset(
         "delay_window",
         "partition_window",
         "skew_window",
+        "voucher_loss",
+        "voucher_duplication",
     }
 )
 
 #: Valid ``params['mode']`` values of a ``lying_gateway`` fault.
-LYING_GATEWAY_MODES = ("forge", "withhold")
+LYING_GATEWAY_MODES = ("forge", "withhold", "voucher")
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,8 @@ from .xshard import (
     CrossShardError,
     CrossShardPrepare,
     CrossShardVote,
+    CrossShardVoucher,
+    CrossShardVoucherTransfer,
 )
 
 __all__ = [
@@ -32,6 +34,8 @@ __all__ = [
     "CrossShardError",
     "CrossShardPrepare",
     "CrossShardVote",
+    "CrossShardVoucher",
+    "CrossShardVoucherTransfer",
     "EcdsaSigner",
     "Envelope",
     "EnvelopeError",

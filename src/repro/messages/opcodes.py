@@ -47,6 +47,7 @@ class Opcode(str, Enum):
     XSHARD_COMMIT = "xshard_commit"         # commit decision + signed vote certificate
     XSHARD_ABORT = "xshard_abort"           # abort decision (roll back prepared holds)
     XSHARD_VOTE = "xshard_vote"             # gateway's signed vote / phase acknowledgement
+    XSHARD_VOUCHER = "xshard_voucher"       # one-way credit voucher mint/redeem (fast path)
 
     # Service cell -> client.
     TX_RECEIPT = "tx_receipt"               # aggregated multi-signature receipt
@@ -78,6 +79,7 @@ CLIENT_OPCODES = frozenset(
         Opcode.XSHARD_PREPARE,
         Opcode.XSHARD_COMMIT,
         Opcode.XSHARD_ABORT,
+        Opcode.XSHARD_VOUCHER,
         Opcode.PING,
     }
 )

@@ -35,6 +35,7 @@ OPCODE_BODIES: Dict[Opcode, str] = {
     Opcode.XSHARD_COMMIT: "repro.messages.xshard:CrossShardDecision",
     Opcode.XSHARD_ABORT: "repro.messages.xshard:CrossShardDecision",
     Opcode.XSHARD_VOTE: "repro.messages.xshard:CrossShardVote",
+    Opcode.XSHARD_VOUCHER: "repro.messages.xshard:CrossShardVoucherTransfer",
 }
 
 

@@ -329,3 +329,227 @@ class CrossShardDecision:
         if not has_no_vote:
             return "abort certificate carries no verified no-vote"
         return None
+
+
+#: Phases of the one-way voucher fast path.
+VOUCHER_PHASES = ("mint", "redeem")
+
+
+@dataclass(frozen=True)
+class CrossShardVoucher:
+    """A signed, single-use credit voucher minted by a source gateway.
+
+    The fast path for cross-shard transfers whose destination effect is a
+    pure increment: the source group executes an escrowed debit
+    (``xshard_voucher_mint``) and its gateway signs this voucher over the
+    resulting credit.  The destination gateway redeems it as a plain
+    increment — no prepare/vote/commit round.  The voucher is
+    third-party-verifiable evidence exactly like a :class:`CrossShardVote`:
+    the destination re-verifies the issuer against the shard directory
+    (a known gateway cell of ``source_group``) before crediting, and the
+    redeemed-voucher registry keyed by ``xtx`` makes redemption
+    idempotent under duplicate delivery.  A voucher that is never
+    redeemed expires with the escrow deadline, after which the source
+    holder reclaims the debit — lost vouchers reclaim cleanly.
+    """
+
+    issuer: Address
+    xtx: str
+    source_group: int
+    target_group: int
+    contract: str
+    recipient: str
+    amount: int
+    expires_at: float
+    signature: bytes
+    scheme: str = "ecdsa"
+
+    def __post_init__(self) -> None:
+        if not self.xtx:
+            raise CrossShardError("a voucher needs a cross-shard transaction id")
+        if self.source_group == self.target_group:
+            raise CrossShardError("a voucher must cross group boundaries")
+
+    @staticmethod
+    def signing_body(
+        issuer: Address, xtx: str, source_group: int, target_group: int,
+        contract: str, recipient: str, amount: int, expires_at: float,
+    ) -> bytes:
+        """Canonical bytes a source gateway signs for a credit voucher."""
+        return canonical_json.dump_bytes(
+            {
+                "kind": "xshard_voucher",
+                "issuer": issuer.hex(),
+                "xtx": xtx,
+                "source_group": source_group,
+                "target_group": target_group,
+                "contract": contract,
+                "recipient": recipient,
+                "amount": amount,
+                "expires_at": expires_at,
+            }
+        )
+
+    @classmethod
+    def create(
+        cls, signer: Signer, xtx: str, source_group: int, target_group: int,
+        contract: str, recipient: str, amount: int, expires_at: float,
+    ) -> "CrossShardVoucher":
+        """Build and sign a voucher on behalf of the minting gateway."""
+        body = cls.signing_body(
+            signer.address, xtx, source_group, target_group,
+            contract, recipient, amount, expires_at,
+        )
+        return cls(
+            issuer=signer.address,
+            xtx=xtx,
+            source_group=source_group,
+            target_group=target_group,
+            contract=contract,
+            recipient=recipient,
+            amount=amount,
+            expires_at=expires_at,
+            signature=signer.sign(body),
+            scheme=signer.scheme,
+        )
+
+    def verify(self) -> bool:
+        """Check the issuer's signature over the voucher body."""
+        body = self.signing_body(
+            self.issuer, self.xtx, self.source_group, self.target_group,
+            self.contract, self.recipient, self.amount, self.expires_at,
+        )
+        return verify_signature(self.scheme, self.issuer, body, self.signature)
+
+    def verify_against(
+        self, directory: Mapping[int, frozenset[Address]]
+    ) -> Optional[str]:
+        """Why the voucher is invalid (None when it verifies).
+
+        The issuer must be a known gateway cell of ``source_group`` per
+        the deployment's shard ``directory`` and the signature must
+        verify — the voucher analogue of the certificate re-verification
+        rule, so a forged voucher is refused before anything credits.
+        """
+        members = directory.get(self.source_group)
+        if members is None or self.issuer not in members:
+            return (
+                f"voucher issuer is not a known gateway cell of group "
+                f"{self.source_group}"
+            )
+        if not self.verify():
+            return "voucher carries an invalid issuer signature"
+        return None
+
+    def to_wire(self) -> dict[str, Any]:
+        """JSON-serializable form (relayed by the coordinator)."""
+        return {
+            "issuer": self.issuer.hex(),
+            "xtx": self.xtx,
+            "source_group": self.source_group,
+            "target_group": self.target_group,
+            "contract": self.contract,
+            "recipient": self.recipient,
+            "amount": self.amount,
+            "expires_at": self.expires_at,
+            "signature": "0x" + self.signature.hex(),
+            "scheme": self.scheme,
+        }
+
+    @classmethod
+    def from_wire(cls, raw: dict[str, Any]) -> "CrossShardVoucher":
+        """Parse a voucher from its wire form."""
+        try:
+            return cls(
+                issuer=_address(raw["issuer"], "issuer"),
+                xtx=str(raw["xtx"]),
+                source_group=int(raw["source_group"]),
+                target_group=int(raw["target_group"]),
+                contract=str(raw["contract"]),
+                recipient=str(raw["recipient"]),
+                amount=int(raw["amount"]),
+                expires_at=float(raw["expires_at"]),
+                signature=bytes.fromhex(raw["signature"][2:]),
+                scheme=raw.get("scheme", "ecdsa"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CrossShardError(f"malformed cross-shard voucher: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class CrossShardVoucherTransfer:
+    """One leg of the voucher fast path, sent to a gateway cell.
+
+    ``phase="mint"`` asks the *source* gateway to service the inner
+    client-signed ``xshard_voucher_mint`` transaction and, on a full
+    receipt, reply with a signed :class:`CrossShardVoucher` bound to
+    ``target_group``/``target_contract``.  ``phase="redeem"`` asks the
+    *destination* gateway to verify the attached ``voucher`` against the
+    shard directory and service the inner ``xshard_voucher_redeem``
+    transaction (idempotent per xtx).  As in 2PC, the inner state change
+    is always an ordinary client-signed ``TX_SUBMIT`` envelope serviced
+    through the group's normal pipeline.
+    """
+
+    xtx: str
+    phase: str
+    group: int
+    transaction: dict[str, Any]
+    target_group: Optional[int] = None
+    target_contract: Optional[str] = None
+    voucher: Optional[dict[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if not self.xtx:
+            raise CrossShardError("a cross-shard transaction needs an id")
+        if self.phase not in VOUCHER_PHASES:
+            raise CrossShardError(f"unknown voucher phase {self.phase!r}")
+        if self.phase == "mint":
+            if self.target_group is None or self.target_contract is None:
+                raise CrossShardError(
+                    "a voucher mint must name its target group and contract"
+                )
+        elif self.voucher is None:
+            raise CrossShardError("a voucher redeem must carry the voucher")
+
+    def to_data(self) -> dict[str, Any]:
+        """The data field D of an ``XSHARD_VOUCHER`` request envelope."""
+        data: dict[str, Any] = {
+            "xtx": self.xtx,
+            "phase": self.phase,
+            "group": self.group,
+            "transaction": self.transaction,
+        }
+        if self.phase == "mint":
+            data["target_group"] = self.target_group
+            data["target_contract"] = self.target_contract
+        else:
+            data["voucher"] = self.voucher
+        return data
+
+    @classmethod
+    def from_data(cls, raw: dict[str, Any]) -> "CrossShardVoucherTransfer":
+        """Rebuild a voucher request from an envelope's data field."""
+        try:
+            transaction = raw["transaction"]
+            if not isinstance(transaction, dict):
+                raise TypeError("transaction must be an envelope object")
+            phase = str(raw["phase"])
+            voucher = raw.get("voucher")
+            if voucher is not None and not isinstance(voucher, dict):
+                raise TypeError("voucher must be a wire object")
+            return cls(
+                xtx=str(raw["xtx"]),
+                phase=phase,
+                group=int(raw["group"]),
+                transaction=transaction,
+                target_group=(
+                    int(raw["target_group"]) if phase == "mint" else None
+                ),
+                target_contract=(
+                    str(raw["target_contract"]) if phase == "mint" else None
+                ),
+                voucher=voucher,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CrossShardError(f"malformed cross-shard voucher request: {exc}") from exc

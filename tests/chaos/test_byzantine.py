@@ -10,9 +10,10 @@ asserts the per-kind expectations:
 * ``tamper_state`` / ``tamper_fingerprint`` / ``equivocate`` fail the
   audit oracle and are attributed to the anchor-agreement check (or a
   per-cell audit finding naming the cell);
-* ``lying_gateway`` (both ``forge`` and ``withhold`` modes) passes every
-  standard oracle — the forged/withheld XSHARD_VOTE is refused at the
-  certificate layer before anything commits — and is attributed to
+* ``lying_gateway`` (``forge``, ``withhold``, and the fast-path
+  ``voucher`` forgery modes) passes every standard oracle — the
+  forged/withheld XSHARD_VOTE (or forged credit voucher) is refused at
+  the certificate layer before anything commits — and is attributed to
   ``caught-by-certificate`` with ledger-derived evidence of zero
   half-commits;
 * conservation, differential, and bit-identical same-seed replay stay
@@ -114,9 +115,11 @@ def test_every_fault_is_attributed_to_its_predicted_mechanism(byzantine_outcomes
 
 
 def test_lying_gateway_leaves_zero_half_commits(byzantine_outcomes):
-    """The acceptance bar: a forged or withheld vote must never produce
-    a settled source hold, a credited target, or a client-visible ok
-    commit — holds stay escrowed until the decision is re-driven."""
+    """The acceptance bar: a forged or withheld vote — or a forged
+    fast-path voucher — must never produce a settled source hold, a
+    credited or redeemed target, or a client-visible ok commit; holds
+    stay escrowed until the decision is re-driven (or the voucher's
+    escrow reclaims)."""
     from repro.audit.oracles import harvest_escrows
     from repro.chaos.scenario import CHAOS_CONTRACT
     from repro.client.sharded import CrossShardResult
@@ -142,12 +145,13 @@ def test_lying_gateway_leaves_zero_half_commits(byzantine_outcomes):
                 assert out["status"] != "settled", f"seed {seed} xtx {xtx}"
             if into is not None:
                 assert into["status"] != "credited", f"seed {seed} xtx {xtx}"
+                assert into["status"] != "redeemed", f"seed {seed} xtx {xtx}"
         for result in run.workload.results:
             if isinstance(result, CrossShardResult) and result.xtx in lied:
                 assert not (result.ok and result.decision == "commit"), (
                     f"seed {seed}: client saw an undetected half-commit"
                 )
-    assert checked >= 2, "both lying modes must have been exercised"
+    assert checked >= 3, "all three lying modes must have been exercised"
 
 
 def test_anchored_kinds_fail_audit_and_lying_gateway_does_not(byzantine_outcomes):

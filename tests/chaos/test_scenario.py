@@ -21,6 +21,7 @@ from repro.chaos.scenario import (
 from repro.core.faults import (
     BYZANTINE_FAULT_KINDS,
     RECOVERABLE_FAULT_KINDS,
+    VOUCHER_FAULT_KINDS,
     FaultError,
     FaultSchedule,
     ScheduledFault,
@@ -134,8 +135,37 @@ def test_pinned_corpus_spans_the_full_feature_matrix():
     assert len(specs) == CORPUS_SIZE >= 50
     cov = coverage(specs)
     assert cov["matrix_points"] == len(ScenarioSpace().matrix()) == 12
-    assert set(cov["fault_kinds"]) == set(RECOVERABLE_FAULT_KINDS)
+    assert set(cov["fault_kinds"]) == set(RECOVERABLE_FAULT_KINDS) | set(
+        VOUCHER_FAULT_KINDS
+    )
     assert set(cov["op_kinds"]) == {"transfer", "cas_put", "vote", "invest"}
     # Multi-shard scenarios exist with transfers, so cross-shard 2PC and
     # pauper-driven aborts get exercised across the corpus.
     assert cov["multi_shard_transfer_candidates"] > 0
+
+
+def test_corpus_stratifies_the_voucher_fast_path():
+    """Half the corpus runs its cross-shard transfers over the voucher
+    fast path, voucher delivery faults ride only on those scenarios (on
+    the gateway cell), and lead-kind stratification is untouched."""
+    specs = corpus_specs()
+    fast = [spec for spec in specs if spec.fast_path]
+    slow = [spec for spec in specs if not spec.fast_path]
+    assert len(fast) == len(slow) == CORPUS_SIZE // 2
+    voucher_kinds = set(VOUCHER_FAULT_KINDS)
+    sampled = 0
+    for spec in specs:
+        for fault in spec.faults:
+            if fault.kind in voucher_kinds:
+                sampled += 1
+                assert spec.fast_path and spec.shards > 1
+                assert fault.cell == 0, "voucher faults target the gateway"
+                assert fault.until is not None
+    assert sampled > 0, "the corpus must sample voucher delivery faults"
+    # The voucher draws ride strictly *after* the pre-existing ones, so
+    # lead-kind stratification over seed % 7 is untouched: the first
+    # scheduled fault of every scenario is never a voucher kind.
+    for spec in specs:
+        if len(spec.faults):
+            assert spec.faults.faults[0].kind not in voucher_kinds
+

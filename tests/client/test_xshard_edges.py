@@ -341,3 +341,411 @@ def test_half_driven_commit_is_in_transit_not_lost():
     target = deployment.group(1).cells[0].contracts.get(names[1])
     assert target.query("balance_of", {"account": recipient}) == 20
     assert_conserved(deployment, expect_in_transit=0)
+
+
+# ----------------------------------------------------------------------
+# The voucher fast path: pure-increment destinations skip 2PC
+# ----------------------------------------------------------------------
+def send_voucher(deployment, client, alice, group, body):
+    """Send one XSHARD_VOUCHER leg and return the reply envelope."""
+    _request, waiter = client.clients[group].request(
+        Opcode.XSHARD_VOUCHER, body.to_data(), signer=alice
+    )
+    return run_event(deployment, waiter)
+
+
+def mint_voucher(deployment, client, alice, names, xtx, amount, recipient,
+                 expires_at, reclaim_after):
+    """Drive one mint leg by hand and return the signed voucher."""
+    from repro.messages.xshard import CrossShardVoucher, CrossShardVoucherTransfer
+
+    inner = client._sign_call(
+        alice, 0,
+        (names[0], "xshard_voucher_mint",
+         {"xtx": xtx, "to": recipient, "amount": amount,
+          "expires_at": expires_at, "reclaim_after": reclaim_after}),
+    )
+    body = CrossShardVoucherTransfer(
+        xtx=xtx, phase="mint", group=0, transaction=inner.to_wire(),
+        target_group=1, target_contract=names[1],
+    )
+    reply = send_voucher(deployment, client, alice, 0, body)
+    assert reply.operation == Opcode.XSHARD_VOUCHER, reply.data
+    assert reply.data["phase"] == "minted"
+    return CrossShardVoucher.from_wire(reply.data["voucher"])
+
+
+def redeem_voucher(deployment, client, alice, names, xtx, voucher):
+    """Drive one redeem leg spending exactly what the voucher vouches for."""
+    from repro.messages.xshard import CrossShardVoucherTransfer
+
+    inner = client._sign_call(
+        alice, 1,
+        (names[1], "xshard_voucher_redeem",
+         {"xtx": xtx, "to": voucher.recipient, "amount": voucher.amount,
+          "expires_at": voucher.expires_at}),
+    )
+    body = CrossShardVoucherTransfer(
+        xtx=xtx, phase="redeem", group=1, transaction=inner.to_wire(),
+        voucher=voucher.to_wire(),
+    )
+    return send_voucher(deployment, client, alice, 1, body)
+
+
+def test_voucher_fast_path_commits_as_a_pure_increment():
+    from repro.client.sharded import ShardedFastMoneyClient
+
+    deployment, alice, names, client = build()
+    app = ShardedFastMoneyClient(client, base_name=BASE)
+    recipient = "0x" + "7c" * 20
+    result = run_event(
+        deployment,
+        app.transfer_cross(0, 1, recipient, 15, signer=alice, fast_path=True),
+    )
+    assert result.ok and result.decision == "commit", result.error
+    assert not result.in_transit
+    # One message per gateway: the mint is the only "prepare", the
+    # redeem the only "ack" — no vote round ever ran.
+    assert set(result.prepare) == {0} and set(result.acks) == {1}
+    assert escrow_status(deployment, 0, names[0], result.xtx)["status"] == "voucher"
+    assert escrow_status(deployment, 1, names[1], result.xtx)["status"] == "redeemed"
+    target = deployment.group(1).cells[0].contracts.get(names[1])
+    assert target.query("balance_of", {"account": recipient}) == 15
+    assert_conserved(deployment)
+
+
+def test_fast_path_classifier_only_accepts_provable_pure_increments():
+    """An unprovable destination footprint falls back to full 2PC."""
+    deployment, alice, names, client = build()
+    recipient = "0x" + "7c" * 20
+    redeem = (
+        names[1], "xshard_voucher_redeem",
+        {"xtx": "0x" + "ab" * 8, "to": recipient, "amount": 5,
+         "expires_at": deployment.env.now + 50.0},
+    )
+    assert client.destination_is_pure_increment(1, redeem, sender=alice.address)
+    # A plain transfer reads and writes the sender's balance — a shared
+    # key — so it can never take the fast path.
+    assert not client.destination_is_pure_increment(
+        1, (names[1], "transfer", {"to": recipient, "amount": 5}),
+        sender=alice.address,
+    )
+    # Without an xtx the per-transaction keys cannot be told apart from
+    # shared state, and a routing mismatch is never provable either.
+    no_xtx = (names[1], "xshard_voucher_redeem",
+              {"to": recipient, "amount": 5, "expires_at": 50.0})
+    assert not client.destination_is_pure_increment(1, no_xtx, sender=alice.address)
+    assert not client.destination_is_pure_increment(0, redeem, sender=alice.address)
+
+
+def test_duplicate_voucher_redeem_is_a_metered_no_op():
+    deployment, alice, names, client = build()
+    recipient = "0x" + "7d" * 20
+    xtx = client.next_xtx()
+    expires = deployment.env.now + 50.0
+    voucher = mint_voucher(
+        deployment, client, alice, names, xtx, 10, recipient, expires, expires + 5.0
+    )
+    reply = redeem_voucher(deployment, client, alice, names, xtx, voucher)
+    assert reply.operation == Opcode.XSHARD_VOUCHER
+    assert reply.data["phase"] == "redeemed" and reply.data["duplicate"] is False
+    # The network redelivers the redeem: the redeemed-voucher registry
+    # answers it without touching the pipeline, and counts it.
+    dup = redeem_voucher(deployment, client, alice, names, xtx, voucher)
+    assert dup.operation == Opcode.XSHARD_VOUCHER
+    assert dup.data["phase"] == "redeemed" and dup.data["duplicate"] is True
+    gateway = deployment.group(1).cells[0]
+    assert gateway.metrics.counter(
+        f"{gateway.node_name}/xshard_voucher_duplicates"
+    ) == 1
+    target = gateway.contracts.get(names[1])
+    assert target.query("balance_of", {"account": recipient}) == 10
+    assert_conserved(deployment)
+
+
+def test_expired_voucher_refuses_redeem_and_the_source_reclaims():
+    deployment, alice, names, client = build()
+    recipient = "0x" + "7e" * 20
+    xtx = client.next_xtx()
+    expires = deployment.env.now + 5.0
+    voucher = mint_voucher(
+        deployment, client, alice, names, xtx, 30, recipient, expires, expires + 2.0
+    )
+    # The debit already happened: the value is in transit on the voucher.
+    assert_conserved(deployment, expect_in_transit=30)
+
+    # The voucher sits in a pocket past its deadline; the redeem refuses.
+    deployment.run(until=expires + 0.5)
+    reply = redeem_voucher(deployment, client, alice, names, xtx, voucher)
+    assert reply.operation == Opcode.TX_ERROR
+    assert "expired; the source reclaims it" in reply.data["error"]
+
+    # Redeem and reclaim deadlines are disjoint: not reclaimable yet.
+    early = run_event(
+        deployment,
+        client.submit(names[0], "xshard_voucher_reclaim", {"xtx": xtx}, signer=alice),
+    )
+    assert not early.ok and "not reclaimable yet" in early.error
+
+    deployment.run(until=expires + 3.0)
+    reclaimed = run_event(
+        deployment,
+        client.submit(names[0], "xshard_voucher_reclaim", {"xtx": xtx}, signer=alice),
+    )
+    assert reclaimed.ok, reclaimed.error
+    source = deployment.group(0).cells[0].contracts.get(names[0])
+    assert source.query("balance_of", {"account": alice.address.hex()}) == FUNDING
+    assert escrow_status(deployment, 0, names[0], xtx)["status"] == "voucher_reclaimed"
+    assert_conserved(deployment, expect_in_transit=0)
+
+
+def test_forged_voucher_is_refused_before_any_credit():
+    from dataclasses import replace
+
+    deployment, alice, names, client = build()
+    recipient = "0x" + "7f" * 20
+    xtx = client.next_xtx()
+    expires = deployment.env.now + 50.0
+    voucher = mint_voucher(
+        deployment, client, alice, names, xtx, 20, recipient, expires, expires + 5.0
+    )
+    forged = replace(
+        voucher, signature=bytes(b ^ 0xFF for b in voucher.signature)
+    )
+    reply = redeem_voucher(deployment, client, alice, names, xtx, forged)
+    assert reply.operation == Opcode.TX_ERROR
+    assert reply.data["error"] == "voucher carries an invalid issuer signature"
+    gateway = deployment.group(1).cells[0]
+    assert gateway.metrics.counter(
+        f"{gateway.node_name}/xshard_voucher_refusals"
+    ) == 1
+    target = gateway.contracts.get(names[1])
+    assert target.query("balance_of", {"account": recipient}) == 0
+    # The directory check refused it before any credit: the debit stands
+    # and the value is visibly in transit, not minted and not lost.
+    assert escrow_status(deployment, 0, names[0], xtx)["status"] == "voucher"
+    assert_conserved(deployment, expect_in_transit=20)
+
+    # The genuine voucher still redeems — the refusal burned nothing.
+    ok_reply = redeem_voucher(deployment, client, alice, names, xtx, voucher)
+    assert ok_reply.operation == Opcode.XSHARD_VOUCHER
+    assert ok_reply.data["phase"] == "redeemed" and ok_reply.data["duplicate"] is False
+    assert target.query("balance_of", {"account": recipient}) == 20
+    assert_conserved(deployment, expect_in_transit=0)
+
+
+# ----------------------------------------------------------------------
+# A dropped commit ack is in-transit value, not a failed transfer
+# ----------------------------------------------------------------------
+def test_dropped_commit_ack_reports_in_transit_with_the_certificate():
+    from repro.client.sharded import ShardedFastMoneyClient
+    from repro.client.workload import ShardedWorkloadReport
+
+    deployment, alice, names, client = build()
+    app = ShardedFastMoneyClient(client, base_name=BASE)
+    recipient = "0x" + "7b" * 20
+
+    original = client._send_phase
+
+    def drop_target_commit(signer, plan, data, opcode):
+        if opcode == Opcode.XSHARD_COMMIT and plan.group == 1:
+            # The decision to the target is lost in flight: never
+            # delivered, never acknowledged.
+            return client.env.event()
+        return original(signer, plan, data, opcode)
+
+    client._send_phase = drop_target_commit
+    result = run_event(
+        deployment, app.transfer_cross(0, 1, recipient, 20, signer=alice)
+    )
+    client._send_phase = original
+
+    # The commit was *decided* — the certificate proves it — so the
+    # outcome is the distinct in-transit class, not a generic failure.
+    assert result.decision == "commit"
+    assert not result.ok and result.in_transit
+    assert "value is in transit under the commit certificate" in result.error
+    assert "group 1" in result.error
+    votes = [outcome.vote for outcome in result.prepare.values()]
+    assert all(vote is not None and vote.ok for vote in votes)
+    assert escrow_status(deployment, 0, names[0], result.xtx)["status"] == "settled"
+    assert escrow_status(deployment, 1, names[1], result.xtx)["status"] == "expected"
+    assert_conserved(deployment, expect_in_transit=20)
+
+    # Workload accounting files it as in-transit, never as a failure.
+    report = ShardedWorkloadReport(
+        label="in-transit", consortium_size=2, cross_results=[result]
+    )
+    assert report.cross_failures == [] and report.cross_in_transit == [result]
+    assert report.failure_count == 0
+
+    # Anyone holding the certificate delivers the credit later.
+    reply = decide(
+        deployment, client, alice, 1,
+        (names[1], "xshard_credit", {"xtx": result.xtx}),
+        result.xtx, "commit", votes,
+    )
+    assert CrossShardVote.from_data(reply.data).ok
+    target = deployment.group(1).cells[0].contracts.get(names[1])
+    assert target.query("balance_of", {"account": recipient}) == 20
+    assert_conserved(deployment, expect_in_transit=0)
+
+
+# ----------------------------------------------------------------------
+# Skew-padded destination deadlines heal the expiry asymmetry
+# ----------------------------------------------------------------------
+def test_skew_pad_heals_the_asymmetric_expiry_window():
+    """Deadlines are checked at delivery: under destination skew a credit
+    can arrive after a deadline the settle met, stranding the value with
+    a settled source and an expired expectation.  The destination leg's
+    padded deadline (satellite: ``skew_pad``) closes exactly that window;
+    an unpadded leg reproduces the old asymmetry."""
+    deployment, alice, names, client = build()
+    recipient = "0x" + "79" * 20
+    skew, pad = 3.0, 10.0
+    expires = deployment.env.now + 30.0
+
+    def prepare_pair(xtx, dest_pad):
+        votes = []
+        for group, call in (
+            (0, (names[0], "xshard_reserve",
+                 {"xtx": xtx, "amount": 10, "expires_at": expires})),
+            (1, (names[1], "xshard_expect",
+                 {"xtx": xtx, "to": recipient, "amount": 10,
+                  "expires_at": expires + dest_pad})),
+        ):
+            vote, _reply = prepare(deployment, client, alice, group, call, xtx)
+            assert vote is not None and vote.ok
+            votes.append(vote)
+        return votes
+
+    xtx_bare = client.next_xtx()
+    votes_bare = prepare_pair(xtx_bare, dest_pad=0.0)
+    xtx_padded = client.next_xtx()
+    votes_padded = prepare_pair(xtx_padded, dest_pad=pad)
+
+    # After both holds are armed, the destination gateway's scheduler
+    # falls behind by more than the source/destination latency gap.
+    gateway = deployment.group(1).cells[0]
+    deployment.network.set_node_skew(gateway.node_name, skew)
+
+    # The coordinator decides commit just inside the source deadline:
+    # both settles land in time, both credits are delivered late.
+    deployment.run(until=expires - 1.0)
+    for xtx, votes in ((xtx_bare, votes_bare), (xtx_padded, votes_padded)):
+        reply = decide(
+            deployment, client, alice, 0,
+            (names[0], "xshard_settle", {"xtx": xtx}), xtx, "commit", votes,
+        )
+        assert CrossShardVote.from_data(reply.data).ok
+        assert deployment.env.now < expires
+
+    # The padded leg absorbs the late delivery and credits.
+    reply = decide(
+        deployment, client, alice, 1,
+        (names[1], "xshard_credit", {"xtx": xtx_padded}),
+        xtx_padded, "commit", votes_padded,
+    )
+    assert CrossShardVote.from_data(reply.data).ok
+    assert escrow_status(deployment, 1, names[1], xtx_padded)["status"] == "credited"
+
+    # The unpadded leg reproduces the bug: source settled, credit
+    # refused as expired — the value is stranded in transit.
+    reply = decide(
+        deployment, client, alice, 1,
+        (names[1], "xshard_credit", {"xtx": xtx_bare}),
+        xtx_bare, "commit", votes_bare,
+    )
+    vote = CrossShardVote.from_data(reply.data)
+    assert not vote.ok and "expired" in reply.data["error"]
+    assert escrow_status(deployment, 0, names[0], xtx_bare)["status"] == "settled"
+    assert escrow_status(deployment, 1, names[1], xtx_bare)["status"] == "expected"
+    assert_conserved(deployment, expect_in_transit=10)
+    deployment.network.set_node_skew(gateway.node_name, 0.0)
+
+
+def test_transfer_cross_pads_the_destination_deadline_by_skew_pad():
+    """The coordinator arms the destination leg ``skew_pad`` beyond the
+    source leg, observable on the escrow record while a commit is lost."""
+    from repro.client.sharded import ShardedFastMoneyClient
+
+    deployment, alice, names, client = build()
+    app = ShardedFastMoneyClient(client, base_name=BASE)
+    original = client._send_phase
+
+    def drop_target_commit(signer, plan, data, opcode):
+        if opcode == Opcode.XSHARD_COMMIT and plan.group == 1:
+            return client.env.event()
+        return original(signer, plan, data, opcode)
+
+    client._send_phase = drop_target_commit
+    armed_at = deployment.env.now
+    result = run_event(
+        deployment,
+        app.transfer_cross(0, 1, "0x" + "7b" * 20, 5, signer=alice,
+                           hold_expiry=60.0, skew_pad=2.5),
+    )
+    client._send_phase = original
+    assert result.in_transit and result.decision == "commit"
+    source = escrow_status(deployment, 0, names[0], result.xtx)
+    target = escrow_status(deployment, 1, names[1], result.xtx)
+    assert source["status"] == "settled"
+    assert target["status"] == "expected"
+    # The destination expectation still carries its deadline: the source
+    # leg's expiry plus the pad (the settled record sheds its own).
+    assert target["expires_at"] == pytest.approx(armed_at + 60.0 + 2.5)
+    assert_conserved(deployment, expect_in_transit=5)
+
+
+def test_async_fast_path_commits_before_the_redeem_lands():
+    """``await_redeem=False`` returns once the voucher is secured; the
+    redeem delivers in the background and resolves ``result.redeem``."""
+    from repro.client.sharded import ShardedFastMoneyClient
+
+    deployment, alice, names, client = build()
+    app = ShardedFastMoneyClient(client, base_name=BASE)
+    recipient = "0x" + "7d" * 20
+    result = run_event(
+        deployment,
+        app.transfer_cross(0, 1, recipient, 15, signer=alice,
+                           fast_path=True, await_redeem=False),
+    )
+    assert result.ok and result.decision == "commit", result.error
+    assert result.redeem is not None
+    # The early commit point: the debit is escrowed under the voucher,
+    # but no acknowledgement from the destination exists yet.
+    assert set(result.prepare) == {0} and result.acks == {}
+    assert escrow_status(deployment, 0, names[0], result.xtx)["status"] == "voucher"
+    final = run_event(deployment, result.redeem)
+    assert final.ok and final.decision == "commit", final.error
+    assert set(final.acks) == {1}
+    assert escrow_status(deployment, 1, names[1], final.xtx)["status"] == "redeemed"
+    target = deployment.group(1).cells[0].contracts.get(names[1])
+    assert target.query("balance_of", {"account": recipient}) == 15
+    assert_conserved(deployment)
+
+
+def test_async_fast_path_refuses_a_forged_voucher_before_promising():
+    """The client-side directory check is load-bearing in async mode: a
+    lying source gateway's forged voucher must never earn the early ok."""
+    from repro.client.sharded import ShardedFastMoneyClient
+
+    deployment, alice, names, client = build()
+    app = ShardedFastMoneyClient(client, base_name=BASE)
+    forger = deployment.group(0).gateway
+    forger.fault.lying_gateway = "voucher"
+    result = run_event(
+        deployment,
+        app.transfer_cross(0, 1, "0x" + "7e" * 20, 15, signer=alice,
+                           fast_path=True, await_redeem=False),
+    )
+    forger.fault.lying_gateway = None
+    assert not result.ok and result.decision == "abort"
+    assert result.in_transit and result.redeem is None
+    assert "directory verification" in (result.error or "")
+    counter = forger.metrics.counter(f"{forger.node_name}/xshard_vouchers_forged")
+    assert counter == 1
+    # The debit really happened; the value sits in transit until the
+    # source reclaims it after the voucher deadline.
+    assert escrow_status(deployment, 0, names[0], result.xtx)["status"] == "voucher"
+    assert_conserved(deployment, expect_in_transit=15)

@@ -72,14 +72,26 @@ def test_scheduled_fault_validates_kind_time_and_window():
 
 
 def test_fault_kind_taxonomy_is_partitioned():
-    """Every kind is recoverable or Byzantine, never both — samplers and
-    the attribution oracle branch on this split."""
-    assert set(FAULT_KINDS) == set(RECOVERABLE_FAULT_KINDS) | set(
-        BYZANTINE_FAULT_KINDS
+    """Every kind is recoverable, Byzantine, or a voucher delivery fault —
+    never more than one — samplers and the attribution oracle branch on
+    this split."""
+    from repro.core.faults import VOUCHER_FAULT_KINDS
+
+    strata = (
+        set(RECOVERABLE_FAULT_KINDS),
+        set(BYZANTINE_FAULT_KINDS),
+        set(VOUCHER_FAULT_KINDS),
     )
-    assert not set(RECOVERABLE_FAULT_KINDS) & set(BYZANTINE_FAULT_KINDS)
+    assert set(FAULT_KINDS) == strata[0] | strata[1] | strata[2]
+    for i, left in enumerate(strata):
+        for right in strata[i + 1:]:
+            assert not left & right
     assert {"partition_window", "skew_window"} <= set(RECOVERABLE_FAULT_KINDS)
     assert {"equivocate", "lying_gateway"} <= set(BYZANTINE_FAULT_KINDS)
+    assert {"voucher_loss", "voucher_duplication"} == set(VOUCHER_FAULT_KINDS)
+    # The voucher kinds ride as extra draws on top of the lead-fault
+    # stratification, so the lead tuple keeps its length (seed % 7).
+    assert len(RECOVERABLE_FAULT_KINDS) == 7
 
 
 def test_scheduled_fault_validates_the_byzantine_and_windowed_kinds():
